@@ -1,0 +1,51 @@
+// Ablation 5: communication cost versus utility across the five frequency
+// oracles — the trade-off behind the paper's Section 6 recommendation
+// ("the OUE and/or OLH protocols, depending on k_j due to communication
+// costs"). For each (k, eps) cell the table reports every protocol's bits
+// per report and approximate estimator variance (n = 1, f = 0), then the
+// cheapest-within-5%-variance recommendation. A second panel prints the
+// per-user upload of the three multidimensional solutions on the Adult
+// attribute profile.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fo/comm_cost.h"
+#include "fo/factory.h"
+
+int main() {
+  using namespace ldpr;
+  using fo::Protocol;
+
+  std::printf("# bench = abl05_comm_cost\n");
+  std::printf("# panel 1: per-report bits and variance by (k, eps)\n");
+  std::printf("%-8s %-6s", "k", "eps");
+  for (Protocol p : fo::AllProtocols())
+    std::printf(" %9s_b %9s_v", fo::ProtocolName(p), fo::ProtocolName(p));
+  std::printf(" %11s\n", "recommended");
+
+  for (int k : {2, 16, 74, 512, 4096}) {
+    for (double eps : {1.0, 4.0}) {
+      std::printf("%-8d %-6.1f", k, eps);
+      for (const auto& point : fo::CostUtilityFrontier(k, eps)) {
+        std::printf(" %11.0f %11.3g", point.bits_per_report, point.variance);
+      }
+      std::printf(" %11s\n",
+                  fo::ProtocolName(fo::RecommendProtocol(k, eps)));
+    }
+  }
+
+  std::printf("\n# panel 2: per-user upload (bits) on the Adult profile\n");
+  const std::vector<int> adult_k = {74, 7, 16, 7, 14, 6, 5, 2, 41, 2};
+  std::printf("%-6s %-10s %10s %10s %10s\n", "eps", "protocol", "SPL", "SMP",
+              "RS+FD");
+  for (double eps : {1.0, 4.0}) {
+    for (Protocol p : fo::AllProtocols()) {
+      std::printf("%-6.1f %-10s %10.0f %10.0f %10.0f\n", eps,
+                  fo::ProtocolName(p), fo::SplTupleBits(p, adult_k, eps),
+                  fo::SmpTupleBits(p, adult_k, eps),
+                  fo::RsFdTupleBits(p, adult_k, eps));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "bench/aif_bench_util.h"
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/flags.h"
+
+namespace ldpr::bench {
+
+namespace {
+
+class RsFdSolution : public AifSolution {
+ public:
+  RsFdSolution(multidim::RsFdVariant variant, std::vector<int> k, double eps)
+      : protocol_(variant, std::move(k), eps) {}
+
+  attack::MultidimClient Client() const override {
+    return [this](const std::vector<int>& rec, Rng& r) {
+      return protocol_.RandomizeUser(rec, r);
+    };
+  }
+  attack::MultidimEstimator Estimator() const override {
+    return [this](const std::vector<multidim::MultidimReport>& reps) {
+      return protocol_.Estimate(reps);
+    };
+  }
+
+ private:
+  multidim::RsFd protocol_;
+};
+
+class RsRfdSolution : public AifSolution {
+ public:
+  RsRfdSolution(multidim::RsRfdVariant variant, std::vector<int> k, double eps,
+                std::vector<std::vector<double>> priors)
+      : protocol_(variant, std::move(k), eps, std::move(priors)) {}
+
+  attack::MultidimClient Client() const override {
+    return [this](const std::vector<int>& rec, Rng& r) {
+      return protocol_.RandomizeUser(rec, r);
+    };
+  }
+  attack::MultidimEstimator Estimator() const override {
+    return [this](const std::vector<multidim::MultidimReport>& reps) {
+      return protocol_.Estimate(reps);
+    };
+  }
+
+ private:
+  multidim::RsRfd protocol_;
+};
+
+}  // namespace
+
+AifSolutionFactory MakeRsFdFactory(multidim::RsFdVariant variant,
+                                   const data::Dataset& dataset) {
+  const std::vector<int> k = dataset.domain_sizes();
+  return [variant, k](double eps, Rng&) {
+    return std::make_unique<RsFdSolution>(variant, k, eps);
+  };
+}
+
+AifSolutionFactory MakeRsRfdFactory(multidim::RsRfdVariant variant,
+                                    data::PriorKind prior_kind,
+                                    const data::Dataset& dataset,
+                                    int prior_n) {
+  const data::Dataset* ds = &dataset;
+  return [variant, prior_kind, ds, prior_n](double eps, Rng& rng) {
+    auto priors = data::BuildPriors(*ds, prior_kind, rng,
+                                    /*total_central_eps=*/0.1, prior_n);
+    return std::make_unique<RsRfdSolution>(variant, ds->domain_sizes(), eps,
+                                           std::move(priors));
+  };
+}
+
+std::vector<AifPanel> PaperAifPanels() {
+  return {
+      {attack::AifModel::kNk, {{1.0, 0.0}, {3.0, 0.0}, {5.0, 0.0}}},
+      {attack::AifModel::kPk, {{0.0, 0.1}, {0.0, 0.3}, {0.0, 0.5}}},
+      {attack::AifModel::kHm, {{1.0, 0.1}, {3.0, 0.3}, {5.0, 0.5}}},
+  };
+}
+
+ml::GbdtConfig BenchGbdtConfig() {
+  ml::GbdtConfig config;
+  config.num_rounds = GetEnvInt("LDPR_GBDT_ROUNDS", 8);
+  config.max_depth = GetEnvInt("LDPR_GBDT_DEPTH", 4);
+  return config;
+}
+
+void RunAifFigure(const std::string& bench_name, const data::Dataset& dataset,
+                  const std::vector<AifCurve>& curves,
+                  const std::vector<AifPanel>& panels) {
+  PrintRunConfig(bench_name, dataset.n(), dataset.d());
+  std::printf("# baseline AIF-ACC = %.3f%%\n", 100.0 / dataset.d());
+  const int runs = NumRuns();
+
+  for (const AifPanel& panel : panels) {
+    for (const AifCurve& curve : curves) {
+      std::printf("\n## model = %s, protocol = %s\n",
+                  attack::AifModelName(panel.model), curve.label.c_str());
+      std::printf("%-8s", "epsilon");
+      for (const auto& [s, npk] : panel.settings) {
+        if (panel.model == attack::AifModel::kNk) {
+          std::printf("    s=%.0fn", s);
+        } else if (panel.model == attack::AifModel::kPk) {
+          std::printf(" npk=%.1fn", npk);
+        } else {
+          std::printf(" s%.0f_n%.1f", s, npk);
+        }
+      }
+      std::printf("\n");
+
+      std::uint64_t seed = 20230;
+      for (double eps : EpsilonGrid()) {
+        std::printf("%-8.1f", eps);
+        for (const auto& [s, npk] : panel.settings) {
+          double acc = 0.0;
+          for (int run = 0; run < runs; ++run) {
+            Rng rng(++seed * 7919 + run);
+            auto solution = curve.factory(eps, rng);
+            attack::AifConfig config;
+            config.model = panel.model;
+            config.synthetic_multiplier =
+                panel.model == attack::AifModel::kPk ? 1.0 : s;
+            config.compromised_fraction =
+                panel.model == attack::AifModel::kNk ? 0.1 : npk;
+            config.gbdt = BenchGbdtConfig();
+            acc += attack::RunAifAttack(dataset, solution->Client(),
+                                        solution->Estimator(), config, rng)
+                       .aif_acc_percent;
+          }
+          std::printf(" %8.3f", acc / runs);
+          std::fflush(stdout);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+}
+
+}  // namespace ldpr::bench

@@ -1,0 +1,116 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::bench {
+
+std::vector<double> LogUtilityEpsilonGrid() {
+  std::vector<double> out;
+  for (int b = 2; b <= 7; ++b) out.push_back(std::log(static_cast<double>(b)));
+  return out;
+}
+
+void PrintRunConfig(const std::string& bench_name, int n, int d) {
+  std::printf("# bench = %s\n", bench_name.c_str());
+  std::printf("# n = %d, d = %d\n", n, d);
+  std::printf("# runs = %d, scale = %.3f, reident_targets = %d\n", NumRuns(),
+              BenchScale(), ReidentTargets());
+}
+
+SmpReidentCell RunSmpReidentCell(const data::Dataset& dataset,
+                                 const SmpReidentOptions& options) {
+  LDPR_REQUIRE(options.num_surveys >= 2, "need at least 2 surveys");
+  LDPR_REQUIRE(options.runs >= 1, "need at least 1 run");
+
+  const int prefixes = options.num_surveys - 1;  // prefixes 2..num_surveys
+  SmpReidentCell cell;
+  cell.rid_acc.assign(prefixes,
+                      std::vector<double>(options.top_k.size(), 0.0));
+
+  Rng root(options.seed);
+  for (int run = 0; run < options.runs; ++run) {
+    Rng rng = root.Split();
+    attack::SurveyPlan plan =
+        attack::MakeSurveyPlan(dataset.d(), options.num_surveys, rng);
+
+    std::unique_ptr<attack::AttackChannel> channel;
+    if (options.channel == ChannelKind::kLdp) {
+      channel = attack::MakeLdpChannel(options.protocol,
+                                       dataset.domain_sizes(), options.x);
+    } else {
+      channel = attack::MakePieChannel(options.protocol,
+                                       dataset.domain_sizes(), options.x,
+                                       dataset.n());
+    }
+
+    auto snapshots =
+        attack::SimulateSmpProfiling(dataset, *channel, plan, options.mode,
+                                     rng);
+
+    std::vector<bool> bk =
+        attack::MakeBackgroundAttributes(dataset.d(), options.model, rng);
+    attack::ReidentConfig config;
+    config.top_k = options.top_k;
+    config.max_targets = ReidentTargets();
+    for (int s = 2; s <= options.num_surveys; ++s) {
+      auto result =
+          attack::ReidentAccuracy(snapshots[s - 1], dataset, bk, config, rng);
+      for (std::size_t ki = 0; ki < options.top_k.size(); ++ki) {
+        cell.rid_acc[s - 2][ki] += result.rid_acc_percent[ki];
+      }
+    }
+  }
+  for (auto& row : cell.rid_acc) {
+    for (double& v : row) v /= options.runs;
+  }
+  return cell;
+}
+
+void RunSmpReidentFigure(const std::string& bench_name,
+                         const data::Dataset& dataset,
+                         const std::vector<fo::Protocol>& protocols,
+                         ChannelKind channel, const std::vector<double>& xs,
+                         attack::PrivacyMetricMode mode,
+                         attack::ReidentModel model) {
+  PrintRunConfig(bench_name, dataset.n(), dataset.d());
+  const char* x_name = channel == ChannelKind::kLdp ? "epsilon" : "beta";
+  std::printf("# baseline: top-1 = %.4f%%, top-10 = %.4f%%\n",
+              attack::BaselineRidAcc(1, dataset.n()),
+              attack::BaselineRidAcc(10, dataset.n()));
+
+  SmpReidentOptions options;
+  options.channel = channel;
+  options.mode = mode;
+  options.model = model;
+  options.runs = NumRuns();
+
+  for (fo::Protocol protocol : protocols) {
+    options.protocol = protocol;
+    std::printf("\n## protocol = %s\n", fo::ProtocolName(protocol));
+    std::printf("%-8s", x_name);
+    for (int k : options.top_k) {
+      for (int s = 2; s <= options.num_surveys; ++s) {
+        std::printf(" top%d_sv%d", k, s);
+      }
+    }
+    std::printf("\n");
+    std::uint64_t seed = 1000;
+    for (double x : xs) {
+      options.x = x;
+      options.seed = ++seed;
+      SmpReidentCell cell = RunSmpReidentCell(dataset, options);
+      std::printf("%-8.3f", x);
+      for (std::size_t ki = 0; ki < options.top_k.size(); ++ki) {
+        for (int s = 2; s <= options.num_surveys; ++s) {
+          std::printf(" %8.4f", cell.rid_acc[s - 2][ki]);
+        }
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace ldpr::bench

@@ -1,0 +1,87 @@
+#ifndef LDPR_BENCH_BENCH_UTIL_H_
+#define LDPR_BENCH_BENCH_UTIL_H_
+
+// Shared driver code for the per-figure experiment harnesses. Each bench
+// binary regenerates one figure of the paper as CSV-ish rows on stdout:
+// the x-axis value first, then one column per curve.
+//
+// Environment knobs (see core/flags.h):
+//   LDPR_RUNS            repetitions averaged per point     (default 3)
+//   LDPR_SCALE           dataset scale factor in (0, 1]     (default 0.2)
+//   LDPR_REIDENT_TARGETS matcher target subsample           (default 3000)
+//   LDPR_THREADS         worker threads                     (default: cores)
+//
+// The paper uses 20 runs at full n on a compute cluster; the defaults here
+// reproduce every curve's *shape* on a laptop in minutes. Set LDPR_RUNS=20
+// LDPR_SCALE=1 LDPR_REIDENT_TARGETS=0 for a full-fidelity run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/profiling.h"
+#include "attack/reident.h"
+#include "core/flags.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace ldpr::bench {
+
+/// Dataset scale used by the bench harness (default 0.2; LDPR_SCALE).
+inline double BenchScale() { return GetEnvDouble("LDPR_SCALE", 0.2); }
+
+/// The paper's epsilon grid for the attack experiments.
+inline std::vector<double> EpsilonGrid() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+}
+
+/// The paper's Bayes-error grid for the alpha-PIE experiments (Appendix C).
+inline std::vector<double> BetaGrid() {
+  return {0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55, 0.5};
+}
+
+/// The paper's epsilon grid for the utility experiments (Section 5.2.2).
+std::vector<double> LogUtilityEpsilonGrid();
+
+/// Prints "# name = value" configuration lines.
+void PrintRunConfig(const std::string& bench_name, int n, int d);
+
+/// Builds a channel for one x-axis point: plain eps-LDP or alpha-PIE.
+enum class ChannelKind { kLdp, kPie };
+
+/// One cell of the SMP re-identification experiments (Figs. 2, 9-13):
+/// runs `runs` repetitions of (#surveys surveys -> profiling -> matching)
+/// and returns mean RID-ACC(%) per survey-prefix (2..num_surveys) per top-k.
+struct SmpReidentCell {
+  /// [survey_prefix - 2][top_k index] -> RID-ACC(%).
+  std::vector<std::vector<double>> rid_acc;
+};
+
+struct SmpReidentOptions {
+  fo::Protocol protocol = fo::Protocol::kGrr;
+  ChannelKind channel = ChannelKind::kLdp;
+  double x = 1.0;  ///< epsilon (kLdp) or beta (kPie)
+  int num_surveys = 5;
+  attack::PrivacyMetricMode mode = attack::PrivacyMetricMode::kUniform;
+  attack::ReidentModel model = attack::ReidentModel::kFullKnowledge;
+  std::vector<int> top_k = {1, 10};
+  int runs = 3;
+  std::uint64_t seed = 1;
+};
+
+SmpReidentCell RunSmpReidentCell(const data::Dataset& dataset,
+                                 const SmpReidentOptions& options);
+
+/// Prints one figure panel of the SMP re-identification family: rows are
+/// x-axis values, columns are (survey prefix x top-k) RID-ACC means.
+void RunSmpReidentFigure(const std::string& bench_name,
+                         const data::Dataset& dataset,
+                         const std::vector<fo::Protocol>& protocols,
+                         ChannelKind channel, const std::vector<double>& xs,
+                         attack::PrivacyMetricMode mode,
+                         attack::ReidentModel model);
+
+}  // namespace ldpr::bench
+
+#endif  // LDPR_BENCH_BENCH_UTIL_H_

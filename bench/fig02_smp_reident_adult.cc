@@ -1,0 +1,20 @@
+// Figure 2: attacker's re-identification accuracy (RID-ACC) on the Adult
+// dataset for top-k re-identification with the SMP solution, full-knowledge
+// FK-RI model, uniform eps-LDP privacy metric, varying the LDP protocol and
+// the number of surveys (2..5).
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::AdultLike(2023, bench::BenchScale());
+  bench::RunSmpReidentFigure(
+      "fig02_smp_reident_adult", ds,
+      {fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+       fo::Protocol::kOlh, fo::Protocol::kOue},
+      bench::ChannelKind::kLdp, bench::EpsilonGrid(),
+      attack::PrivacyMetricMode::kUniform,
+      attack::ReidentModel::kFullKnowledge);
+  return 0;
+}

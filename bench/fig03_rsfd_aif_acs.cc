@@ -1,0 +1,26 @@
+// Figure 3: attacker's AIF-ACC on the ACSEmployment dataset with the three
+// attack models (NK, PK, HM) and the five RS+FD protocols, varying epsilon,
+// the number of synthetic profiles s and compromised profiles npk.
+
+#include "bench/aif_bench_util.h"
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::AcsEmploymentLike(2023, bench::BenchScale());
+  std::vector<bench::AifCurve> curves{
+      {"RS+FD[GRR]", bench::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+  bench::RunAifFigure("fig03_rsfd_aif_acs", ds, curves,
+                      bench::PaperAifPanels());
+  return 0;
+}

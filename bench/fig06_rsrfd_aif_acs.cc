@@ -1,0 +1,29 @@
+// Figure 6: attacker's AIF-ACC on the ACSEmployment dataset against the
+// RS+RFD countermeasure with "Correct" (Laplace-perturbed) priors — the
+// attack should barely beat the 1/d baseline across NK / PK / HM.
+
+#include "bench/aif_bench_util.h"
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::AcsEmploymentLike(2023, bench::BenchScale());
+  std::vector<bench::AifCurve> curves{
+      {"RS+RFD[GRR]",
+       bench::MakeRsRfdFactory(multidim::RsRfdVariant::kGrr,
+                               data::PriorKind::kCorrectLaplace, ds,
+                               data::kAcsEmploymentN)},
+      {"RS+RFD[SUE-r]",
+       bench::MakeRsRfdFactory(multidim::RsRfdVariant::kSueR,
+                               data::PriorKind::kCorrectLaplace, ds,
+                               data::kAcsEmploymentN)},
+      {"RS+RFD[OUE-r]",
+       bench::MakeRsRfdFactory(multidim::RsRfdVariant::kOueR,
+                               data::PriorKind::kCorrectLaplace, ds,
+                               data::kAcsEmploymentN)},
+  };
+  bench::RunAifFigure("fig06_rsrfd_aif_acs", ds, curves,
+                      bench::PaperAifPanels());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figures 7 and 8 (Appendices A-B): the probability trees of the
+// RS+RFD[GRR] and RS+RFD[UE-r] protocols. This harness prints every leaf
+// probability of reporting/supporting a target value v analytically and
+// verifies each against a Monte-Carlo simulation of the client.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "fo/unary_encoding.h"
+#include "multidim/amplification.h"
+#include "multidim/rsrfd.h"
+
+int main() {
+  using namespace ldpr;
+  const int d = 3;
+  const int k = 5;
+  const double eps = 1.0;
+  const double eps_prime = multidim::AmplifiedEpsilon(eps, d);
+  const int target = 1;          // value v_i whose support we track
+  const int true_value = 1;      // the user's true value (B = v_i branch)
+  const std::vector<double> prior{0.4, 0.3, 0.1, 0.1, 0.1};
+  const double f_tilde = prior[target];
+
+  std::printf("# bench = fig07_08_probability_trees\n");
+  std::printf("# d = %d, k = %d, eps = %.2f, eps' = %.4f, f~(v) = %.2f\n", d,
+              k, eps, eps_prime, f_tilde);
+
+  const int trials = 2000000;
+  std::vector<int> record(d, true_value);
+  std::vector<std::vector<double>> priors(d, prior);
+
+  {
+    // ---- Fig. 7: RS+RFD[GRR] -------------------------------------------
+    const double e = std::exp(eps_prime);
+    const double p = e / (e + k - 1);
+    const double q = (1.0 - p) / (k - 1);
+    std::printf("\n## Fig. 7 probability tree, RS+RFD[GRR]\n");
+    std::printf("branch                                   analytic\n");
+    std::printf("true data (1/d) -> B' = v  (p)           %.6f\n", p / d);
+    std::printf("true data (1/d) -> B' != v (q*(k-1))     %.6f\n",
+                (1.0 - p) / d);
+    std::printf("fake data (1-1/d) -> B' = v  (f~)        %.6f\n",
+                (1.0 - 1.0 / d) * f_tilde);
+    std::printf("fake data (1-1/d) -> B' != v (1-f~)      %.6f\n",
+                (1.0 - 1.0 / d) * (1.0 - f_tilde));
+    const double gamma = (q + 1.0 * (p - q) + (d - 1.0) * f_tilde) / d;
+    std::printf("P[report v | truth v] (gamma, f = 1)     %.6f\n", gamma);
+
+    multidim::RsRfd protocol(multidim::RsRfdVariant::kGrr, {k, k, k}, eps,
+                             priors);
+    Rng rng(1);
+    long long hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      multidim::MultidimReport rep = protocol.RandomizeUser(record, rng);
+      hits += (rep.values[0] == target);
+    }
+    std::printf("Monte-Carlo P[report v | truth v]        %.6f  (%d trials)\n",
+                static_cast<double>(hits) / trials, trials);
+  }
+
+  {
+    // ---- Fig. 8: RS+RFD[UE-r] (with SUE parameters) ---------------------
+    const double p = fo::Sue::PForEpsilon(eps_prime);
+    const double q = fo::Sue::QForEpsilon(eps_prime);
+    std::printf("\n## Fig. 8 probability tree, RS+RFD[SUE-r]\n");
+    std::printf("branch                                   analytic\n");
+    std::printf("true data (1/d), B_i = 1 -> B'_i = 1 (p) %.6f\n", p / d);
+    std::printf("true data (1/d), B_i = 0 -> B'_i = 1 (q) %.6f\n", q / d);
+    std::printf("fake data, B_i = 1 (f~) -> B'_i = 1 (p)  %.6f\n",
+                (1.0 - 1.0 / d) * f_tilde * p);
+    std::printf("fake data, B_i = 0      -> B'_i = 1 (q)  %.6f\n",
+                (1.0 - 1.0 / d) * (1.0 - f_tilde) * q);
+    const double gamma =
+        (1.0 * (p - q) + q + (d - 1.0) * (f_tilde * (p - q) + q)) / d;
+    std::printf("P[bit v set | truth v] (gamma, f = 1)    %.6f\n", gamma);
+
+    multidim::RsRfd protocol(multidim::RsRfdVariant::kSueR, {k, k, k}, eps,
+                             priors);
+    Rng rng(2);
+    long long hits = 0;
+    for (int t = 0; t < trials / 4; ++t) {
+      multidim::MultidimReport rep = protocol.RandomizeUser(record, rng);
+      hits += (rep.bits[0][target] != 0);
+    }
+    std::printf("Monte-Carlo P[bit v set | truth v]       %.6f  (%d trials)\n",
+                static_cast<double>(hits) / (trials / 4), trials / 4);
+  }
+  return 0;
+}

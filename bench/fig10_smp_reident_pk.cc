@@ -1,0 +1,19 @@
+// Figure 10 (Appendix C): RID-ACC on the Adult dataset with the SMP
+// solution and the *partial-knowledge* PK-RI model (background restricted to
+// a random subset of >= d/2 attributes), uniform eps-LDP metric.
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::AdultLike(2023, bench::BenchScale());
+  bench::RunSmpReidentFigure(
+      "fig10_smp_reident_pk", ds,
+      {fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+       fo::Protocol::kOlh, fo::Protocol::kOue},
+      bench::ChannelKind::kLdp, bench::EpsilonGrid(),
+      attack::PrivacyMetricMode::kUniform,
+      attack::ReidentModel::kPartialKnowledge);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 14 (Appendix D): attacker's AIF-ACC on the Adult dataset with the
+// three attack models and all five RS+FD protocols.
+
+#include "bench/aif_bench_util.h"
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  // Adult is 4.4x larger than ACSEmployment; halve the bench scale so the
+  // GBDT sweep stays laptop-sized at the default settings.
+  data::Dataset ds = data::AdultLike(2023, 0.5 * bench::BenchScale());
+  std::vector<bench::AifCurve> curves{
+      {"RS+FD[GRR]", bench::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+  bench::RunAifFigure("fig14_rsfd_aif_adult", ds, curves,
+                      bench::PaperAifPanels());
+  return 0;
+}

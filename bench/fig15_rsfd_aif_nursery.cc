@@ -1,0 +1,27 @@
+// Figure 15 (Appendix D): attacker's AIF-ACC on the Nursery dataset, whose
+// uniform-like attribute distributions defeat the attack for the GRR / UE-r
+// variants (fake data is indistinguishable from real values); only the
+// UE-z variants remain vulnerable.
+
+#include "bench/aif_bench_util.h"
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::NurseryLike(2023, bench::BenchScale());
+  std::vector<bench::AifCurve> curves{
+      {"RS+FD[GRR]", bench::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       bench::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+  bench::RunAifFigure("fig15_rsfd_aif_nursery", ds, curves,
+                      bench::PaperAifPanels());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Future-work experiment (paper Section 8): re-identification risk of the
+// SMP solution when attributes are sanitized with metric-LDP (d-privacy,
+// truncated geometric mechanism) instead of eps-LDP protocols. Exact-match
+// profiling succeeds far more often under metric-LDP at the same nominal
+// eps — identity is exactly the kind of non-metric secret d-privacy does
+// not protect — quantifying the risk the paper flags for this model.
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "fo/metric_ldp.h"
+
+int main() {
+  using namespace ldpr;
+  data::Dataset ds = data::AdultLike(2023, bench::BenchScale());
+  bench::PrintRunConfig("fw01_metric_ldp_reident", ds.n(), ds.d());
+  std::printf("# baseline: top-1 = %.4f%%, top-10 = %.4f%%\n",
+              attack::BaselineRidAcc(1, ds.n()),
+              attack::BaselineRidAcc(10, ds.n()));
+  const int num_surveys = 5;
+  const int runs = NumRuns();
+
+  std::printf("\n## per-report attacker accuracy (uniform input), k = 74\n");
+  std::printf("%-8s %12s %14s %12s\n", "epsilon", "metric-LDP", "mean |err|",
+              "GRR");
+  for (double eps : bench::EpsilonGrid()) {
+    fo::MetricLdp m(74, eps);
+    const double e = std::exp(eps);
+    std::printf("%-8.1f %12.4f %14.3f %12.4f\n", eps, m.ExpectedAttackAcc(),
+                m.ExpectedAttackDistance(), e / (e + 73.0));
+  }
+
+  std::printf("\n## SMP re-identification, metric-LDP channel, FK-RI\n");
+  std::printf("%-8s", "epsilon");
+  for (int k : {1, 10}) {
+    for (int s = 2; s <= num_surveys; ++s) std::printf(" top%d_sv%d", k, s);
+  }
+  std::printf("\n");
+  std::uint64_t seed = 90;
+  for (double eps : bench::EpsilonGrid()) {
+    std::vector<std::vector<double>> acc(num_surveys - 1,
+                                         std::vector<double>(2, 0.0));
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(++seed * 31337);
+      attack::SurveyPlan plan =
+          attack::MakeSurveyPlan(ds.d(), num_surveys, rng);
+      auto channel = attack::MakeMetricLdpChannel(ds.domain_sizes(), eps);
+      auto snapshots = attack::SimulateSmpProfiling(
+          ds, *channel, plan, attack::PrivacyMetricMode::kUniform, rng);
+      std::vector<bool> bk(ds.d(), true);
+      attack::ReidentConfig config;
+      config.top_k = {1, 10};
+      config.max_targets = ReidentTargets();
+      for (int s = 2; s <= num_surveys; ++s) {
+        auto result =
+            attack::ReidentAccuracy(snapshots[s - 1], ds, bk, config, rng);
+        acc[s - 2][0] += result.rid_acc_percent[0];
+        acc[s - 2][1] += result.rid_acc_percent[1];
+      }
+    }
+    std::printf("%-8.1f", eps);
+    for (int ki = 0; ki < 2; ++ki) {
+      for (int s = 2; s <= num_surveys; ++s) {
+        std::printf(" %8.4f", acc[s - 2][ki] / runs);
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

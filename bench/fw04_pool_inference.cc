@@ -1,0 +1,48 @@
+// Future-work 4: pool inference attack (Gadotti et al., USENIX Security '22;
+// Section 7 related work). A user answers the same attribute across r
+// collections without memoization, drawing each value from a personal pool;
+// the exact Bayes attacker of attack/pool predicts the pool from the r
+// sanitized reports. The table reports attacker accuracy versus r for all
+// five oracles — echoing Gadotti's r in {7, 30, 90, 180} plus small r —
+// at k = 16 with 4 pools (baseline 25%). Expected shape: every protocol
+// leaks the pool as r grows, faster at larger eps; memoization (Section 6's
+// recommendation) would cap the attack at the r = 1 column.
+
+#include <cstdio>
+
+#include "attack/pool.h"
+#include "bench/bench_util.h"
+#include "fo/factory.h"
+
+int main() {
+  using namespace ldpr;
+  const int k = 16;
+  const int num_pools = 4;
+  const int users = 3000;
+  std::printf("# bench = fw04_pool_inference\n");
+  std::printf("# k = %d, %d contiguous pools, %d users, baseline = %.1f%%\n",
+              k, num_pools, users, 100.0 / num_pools);
+  const auto pools = attack::ContiguousPools(k, num_pools);
+  const int report_counts[] = {1, 2, 7, 30, 90, 180};
+
+  for (double eps : {1.0, 2.0, 4.0}) {
+    std::printf("\n## eps = %.1f (attacker ACC %%)\n", eps);
+    std::printf("%-9s", "reports");
+    for (fo::Protocol p : fo::AllProtocols())
+      std::printf(" %9s", fo::ProtocolName(p));
+    std::printf("\n");
+    Rng rng(9000 + static_cast<int>(eps * 10));
+    for (int r : report_counts) {
+      std::printf("%-9d", r);
+      for (fo::Protocol protocol : fo::AllProtocols()) {
+        auto oracle = fo::MakeOracle(protocol, k, eps);
+        auto result =
+            attack::SimulatePoolInference(*oracle, pools, users, r, rng);
+        std::printf(" %9.2f", result.acc_percent);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

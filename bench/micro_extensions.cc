@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) for the extension subsystems: the wire
+// codec round-trip per protocol, the pool-inference posterior update, the
+// naive-Bayes trainer/predictor, the uniqueness profiler and the ledger
+// simulation. Throughput baselines, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/pool.h"
+#include "attack/uniqueness.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "fo/factory.h"
+#include "fo/wire.h"
+#include "ml/naive_bayes.h"
+#include "privacy/accountant.h"
+
+namespace {
+
+using namespace ldpr;
+
+void BM_WireRoundTrip(benchmark::State& state, fo::Protocol protocol) {
+  const int k = static_cast<int>(state.range(0));
+  auto oracle = fo::MakeOracle(protocol, k, 1.0);
+  Rng rng(1);
+  fo::Report report = oracle->Randomize(0, rng);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> bytes = fo::SerializeReport(*oracle, report);
+    fo::Report decoded = fo::DeserializeReport(*oracle, bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK_CAPTURE(BM_WireRoundTrip, grr, fo::Protocol::kGrr)->Arg(74);
+BENCHMARK_CAPTURE(BM_WireRoundTrip, olh, fo::Protocol::kOlh)->Arg(74);
+BENCHMARK_CAPTURE(BM_WireRoundTrip, ss, fo::Protocol::kSs)->Arg(74);
+BENCHMARK_CAPTURE(BM_WireRoundTrip, oue, fo::Protocol::kOue)->Arg(74);
+
+void BM_PoolPosterior(benchmark::State& state) {
+  const int k = 16;
+  const int reports = static_cast<int>(state.range(0));
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, k, 2.0);
+  attack::PoolInferenceAttacker attacker(*oracle,
+                                         attack::ContiguousPools(k, 4));
+  Rng rng(2);
+  std::vector<fo::Report> history;
+  for (int t = 0; t < reports; ++t) {
+    history.push_back(oracle->Randomize(t % 4, rng));
+  }
+  for (auto _ : state) {
+    auto posterior = attacker.Posterior(history);
+    benchmark::DoNotOptimize(posterior);
+  }
+}
+BENCHMARK(BM_PoolPosterior)->Arg(1)->Arg(30)->Arg(180);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> row(18);
+    for (int& f : row) f = static_cast<int>(rng.UniformInt(16));
+    rows.push_back(std::move(row));
+    labels.push_back(static_cast<int>(rng.UniformInt(18)));
+  }
+  for (auto _ : state) {
+    ml::NaiveBayes model;
+    model.Train(rows, labels, 18);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_NaiveBayesTrain)->Arg(2000)->Arg(10000);
+
+void BM_UniquenessProfile(benchmark::State& state) {
+  data::Dataset ds = data::AdultLike(4, 0.2);
+  for (auto _ : state) {
+    attack::UniquenessProfile profile = attack::ComputeUniqueness(ds);
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_UniquenessProfile);
+
+void BM_LedgerSimulation(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    auto summary =
+        privacy::SimulateSmpLedgers(10, 12, 1.0, true, 1000, rng);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_LedgerSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Attribute-inference attack demo (Sections 3.3, 4.3 and 5.2.3): RS+FD hides
+// which attribute a user actually reported behind uniform fake data, but a
+// classifier trained on synthetic profiles (NK model) can still uncover it.
+// RS+RFD's realistic fakes push the attacker back to the baseline.
+//
+// Run:  ./attribute_inference [epsilon]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/aif.h"
+#include "core/rng.h"
+#include "data/priors.h"
+#include "data/synthetic.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+
+namespace {
+
+ldpr::attack::AifConfig NkConfig() {
+  ldpr::attack::AifConfig config;
+  config.model = ldpr::attack::AifModel::kNk;
+  config.synthetic_multiplier = 1.0;
+  config.gbdt.num_rounds = 10;
+  config.gbdt.max_depth = 4;
+  return config;
+}
+
+template <typename Solution>
+ldpr::attack::AifResult Attack(const ldpr::data::Dataset& ds,
+                               const Solution& solution, ldpr::Rng& rng) {
+  ldpr::attack::MultidimClient client =
+      [&solution](const std::vector<int>& rec, ldpr::Rng& r) {
+        return solution.RandomizeUser(rec, r);
+      };
+  ldpr::attack::MultidimEstimator estimator =
+      [&solution](const std::vector<ldpr::multidim::MultidimReport>& reps) {
+        return solution.Estimate(reps);
+      };
+  return ldpr::attack::RunAifAttack(ds, client, estimator, NkConfig(), rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 8.0;
+  ldpr::Rng rng(23);
+
+  ldpr::data::Dataset ds = ldpr::data::AcsEmploymentLike(7, 0.5);
+  std::printf("ACSEmployment-like census: n=%d users, d=%d attributes\n",
+              ds.n(), ds.d());
+  std::printf("epsilon=%.2f, NK attack model (s = 1n synthetic profiles)\n\n",
+              epsilon);
+  std::printf("%-22s %16s\n", "solution", "AIF-ACC(%)");
+  std::printf("%-22s %16.2f\n", "random-guess baseline", 100.0 / ds.d());
+
+  {
+    ldpr::multidim::RsFd rsfd(ldpr::multidim::RsFdVariant::kSueZ,
+                              ds.domain_sizes(), epsilon);
+    std::printf("%-22s %16.2f   <- zero-vector fakes: do not use\n",
+                "RS+FD[SUE-z]", Attack(ds, rsfd, rng).aif_acc_percent);
+  }
+  {
+    ldpr::multidim::RsFd rsfd(ldpr::multidim::RsFdVariant::kGrr,
+                              ds.domain_sizes(), epsilon);
+    std::printf("%-22s %16.2f\n", "RS+FD[GRR]",
+                Attack(ds, rsfd, rng).aif_acc_percent);
+  }
+  {
+    auto priors = ldpr::data::BuildPriors(
+        ds, ldpr::data::PriorKind::kCorrectLaplace, rng,
+        /*total_central_eps=*/0.1, ldpr::data::kAcsEmploymentN);
+    ldpr::multidim::RsRfd rsrfd(ldpr::multidim::RsRfdVariant::kGrr,
+                                ds.domain_sizes(), epsilon, priors);
+    std::printf("%-22s %16.2f   <- the countermeasure\n", "RS+RFD[GRR]",
+                Attack(ds, rsrfd, rng).aif_acc_percent);
+  }
+
+  std::printf(
+      "\nExpected: RS+FD[SUE-z] >> RS+FD[GRR] >> RS+RFD[GRR] ~ baseline.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Countermeasure walkthrough (Section 5): the same population is collected
+// with RS+FD (uniform fake data, Arcolezi et al. CIKM '21) and with this
+// paper's RS+RFD (realistic fake data from priors). Both sides of the
+// trade-off are measured:
+//   1. utility  — averaged MSE of the multidimensional frequency estimates;
+//   2. privacy  — accuracy of the NK sampled-attribute inference attack
+//                 (Section 3.3.1, GBDT classifier on synthetic profiles).
+// RS+RFD should win on both: fake data drawn from realistic priors also
+// carries signal for estimation, and it is indistinguishable from sanitized
+// real values to the classifier.
+//
+// Run:  ./countermeasure [epsilon]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/aif.h"
+#include "core/metrics.h"
+#include "data/priors.h"
+#include "data/synthetic.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+
+int main(int argc, char** argv) {
+  using namespace ldpr;
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 4.0;
+  Rng rng(7);
+
+  // An ACSEmployment-shaped population at the paper's full scale (n=10336).
+  data::Dataset ds = data::AcsEmploymentLike(/*seed=*/2023, /*scale=*/1.0);
+  std::printf("Countermeasure demo: n=%d users, d=%d attributes, eps=%.2f\n\n",
+              ds.n(), ds.d(), epsilon);
+
+  // The server publishes last year's Census marginals as priors; we model
+  // them as Laplace(eps=0.1 central DP)-perturbed truth ("Correct" priors).
+  auto priors = data::BuildPriors(ds, data::PriorKind::kCorrectLaplace, rng);
+
+  multidim::RsFd rsfd(multidim::RsFdVariant::kGrr, ds.domain_sizes(), epsilon);
+  multidim::RsRfd rsrfd(multidim::RsRfdVariant::kGrr, ds.domain_sizes(),
+                        epsilon, priors);
+
+  // --- Utility: everyone reports once; the server estimates all marginals.
+  std::vector<multidim::MultidimReport> fd_reports, rfd_reports;
+  for (int i = 0; i < ds.n(); ++i) {
+    fd_reports.push_back(rsfd.RandomizeUser(ds.Record(i), rng));
+    rfd_reports.push_back(rsrfd.RandomizeUser(ds.Record(i), rng));
+  }
+  const auto truth = ds.Marginals();
+  std::printf("Utility (averaged MSE, lower is better):\n");
+  std::printf("  RS+FD [GRR] : %.3e\n",
+              MseAvg(truth, rsfd.Estimate(fd_reports)));
+  std::printf("  RS+RFD[GRR] : %.3e\n\n",
+              MseAvg(truth, rsrfd.Estimate(rfd_reports)));
+
+  // --- Privacy: the NK attacker tries to uncover the sampled attribute.
+  attack::AifConfig config;
+  config.model = attack::AifModel::kNk;
+  config.synthetic_multiplier = 1.0;
+  config.gbdt.num_rounds = 8;
+  config.gbdt.max_depth = 4;
+
+  auto fd_client = [&](const std::vector<int>& record, Rng& r) {
+    return rsfd.RandomizeUser(record, r);
+  };
+  auto fd_estimator = [&](const std::vector<multidim::MultidimReport>& reps) {
+    return rsfd.Estimate(reps);
+  };
+  auto rfd_client = [&](const std::vector<int>& record, Rng& r) {
+    return rsrfd.RandomizeUser(record, r);
+  };
+  auto rfd_estimator = [&](const std::vector<multidim::MultidimReport>& reps) {
+    return rsrfd.Estimate(reps);
+  };
+
+  attack::AifResult fd_attack =
+      attack::RunAifAttack(ds, fd_client, fd_estimator, config, rng);
+  attack::AifResult rfd_attack =
+      attack::RunAifAttack(ds, rfd_client, rfd_estimator, config, rng);
+
+  std::printf("Privacy (sampled-attribute inference, NK model):\n");
+  std::printf("  random baseline : %6.2f%%\n", fd_attack.baseline_percent);
+  std::printf("  RS+FD [GRR]     : %6.2f%%\n", fd_attack.aif_acc_percent);
+  std::printf("  RS+RFD[GRR]     : %6.2f%%\n\n", rfd_attack.aif_acc_percent);
+
+  std::printf(
+      "Takeaway: realistic fake data lowers the estimation error AND pushes\n"
+      "the attribute-inference attack back toward the random baseline —\n"
+      "the paper's recommendation whenever any reasonable prior exists.\n");
+  return 0;
+}

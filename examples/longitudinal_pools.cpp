@@ -1,0 +1,66 @@
+// Longitudinal risk walkthrough: why Section 6 recommends memoization.
+// A user reports the *same* attribute repeatedly (e.g., a preference
+// surveyed monthly). Without memoization, every collection draws a fresh
+// randomization and the pool-inference adversary (attack/pool; Gadotti et
+// al., USENIX Security '22) accumulates evidence about which group of
+// values the user draws from. With memoization the adversary sees one
+// effective report, and the posterior freezes.
+//
+// Run:  ./longitudinal_pools [epsilon] [reports]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "attack/pool.h"
+#include "core/rng.h"
+#include "fo/factory.h"
+
+int main(int argc, char** argv) {
+  using namespace ldpr;
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const int max_reports = argc > 2 ? std::atoi(argv[2]) : 90;
+  const int k = 16;
+  Rng rng(99);
+
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, k, epsilon);
+  const auto pools = attack::ContiguousPools(k, 4);
+  attack::PoolInferenceAttacker attacker(*oracle, pools);
+
+  // One tracked user in pool 2, drawing uniformly within it each month.
+  const int true_pool = 2;
+  const auto& members = pools[true_pool];
+
+  std::printf(
+      "Longitudinal pool inference: OUE, k=%d, 4 pools, eps=%.2f\n"
+      "tracked user's true pool: %d\n\n",
+      k, epsilon, true_pool);
+  std::printf("%-9s %28s %28s\n", "reports", "fresh randomization",
+              "memoized (replayed report)");
+  std::printf("%-9s %13s %14s %13s %14s\n", "", "P[true pool]", "MAP pool",
+              "P[true pool]", "MAP pool");
+
+  std::vector<fo::Report> fresh;
+  const fo::Report memoized_report =
+      oracle->Randomize(members[rng.UniformInt(members.size())], rng);
+  for (int t = 1; t <= max_reports; ++t) {
+    fresh.push_back(
+        oracle->Randomize(members[rng.UniformInt(members.size())], rng));
+    if (t == 1 || t == 5 || t == 15 || t == 30 || t == max_reports) {
+      const auto fresh_post = attacker.Posterior(fresh);
+      // Memoization replays the same sanitized value; the adversary learns
+      // nothing new, so the posterior equals the single-report posterior.
+      const auto memo_post = attacker.Posterior({memoized_report});
+      std::printf("%-9d %13.3f %14d %13.3f %14d\n", t, fresh_post[true_pool],
+                  attacker.PredictPool(fresh), memo_post[true_pool],
+                  attacker.PredictPool({memoized_report}));
+    }
+  }
+
+  std::printf(
+      "\nTakeaway: fresh per-survey randomization concentrates the pool\n"
+      "posterior toward certainty; memoization pins the adversary at the\n"
+      "single-report level forever. Longitudinal collections of the same\n"
+      "attribute should always memoize (Sections 3.2.3 and 6).\n");
+  return 0;
+}

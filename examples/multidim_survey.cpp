@@ -1,0 +1,93 @@
+// Multidimensional survey: compare the utility (averaged MSE) of every
+// solution for collecting d attributes under one privacy budget —
+// SPL (split the budget), SMP (sample one attribute), RS+FD (sample + hide
+// behind uniform fakes) and RS+RFD (this paper's countermeasure with
+// realistic fakes), on an ACSEmployment-like synthetic census.
+//
+// Run:  ./multidim_survey [epsilon] [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "data/priors.h"
+#include "data/synthetic.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+#include "multidim/smp.h"
+#include "multidim/spl.h"
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+  ldpr::Rng rng(7);
+
+  ldpr::data::Dataset ds = ldpr::data::AcsEmploymentLike(99, scale);
+  const auto truth = ds.Marginals();
+  std::printf("ACSEmployment-like census: n=%d users, d=%d attributes\n",
+              ds.n(), ds.d());
+  std::printf("privacy budget epsilon=%.2f\n\n", epsilon);
+
+  // --- SPL: every attribute at eps/d.
+  {
+    ldpr::multidim::Spl spl(ldpr::fo::Protocol::kGrr, ds.domain_sizes(),
+                            epsilon);
+    std::vector<std::vector<ldpr::fo::Report>> reports;
+    reports.reserve(ds.n());
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(spl.RandomizeUser(ds.Record(i), rng));
+    }
+    std::printf("%-24s MSE_avg = %.3e\n", "SPL[GRR]",
+                ldpr::MseAvg(truth, spl.Estimate(reports)));
+  }
+
+  // --- SMP: one attribute per user at full eps.
+  {
+    ldpr::multidim::Smp smp(ldpr::fo::Protocol::kGrr, ds.domain_sizes(),
+                            epsilon);
+    std::vector<ldpr::multidim::SmpReport> reports;
+    reports.reserve(ds.n());
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(smp.RandomizeUser(ds.Record(i), rng));
+    }
+    std::printf("%-24s MSE_avg = %.3e   (discloses sampled attribute!)\n",
+                "SMP[GRR]", ldpr::MseAvg(truth, smp.Estimate(reports)));
+  }
+
+  // --- RS+FD: sampled attribute at amplified eps', uniform fakes elsewhere.
+  {
+    ldpr::multidim::RsFd rsfd(ldpr::multidim::RsFdVariant::kGrr,
+                              ds.domain_sizes(), epsilon);
+    std::vector<ldpr::multidim::MultidimReport> reports;
+    reports.reserve(ds.n());
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(rsfd.RandomizeUser(ds.Record(i), rng));
+    }
+    std::printf("%-24s MSE_avg = %.3e   (eps' = %.2f)\n", "RS+FD[GRR]",
+                ldpr::MseAvg(truth, rsfd.Estimate(reports)),
+                rsfd.amplified_epsilon());
+  }
+
+  // --- RS+RFD: realistic fakes from Laplace-perturbed ("Correct") priors.
+  {
+    auto priors = ldpr::data::BuildPriors(
+        ds, ldpr::data::PriorKind::kCorrectLaplace, rng,
+        /*total_central_eps=*/0.1, ldpr::data::kAcsEmploymentN);
+    ldpr::multidim::RsRfd rsrfd(ldpr::multidim::RsRfdVariant::kGrr,
+                                ds.domain_sizes(), epsilon, priors);
+    std::vector<ldpr::multidim::MultidimReport> reports;
+    reports.reserve(ds.n());
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(rsrfd.RandomizeUser(ds.Record(i), rng));
+    }
+    std::printf("%-24s MSE_avg = %.3e   (the countermeasure, Sec. 5)\n",
+                "RS+RFD[GRR] correct", ldpr::MseAvg(truth,
+                                                    rsrfd.Estimate(reports)));
+  }
+
+  std::printf(
+      "\nExpected ordering: SPL worst; RS+RFD best of the attribute-hiding\n"
+      "solutions thanks to fake data drawn from realistic priors.\n");
+  return 0;
+}

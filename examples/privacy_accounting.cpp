@@ -1,0 +1,75 @@
+// Deployment planning walkthrough: combining the privacy-loss accountant,
+// the communication-cost model and the adaptive protocol rule to configure a
+// multi-survey collection the way Section 6 of the paper recommends.
+//
+// Scenario: a mobile app will survey the same users monthly for a year
+// (12 collections) over d = 10 demographic/usage attributes at eps = 1 per
+// survey. The operator must pick (a) the sampling discipline (uniform metric
+// versus non-uniform + memoization), (b) the frequency oracle per attribute
+// and (c) see what the realized sequential privacy loss will be.
+//
+// Run:  ./privacy_accounting
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/comm_cost.h"
+#include "multidim/adaptive.h"
+#include "privacy/accountant.h"
+
+int main() {
+  using namespace ldpr;
+  const int d = 10;
+  const double eps = 1.0;
+  const int surveys = 12;
+  const std::vector<int> k = {74, 7, 16, 7, 14, 6, 5, 2, 41, 2};  // Adult
+  Rng rng(11);
+
+  std::printf("Planning %d monthly surveys, d=%d attributes, eps=%.1f each\n\n",
+              surveys, d, eps);
+
+  // (a) Sampling discipline. The uniform metric would exhaust the attribute
+  // set (12 > d) and charge every survey; the non-uniform metric with
+  // memoization caps the loss.
+  std::printf("Sequential privacy loss after %d surveys:\n", surveys);
+  std::printf("  uniform metric (no replacement)  : not applicable, d=%d < %d\n",
+              d, surveys);
+  const double expected =
+      privacy::ExpectedSmpTotalEpsilonNonUniform(d, surveys, eps);
+  privacy::LedgerSummary simulated =
+      privacy::SimulateSmpLedgers(d, surveys, eps, /*with_replacement=*/true,
+                                  /*num_users=*/20000, rng);
+  std::printf("  non-uniform + memoization (mean) : %.3f (closed form %.3f)\n",
+              simulated.mean_total, expected);
+  std::printf("  worst simulated user             : %.3f (cap = d*eps = %.1f)\n",
+              simulated.max_total, d * eps);
+  std::printf("  fresh randomizations per user    : %.2f of %d surveys\n\n",
+              simulated.mean_randomizations, surveys);
+
+  // (b) Protocol per attribute: variance-optimal within a 5% slack, cheapest
+  // upload otherwise (the Section 6 "OUE and/or OLH depending on k_j" rule),
+  // alongside the pure variance-optimal GRR/OUE rule.
+  std::printf("Per-attribute protocol choice at eps=%.1f:\n", eps);
+  std::printf("  %-4s %-4s %-22s %-10s\n", "j", "k_j", "cheapest-within-5%",
+              "adp(GRR/OUE)");
+  for (int j = 0; j < d; ++j) {
+    const fo::Protocol comm = fo::RecommendProtocol(k[j], eps);
+    const fo::Protocol adp = multidim::AdaptiveSmpChoice(k[j], eps);
+    std::printf("  %-4d %-4d %-22s %-10s\n", j, k[j], fo::ProtocolName(comm),
+                fo::ProtocolName(adp));
+  }
+
+  // (c) Upload budget per user and survey for the candidate solutions.
+  std::printf("\nPer-survey upload (bits/user), OUE everywhere:\n");
+  std::printf("  SMP   : %.0f\n", fo::SmpTupleBits(fo::Protocol::kOue, k, eps));
+  std::printf("  RS+FD : %.0f\n",
+              fo::RsFdTupleBits(fo::Protocol::kOue, k, eps));
+
+  std::printf(
+      "\nTakeaway: with replacement + memoization the 12-survey loss stays\n"
+      "under d*eps instead of growing linearly, at the cost of some repeat\n"
+      "reports; small-k attributes should use GRR, large-k ones OUE (or OLH\n"
+      "when upload size matters more than a few percent of variance).\n");
+  return 0;
+}

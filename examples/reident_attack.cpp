@@ -1,0 +1,71 @@
+// Re-identification attack demo (Sections 3.2 and 4.2): a server runs five
+// SMP surveys over an Adult-like population; an adversary observing the
+// <sampled attribute, eps-LDP report> pairs reconstructs per-user profiles
+// and matches them against public background knowledge.
+//
+// Run:  ./reident_attack [epsilon] [protocol: GRR|OLH|SS|SUE|OUE]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attack/profiling.h"
+#include "attack/reident.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+
+namespace {
+
+ldpr::fo::Protocol ParseProtocol(const std::string& name) {
+  for (ldpr::fo::Protocol p : ldpr::fo::AllProtocols()) {
+    if (name == ldpr::fo::ProtocolName(p)) return p;
+  }
+  std::fprintf(stderr, "unknown protocol '%s', using GRR\n", name.c_str());
+  return ldpr::fo::Protocol::kGrr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const ldpr::fo::Protocol protocol =
+      ParseProtocol(argc > 2 ? argv[2] : "GRR");
+  ldpr::Rng rng(17);
+
+  ldpr::data::Dataset ds = ldpr::data::AdultLike(123, 0.2);
+  std::printf("Adult-like population: n=%d users, d=%d attributes\n", ds.n(),
+              ds.d());
+  std::printf("SMP protocol=%s, epsilon=%.2f, 5 surveys, uniform metric\n\n",
+              ldpr::fo::ProtocolName(protocol), epsilon);
+
+  // The server's five surveys, each over >= d/2 random attributes.
+  ldpr::attack::SurveyPlan plan = ldpr::attack::MakeSurveyPlan(ds.d(), 5, rng);
+  auto channel =
+      ldpr::attack::MakeLdpChannel(protocol, ds.domain_sizes(), epsilon);
+
+  // Adversary: profile every user after each survey...
+  auto snapshots = ldpr::attack::SimulateSmpProfiling(
+      ds, *channel, plan, ldpr::attack::PrivacyMetricMode::kUniform, rng);
+
+  // ...then match profiles against the full background knowledge (FK-RI).
+  std::vector<bool> bk(ds.d(), true);
+  ldpr::attack::ReidentConfig config;
+  config.top_k = {1, 10};
+  config.max_targets = 2000;
+
+  std::printf("%8s %16s %16s\n", "surveys", "top-1 RID-ACC(%)",
+              "top-10 RID-ACC(%)");
+  std::printf("%8s %16.3f %16.3f   (random-guess baseline)\n", "-",
+              ldpr::attack::BaselineRidAcc(1, ds.n()),
+              ldpr::attack::BaselineRidAcc(10, ds.n()));
+  for (int s = 2; s <= 5; ++s) {
+    auto result = ldpr::attack::ReidentAccuracy(snapshots[s - 1], ds, bk,
+                                                config, rng);
+    std::printf("%8d %16.3f %16.3f\n", s, result.rid_acc_percent[0],
+                result.rid_acc_percent[1]);
+  }
+
+  std::printf(
+      "\nTry: GRR vs OUE at epsilon 8 — the paper's Fig. 2 contrast.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Deployment pipeline walkthrough: the full client → wire → server path.
+// Each user's sanitized report is serialized with the bit-exact codec
+// (fo/wire), shipped as bytes, deserialized server-side and aggregated —
+// demonstrating that the codec is transparent to estimation and that the
+// measured upload matches the communication-cost model (fo/comm_cost) that
+// underlies the Section 6 protocol recommendation.
+//
+// Run:  ./wire_pipeline [epsilon] [k]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "core/sampling.h"
+#include "fo/comm_cost.h"
+#include "fo/factory.h"
+#include "fo/wire.h"
+
+int main(int argc, char** argv) {
+  using namespace ldpr;
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int n = 30000;
+  Rng rng(3);
+
+  // A skewed population.
+  CategoricalSampler population(ZipfDistribution(k, 1.3));
+  std::vector<int> values(n);
+  for (int& v : values) v = population.Sample(rng);
+  const std::vector<double> truth = EmpiricalFrequency(values, k);
+
+  std::printf("Wire pipeline: n=%d users, k=%d, eps=%.2f\n\n", n, k, epsilon);
+  std::printf("%-6s %12s %12s %12s %12s\n", "proto", "bits/report",
+              "priced", "KB total", "MSE");
+
+  for (fo::Protocol protocol : fo::AllProtocols()) {
+    auto oracle = fo::MakeOracle(protocol, k, epsilon);
+
+    // Client side: randomize, serialize, "upload".
+    std::vector<std::vector<std::uint8_t>> uploads;
+    uploads.reserve(n);
+    long long total_bytes = 0;
+    for (int v : values) {
+      uploads.push_back(
+          fo::SerializeReport(*oracle, oracle->Randomize(v, rng)));
+      total_bytes += static_cast<long long>(uploads.back().size());
+    }
+
+    // Server side: deserialize and aggregate supports.
+    std::vector<long long> counts(k, 0);
+    for (const auto& bytes : uploads) {
+      oracle->AccumulateSupport(fo::DeserializeReport(*oracle, bytes),
+                                &counts);
+    }
+    const std::vector<double> estimate =
+        oracle->EstimateFromCounts(counts, n);
+
+    std::printf("%-6s %12d %12.0f %12.1f %12.3e\n",
+                fo::ProtocolName(protocol),
+                fo::SerializedReportBits(*oracle),
+                fo::ReportBits(protocol, k, epsilon),
+                total_bytes / 1024.0, Mse(truth, estimate));
+  }
+
+  std::printf(
+      "\nTakeaway: the codec packs each report into exactly the bits the\n"
+      "cost model prices (modulo byte rounding), and estimation from the\n"
+      "decoded reports is lossless. For this k, compare OUE's k-bit upload\n"
+      "against OLH's flat ~70 bits to see the Section 6 trade-off.\n");
+  return 0;
+}

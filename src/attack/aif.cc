@@ -1,0 +1,187 @@
+#include "attack/aif.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/histogram.h"
+#include "core/sampling.h"
+#include "ml/ml_metrics.h"
+
+namespace ldpr::attack {
+
+const char* AifModelName(AifModel model) {
+  switch (model) {
+    case AifModel::kNk:
+      return "NK";
+    case AifModel::kPk:
+      return "PK";
+    case AifModel::kHm:
+      return "HM";
+  }
+  return "unknown";
+}
+
+std::vector<int> EncodeFeatures(const multidim::MultidimReport& report,
+                                const std::vector<int>& domain_sizes) {
+  // Pure GRR-based tuples carry no bit vectors at all.
+  if (report.bits.empty()) {
+    LDPR_REQUIRE(report.values.size() == domain_sizes.size(),
+                 "GRR-based report width mismatch");
+    for (std::size_t j = 0; j < report.values.size(); ++j) {
+      LDPR_REQUIRE(report.values[j] >= 0 && report.values[j] < domain_sizes[j],
+                   "report value out of range at attribute " << j);
+    }
+    return report.values;
+  }
+  // UE-based or mixed (adaptive) tuples: attribute j contributes its k_j
+  // bits when bits[j] is populated, otherwise its categorical value.
+  LDPR_REQUIRE(report.bits.size() == domain_sizes.size(),
+               "UE-based report width mismatch");
+  std::size_t total = 0;
+  for (int k : domain_sizes) total += static_cast<std::size_t>(k);
+  std::vector<int> features;
+  features.reserve(total);
+  for (std::size_t j = 0; j < report.bits.size(); ++j) {
+    if (report.bits[j].empty()) {
+      LDPR_REQUIRE(j < report.values.size() && report.values[j] >= 0 &&
+                       report.values[j] < domain_sizes[j],
+                   "mixed report missing value at attribute " << j);
+      features.push_back(report.values[j]);
+      continue;
+    }
+    LDPR_REQUIRE(static_cast<int>(report.bits[j].size()) == domain_sizes[j],
+                 "UE bit-vector length mismatch at attribute " << j);
+    for (std::uint8_t b : report.bits[j]) features.push_back(b);
+  }
+  return features;
+}
+
+namespace {
+
+/// Draws `count` synthetic profiles, each attribute independently from the
+/// (simplex-projected) estimated frequencies, runs them through the client,
+/// and returns the labeled learning set (Section 3.3.1).
+ml::LabeledData SynthesizeLearningSet(
+    const std::vector<std::vector<double>>& estimated_freqs,
+    const MultidimClient& client, const std::vector<int>& domain_sizes,
+    long long count, Rng& rng) {
+  const int d = static_cast<int>(domain_sizes.size());
+  std::vector<CategoricalSampler> samplers;
+  samplers.reserve(d);
+  for (int j = 0; j < d; ++j) {
+    samplers.emplace_back(ProjectToSimplex(estimated_freqs[j]));
+  }
+  ml::LabeledData learn;
+  learn.rows.reserve(count);
+  std::vector<int> profile(d);
+  for (long long s = 0; s < count; ++s) {
+    for (int j = 0; j < d; ++j) profile[j] = samplers[j].Sample(rng);
+    multidim::MultidimReport rep = client(profile, rng);
+    learn.Append(EncodeFeatures(rep, domain_sizes), rep.sampled_attribute);
+  }
+  return learn;
+}
+
+}  // namespace
+
+std::vector<int> NkPredictSampledAttributes(
+    const std::vector<multidim::MultidimReport>& reports,
+    const MultidimClient& client, const MultidimEstimator& estimator,
+    const std::vector<int>& domain_sizes, double synthetic_multiplier,
+    const ml::GbdtConfig& gbdt_config, Rng& rng) {
+  LDPR_REQUIRE(!reports.empty(), "requires at least one report");
+  LDPR_REQUIRE(synthetic_multiplier > 0.0, "synthetic_multiplier must be > 0");
+  const int d = static_cast<int>(domain_sizes.size());
+
+  const auto estimated = estimator(reports);
+  const long long s = std::max<long long>(
+      d, static_cast<long long>(synthetic_multiplier * reports.size()));
+  ml::LabeledData learn =
+      SynthesizeLearningSet(estimated, client, domain_sizes, s, rng);
+
+  ml::Gbdt classifier;
+  classifier.Train(learn.rows, learn.labels, d, gbdt_config, rng);
+
+  std::vector<std::vector<int>> test_rows;
+  test_rows.reserve(reports.size());
+  for (const auto& rep : reports) {
+    test_rows.push_back(EncodeFeatures(rep, domain_sizes));
+  }
+  return classifier.PredictBatch(test_rows);
+}
+
+AifResult RunAifAttack(const data::Dataset& dataset,
+                       const MultidimClient& client,
+                       const MultidimEstimator& estimator,
+                       const AifConfig& config, Rng& rng) {
+  const int n = dataset.n();
+  const int d = dataset.d();
+  LDPR_REQUIRE(n >= 10, "AIF attack needs a non-trivial population");
+  const std::vector<int>& domain_sizes = dataset.domain_sizes();
+
+  // 1. Every user sanitizes their record.
+  std::vector<multidim::MultidimReport> reports;
+  reports.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    reports.push_back(client(dataset.Record(i), rng));
+  }
+
+  // 2. Build the learning and test sets per the attack model.
+  ml::LabeledData learn;
+  std::vector<int> test_users;
+  if (config.model == AifModel::kPk || config.model == AifModel::kHm) {
+    LDPR_REQUIRE(config.compromised_fraction > 0.0 &&
+                     config.compromised_fraction < 1.0,
+                 "compromised_fraction must be in (0, 1)");
+    const int npk = std::max(
+        1, static_cast<int>(std::lround(config.compromised_fraction * n)));
+    std::vector<int> order = rng.SampleWithoutReplacement(n, n);
+    for (int idx = 0; idx < n; ++idx) {
+      const int user = order[idx];
+      if (idx < npk) {
+        learn.Append(EncodeFeatures(reports[user], domain_sizes),
+                     reports[user].sampled_attribute);
+      } else {
+        test_users.push_back(user);
+      }
+    }
+  } else {
+    test_users.resize(n);
+    for (int i = 0; i < n; ++i) test_users[i] = i;
+  }
+  if (config.model == AifModel::kNk || config.model == AifModel::kHm) {
+    LDPR_REQUIRE(config.synthetic_multiplier > 0.0,
+                 "synthetic_multiplier must be > 0");
+    const auto estimated = estimator(reports);
+    const long long s = std::max<long long>(
+        d, static_cast<long long>(config.synthetic_multiplier * n));
+    learn.AppendAll(
+        SynthesizeLearningSet(estimated, client, domain_sizes, s, rng));
+  }
+  LDPR_CHECK(!learn.rows.empty() && !test_users.empty(),
+             "attack model produced an empty learning or test set");
+
+  // 3. Train the classifier and measure AIF-ACC on held-out users.
+  ml::Gbdt classifier;
+  classifier.Train(learn.rows, learn.labels, d, config.gbdt, rng);
+
+  std::vector<std::vector<int>> test_rows;
+  std::vector<int> test_labels;
+  test_rows.reserve(test_users.size());
+  test_labels.reserve(test_users.size());
+  for (int user : test_users) {
+    test_rows.push_back(EncodeFeatures(reports[user], domain_sizes));
+    test_labels.push_back(reports[user].sampled_attribute);
+  }
+  std::vector<int> predictions = classifier.PredictBatch(test_rows);
+
+  AifResult out;
+  out.aif_acc_percent = 100.0 * ml::Accuracy(test_labels, predictions);
+  out.baseline_percent = 100.0 / d;
+  out.test_n = static_cast<int>(test_users.size());
+  out.train_n = learn.n();
+  return out;
+}
+
+}  // namespace ldpr::attack

@@ -1,0 +1,79 @@
+#ifndef LDPR_ATTACK_AIF_H_
+#define LDPR_ATTACK_AIF_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "ml/dataset_split.h"
+#include "ml/gbdt.h"
+#include "multidim/rsfd.h"
+
+namespace ldpr::attack {
+
+/// The three attack models for uncovering the sampled attribute of RS+FD /
+/// RS+RFD users (Section 3.3).
+enum class AifModel {
+  kNk,  ///< No Knowledge: train on synthetic profiles from LDP estimates.
+  kPk,  ///< Partial Knowledge: train on compromised users' real tuples.
+  kHm,  ///< Hybrid: synthetic profiles + compromised users.
+};
+
+const char* AifModelName(AifModel model);
+
+/// A multidimensional client: maps a true record to a sanitized tuple.
+/// Instantiated from RsFd::RandomizeUser or RsRfd::RandomizeUser.
+using MultidimClient =
+    std::function<multidim::MultidimReport(const std::vector<int>&, Rng&)>;
+
+/// A multidimensional aggregator: maps all sanitized tuples to per-attribute
+/// frequency estimates (used by the NK model to synthesize training data).
+using MultidimEstimator = std::function<std::vector<std::vector<double>>(
+    const std::vector<multidim::MultidimReport>&)>;
+
+/// Flattens a sanitized tuple into classifier features:
+///   GRR-based payloads -> d label-encoded categorical features;
+///   UE-based payloads  -> sum_j k_j binary features.
+std::vector<int> EncodeFeatures(const multidim::MultidimReport& report,
+                                const std::vector<int>& domain_sizes);
+
+struct AifConfig {
+  AifModel model = AifModel::kNk;
+  /// NK / HM: number of synthetic profiles as a multiple of n (paper: 1/3/5).
+  double synthetic_multiplier = 1.0;
+  /// PK / HM: fraction of users compromised (paper: 0.1 / 0.3 / 0.5).
+  double compromised_fraction = 0.1;
+  ml::GbdtConfig gbdt;
+};
+
+struct AifResult {
+  double aif_acc_percent = 0.0;  ///< attacker's AIF-ACC on the test users
+  double baseline_percent = 0.0; ///< random-guess baseline 100/d
+  int test_n = 0;
+  int train_n = 0;
+};
+
+/// Runs one attribute-inference attack end to end:
+///  1. every user sanitizes their record through `client`;
+///  2. the attacker builds a learning set per `config.model` (Section 3.3.1-3);
+///  3. an XGBoost-substitute GBDT is trained and evaluated on the held-out
+///     real users.
+AifResult RunAifAttack(const data::Dataset& dataset,
+                       const MultidimClient& client,
+                       const MultidimEstimator& estimator,
+                       const AifConfig& config, Rng& rng);
+
+/// Internal building block, exposed for reuse by the RS+FD re-identification
+/// pipeline (Section 4.4): trains a sampled-attribute classifier under the
+/// NK model from already-generated reports and returns the per-report
+/// predicted sampled attribute.
+std::vector<int> NkPredictSampledAttributes(
+    const std::vector<multidim::MultidimReport>& reports,
+    const MultidimClient& client, const MultidimEstimator& estimator,
+    const std::vector<int>& domain_sizes, double synthetic_multiplier,
+    const ml::GbdtConfig& gbdt_config, Rng& rng);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_AIF_H_

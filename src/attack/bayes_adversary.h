@@ -1,0 +1,95 @@
+#ifndef LDPR_ATTACK_BAYES_ADVERSARY_H_
+#define LDPR_ATTACK_BAYES_ADVERSARY_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/frequency_oracle.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+
+namespace ldpr::attack {
+
+/// Bayes-optimal single-report adversary (Gursoy et al., referenced in
+/// Section 3.2.1 as the analytic formalization of the paper's plausible-
+/// deniability attacks).
+///
+/// Given a prior over the user's true value, predicts
+///   argmax_v prior[v] * Pr[report | v]
+/// with uniform tie-breaking. With a uniform prior this coincides with the
+/// paper's per-protocol heuristics (report value for GRR, hash preimage for
+/// OLH, subset member for SS, set bit for UE); with a non-uniform prior it
+/// strictly dominates them.
+class BayesAttacker {
+ public:
+  /// `oracle` must outlive the attacker. `prior` is normalized internally;
+  /// pass the empirical marginal (or an LDP estimate of it) for the
+  /// strongest attack, or leave empty for a uniform prior.
+  explicit BayesAttacker(const fo::FrequencyOracle& oracle,
+                         std::vector<double> prior = {});
+
+  /// Predicts the user's true value from one sanitized report.
+  int Predict(const fo::Report& report, Rng& rng) const;
+
+  /// Log-likelihood log Pr[report | v] up to an additive constant shared by
+  /// all v (sufficient for prediction; exposed for tests).
+  double LogLikelihood(const fo::Report& report, int v) const;
+
+ private:
+  const fo::FrequencyOracle& oracle_;
+  std::vector<double> log_prior_;
+};
+
+/// Bayes-optimal sampled-attribute inference against RS+FD / RS+RFD — the
+/// analytic counterpart of the paper's GBDT classifier (NK model). Scores
+///   Pr[y | t] = M_t(y_t) * prod_{i != t} fake_i(y_i)
+/// where M_t is the randomizer's output distribution under the estimated
+/// marginals and fake_i the variant's fake-data distribution, and predicts
+/// the argmax over t.
+///
+/// Used as a classifier ablation: it upper-bounds what any learner can
+/// extract from one tuple under the independence approximation, at zero
+/// training cost.
+class BayesAifAttacker {
+ public:
+  /// RS+FD: uniform fakes for GRR, q-bits for UE-z, smoothed one-hots for
+  /// UE-r. `estimated_marginals[j]` is the attacker's frequency estimate for
+  /// attribute j (e.g. from RsFd::Estimate), normalized internally.
+  BayesAifAttacker(const multidim::RsFd& protocol,
+                   const std::vector<std::vector<double>>& estimated_marginals);
+
+  /// RS+RFD: fake data follows the protocol's priors (assumed known to the
+  /// attacker, as in Section 3.3 — the server publishes them).
+  BayesAifAttacker(const multidim::RsRfd& protocol,
+                   const std::vector<std::vector<double>>& estimated_marginals);
+
+  /// Predicts the sampled attribute of one output tuple.
+  int PredictSampledAttribute(const multidim::MultidimReport& report) const;
+
+  /// Predictions for a batch of tuples (parallelized).
+  std::vector<int> PredictBatch(
+      const std::vector<multidim::MultidimReport>& reports) const;
+
+ private:
+  enum class Payload { kValues, kBits };
+
+  /// Score contribution of attribute j if it were the sampled one, minus its
+  /// contribution as fake data (the rest of the tuple cancels).
+  double ScoreDelta(const multidim::MultidimReport& report, int j) const;
+
+  Payload payload_;
+  int d_;
+  std::vector<int> domain_sizes_;
+  /// Per attribute, per value: log M_j(value) under "sampled".
+  std::vector<std::vector<double>> sampled_log_;
+  /// Per attribute, per value: log fake_j(value) (kValues payload).
+  std::vector<std::vector<double>> fake_log_;
+  /// kBits payload: per attribute, per bit: P[bit = 1 | sampled] and
+  /// P[bit = 1 | fake].
+  std::vector<std::vector<double>> sampled_bit_p_;
+  std::vector<std::vector<double>> fake_bit_p_;
+};
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_BAYES_ADVERSARY_H_

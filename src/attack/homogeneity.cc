@@ -1,0 +1,158 @@
+#include "attack/homogeneity.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace ldpr::attack {
+
+HomogeneityResult HomogeneityAttack(const std::vector<Profile>& profiles,
+                                    const data::Dataset& background,
+                                    const std::vector<bool>& bk_attributes,
+                                    int sensitive_attribute,
+                                    const HomogeneityConfig& config,
+                                    Rng& rng) {
+  const int n = background.n();
+  LDPR_REQUIRE(static_cast<int>(profiles.size()) == n,
+               "profiles must align 1:1 with background records");
+  LDPR_REQUIRE(static_cast<int>(bk_attributes.size()) == background.d(),
+               "bk_attributes must have one flag per attribute");
+  LDPR_REQUIRE(sensitive_attribute >= 0 &&
+                   sensitive_attribute < background.d(),
+               "sensitive attribute out of range");
+  LDPR_REQUIRE(config.top_k >= 1, "top_k must be >= 1");
+  LDPR_REQUIRE(config.agreement_threshold > 0 &&
+                   config.agreement_threshold <= 1,
+               "agreement_threshold must lie in (0, 1]");
+
+  const std::vector<int>& sensitive = background.Column(sensitive_attribute);
+  const int k_sensitive = background.domain_size(sensitive_attribute);
+
+  // Guessing baseline: global modal frequency of the sensitive attribute.
+  std::vector<long long> global_counts(k_sensitive, 0);
+  for (int v : sensitive) ++global_counts[v];
+  const long long modal_count =
+      *std::max_element(global_counts.begin(), global_counts.end());
+
+  std::vector<int> targets;
+  if (config.max_targets > 0 && config.max_targets < n) {
+    targets = rng.SampleWithoutReplacement(n, config.max_targets);
+  } else {
+    targets.resize(n);
+    for (int i = 0; i < n; ++i) targets[i] = i;
+  }
+
+  // Per-target outputs, filled in parallel. Each worker uses a split RNG
+  // stream so tie-breaking stays deterministic given the root seed.
+  struct TargetOutcome {
+    bool correct = false;
+    bool homogeneous = false;
+    bool homogeneous_and_correct = false;
+    int distinct_values = 0;
+  };
+  std::vector<TargetOutcome> outcomes(targets.size());
+  std::vector<Rng> worker_rngs;
+  worker_rngs.reserve(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    worker_rngs.push_back(rng.Split());
+  }
+
+  ParallelFor(0, static_cast<long long>(targets.size()), [&](long long t) {
+    const int user = targets[t];
+    Rng& local_rng = worker_rngs[t];
+
+    // Matching evidence: profile entries in D_BK, never the sensitive one.
+    std::vector<std::pair<const int*, int>> checks;
+    for (const auto& [attr, value] : profiles[user]) {
+      if (attr != sensitive_attribute && bk_attributes[attr]) {
+        checks.emplace_back(background.Column(attr).data(), value);
+      }
+    }
+
+    // Rank all records by Hamming distance; materialize a concrete top-k
+    // with random tie-breaking. A single counting pass finds the distance
+    // level at which the k-th record sits, then members are collected.
+    std::vector<int> distances(n, 0);
+    for (int r = 0; r < n; ++r) {
+      int dist = 0;
+      for (const auto& [col, value] : checks) {
+        if (col[r] != value) ++dist;
+      }
+      distances[r] = dist;
+    }
+    std::vector<long long> level_counts(checks.size() + 1, 0);
+    for (int r = 0; r < n; ++r) ++level_counts[distances[r]];
+
+    const int k = std::min(config.top_k, n);
+    std::vector<int> shortlist;
+    shortlist.reserve(k);
+    long long taken = 0;
+    for (std::size_t level = 0; level <= checks.size() && taken < k;
+         ++level) {
+      const long long at_level = level_counts[level];
+      if (at_level == 0) continue;
+      const long long want = std::min<long long>(k - taken, at_level);
+      if (want == at_level) {
+        for (int r = 0; r < n; ++r) {
+          if (distances[r] == static_cast<int>(level)) shortlist.push_back(r);
+        }
+      } else {
+        // Reservoir-sample `want` of the `at_level` tied records.
+        std::vector<int> members;
+        members.reserve(at_level);
+        for (int r = 0; r < n; ++r) {
+          if (distances[r] == static_cast<int>(level)) members.push_back(r);
+        }
+        for (long long i = 0; i < want; ++i) {
+          const std::size_t j =
+              i + local_rng.UniformInt(members.size() - i);
+          std::swap(members[i], members[j]);
+          shortlist.push_back(members[i]);
+        }
+      }
+      taken += want;
+    }
+
+    // Majority vote of the sensitive attribute within the shortlist.
+    std::vector<int> votes(k_sensitive, 0);
+    for (int r : shortlist) ++votes[sensitive[r]];
+    int modal_value = 0;
+    int distinct = 0;
+    for (int v = 0; v < k_sensitive; ++v) {
+      if (votes[v] > 0) ++distinct;
+      if (votes[v] > votes[modal_value]) modal_value = v;
+    }
+
+    TargetOutcome& outcome = outcomes[t];
+    outcome.correct = (modal_value == sensitive[user]);
+    outcome.homogeneous =
+        votes[modal_value] >=
+        config.agreement_threshold * static_cast<double>(shortlist.size());
+    outcome.homogeneous_and_correct = outcome.homogeneous && outcome.correct;
+    outcome.distinct_values = distinct;
+  });
+
+  HomogeneityResult result;
+  result.num_targets = static_cast<int>(targets.size());
+  long long correct = 0, homogeneous = 0, homogeneous_correct = 0;
+  long long diversity = 0;
+  for (const TargetOutcome& outcome : outcomes) {
+    correct += outcome.correct;
+    homogeneous += outcome.homogeneous;
+    homogeneous_correct += outcome.homogeneous_and_correct;
+    diversity += outcome.distinct_values;
+  }
+  result.inference_acc_percent = 100.0 * correct / targets.size();
+  result.homogeneous_fraction =
+      static_cast<double>(homogeneous) / targets.size();
+  result.homogeneous_inference_acc_percent =
+      homogeneous > 0 ? 100.0 * homogeneous_correct / homogeneous : 0.0;
+  result.mean_l_diversity =
+      static_cast<double>(diversity) / targets.size();
+  result.baseline_percent = 100.0 * modal_count / n;
+  return result;
+}
+
+}  // namespace ldpr::attack

@@ -1,0 +1,67 @@
+#ifndef LDPR_ATTACK_HOMOGENEITY_H_
+#define LDPR_ATTACK_HOMOGENEITY_H_
+
+#include <vector>
+
+#include "attack/profiling.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace ldpr::attack {
+
+/// Homogeneity attack on top-k shortlists (Machanavajjhala et al.'s
+/// l-diversity critique of k-anonymity).
+///
+/// Section 1 and the Fig. 2 analysis note that even when a target is only
+/// narrowed to a top-k anonymity set, "this still represents a threat due
+/// to the possibility of performing, e.g., homogeneity attacks": if the k
+/// candidate records agree on a sensitive attribute, the attacker learns
+/// the target's value without singling the target out. This module runs
+/// that second stage on the output of the re-identification matcher.
+///
+/// Pipeline per target: the matcher R ranks all background records by
+/// Hamming distance to the inferred profile (the sensitive attribute never
+/// participates in matching); a concrete top-k shortlist is materialized
+/// with uniformly random tie-breaking (decision algorithm G); the attacker
+/// predicts the shortlist's modal sensitive value.
+struct HomogeneityConfig {
+  int top_k = 10;
+  /// A shortlist counts as homogeneous when the modal value covers at least
+  /// this fraction of it.
+  double agreement_threshold = 0.8;
+  /// Number of target users evaluated (uniform subsample); <= 0 means all.
+  int max_targets = 3000;
+};
+
+struct HomogeneityResult {
+  /// How often the shortlist's modal value equals the target's true
+  /// sensitive value.
+  double inference_acc_percent = 0.0;
+  /// Attack accuracy restricted to homogeneous shortlists (the cases an
+  /// attacker would act on). NaN-free: 0 when no shortlist is homogeneous.
+  double homogeneous_inference_acc_percent = 0.0;
+  /// Fraction of shortlists that are homogeneous.
+  double homogeneous_fraction = 0.0;
+  /// Mean number of distinct sensitive values per shortlist (the "l" of
+  /// l-diversity achieved by the anonymity sets).
+  double mean_l_diversity = 0.0;
+  /// Guessing baseline: the sensitive attribute's global modal frequency
+  /// (best attribute-inference rate with no shortlist at all).
+  double baseline_percent = 0.0;
+  int num_targets = 0;
+};
+
+/// Runs the homogeneity attack. `profiles[i]` is user i's inferred profile
+/// (from the multi-survey profiling attack); `background` is D_BK;
+/// `bk_attributes` marks attributes usable for matching;
+/// `sensitive_attribute` is the attribute to infer — it is excluded from
+/// matching even when flagged in `bk_attributes` or present in a profile.
+HomogeneityResult HomogeneityAttack(const std::vector<Profile>& profiles,
+                                    const data::Dataset& background,
+                                    const std::vector<bool>& bk_attributes,
+                                    int sensitive_attribute,
+                                    const HomogeneityConfig& config, Rng& rng);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_HOMOGENEITY_H_

@@ -1,0 +1,85 @@
+#include "attack/plausible_deniability.h"
+
+#include "core/check.h"
+#include "fo/factory.h"
+
+namespace ldpr::attack {
+
+double EmpiricalAttackAccPercent(const fo::FrequencyOracle& oracle,
+                                 const std::vector<int>& values, Rng& rng) {
+  LDPR_REQUIRE(!values.empty(), "requires at least one value");
+  long long correct = 0;
+  for (int v : values) {
+    fo::Report r = oracle.Randomize(v, rng);
+    if (oracle.AttackPredict(r, rng) == v) ++correct;
+  }
+  return 100.0 * static_cast<double>(correct) / values.size();
+}
+
+double MonteCarloAttackAcc(const fo::FrequencyOracle& oracle, int trials,
+                           Rng& rng) {
+  LDPR_REQUIRE(trials >= 1, "requires trials >= 1");
+  long long correct = 0;
+  for (int t = 0; t < trials; ++t) {
+    int v = static_cast<int>(rng.UniformInt(oracle.k()));
+    fo::Report r = oracle.Randomize(v, rng);
+    if (oracle.AttackPredict(r, rng) == v) ++correct;
+  }
+  return static_cast<double>(correct) / trials;
+}
+
+double MonteCarloProfileAcc(fo::Protocol protocol, double epsilon,
+                            const std::vector<int>& domain_sizes,
+                            bool uniform_metric, int trials, Rng& rng) {
+  LDPR_REQUIRE(trials >= 1, "requires trials >= 1");
+  const int d = static_cast<int>(domain_sizes.size());
+  LDPR_REQUIRE(d >= 1, "requires >= 1 attribute");
+
+  std::vector<std::unique_ptr<fo::FrequencyOracle>> oracles;
+  oracles.reserve(d);
+  for (int k : domain_sizes) {
+    oracles.push_back(fo::MakeOracle(protocol, k, epsilon));
+  }
+
+  long long complete = 0;
+  std::vector<int> order(d);
+  for (int t = 0; t < trials; ++t) {
+    // Random true profile.
+    std::vector<int> truth(d);
+    for (int j = 0; j < d; ++j) {
+      truth[j] = static_cast<int>(rng.UniformInt(domain_sizes[j]));
+    }
+    // Attribute sequence across #surveys = d collections.
+    std::vector<int> sampled(d);
+    if (uniform_metric) {
+      for (int j = 0; j < d; ++j) order[j] = j;
+      rng.Shuffle(&order);
+      sampled = order;
+    } else {
+      for (int j = 0; j < d; ++j) {
+        sampled[j] = static_cast<int>(rng.UniformInt(d));
+      }
+    }
+    // Complete-profile reconstruction requires every attribute to be sampled
+    // (automatic in the uniform case) and every prediction to be correct;
+    // memoization means a repeated attribute adds no fresh information.
+    std::vector<int> predicted(d, -1);
+    for (int s = 0; s < d; ++s) {
+      const int a = sampled[s];
+      if (predicted[a] != -1) continue;  // memoized repeat
+      fo::Report r = oracles[a]->Randomize(truth[a], rng);
+      predicted[a] = oracles[a]->AttackPredict(r, rng);
+    }
+    bool all_correct = true;
+    for (int j = 0; j < d; ++j) {
+      if (predicted[j] != truth[j]) {
+        all_correct = false;
+        break;
+      }
+    }
+    if (all_correct) ++complete;
+  }
+  return static_cast<double>(complete) / trials;
+}
+
+}  // namespace ldpr::attack

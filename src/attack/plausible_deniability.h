@@ -1,0 +1,33 @@
+#ifndef LDPR_ATTACK_PLAUSIBLE_DENIABILITY_H_
+#define LDPR_ATTACK_PLAUSIBLE_DENIABILITY_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::attack {
+
+/// Empirical single-report attacker accuracy (Section 3.2.1), in percent:
+/// each true value is randomized once and attacked once.
+double EmpiricalAttackAccPercent(const fo::FrequencyOracle& oracle,
+                                 const std::vector<int>& values, Rng& rng);
+
+/// Monte-Carlo estimate of the expected attacker accuracy (fraction in
+/// [0, 1]) under uniformly distributed true values — the quantity the
+/// closed forms of fo::ExpectedAttackAcc approximate.
+double MonteCarloAttackAcc(const fo::FrequencyOracle& oracle, int trials,
+                           Rng& rng);
+
+/// Simulates profiling one user across all d attributes (one survey per
+/// attribute, as in Fig. 1) and returns the fraction of trials in which the
+/// adversary reconstructed the *complete* profile correctly.
+/// `uniform_metric` selects sampling without replacement (Eq. 4) versus with
+/// replacement + memoization (Eq. 5).
+double MonteCarloProfileAcc(fo::Protocol protocol, double epsilon,
+                            const std::vector<int>& domain_sizes,
+                            bool uniform_metric, int trials, Rng& rng);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_PLAUSIBLE_DENIABILITY_H_

@@ -1,0 +1,178 @@
+#include "attack/pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "fo/olh.h"
+#include "fo/ss.h"
+
+namespace ldpr::attack {
+
+double SupportLikelihoodRatio(const fo::FrequencyOracle& oracle) {
+  switch (oracle.protocol()) {
+    case fo::Protocol::kGrr:
+      return oracle.p() / oracle.q();
+    case fo::Protocol::kOlh: {
+      const auto& olh = static_cast<const fo::Olh&>(oracle);
+      const double p_prime = olh.p_prime();
+      const double q_prime = (1.0 - p_prime) / (olh.g() - 1);
+      return p_prime / q_prime;
+    }
+    case fo::Protocol::kSs: {
+      const auto& ss = static_cast<const fo::Ss&>(oracle);
+      const double p = ss.p();
+      const int k = ss.k();
+      const int omega = ss.omega();
+      // v in Omega: p / C(k-1, omega-1); v not in Omega: (1-p) / C(k-1,
+      // omega). Ratio of the binomials is (k - omega) / omega.
+      return p * (k - omega) / ((1.0 - p) * omega);
+    }
+    case fo::Protocol::kSue:
+    case fo::Protocol::kOue: {
+      const double p = oracle.p();
+      const double q = oracle.q();
+      return p * (1.0 - q) / ((1.0 - p) * q);
+    }
+  }
+  LDPR_CHECK(false, "unreachable protocol");
+}
+
+PoolInferenceAttacker::PoolInferenceAttacker(
+    const fo::FrequencyOracle& oracle, std::vector<std::vector<int>> pools,
+    std::vector<double> pool_priors)
+    : oracle_(oracle), pools_(std::move(pools)) {
+  LDPR_REQUIRE(pools_.size() >= 2, "need at least 2 pools, got "
+                                       << pools_.size());
+  std::vector<bool> covered(oracle_.k(), false);
+  for (const auto& pool : pools_) {
+    LDPR_REQUIRE(!pool.empty(), "pools must be non-empty");
+    for (int v : pool) {
+      LDPR_REQUIRE(v >= 0 && v < oracle_.k(),
+                   "pool value " << v << " outside domain [0, " << oracle_.k()
+                                 << ")");
+      LDPR_REQUIRE(!covered[v], "pools must be disjoint; value "
+                                    << v << " appears twice");
+      covered[v] = true;
+    }
+  }
+  for (int v = 0; v < oracle_.k(); ++v) {
+    LDPR_REQUIRE(covered[v],
+                 "pools must cover the domain; value " << v << " is missing");
+  }
+
+  if (pool_priors.empty()) {
+    log_prior_.assign(pools_.size(), -std::log(double(pools_.size())));
+  } else {
+    LDPR_REQUIRE(pool_priors.size() == pools_.size(),
+                 "pool_priors size mismatch");
+    double sum = 0.0;
+    for (double prior : pool_priors) {
+      LDPR_REQUIRE(prior > 0, "pool priors must be positive");
+      sum += prior;
+    }
+    log_prior_.resize(pools_.size());
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+      log_prior_[i] = std::log(pool_priors[i] / sum);
+    }
+  }
+  weights_.resize(pools_.size());
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    weights_[i].assign(pools_[i].size(), 1.0 / pools_[i].size());
+  }
+  ratio_ = SupportLikelihoodRatio(oracle_);
+}
+
+void PoolInferenceAttacker::SetWithinPoolWeights(
+    int pool, const std::vector<double>& weights) {
+  LDPR_REQUIRE(pool >= 0 && pool < num_pools(), "pool index out of range");
+  LDPR_REQUIRE(weights.size() == pools_[pool].size(),
+               "weights must align with the pool's members");
+  double sum = 0.0;
+  for (double w : weights) {
+    LDPR_REQUIRE(w > 0, "within-pool weights must be positive");
+    sum += w;
+  }
+  weights_[pool].resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights_[pool][i] = weights[i] / sum;
+  }
+}
+
+std::vector<double> PoolInferenceAttacker::LogPosterior(
+    const std::vector<fo::Report>& reports) const {
+  std::vector<double> log_post = log_prior_;
+  std::vector<long long> support(oracle_.k());
+  for (const fo::Report& report : reports) {
+    std::fill(support.begin(), support.end(), 0);
+    oracle_.AccumulateSupport(report, &support);
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+      // sum_{v in P} w_P(v) rho^{s_v}; the common per-report normalizer
+      // cancels across pools.
+      double likelihood = 0.0;
+      for (std::size_t m = 0; m < pools_[i].size(); ++m) {
+        likelihood += weights_[i][m] * (support[pools_[i][m]] ? ratio_ : 1.0);
+      }
+      log_post[i] += std::log(likelihood);
+    }
+  }
+  return log_post;
+}
+
+std::vector<double> PoolInferenceAttacker::Posterior(
+    const std::vector<fo::Report>& reports) const {
+  std::vector<double> log_post = LogPosterior(reports);
+  const double mx = *std::max_element(log_post.begin(), log_post.end());
+  double sum = 0.0;
+  for (double& s : log_post) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : log_post) s /= sum;
+  return log_post;
+}
+
+int PoolInferenceAttacker::PredictPool(
+    const std::vector<fo::Report>& reports) const {
+  std::vector<double> log_post = LogPosterior(reports);
+  return static_cast<int>(
+      std::max_element(log_post.begin(), log_post.end()) - log_post.begin());
+}
+
+std::vector<std::vector<int>> ContiguousPools(int k, int num_pools) {
+  LDPR_REQUIRE(num_pools >= 2 && num_pools <= k,
+               "num_pools must lie in [2, k], got " << num_pools << " for k="
+                                                    << k);
+  std::vector<std::vector<int>> pools(num_pools);
+  for (int v = 0; v < k; ++v) {
+    pools[static_cast<std::size_t>(v) * num_pools / k].push_back(v);
+  }
+  return pools;
+}
+
+PoolAttackResult SimulatePoolInference(
+    const fo::FrequencyOracle& oracle,
+    const std::vector<std::vector<int>>& pools, int num_users,
+    int reports_per_user, Rng& rng) {
+  LDPR_REQUIRE(num_users >= 1, "num_users must be >= 1");
+  LDPR_REQUIRE(reports_per_user >= 1, "reports_per_user must be >= 1");
+  PoolInferenceAttacker attacker(oracle, pools);
+  int correct = 0;
+  std::vector<fo::Report> reports(reports_per_user);
+  for (int u = 0; u < num_users; ++u) {
+    const int pool =
+        static_cast<int>(rng.UniformInt(attacker.num_pools()));
+    const auto& members = attacker.pools()[pool];
+    for (int t = 0; t < reports_per_user; ++t) {
+      const int value = members[rng.UniformInt(members.size())];
+      reports[t] = oracle.Randomize(value, rng);
+    }
+    if (attacker.PredictPool(reports) == pool) ++correct;
+  }
+  PoolAttackResult result;
+  result.acc_percent = 100.0 * correct / num_users;
+  result.baseline_percent = 100.0 / attacker.num_pools();
+  return result;
+}
+
+}  // namespace ldpr::attack

@@ -1,0 +1,97 @@
+#ifndef LDPR_ATTACK_POOL_H_
+#define LDPR_ATTACK_POOL_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::attack {
+
+/// Pool inference attack (Gadotti et al., USENIX Security '22; discussed in
+/// the paper's Section 7).
+///
+/// Setting: a user answers the *same* attribute over r collections without
+/// memoization, drawing each true value from a personal "pool" of related
+/// values (Gadotti's example: emoji skin tones). The attacker observes the r
+/// sanitized reports and infers the user's pool — a coarse but sensitive
+/// fact that LDP's per-report guarantee does not protect across repeats.
+///
+/// The attacker is exact Bayes. For every one of the five oracles the
+/// single-report likelihood, viewed as a function of the candidate true
+/// value v, depends only on whether the report *supports* v (equality for
+/// GRR, hash match for OLH, subset membership for SS, set bit for UE), with
+/// a protocol-specific likelihood ratio
+///
+///   rho = Pr[report supports v | v true] / Pr[report supports v | v false]:
+///     GRR      rho = p / q
+///     OLH      rho = p' / q'
+///     SS       rho = p (k - omega) / ((1 - p) omega)
+///     SUE/OUE  rho = p (1 - q) / ((1 - p) q)
+///
+/// so the pool posterior after reports y_1..y_r is
+///
+///   Pr[P | y_1..r] ∝ prior(P) prod_t ( sum_{v in P} w_P(v) rho^{s_v(y_t)} )
+///
+/// with s_v(y) the support indicator and w_P the within-pool draw
+/// distribution (uniform by default; Gadotti's model allows arbitrary
+/// within-pool weights). Draws are independent across collections.
+///
+/// `SupportLikelihoodRatio` exposes rho for one oracle configuration.
+double SupportLikelihoodRatio(const fo::FrequencyOracle& oracle);
+
+/// Exact Bayes attacker over a pool partition of the attribute domain.
+class PoolInferenceAttacker {
+ public:
+  /// `pools` must partition {0, ..., k-1} into >= 2 non-empty groups.
+  /// `pool_priors` defaults to uniform over pools.
+  PoolInferenceAttacker(const fo::FrequencyOracle& oracle,
+                        std::vector<std::vector<int>> pools,
+                        std::vector<double> pool_priors = {});
+
+  /// Sets the within-pool draw distribution of pool `pool` (aligned with
+  /// pools()[pool]; positive weights, normalized internally). Uniform when
+  /// never called.
+  void SetWithinPoolWeights(int pool, const std::vector<double>& weights);
+
+  /// Log-posterior (unnormalized) over pools given the user's reports.
+  std::vector<double> LogPosterior(
+      const std::vector<fo::Report>& reports) const;
+
+  /// Normalized posterior over pools.
+  std::vector<double> Posterior(const std::vector<fo::Report>& reports) const;
+
+  /// Maximum-a-posteriori pool index.
+  int PredictPool(const std::vector<fo::Report>& reports) const;
+
+  int num_pools() const { return static_cast<int>(pools_.size()); }
+  const std::vector<std::vector<int>>& pools() const { return pools_; }
+
+ private:
+  const fo::FrequencyOracle& oracle_;
+  std::vector<std::vector<int>> pools_;
+  std::vector<double> log_prior_;
+  std::vector<std::vector<double>> weights_;  ///< within-pool, normalized
+  double ratio_;  ///< rho, cached
+};
+
+/// Splits {0, ..., k-1} into `num_pools` contiguous near-equal pools.
+std::vector<std::vector<int>> ContiguousPools(int k, int num_pools);
+
+/// End-to-end simulation: `num_users` users each hold a uniformly random
+/// pool, draw `reports_per_user` values uniformly from it across collections
+/// and sanitize each with a fresh `oracle` randomization; the attacker
+/// predicts every user's pool.
+struct PoolAttackResult {
+  double acc_percent = 0.0;       ///< attacker accuracy
+  double baseline_percent = 0.0;  ///< random guess = 100 / num_pools
+};
+
+PoolAttackResult SimulatePoolInference(const fo::FrequencyOracle& oracle,
+                                       const std::vector<std::vector<int>>& pools,
+                                       int num_users, int reports_per_user,
+                                       Rng& rng);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_POOL_H_

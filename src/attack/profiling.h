@@ -1,0 +1,87 @@
+#ifndef LDPR_ATTACK_PROFILING_H_
+#define LDPR_ATTACK_PROFILING_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "fo/frequency_oracle.h"
+#include "ml/gbdt.h"
+#include "multidim/rsfd.h"
+
+namespace ldpr::attack {
+
+/// The attribute subsets collected by each survey (Section 4.2): survey sv
+/// collects d_sv = Uniform(d/2, ..., d) attributes, chosen at random.
+struct SurveyPlan {
+  std::vector<std::vector<int>> surveys;  ///< per survey: global attribute ids
+
+  int num_surveys() const { return static_cast<int>(surveys.size()); }
+};
+
+SurveyPlan MakeSurveyPlan(int d, int num_surveys, Rng& rng);
+
+/// How users sample attributes across surveys (Sections 3.2.2 / 3.2.3).
+enum class PrivacyMetricMode {
+  kUniform,     ///< without replacement: a fresh attribute every survey
+  kNonUniform,  ///< with replacement + memoization of repeated attributes
+};
+
+/// One user's inferred profile: (attribute, predicted value) pairs; each
+/// attribute appears at most once.
+using Profile = std::vector<std::pair<int, int>>;
+
+/// How a single attribute report is produced and attacked — abstracts over
+/// the privacy model (plain eps-LDP versus the alpha-PIE calibration of
+/// Appendix C, which sends small-domain attributes in the clear).
+class AttackChannel {
+ public:
+  virtual ~AttackChannel() = default;
+  /// Sanitizes `true_value` of `attribute` and returns the adversary's
+  /// prediction of the true value from the sanitized report.
+  virtual int ReportAndPredict(int true_value, int attribute,
+                               Rng& rng) const = 0;
+};
+
+/// eps-LDP channel: protocol randomizer + Section 3.2.1 adversary.
+std::unique_ptr<AttackChannel> MakeLdpChannel(
+    fo::Protocol protocol, const std::vector<int>& domain_sizes,
+    double epsilon);
+
+/// alpha-PIE channel (Appendix C): per attribute, CalibrateForBayesError
+/// decides between clear-text release and an eps(alpha)-LDP randomizer.
+std::unique_ptr<AttackChannel> MakePieChannel(
+    fo::Protocol protocol, const std::vector<int>& domain_sizes, double beta,
+    long long n);
+
+/// Metric-LDP (d-privacy) channel — the paper's future-work direction
+/// (Section 8): every attribute is treated as ordinal and sanitized with the
+/// truncated geometric mechanism at per-unit budget epsilon; the adversary's
+/// best guess is the reported value.
+std::unique_ptr<AttackChannel> MakeMetricLdpChannel(
+    const std::vector<int>& domain_sizes, double epsilon);
+
+/// Simulates multi-survey SMP collection and the profiling adversary.
+/// Returns, for every survey prefix s (1-based index s surveys seen),
+/// the inferred profile of every user: result[s-1][user].
+std::vector<std::vector<Profile>> SimulateSmpProfiling(
+    const data::Dataset& dataset, const AttackChannel& channel,
+    const SurveyPlan& plan, PrivacyMetricMode mode, Rng& rng);
+
+/// Simulates multi-survey RS+FD collection (Section 4.4): per survey, users
+/// run RS+FD over the survey's attributes (uniform metric) and the attacker
+/// first predicts the sampled attribute with the NK model (training a GBDT
+/// on `synthetic_multiplier * n` synthetic profiles), then predicts the
+/// value of the *predicted* attribute from the report payload. Prediction
+/// errors therefore chain, which is what makes RS+FD a partial
+/// countermeasure.
+std::vector<std::vector<Profile>> SimulateRsFdProfiling(
+    const data::Dataset& dataset, multidim::RsFdVariant variant,
+    double epsilon, const SurveyPlan& plan, double synthetic_multiplier,
+    const ml::GbdtConfig& gbdt_config, Rng& rng);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_PROFILING_H_

@@ -1,0 +1,139 @@
+#include "attack/reident.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace ldpr::attack {
+
+std::vector<bool> MakeBackgroundAttributes(int d, ReidentModel model,
+                                           Rng& rng) {
+  LDPR_REQUIRE(d >= 2, "requires d >= 2");
+  std::vector<bool> out(d, false);
+  if (model == ReidentModel::kFullKnowledge) {
+    std::fill(out.begin(), out.end(), true);
+    return out;
+  }
+  const int min_attrs = std::max(1, (d + 1) / 2);
+  const int m = static_cast<int>(rng.UniformRange(min_attrs, d));
+  for (int a : rng.SampleWithoutReplacement(d, m)) out[a] = true;
+  return out;
+}
+
+double BaselineRidAcc(int top_k, int n) {
+  LDPR_REQUIRE(top_k >= 1 && n >= 1, "requires top_k >= 1 and n >= 1");
+  return 100.0 * std::min(1.0, static_cast<double>(top_k) / n);
+}
+
+ReidentResult ReidentAccuracy(const std::vector<Profile>& profiles,
+                              const data::Dataset& background,
+                              const std::vector<bool>& bk_attributes,
+                              const ReidentConfig& config, Rng& rng) {
+  const int n = background.n();
+  LDPR_REQUIRE(static_cast<int>(profiles.size()) == n,
+               "profiles must align 1:1 with background records");
+  LDPR_REQUIRE(static_cast<int>(bk_attributes.size()) == background.d(),
+               "bk_attributes must have one flag per attribute");
+  LDPR_REQUIRE(!config.top_k.empty(), "config.top_k must be non-empty");
+  for (int k : config.top_k) LDPR_REQUIRE(k >= 1, "top_k entries must be >= 1");
+  LDPR_REQUIRE(config.bk_noise >= 0.0 && config.bk_noise <= 1.0,
+               "bk_noise must lie in [0, 1], got " << config.bk_noise);
+
+  // Noisy background knowledge: corrupt a bk_noise fraction of cells before
+  // matching. The attacker still matches against this corrupted copy (they
+  // do not know which cells are wrong).
+  const data::Dataset* matching_background = &background;
+  data::Dataset corrupted({2, 2});
+  if (config.bk_noise > 0.0) {
+    corrupted = data::Dataset(background.domain_sizes());
+    corrupted.Reserve(n);
+    std::vector<int> record(background.d());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < background.d(); ++j) {
+        record[j] = background.value(i, j);
+        if (rng.Bernoulli(config.bk_noise)) {
+          const int kj = background.domain_size(j);
+          int other = static_cast<int>(rng.UniformInt(kj - 1));
+          record[j] = other >= record[j] ? other + 1 : other;
+        }
+      }
+      corrupted.AddRecord(record);
+    }
+    matching_background = &corrupted;
+  }
+
+  // Target subsample (unbiased estimator of the per-user mean RID-ACC).
+  std::vector<int> targets;
+  if (config.max_targets > 0 && config.max_targets < n) {
+    targets = rng.SampleWithoutReplacement(n, config.max_targets);
+  } else {
+    targets.resize(n);
+    for (int i = 0; i < n; ++i) targets[i] = i;
+  }
+
+  const std::size_t num_k = config.top_k.size();
+  std::vector<double> hit_sums(num_k * targets.size(), 0.0);
+
+  ParallelFor(0, static_cast<long long>(targets.size()), [&](long long t) {
+    const int user = targets[t];
+    // Matching attributes: profile entries the adversary can check in D_BK.
+    std::vector<std::pair<const int*, int>> checks;  // (column ptr, value)
+    for (const auto& [attr, value] : profiles[user]) {
+      if (bk_attributes[attr]) {
+        checks.emplace_back(matching_background->Column(attr).data(), value);
+      }
+    }
+
+    if (checks.empty()) {
+      // No usable evidence: the adversary can only guess uniformly.
+      for (std::size_t ki = 0; ki < num_k; ++ki) {
+        hit_sums[ki * targets.size() + t] =
+            std::min(1.0, static_cast<double>(config.top_k[ki]) / n);
+      }
+      return;
+    }
+
+    // Distance of the target's own record.
+    int true_dist = 0;
+    for (const auto& [col, value] : checks) {
+      if (col[user] != value) ++true_dist;
+    }
+
+    // Count records strictly closer / at the same distance.
+    long long closer = 0;
+    long long ties = 0;
+    for (int r = 0; r < n; ++r) {
+      int dist = 0;
+      for (const auto& [col, value] : checks) {
+        if (col[r] != value && ++dist > true_dist) break;
+      }
+      if (dist < true_dist) {
+        ++closer;
+      } else if (dist == true_dist) {
+        ++ties;
+      }
+    }
+    LDPR_CHECK(ties >= 1, "the target's own record must be among the ties");
+
+    for (std::size_t ki = 0; ki < num_k; ++ki) {
+      const double k = config.top_k[ki];
+      const double prob =
+          std::clamp((k - static_cast<double>(closer)) / ties, 0.0, 1.0);
+      hit_sums[ki * targets.size() + t] = prob;
+    }
+  });
+
+  ReidentResult out;
+  out.rid_acc_percent.resize(num_k);
+  for (std::size_t ki = 0; ki < num_k; ++ki) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      sum += hit_sums[ki * targets.size() + t];
+    }
+    out.rid_acc_percent[ki] = 100.0 * sum / targets.size();
+  }
+  return out;
+}
+
+}  // namespace ldpr::attack

@@ -1,0 +1,123 @@
+#include "attack/uniqueness.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "fo/analytic_acc.h"
+
+namespace ldpr::attack {
+
+namespace {
+
+/// 64-bit FNV-1a over the projected record, used to bucket profiles.
+struct ProfileHash {
+  std::size_t operator()(const std::vector<int>& profile) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (int v : profile) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ULL;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+double UniquenessProfile::ExpectedTopKHit(int top_k) const {
+  LDPR_REQUIRE(top_k >= 1, "top_k must be >= 1, got " << top_k);
+  if (num_users == 0) return 0.0;
+  double hit = 0.0;
+  for (const auto& [size, count] : class_size_counts) {
+    // `count` classes of `size` users each; every user in such a class is
+    // shortlisted with probability min(k, size)/size.
+    const double per_user =
+        static_cast<double>(std::min<long long>(top_k, size)) / size;
+    hit += per_user * static_cast<double>(size) * count;
+  }
+  return hit / static_cast<double>(num_users);
+}
+
+UniquenessProfile ComputeUniqueness(const data::Dataset& dataset,
+                                    const std::vector<int>& attributes) {
+  std::vector<int> attrs = attributes;
+  if (attrs.empty()) {
+    attrs.resize(dataset.d());
+    for (int j = 0; j < dataset.d(); ++j) attrs[j] = j;
+  }
+  for (int j : attrs) {
+    LDPR_REQUIRE(j >= 0 && j < dataset.d(),
+                 "attribute index " << j << " out of range for d="
+                                    << dataset.d());
+  }
+
+  std::unordered_map<std::vector<int>, long long, ProfileHash> classes;
+  classes.reserve(dataset.n());
+  std::vector<int> profile(attrs.size());
+  for (int i = 0; i < dataset.n(); ++i) {
+    for (std::size_t a = 0; a < attrs.size(); ++a) {
+      profile[a] = dataset.value(i, attrs[a]);
+    }
+    ++classes[profile];
+  }
+
+  UniquenessProfile out;
+  out.num_users = dataset.n();
+  out.num_classes = static_cast<long long>(classes.size());
+  long long unique_users = 0;
+  double size_weighted = 0.0;
+  for (const auto& [key, size] : classes) {
+    ++out.class_size_counts[size];
+    if (size == 1) ++unique_users;
+    size_weighted += static_cast<double>(size) * size;
+  }
+  if (dataset.n() > 0) {
+    out.unique_fraction =
+        static_cast<double>(unique_users) / static_cast<double>(dataset.n());
+    out.mean_class_size = size_weighted / static_cast<double>(dataset.n());
+  }
+  return out;
+}
+
+std::vector<UniquenessCurvePoint> UniquenessCurve(const data::Dataset& dataset,
+                                                  int subsets_per_size,
+                                                  Rng& rng) {
+  LDPR_REQUIRE(subsets_per_size >= 1,
+               "subsets_per_size must be >= 1, got " << subsets_per_size);
+  std::vector<UniquenessCurvePoint> curve;
+  curve.reserve(dataset.d());
+  for (int m = 1; m <= dataset.d(); ++m) {
+    UniquenessCurvePoint point;
+    point.num_attributes = m;
+    // All subsets coincide at m = d; average only where sampling matters.
+    const int samples = (m == dataset.d()) ? 1 : subsets_per_size;
+    for (int s = 0; s < samples; ++s) {
+      std::vector<int> attrs = rng.SampleWithoutReplacement(dataset.d(), m);
+      UniquenessProfile profile = ComputeUniqueness(dataset, attrs);
+      point.unique_fraction += profile.unique_fraction;
+      point.expected_top1 += profile.ExpectedTopKHit(1);
+      point.expected_top10 += profile.ExpectedTopKHit(10);
+    }
+    point.unique_fraction /= samples;
+    point.expected_top1 /= samples;
+    point.expected_top10 /= samples;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double PredictedRidAccPercent(const data::Dataset& dataset,
+                              const std::vector<int>& attributes,
+                              fo::Protocol protocol, double epsilon,
+                              int top_k) {
+  LDPR_REQUIRE(!attributes.empty(), "attributes must be non-empty");
+  std::vector<int> domain_sizes;
+  domain_sizes.reserve(attributes.size());
+  for (int j : attributes) domain_sizes.push_back(dataset.domain_size(j));
+  const double acc_profile =
+      fo::ExpectedAccUniform(protocol, epsilon, domain_sizes);
+  const UniquenessProfile profile = ComputeUniqueness(dataset, attributes);
+  return 100.0 * acc_profile * profile.ExpectedTopKHit(top_k);
+}
+
+}  // namespace ldpr::attack

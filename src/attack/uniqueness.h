@@ -1,0 +1,74 @@
+#ifndef LDPR_ATTACK_UNIQUENESS_H_
+#define LDPR_ATTACK_UNIQUENESS_H_
+
+#include <map>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::attack {
+
+/// Anonymity-set ("uniqueness") analysis of a population.
+///
+/// Section 3.2.4 observes that the re-identification success "depends on
+/// the accuracy of partially or completely profiling the target user (Eqs. 4
+/// and 5) and the 'uniqueness' of users with respect to the collected
+/// attributes"; Section 8 names formalizing that dependence as future work.
+/// This module supplies the uniqueness half: equivalence-class statistics of
+/// a dataset under an attribute subset, and the resulting closed-form
+/// prediction of the attacker's RID-ACC,
+///
+///   predicted RID-ACC(top-k) = ACC_profile * E_user[ min(k, c_user)/c_user ]
+///
+/// where c_user is the size of the user's equivalence class (a correctly
+/// profiled target matches exactly its class; the decider breaks ties
+/// uniformly, landing the target in the top-k shortlist with probability
+/// min(k, c)/c) and ACC_profile is Eq. 4 / Eq. 5. Mis-profiled users are
+/// counted as misses, making the prediction a first-order lower bound that
+/// the empirical pipeline (attack/reident) can be checked against.
+
+/// Equivalence-class statistics of `dataset` projected onto `attributes`
+/// (all attributes when empty).
+struct UniquenessProfile {
+  long long num_users = 0;
+  long long num_classes = 0;        ///< distinct profiles
+  double unique_fraction = 0.0;     ///< users whose class has size 1
+  double mean_class_size = 0.0;     ///< user-averaged class size
+  /// Class-size histogram: size -> number of classes of that size.
+  std::map<long long, long long> class_size_counts;
+
+  /// Expected top-k shortlist hit rate under perfect profiling:
+  /// E_user[min(k, c)/c].
+  double ExpectedTopKHit(int top_k) const;
+};
+
+UniquenessProfile ComputeUniqueness(const data::Dataset& dataset,
+                                    const std::vector<int>& attributes = {});
+
+/// One point of the uniqueness-versus-#attributes curve.
+struct UniquenessCurvePoint {
+  int num_attributes = 0;
+  double unique_fraction = 0.0;
+  double expected_top1 = 0.0;
+  double expected_top10 = 0.0;
+};
+
+/// Sweeps m = 1..d attributes; each point averages `subsets_per_size`
+/// uniformly random attribute subsets of size m.
+std::vector<UniquenessCurvePoint> UniquenessCurve(const data::Dataset& dataset,
+                                                  int subsets_per_size,
+                                                  Rng& rng);
+
+/// Closed-form predicted RID-ACC (percent) for the SMP + FK-RI pipeline with
+/// the uniform privacy metric: Eq. 4 profiling accuracy over `attributes`
+/// times the dataset's expected top-k hit rate on those attributes.
+double PredictedRidAccPercent(const data::Dataset& dataset,
+                              const std::vector<int>& attributes,
+                              fo::Protocol protocol, double epsilon,
+                              int top_k);
+
+}  // namespace ldpr::attack
+
+#endif  // LDPR_ATTACK_UNIQUENESS_H_

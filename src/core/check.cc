@@ -1,0 +1,25 @@
+#include "core/check.h"
+
+namespace ldpr::internal {
+
+namespace {
+std::string Format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) oss << " — " << message;
+  return oss.str();
+}
+}  // namespace
+
+void FailRequire(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  throw InvalidArgumentError(Format("LDPR_REQUIRE", expr, file, line, message));
+}
+
+void FailCheck(const char* expr, const char* file, int line,
+               const std::string& message) {
+  throw InternalError(Format("LDPR_CHECK", expr, file, line, message));
+}
+
+}  // namespace ldpr::internal

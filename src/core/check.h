@@ -1,0 +1,58 @@
+#ifndef LDPR_CORE_CHECK_H_
+#define LDPR_CORE_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ldpr {
+
+/// Thrown by LDPR_REQUIRE when a caller violates an API precondition
+/// (e.g. a non-positive privacy budget or an out-of-range domain size).
+class InvalidArgumentError : public std::invalid_argument {
+ public:
+  explicit InvalidArgumentError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown by LDPR_CHECK when an internal invariant is broken. Reaching this
+/// indicates a bug in ldpr itself rather than bad caller input.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] void FailRequire(const char* expr, const char* file, int line,
+                              const std::string& message);
+[[noreturn]] void FailCheck(const char* expr, const char* file, int line,
+                            const std::string& message);
+}  // namespace internal
+
+}  // namespace ldpr
+
+/// Validates a caller-supplied precondition; throws InvalidArgumentError with
+/// a formatted message on failure. `msg` may use stream syntax:
+///   LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+#define LDPR_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream ldpr_oss_;                                          \
+      ldpr_oss_ << msg;                                                      \
+      ::ldpr::internal::FailRequire(#cond, __FILE__, __LINE__,               \
+                                    ldpr_oss_.str());                        \
+    }                                                                        \
+  } while (0)
+
+/// Validates an internal invariant; throws InternalError on failure.
+#define LDPR_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream ldpr_oss_;                                          \
+      ldpr_oss_ << msg;                                                      \
+      ::ldpr::internal::FailCheck(#cond, __FILE__, __LINE__,                 \
+                                  ldpr_oss_.str());                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // LDPR_CORE_CHECK_H_

@@ -1,0 +1,41 @@
+#include "core/flags.h"
+
+#include <cstdlib>
+
+namespace ldpr {
+
+int GetEnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<int>(v);
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env) return fallback;
+  return v;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
+int NumRuns() { return GetEnvInt("LDPR_RUNS", 3); }
+
+int ReidentTargets() { return GetEnvInt("LDPR_REIDENT_TARGETS", 3000); }
+
+double DatasetScale() {
+  double s = GetEnvDouble("LDPR_SCALE", 1.0);
+  if (s <= 0.0 || s > 1.0) return 1.0;
+  return s;
+}
+
+}  // namespace ldpr

@@ -1,0 +1,29 @@
+#ifndef LDPR_CORE_FLAGS_H_
+#define LDPR_CORE_FLAGS_H_
+
+#include <string>
+
+namespace ldpr {
+
+/// Environment-variable readers used by the bench harness to scale
+/// experiments (number of repetitions, re-identification target subsample,
+/// dataset scale) without recompiling. Each returns `fallback` when the
+/// variable is unset or unparsable.
+int GetEnvInt(const char* name, int fallback);
+double GetEnvDouble(const char* name, double fallback);
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Number of experiment repetitions (paper: 20). Env LDPR_RUNS, default 3.
+int NumRuns();
+
+/// Number of target users evaluated by the O(n * |D_BK|) re-identification
+/// matcher. Env LDPR_REIDENT_TARGETS, default 3000; <= 0 means all users.
+int ReidentTargets();
+
+/// Global dataset scale factor in (0, 1]. Env LDPR_SCALE, default 1.0.
+/// Benches multiply dataset sizes by this to trade fidelity for speed.
+double DatasetScale();
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_FLAGS_H_

@@ -1,0 +1,41 @@
+#ifndef LDPR_CORE_HASH_H_
+#define LDPR_CORE_HASH_H_
+
+#include <cstdint>
+
+namespace ldpr {
+
+/// Strong 64-bit bit mixer (SplitMix64 finalizer). Used for seed derivation
+/// and as the core of the universal hash family.
+std::uint64_t Mix64(std::uint64_t x);
+
+/// xxHash64 of an arbitrary byte buffer. Self-contained implementation
+/// (no third-party dependency); matches the reference xxHash64 output.
+std::uint64_t XxHash64(const void* data, std::size_t len, std::uint64_t seed);
+
+/// Universal hash family over small integers, H_seed : Z -> [0, g).
+///
+/// OLH (optimal local hashing) requires each user to pick a hash function
+/// H uniformly from a universal family mapping the attribute domain [k] to
+/// the reduced domain [g]. We index the family by a 64-bit seed; the function
+/// is h(v) = xxhash64(v, seed) mod g.
+class UniversalHash {
+ public:
+  /// Creates the hash function with the given family index (seed) and output
+  /// domain size g >= 1.
+  UniversalHash(std::uint64_t seed, int g);
+
+  /// Hash of value v into [0, g).
+  int operator()(int v) const;
+
+  std::uint64_t seed() const { return seed_; }
+  int g() const { return g_; }
+
+ private:
+  std::uint64_t seed_;
+  int g_;
+};
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_HASH_H_

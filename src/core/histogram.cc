@@ -1,0 +1,46 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace ldpr {
+
+std::vector<long long> CountValues(const std::vector<int>& values, int k) {
+  LDPR_REQUIRE(k >= 1, "CountValues requires k >= 1, got " << k);
+  std::vector<long long> counts(k, 0);
+  for (int v : values) {
+    LDPR_REQUIRE(v >= 0 && v < k, "value " << v << " outside domain [0, " << k
+                                           << ")");
+    ++counts[v];
+  }
+  return counts;
+}
+
+std::vector<double> EmpiricalFrequency(const std::vector<int>& values, int k) {
+  LDPR_REQUIRE(!values.empty(), "EmpiricalFrequency requires non-empty input");
+  std::vector<long long> counts = CountValues(values, k);
+  std::vector<double> freq(k);
+  for (int i = 0; i < k; ++i) {
+    freq[i] = static_cast<double>(counts[i]) / values.size();
+  }
+  return freq;
+}
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& freq) {
+  std::vector<double> out(freq.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    out[i] = std::clamp(freq[i], 0.0, 1.0);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate estimate: fall back to uniform.
+    std::fill(out.begin(), out.end(), 1.0 / out.size());
+    return out;
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace ldpr

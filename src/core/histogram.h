@@ -1,0 +1,22 @@
+#ifndef LDPR_CORE_HISTOGRAM_H_
+#define LDPR_CORE_HISTOGRAM_H_
+
+#include <vector>
+
+namespace ldpr {
+
+/// Counts occurrences of each value in [0, k) within `values`.
+/// Values outside [0, k) are rejected (LDPR_REQUIRE).
+std::vector<long long> CountValues(const std::vector<int>& values, int k);
+
+/// Normalized empirical frequency of each value in [0, k).
+std::vector<double> EmpiricalFrequency(const std::vector<int>& values, int k);
+
+/// Clamps each entry to [0, 1] and re-normalizes to sum to 1. Standard
+/// post-processing for LDP frequency estimates, which can be negative or
+/// exceed 1 before projection.
+std::vector<double> ProjectToSimplex(const std::vector<double>& freq);
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_HISTOGRAM_H_

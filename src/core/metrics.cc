@@ -1,0 +1,64 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr {
+
+double Mse(const std::vector<double>& truth, const std::vector<double>& est) {
+  LDPR_REQUIRE(truth.size() == est.size() && !truth.empty(),
+               "Mse requires equal-sized non-empty vectors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    double d = truth[i] - est[i];
+    acc += d * d;
+  }
+  return acc / truth.size();
+}
+
+double MseAvg(const std::vector<std::vector<double>>& truth,
+              const std::vector<std::vector<double>>& est) {
+  LDPR_REQUIRE(truth.size() == est.size() && !truth.empty(),
+               "MseAvg requires equal-sized non-empty attribute lists");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < truth.size(); ++j) acc += Mse(truth[j], est[j]);
+  return acc / truth.size();
+}
+
+double AccuracyPercent(const std::vector<int>& truth,
+                       const std::vector<int>& predicted) {
+  LDPR_REQUIRE(truth.size() == predicted.size() && !truth.empty(),
+               "AccuracyPercent requires equal-sized non-empty vectors");
+  long long correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return 100.0 * static_cast<double>(correct) / truth.size();
+}
+
+int ArgMax(const std::vector<double>& v) {
+  LDPR_REQUIRE(!v.empty(), "ArgMax requires a non-empty vector");
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(v.size()); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+double Mean(const std::vector<double>& v) {
+  LDPR_REQUIRE(!v.empty(), "Mean requires a non-empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / v.size();
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / (v.size() - 1));
+}
+
+}  // namespace ldpr

@@ -1,0 +1,32 @@
+#ifndef LDPR_CORE_METRICS_H_
+#define LDPR_CORE_METRICS_H_
+
+#include <vector>
+
+namespace ldpr {
+
+/// Mean squared error between a true and an estimated frequency vector.
+double Mse(const std::vector<double>& truth, const std::vector<double>& est);
+
+/// The paper's utility metric (Section 5.2.2):
+///   MSE_avg = (1/d) * sum_j (1/k_j) * sum_v (f_j(v) - fhat_j(v))^2.
+double MseAvg(const std::vector<std::vector<double>>& truth,
+              const std::vector<std::vector<double>>& est);
+
+/// Fraction of positions where the two label vectors agree, in percent.
+/// This is the paper's ACC / AIF-ACC metric shape.
+double AccuracyPercent(const std::vector<int>& truth,
+                       const std::vector<int>& predicted);
+
+/// Index of the maximum element (first one on ties).
+int ArgMax(const std::vector<double>& v);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample standard deviation (0 for fewer than two samples).
+double StdDev(const std::vector<double>& v);
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_METRICS_H_

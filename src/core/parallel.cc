@@ -1,0 +1,54 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldpr {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("LDPR_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(long long begin, long long end,
+                 const std::function<void(long long)>& fn, int threads) {
+  if (begin >= end) return;
+  const long long count = end - begin;
+  int workers = threads > 0 ? threads : DefaultThreadCount();
+  if (workers > count) workers = static_cast<int>(count);
+
+  if (workers <= 1) {
+    for (long long i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const long long chunk = (count + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    long long lo = begin + w * chunk;
+    long long hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&, lo, hi]() {
+      try {
+        for (long long i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ldpr

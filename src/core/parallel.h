@@ -1,0 +1,22 @@
+#ifndef LDPR_CORE_PARALLEL_H_
+#define LDPR_CORE_PARALLEL_H_
+
+#include <functional>
+
+namespace ldpr {
+
+/// Number of worker threads ParallelFor will use. Reads the LDPR_THREADS
+/// environment variable, falling back to the hardware concurrency.
+int DefaultThreadCount();
+
+/// Runs fn(i) for every i in [begin, end) across `threads` workers
+/// (DefaultThreadCount() when threads <= 0). Blocks until all complete.
+/// The iteration space is split into contiguous chunks, so fn should be
+/// roughly uniform in cost; exceptions thrown by fn are rethrown on the
+/// calling thread (the first one captured).
+void ParallelFor(long long begin, long long end,
+                 const std::function<void(long long)>& fn, int threads = 0);
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_PARALLEL_H_

@@ -1,0 +1,84 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/hash.h"
+
+namespace ldpr {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+Rng Rng::Split() {
+  // Children are seeded by hashing (root seed, counter) so that sibling
+  // streams are decorrelated regardless of how much the parent has advanced.
+  std::uint64_t child_seed = Mix64(seed_ ^ Mix64(++split_counter_));
+  return Rng(child_seed);
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  LDPR_CHECK(n > 0, "UniformInt requires n > 0");
+  std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::UniformRange(std::int64_t lo, std::int64_t hi) {
+  LDPR_CHECK(lo <= hi, "UniformRange requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+double Rng::Laplace(double b) {
+  double u = UniformReal() - 0.5;
+  return -b * std::copysign(std::log(1.0 - 2.0 * std::abs(u)), u);
+}
+
+double Rng::Exponential(double lambda) {
+  std::exponential_distribution<double> dist(lambda);
+  return dist(engine_);
+}
+
+double Rng::Gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Gamma(double shape) {
+  std::gamma_distribution<double> dist(shape, 1.0);
+  return dist(engine_);
+}
+
+int Rng::Binomial(int n, double p) {
+  std::binomial_distribution<int> dist(n, p);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int m) {
+  LDPR_REQUIRE(m >= 0 && m <= n,
+               "SampleWithoutReplacement requires 0 <= m <= n, got m=" << m
+                                                                       << " n=" << n);
+  // Partial Fisher–Yates over an index array. For m much smaller than n a
+  // rejection-sampling scheme would use less memory, but callers in ldpr use
+  // n = attribute-domain sizes (small), so simplicity wins.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < m; ++i) {
+    int j = i + static_cast<int>(UniformInt(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(m);
+  return idx;
+}
+
+}  // namespace ldpr

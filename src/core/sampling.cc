@@ -1,0 +1,131 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace ldpr {
+
+std::vector<double> Normalize(const std::vector<double>& weights) {
+  LDPR_REQUIRE(!weights.empty(), "Normalize requires a non-empty vector");
+  double sum = 0.0;
+  for (double w : weights) {
+    LDPR_REQUIRE(w >= 0.0, "Normalize requires non-negative weights, got " << w);
+    sum += w;
+  }
+  LDPR_REQUIRE(sum > 0.0, "Normalize requires a positive weight sum");
+  std::vector<double> out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / sum;
+  return out;
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights)
+    : normalized_(Normalize(weights)) {
+  const int k = static_cast<int>(normalized_.size());
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Walker's alias method: split scaled probabilities into "small" (< 1) and
+  // "large" (>= 1), pairing each small cell with a large donor.
+  std::vector<double> scaled(k);
+  for (int i = 0; i < k; ++i) scaled[i] = normalized_[i] * k;
+
+  std::vector<int> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int s = small.back();
+    small.pop_back();
+    int l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (int l : large) prob_[l] = 1.0;
+  for (int s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+int CategoricalSampler::Sample(Rng& rng) const {
+  int i = static_cast<int>(rng.UniformInt(prob_.size()));
+  return rng.UniformReal() < prob_[i] ? i : alias_[i];
+}
+
+double BinomialPmf(int i, int n, double p) {
+  LDPR_REQUIRE(n >= 0 && i >= 0, "BinomialPmf requires n, i >= 0");
+  if (i > n) return 0.0;
+  if (p <= 0.0) return i == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return i == n ? 1.0 : 0.0;
+  double log_pmf = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
+                   std::lgamma(n - i + 1.0) + i * std::log(p) +
+                   (n - i) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+std::vector<double> SampleDirichlet(int k, double alpha, Rng& rng) {
+  LDPR_REQUIRE(k >= 1 && alpha > 0.0,
+               "SampleDirichlet requires k >= 1 and alpha > 0");
+  std::vector<double> out(k);
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    out[i] = rng.Gamma(alpha);
+    sum += out[i];
+  }
+  if (sum <= 0.0) return std::vector<double>(k, 1.0 / k);
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+std::vector<double> ZipfDistribution(int k, double s) {
+  LDPR_REQUIRE(k >= 1 && s > 0.0, "ZipfDistribution requires k >= 1, s > 0");
+  std::vector<double> w(k);
+  for (int i = 0; i < k; ++i) w[i] = 1.0 / std::pow(i + 1.0, s);
+  return Normalize(w);
+}
+
+std::vector<double> ExponentialHistogram(int k, double lambda, int samples,
+                                         Rng& rng) {
+  LDPR_REQUIRE(k >= 1 && lambda > 0.0 && samples >= k,
+               "ExponentialHistogram requires k >= 1, lambda > 0, samples >= k");
+  std::vector<double> draws(samples);
+  double max_v = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    draws[i] = rng.Exponential(lambda);
+    max_v = std::max(max_v, draws[i]);
+  }
+  std::vector<double> hist(k, 0.0);
+  for (double v : draws) {
+    int b = std::min(k - 1, static_cast<int>(v / max_v * k));
+    hist[b] += 1.0;
+  }
+  // Guard against empty buckets so downstream samplers stay well-defined.
+  for (double& h : hist) h += 1e-9;
+  return Normalize(hist);
+}
+
+std::vector<double> ZipfHistogram(int k, double s, int samples, Rng& rng) {
+  LDPR_REQUIRE(k >= 1 && s > 0.0 && samples >= k,
+               "ZipfHistogram requires k >= 1, s > 0, samples >= k");
+  // Draw from a truncated Zipf over a large support, then re-bucket into k
+  // equal-width buckets, as the paper describes for the "Incorrect" priors.
+  const int support = std::max(10 * k, 1000);
+  CategoricalSampler zipf(ZipfDistribution(support, s));
+  std::vector<double> hist(k, 0.0);
+  for (int i = 0; i < samples; ++i) {
+    int v = zipf.Sample(rng);
+    int b = std::min(k - 1, v * k / support);
+    hist[b] += 1.0;
+  }
+  for (double& h : hist) h += 1e-9;
+  return Normalize(hist);
+}
+
+}  // namespace ldpr

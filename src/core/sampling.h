@@ -1,0 +1,65 @@
+#ifndef LDPR_CORE_SAMPLING_H_
+#define LDPR_CORE_SAMPLING_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr {
+
+/// O(1) sampler from a fixed discrete distribution (Walker's alias method).
+///
+/// Used everywhere a categorical value must be drawn from a non-uniform
+/// distribution: synthetic dataset generation, realistic fake data in
+/// RS+RFD, and synthetic-profile generation in the NK attack model.
+class CategoricalSampler {
+ public:
+  /// Builds the sampler from (possibly unnormalized) non-negative weights.
+  /// Requires at least one strictly positive weight.
+  explicit CategoricalSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to weights.
+  int Sample(Rng& rng) const;
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+  /// Normalized probability of index i (for tests and introspection).
+  double probability(int i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;       // alias-table acceptance probabilities
+  std::vector<int> alias_;         // alias targets
+  std::vector<double> normalized_; // normalized input distribution
+};
+
+/// Normalizes non-negative weights to a probability vector.
+/// Requires a strictly positive sum.
+std::vector<double> Normalize(const std::vector<double>& weights);
+
+/// Binomial probability mass Bin(i; n, p) = C(n, i) p^i (1-p)^(n-i),
+/// computed in log-space for numerical stability. Used by the closed-form
+/// attacker-accuracy expressions for UE protocols (Section 3.2.1).
+double BinomialPmf(int i, int n, double p);
+
+/// Samples a probability vector from Dirichlet(alpha, ..., alpha) of
+/// dimension k. alpha = 1 gives the "Incorrect DIR prior" of Section 5.2.
+std::vector<double> SampleDirichlet(int k, double alpha, Rng& rng);
+
+/// Zipf(s) distribution over k buckets: p_i proportional to 1/(i+1)^s.
+/// The paper's "Incorrect ZIPF prior" draws 100k Zipf samples and re-buckets;
+/// the closed form below is the large-sample limit of that histogram.
+std::vector<double> ZipfDistribution(int k, double s);
+
+/// Exponential(lambda) histogram over k buckets, built the way the paper
+/// describes: draw `samples` Exp(lambda) values and histogram them into k
+/// equal-width buckets over [0, max].
+std::vector<double> ExponentialHistogram(int k, double lambda, int samples,
+                                         Rng& rng);
+
+/// Zipf histogram built by sampling, mirroring the paper's procedure
+/// (100k samples re-bucketed into k buckets).
+std::vector<double> ZipfHistogram(int k, double s, int samples, Rng& rng);
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_SAMPLING_H_

@@ -1,0 +1,124 @@
+#include "core/stats.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr {
+
+Summary Summarize(const std::vector<double>& values) {
+  LDPR_REQUIRE(!values.empty(), "Summarize requires at least one value");
+  Summary out;
+  out.n = static_cast<long long>(values.size());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / out.n;
+  if (out.n > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.variance = sq / (out.n - 1);
+    out.stddev = std::sqrt(out.variance);
+    out.stderr_mean = out.stddev / std::sqrt(static_cast<double>(out.n));
+  }
+  return out;
+}
+
+Interval WilsonInterval(long long successes, long long trials, double z) {
+  LDPR_REQUIRE(trials >= 1, "WilsonInterval requires trials >= 1");
+  LDPR_REQUIRE(successes >= 0 && successes <= trials,
+               "successes must lie in [0, trials]");
+  LDPR_REQUIRE(z > 0, "z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Interval out;
+  out.lo = std::max(0.0, (center - margin) / denom);
+  out.hi = std::min(1.0, (center + margin) / denom);
+  return out;
+}
+
+double ChiSquareStatistic(const std::vector<long long>& observed,
+                          const std::vector<double>& expected_probs) {
+  LDPR_REQUIRE(observed.size() == expected_probs.size(),
+               "observed and expected must align");
+  LDPR_REQUIRE(observed.size() >= 2, "need at least two bins");
+  long long total = 0;
+  for (long long c : observed) {
+    LDPR_REQUIRE(c >= 0, "observed counts must be non-negative");
+    total += c;
+  }
+  LDPR_REQUIRE(total >= 1, "need at least one observation");
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    LDPR_REQUIRE(expected_probs[i] > 0, "expected probabilities must be > 0");
+    const double expected = expected_probs[i] * total;
+    const double diff = observed[i] - expected;
+    statistic += diff * diff / expected;
+  }
+  return statistic;
+}
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x) by series expansion
+/// (converges quickly for x < a + 1).
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (term < sum * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by Lentz's continued fraction
+/// (converges quickly for x >= a + 1).
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double ChiSquarePValue(double statistic, int dof) {
+  LDPR_REQUIRE(dof >= 1, "dof must be >= 1, got " << dof);
+  LDPR_REQUIRE(statistic >= 0, "statistic must be non-negative");
+  if (statistic == 0.0) return 1.0;
+  const double a = 0.5 * dof;
+  const double x = 0.5 * statistic;
+  // P-value = Q(a, x) = 1 - P(a, x).
+  if (x < a + 1.0) {
+    return 1.0 - GammaPSeries(a, x);
+  }
+  return GammaQContinuedFraction(a, x);
+}
+
+double GoodnessOfFitPValue(const std::vector<long long>& observed,
+                           const std::vector<double>& expected_probs) {
+  const double statistic = ChiSquareStatistic(observed, expected_probs);
+  return ChiSquarePValue(statistic, static_cast<int>(observed.size()) - 1);
+}
+
+}  // namespace ldpr

@@ -1,0 +1,52 @@
+#ifndef LDPR_CORE_STATS_H_
+#define LDPR_CORE_STATS_H_
+
+#include <vector>
+
+namespace ldpr {
+
+/// Summary statistics of a sample.
+struct Summary {
+  long long n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double stderr_mean = 0.0;  ///< stddev / sqrt(n)
+};
+
+/// Computes Summary over `values` (requires at least one element; variance
+/// terms are 0 for n = 1).
+Summary Summarize(const std::vector<double>& values);
+
+/// Wilson score interval for a binomial proportion: the [lo, hi] interval
+/// for the true success probability after observing `successes` out of
+/// `trials`, at normal quantile `z` (1.96 ~ 95%). Preferred over the normal
+/// approximation for the small success counts the attack benches produce.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Interval WilsonInterval(long long successes, long long trials,
+                        double z = 1.96);
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (which must sum to ~1; each expected count must be
+/// positive).
+double ChiSquareStatistic(const std::vector<long long>& observed,
+                          const std::vector<double>& expected_probs);
+
+/// Upper-tail p-value of the chi-square distribution with `dof` degrees of
+/// freedom: P[X >= statistic]. Implemented via the regularized incomplete
+/// gamma function (series + continued fraction), accurate to ~1e-10 over
+/// the ranges the tests use.
+double ChiSquarePValue(double statistic, int dof);
+
+/// Convenience: chi-square goodness-of-fit p-value of `observed` counts
+/// against `expected_probs` (dof = bins - 1).
+double GoodnessOfFitPValue(const std::vector<long long>& observed,
+                           const std::vector<double>& expected_probs);
+
+}  // namespace ldpr
+
+#endif  // LDPR_CORE_STATS_H_

@@ -1,0 +1,100 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace ldpr::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, delimiter)) {
+    // Trim surrounding whitespace.
+    std::size_t b = cell.find_first_not_of(" \t\r");
+    std::size_t e = cell.find_last_not_of(" \t\r");
+    cells.push_back(b == std::string::npos ? "" : cell.substr(b, e - b + 1));
+  }
+  return cells;
+}
+
+}  // namespace
+
+Dataset LoadCsv(const std::string& path, bool has_header, char delimiter) {
+  std::ifstream in(path);
+  LDPR_REQUIRE(in.good(), "cannot open CSV file: " << path);
+
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line, delimiter);
+    if (first && has_header) {
+      names = std::move(cells);
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(cells));
+  }
+  LDPR_REQUIRE(!rows.empty(), "CSV file has no data rows: " << path);
+
+  const std::size_t d = rows[0].size();
+  LDPR_REQUIRE(d >= 1, "CSV file has no columns: " << path);
+  for (const auto& r : rows) {
+    LDPR_REQUIRE(r.size() == d, "ragged CSV row in " << path << " (expected "
+                                                     << d << " cells, got "
+                                                     << r.size() << ")");
+  }
+
+  // Label-encode each column in order of first appearance.
+  std::vector<std::unordered_map<std::string, int>> encoders(d);
+  std::vector<std::vector<int>> encoded(rows.size(), std::vector<int>(d));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      auto [it, inserted] = encoders[j].try_emplace(
+          rows[i][j], static_cast<int>(encoders[j].size()));
+      (void)inserted;
+      encoded[i][j] = it->second;
+    }
+  }
+
+  std::vector<int> sizes(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    sizes[j] = static_cast<int>(encoders[j].size());
+    LDPR_REQUIRE(sizes[j] >= 2, "CSV column " << j
+                                              << " has fewer than 2 distinct "
+                                                 "values; not a usable attribute");
+  }
+
+  Dataset ds(sizes, names);
+  ds.Reserve(static_cast<int>(rows.size()));
+  for (const auto& rec : encoded) ds.AddRecord(rec);
+  return ds;
+}
+
+void SaveCsv(const Dataset& dataset, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  LDPR_REQUIRE(out.good(), "cannot open CSV file for writing: " << path);
+  for (int j = 0; j < dataset.d(); ++j) {
+    if (j > 0) out << delimiter;
+    out << dataset.attribute_name(j);
+  }
+  out << '\n';
+  for (int i = 0; i < dataset.n(); ++i) {
+    for (int j = 0; j < dataset.d(); ++j) {
+      if (j > 0) out << delimiter;
+      out << dataset.value(i, j);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace ldpr::data

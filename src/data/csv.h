@@ -1,0 +1,26 @@
+#ifndef LDPR_DATA_CSV_H_
+#define LDPR_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ldpr::data {
+
+/// Loads a categorical dataset from CSV.
+///
+/// Expected format: an optional header row of attribute names followed by one
+/// row per record. Cell values may be arbitrary strings; each column is
+/// label-encoded to [0, k_j) in order of first appearance. This is the hook
+/// for running the pipelines on the *real* Adult / ACSEmployment / Nursery
+/// files when they are available (see DESIGN.md, Substitutions).
+Dataset LoadCsv(const std::string& path, bool has_header = true,
+                char delimiter = ',');
+
+/// Writes a dataset as integer-coded CSV with a header row.
+void SaveCsv(const Dataset& dataset, const std::string& path,
+             char delimiter = ',');
+
+}  // namespace ldpr::data
+
+#endif  // LDPR_DATA_CSV_H_

@@ -1,0 +1,70 @@
+#include "data/longitudinal.h"
+
+#include "core/check.h"
+#include "core/sampling.h"
+
+namespace ldpr::data {
+
+std::vector<Dataset> GenerateLongitudinal(const Dataset& base,
+                                          const LongitudinalConfig& config) {
+  LDPR_REQUIRE(config.rounds >= 1, "rounds must be >= 1, got "
+                                       << config.rounds);
+  LDPR_REQUIRE(config.change_probability >= 0.0 &&
+                   config.change_probability <= 1.0,
+               "change_probability must lie in [0, 1], got "
+                   << config.change_probability);
+  LDPR_REQUIRE(base.n() >= 1, "base population must be non-empty");
+
+  Rng rng(config.seed);
+  // Resampling distributions: base marginals (stationary) or uniform
+  // (population shift toward uniform).
+  std::vector<CategoricalSampler> samplers;
+  samplers.reserve(base.d());
+  if (config.drift == DriftKind::kStationary) {
+    for (const auto& marginal : base.Marginals()) {
+      samplers.emplace_back(marginal);
+    }
+  } else {
+    for (int k : base.domain_sizes()) {
+      samplers.emplace_back(std::vector<double>(k, 1.0 / k));
+    }
+  }
+
+  std::vector<Dataset> rounds;
+  rounds.reserve(config.rounds);
+  rounds.push_back(base);
+  for (int t = 1; t < config.rounds; ++t) {
+    const Dataset& previous = rounds.back();
+    Dataset next(previous.domain_sizes());
+    next.Reserve(previous.n());
+    std::vector<int> record(previous.d());
+    for (int i = 0; i < previous.n(); ++i) {
+      for (int j = 0; j < previous.d(); ++j) {
+        record[j] = rng.Bernoulli(config.change_probability)
+                        ? samplers[j].Sample(rng)
+                        : previous.value(i, j);
+      }
+      next.AddRecord(record);
+    }
+    rounds.push_back(std::move(next));
+  }
+  return rounds;
+}
+
+double CellChangeFraction(const Dataset& a, const Dataset& b) {
+  LDPR_REQUIRE(a.n() == b.n() && a.d() == b.d(),
+               "datasets must have identical shape");
+  LDPR_REQUIRE(a.n() >= 1, "datasets must be non-empty");
+  long long changed = 0;
+  for (int j = 0; j < a.d(); ++j) {
+    const std::vector<int>& col_a = a.Column(j);
+    const std::vector<int>& col_b = b.Column(j);
+    for (int i = 0; i < a.n(); ++i) {
+      if (col_a[i] != col_b[i]) ++changed;
+    }
+  }
+  return static_cast<double>(changed) /
+         (static_cast<double>(a.n()) * a.d());
+}
+
+}  // namespace ldpr::data

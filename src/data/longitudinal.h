@@ -1,0 +1,58 @@
+#ifndef LDPR_DATA_LONGITUDINAL_H_
+#define LDPR_DATA_LONGITUDINAL_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace ldpr::data {
+
+/// Longitudinal population model: per-round snapshots of a base population
+/// whose cell values drift over time.
+///
+/// The paper's Section 6 recommends memoization for repeated collections,
+/// and the memoization client (multidim/memoization) documents its caveat:
+/// cached reports assume the underlying value is static. This generator
+/// supplies the missing experimental substrate — a population whose values
+/// change with a controlled per-round probability — so the utility cost of
+/// stale memoized reports can be measured against the privacy gain
+/// (bench fw06_memoization_drift).
+///
+/// Drift process per user, attribute and round: with probability
+/// `change_probability` the value is resampled, otherwise carried over.
+/// Rounds are generated sequentially, so round t drifts from round t-1.
+/// Two resampling regimes:
+///
+///   kStationary   resample from the attribute's *base marginal* — churn at
+///                 the individual level, stable population distribution
+///                 (frozen reports stay unbiased population-wise);
+///   kUniformShift resample uniformly over the domain — the population
+///                 distribution migrates toward uniform, so stale reports
+///                 bias the estimates (the regime where memoization's
+///                 staleness caveat actually bites).
+enum class DriftKind {
+  kStationary,
+  kUniformShift,
+};
+
+struct LongitudinalConfig {
+  int rounds = 12;                  ///< number of snapshots (>= 1)
+  double change_probability = 0.1;  ///< per cell per round, in [0, 1]
+  DriftKind drift = DriftKind::kStationary;
+  std::uint64_t seed = 1;
+};
+
+/// Per-round snapshots; result[0] is a copy of `base`.
+std::vector<Dataset> GenerateLongitudinal(const Dataset& base,
+                                          const LongitudinalConfig& config);
+
+/// Fraction of cells that differ between two equally-shaped datasets
+/// (diagnostic for the drift process: expected value after t rounds from a
+/// start snapshot is bounded by 1 - (1 - p)^t, with equality when resampling
+/// never reproduces the old value).
+double CellChangeFraction(const Dataset& a, const Dataset& b);
+
+}  // namespace ldpr::data
+
+#endif  // LDPR_DATA_LONGITUDINAL_H_

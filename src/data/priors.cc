@@ -1,0 +1,95 @@
+#include "data/priors.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/sampling.h"
+
+namespace ldpr::data {
+
+const char* PriorKindName(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kCorrectLaplace:
+      return "Correct";
+    case PriorKind::kIncorrectDirichlet:
+      return "Incorrect-DIR";
+    case PriorKind::kIncorrectZipf:
+      return "Incorrect-ZIPF";
+    case PriorKind::kIncorrectExponential:
+      return "Incorrect-EXP";
+    case PriorKind::kUniform:
+      return "Uniform";
+    case PriorKind::kTrueMarginals:
+      return "True";
+  }
+  return "unknown";
+}
+
+std::vector<double> LaplacePerturbedHistogram(const std::vector<double>& truth,
+                                              int n, double eps, Rng& rng) {
+  LDPR_REQUIRE(n >= 1 && eps > 0.0,
+               "LaplacePerturbedHistogram requires n >= 1 and eps > 0");
+  // A normalized histogram over n records has L1 sensitivity 2/n (one record
+  // change moves 1/n of mass between two bins), so the Laplace scale is
+  // 2 / (n * eps).
+  const double scale = 2.0 / (static_cast<double>(n) * eps);
+  std::vector<double> noisy(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    noisy[i] = std::max(0.0, truth[i] + rng.Laplace(scale));
+  }
+  double sum = 0.0;
+  for (double v : noisy) sum += v;
+  if (sum <= 0.0) return std::vector<double>(truth.size(), 1.0 / truth.size());
+  for (double& v : noisy) v /= sum;
+  return noisy;
+}
+
+std::vector<std::vector<double>> BuildPriors(const Dataset& dataset,
+                                             PriorKind kind, Rng& rng,
+                                             double total_central_eps,
+                                             int prior_n) {
+  const int d = dataset.d();
+  std::vector<std::vector<double>> priors(d);
+  constexpr int kHistogramSamples = 100000;  // paper: "one hundred thousand"
+  switch (kind) {
+    case PriorKind::kCorrectLaplace: {
+      const double per_attribute_eps = total_central_eps / d;
+      const int n = prior_n > 0 ? prior_n : dataset.n();
+      const auto truth = dataset.Marginals();
+      for (int j = 0; j < d; ++j) {
+        priors[j] =
+            LaplacePerturbedHistogram(truth[j], n, per_attribute_eps, rng);
+      }
+      break;
+    }
+    case PriorKind::kIncorrectDirichlet:
+      for (int j = 0; j < d; ++j) {
+        priors[j] = SampleDirichlet(dataset.domain_size(j), 1.0, rng);
+      }
+      break;
+    case PriorKind::kIncorrectZipf:
+      for (int j = 0; j < d; ++j) {
+        priors[j] =
+            ZipfHistogram(dataset.domain_size(j), 1.01, kHistogramSamples, rng);
+      }
+      break;
+    case PriorKind::kIncorrectExponential:
+      for (int j = 0; j < d; ++j) {
+        priors[j] = ExponentialHistogram(dataset.domain_size(j), 1.0,
+                                         kHistogramSamples, rng);
+      }
+      break;
+    case PriorKind::kUniform:
+      for (int j = 0; j < d; ++j) {
+        priors[j].assign(dataset.domain_size(j),
+                         1.0 / dataset.domain_size(j));
+      }
+      break;
+    case PriorKind::kTrueMarginals:
+      priors = dataset.Marginals();
+      break;
+  }
+  return priors;
+}
+
+}  // namespace ldpr::data

@@ -1,0 +1,57 @@
+#ifndef LDPR_DATA_PRIORS_H_
+#define LDPR_DATA_PRIORS_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace ldpr::data {
+
+/// Prior-distribution families used by the RS+RFD countermeasure
+/// (Section 5.2.1 and Appendix E).
+enum class PriorKind {
+  /// "Correct": the true per-attribute marginals perturbed with the central-DP
+  /// Laplace mechanism at eps = 0.1/d per attribute.
+  kCorrectLaplace,
+  /// "Incorrect": one Dirichlet(1) draw per attribute.
+  kIncorrectDirichlet,
+  /// "Incorrect": Zipf(1.01) histogram (100k samples re-bucketed).
+  kIncorrectZipf,
+  /// "Incorrect": Exponential(1) histogram (100k samples re-bucketed).
+  kIncorrectExponential,
+  /// Uniform prior; with this, RS+RFD degenerates to RS+FD exactly.
+  kUniform,
+  /// The exact true marginals — the noiseless limit of kCorrectLaplace,
+  /// modeling perfect domain-expert knowledge. Useful as the best case of
+  /// the countermeasure and in tests.
+  kTrueMarginals,
+};
+
+const char* PriorKindName(PriorKind kind);
+
+/// Builds one prior distribution per attribute, per the paper's recipes.
+///
+/// For kCorrectLaplace, `dataset` supplies the true marginals; the per-
+/// attribute budget is `total_central_eps / d` with sensitivity 2/n for a
+/// normalized histogram (the paper uses total eps = 0.1). For the other
+/// kinds the dataset only supplies (d, k).
+///
+/// `prior_n` is the population size behind the released statistics (e.g.
+/// national Census counts); it controls the Laplace scale 2/(prior_n * eps).
+/// Pass 0 to use dataset.n(). Keeping prior_n at the full census size while
+/// simulating a smaller sample mirrors the paper's setting, where priors are
+/// published national statistics rather than sample-derived ones.
+std::vector<std::vector<double>> BuildPriors(const Dataset& dataset,
+                                             PriorKind kind, Rng& rng,
+                                             double total_central_eps = 0.1,
+                                             int prior_n = 0);
+
+/// Laplace-perturbed normalized histogram: adds Lap(2/(n*eps)) to every bin,
+/// clamps at zero and re-normalizes. This is the paper's "Correct" prior.
+std::vector<double> LaplacePerturbedHistogram(const std::vector<double>& truth,
+                                              int n, double eps, Rng& rng);
+
+}  // namespace ldpr::data
+
+#endif  // LDPR_DATA_PRIORS_H_

@@ -1,0 +1,42 @@
+#ifndef LDPR_FO_ANALYTIC_ACC_H_
+#define LDPR_FO_ANALYTIC_ACC_H_
+
+#include <vector>
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::fo {
+
+/// Closed-form expected single-report attacker accuracy (Section 3.2.1),
+/// as a probability in [0, 1]:
+///
+///   GRR:  e^eps / (e^eps + k - 1)
+///   OLH:  1 / (2 max(k / (e^eps + 1), 1))
+///   SS:   (e^eps + 1) / (2k), clamped by the exact omega = 1 value
+///         e^eps / (e^eps + k - 1) when k <= e^eps + 1
+///   SUE/OUE: p * sum_{i=1..k} (1/i) Bin(i-1; k-1, q)
+///            + (1-p) (1-q)^{k-1} / k
+///
+/// The UE expression covers both SUE and OUE by plugging the protocol's
+/// (p, q); it is the paper's formula with the Bayes-adversary expectation
+/// of Gursoy et al. made explicit.
+double ExpectedAttackAcc(Protocol protocol, double epsilon, int k);
+
+/// Generic UE attacker accuracy for arbitrary bit-flip probabilities.
+double ExpectedUeAttackAcc(double p, double q, int k);
+
+/// Expected accuracy of profiling a user across d surveys with the *uniform*
+/// privacy metric (sampling without replacement; Eq. 4):
+///   ACC_U = prod_j ACC(eps, k_j).
+double ExpectedAccUniform(Protocol protocol, double epsilon,
+                          const std::vector<int>& domain_sizes);
+
+/// Expected accuracy with the *non-uniform* privacy metric (sampling with
+/// replacement + memoization; Eq. 5):
+///   ACC_NU = prod_j ((d + 1 - j)/d) ACC(eps, k_j).
+double ExpectedAccNonUniform(Protocol protocol, double epsilon,
+                             const std::vector<int>& domain_sizes);
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_ANALYTIC_ACC_H_

@@ -1,0 +1,139 @@
+#include "fo/comm_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "fo/factory.h"
+#include "fo/olh.h"
+#include "fo/ss.h"
+
+namespace ldpr::fo {
+
+namespace {
+
+int CeilLog2(long long n) {
+  LDPR_REQUIRE(n >= 1, "CeilLog2 requires n >= 1, got " << n);
+  int bits = 0;
+  long long capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+double ReportBits(Protocol protocol, int k, double epsilon,
+                  const CommCostModel& model) {
+  LDPR_REQUIRE(k >= 2, "domain size must be >= 2, got " << k);
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  switch (protocol) {
+    case Protocol::kGrr:
+      return CeilLog2(k);
+    case Protocol::kOlh: {
+      Olh olh(k, epsilon);
+      return model.olh_seed_bits + CeilLog2(olh.g());
+    }
+    case Protocol::kSs: {
+      Ss ss(k, epsilon);
+      return static_cast<double>(ss.omega()) * CeilLog2(k);
+    }
+    case Protocol::kSue:
+    case Protocol::kOue:
+      return k;
+  }
+  LDPR_CHECK(false, "unreachable protocol");
+}
+
+double MeasuredReportBits(Protocol protocol, const Report& report, int k,
+                          const CommCostModel& model) {
+  LDPR_REQUIRE(k >= 2, "domain size must be >= 2, got " << k);
+  switch (protocol) {
+    case Protocol::kGrr:
+      return CeilLog2(k);
+    case Protocol::kOlh: {
+      // The hashed value lives in [0, g); recover g's bit width from the
+      // report: the value itself bounds it from below, but the wire format
+      // is fixed by the protocol parameters, so callers should prefer
+      // ReportBits. Here we charge the seed plus the value's fixed width
+      // for the smallest g consistent with the payload.
+      long long g_lower = std::max<long long>(2, report.value + 1);
+      return model.olh_seed_bits + CeilLog2(g_lower);
+    }
+    case Protocol::kSs:
+      return static_cast<double>(report.subset.size()) * CeilLog2(k);
+    case Protocol::kSue:
+    case Protocol::kOue:
+      return static_cast<double>(report.bits.size());
+  }
+  LDPR_CHECK(false, "unreachable protocol");
+}
+
+double SplTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                    double epsilon, const CommCostModel& model) {
+  LDPR_REQUIRE(!domain_sizes.empty(), "domain_sizes must be non-empty");
+  const int d = static_cast<int>(domain_sizes.size());
+  double total = 0.0;
+  for (int k : domain_sizes) total += ReportBits(protocol, k, epsilon / d, model);
+  return total;
+}
+
+double SmpTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                    double epsilon, const CommCostModel& model) {
+  LDPR_REQUIRE(!domain_sizes.empty(), "domain_sizes must be non-empty");
+  const int d = static_cast<int>(domain_sizes.size());
+  double mean = 0.0;
+  for (int k : domain_sizes) mean += ReportBits(protocol, k, epsilon, model);
+  mean /= d;
+  return CeilLog2(std::max(d, 2)) + mean;
+}
+
+double RsFdTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                     double epsilon, const CommCostModel& model) {
+  LDPR_REQUIRE(!domain_sizes.empty(), "domain_sizes must be non-empty");
+  const int d = static_cast<int>(domain_sizes.size());
+  const double amplified =
+      std::log(static_cast<double>(d) * (std::exp(epsilon) - 1.0) + 1.0);
+  double total = 0.0;
+  for (int k : domain_sizes) total += ReportBits(protocol, k, amplified, model);
+  return total;
+}
+
+std::vector<CostUtilityPoint> CostUtilityFrontier(int k, double epsilon,
+                                                  const CommCostModel& model) {
+  std::vector<CostUtilityPoint> points;
+  points.reserve(5);
+  for (Protocol protocol : AllProtocols()) {
+    auto oracle = MakeOracle(protocol, k, epsilon);
+    CostUtilityPoint point;
+    point.protocol = protocol;
+    point.bits_per_report = ReportBits(protocol, k, epsilon, model);
+    point.variance = oracle->EstimatorVariance(/*n=*/1, /*f=*/0.0);
+    points.push_back(point);
+  }
+  return points;
+}
+
+Protocol RecommendProtocol(int k, double epsilon, double slack,
+                           const CommCostModel& model) {
+  LDPR_REQUIRE(slack >= 1.0, "slack must be >= 1, got " << slack);
+  std::vector<CostUtilityPoint> points = CostUtilityFrontier(k, epsilon, model);
+  double best_variance = std::numeric_limits<double>::infinity();
+  for (const CostUtilityPoint& point : points)
+    best_variance = std::min(best_variance, point.variance);
+  Protocol best = Protocol::kOue;
+  double best_bits = std::numeric_limits<double>::infinity();
+  for (const CostUtilityPoint& point : points) {
+    if (point.variance <= slack * best_variance &&
+        point.bits_per_report < best_bits) {
+      best_bits = point.bits_per_report;
+      best = point.protocol;
+    }
+  }
+  return best;
+}
+
+}  // namespace ldpr::fo

@@ -1,0 +1,82 @@
+#ifndef LDPR_FO_COMM_COST_H_
+#define LDPR_FO_COMM_COST_H_
+
+#include <vector>
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::fo {
+
+/// Communication-cost model for the five frequency oracles.
+///
+/// Section 6 of the paper recommends "the OUE and/or OLH protocols
+/// (depending on k_j due to communication costs [50])". This module makes
+/// that trade-off quantitative: the expected number of bits one sanitized
+/// report occupies on the wire, following the encodings of Wang et al.
+/// (USENIX Security '17):
+///
+///   GRR : ceil(log2 k)                 one categorical value
+///   OLH : 64 + ceil(log2 g)            hash-function index + hashed value
+///   SS  : omega * ceil(log2 k)         the reported subset Omega
+///   SUE : k                            one bit per domain value
+///   OUE : k                            one bit per domain value
+///
+/// The OLH hash index is modelled at 64 bits (the seed of a universal hash
+/// family member); deployments that derive the seed from the user id pay
+/// ceil(log2 g) only, which `kOlhSharedSeed` models.
+struct CommCostModel {
+  /// Bits charged for the OLH hash-function index (default: a full seed).
+  int olh_seed_bits = 64;
+};
+
+/// Expected size in bits of one report of `protocol` on a domain of size k
+/// at privacy budget epsilon. For SS the subset size omega is the optimal
+/// omega(k, epsilon); for OLH, g = round(e^eps) + 1.
+double ReportBits(Protocol protocol, int k, double epsilon,
+                  const CommCostModel& model = {});
+
+/// Expected size in bits of one *measured* report (exact for the encodings
+/// above; provided so tests can cross-check the closed form against real
+/// Report payloads).
+double MeasuredReportBits(Protocol protocol, const Report& report, int k,
+                          const CommCostModel& model = {});
+
+/// Multidimensional solutions (Section 2.3): expected bits each user uploads
+/// per collection round.
+///
+///   SPL   : sum_j ReportBits(protocol, k_j, eps/d)
+///   SMP   : ceil(log2 d) + ReportBits(protocol, k_j, eps) averaged over j
+///   RS+FD : sum_j ReportBits(protocol, k_j, eps') with eps'=ln(d(e^eps-1)+1)
+///
+/// RS+FD fake values are drawn from the same output space as real reports,
+/// so they cost the same number of bits; SMP additionally discloses the
+/// sampled attribute index.
+double SplTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                    double epsilon, const CommCostModel& model = {});
+double SmpTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                    double epsilon, const CommCostModel& model = {});
+double RsFdTupleBits(Protocol protocol, const std::vector<int>& domain_sizes,
+                     double epsilon, const CommCostModel& model = {});
+
+/// Utility-versus-communication summary for one oracle configuration:
+/// approximate estimator variance (at f = 0) against bits per report.
+struct CostUtilityPoint {
+  Protocol protocol;
+  double bits_per_report = 0.0;
+  double variance = 0.0;  ///< Eq. 2 variance at f = 0 for n = 1 (scale by 1/n)
+};
+
+/// Evaluates all five oracles at (k, epsilon); used by the cost/utility
+/// frontier bench (abl05).
+std::vector<CostUtilityPoint> CostUtilityFrontier(
+    int k, double epsilon, const CommCostModel& model = {});
+
+/// The cheapest protocol (in bits) whose variance is within `slack` (a
+/// multiplicative factor >= 1) of the best variance at (k, epsilon). This is
+/// the paper's "OUE and/or OLH depending on k_j" rule made explicit.
+Protocol RecommendProtocol(int k, double epsilon, double slack = 1.05,
+                           const CommCostModel& model = {});
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_COMM_COST_H_

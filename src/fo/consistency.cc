@@ -1,0 +1,87 @@
+#include "fo/consistency.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/histogram.h"
+
+namespace ldpr::fo {
+
+const char* ConsistencyMethodName(ConsistencyMethod method) {
+  switch (method) {
+    case ConsistencyMethod::kClampRenorm:
+      return "ClampRenorm";
+    case ConsistencyMethod::kNormSub:
+      return "NormSub";
+    case ConsistencyMethod::kBaseCut:
+      return "BaseCut";
+  }
+  return "unknown";
+}
+
+std::vector<double> NormSub(const std::vector<double>& estimate) {
+  LDPR_REQUIRE(!estimate.empty(), "NormSub requires a non-empty estimate");
+  // Sort descending; find the largest m such that adding
+  // delta = (1 - sum of top-m) / m keeps all top-m entries positive; zero
+  // the rest. This is the exact L2 projection onto the simplex.
+  const int k = static_cast<int>(estimate.size());
+  std::vector<double> sorted = estimate;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  double prefix = 0.0;
+  double delta = 0.0;
+  int m = 0;
+  for (int i = 0; i < k; ++i) {
+    prefix += sorted[i];
+    const double candidate = (1.0 - prefix) / (i + 1);
+    if (sorted[i] + candidate > 0.0) {
+      delta = candidate;
+      m = i + 1;
+    } else {
+      break;
+    }
+  }
+  LDPR_CHECK(m >= 1, "NormSub found no positive support");
+
+  const double cut = sorted[m - 1];  // smallest kept value
+  std::vector<double> out(k, 0.0);
+  // Keep every entry >= cut (ties handled by keeping exactly m entries).
+  int kept = 0;
+  for (int v = 0; v < k; ++v) {
+    if (estimate[v] >= cut && kept < m) {
+      out[v] = estimate[v] + delta;
+      ++kept;
+    }
+  }
+  LDPR_CHECK(kept == m, "NormSub support selection mismatch");
+  return out;
+}
+
+std::vector<double> MakeConsistent(const std::vector<double>& estimate,
+                                   ConsistencyMethod method,
+                                   double threshold) {
+  LDPR_REQUIRE(!estimate.empty(), "MakeConsistent requires a non-empty input");
+  switch (method) {
+    case ConsistencyMethod::kClampRenorm:
+      return ProjectToSimplex(estimate);
+    case ConsistencyMethod::kNormSub:
+      return NormSub(estimate);
+    case ConsistencyMethod::kBaseCut: {
+      std::vector<double> out(estimate.size(), 0.0);
+      double sum = 0.0;
+      for (std::size_t v = 0; v < estimate.size(); ++v) {
+        if (estimate[v] > threshold) {
+          out[v] = estimate[v];
+          sum += estimate[v];
+        }
+      }
+      if (sum <= 0.0) return ProjectToSimplex(estimate);
+      for (double& x : out) x /= sum;
+      return out;
+    }
+  }
+  LDPR_CHECK(false, "unhandled consistency method");
+}
+
+}  // namespace ldpr::fo

@@ -1,0 +1,40 @@
+#ifndef LDPR_FO_CONSISTENCY_H_
+#define LDPR_FO_CONSISTENCY_H_
+
+#include <vector>
+
+namespace ldpr::fo {
+
+/// Post-processing methods that make raw LDP frequency estimates consistent
+/// (non-negative, summing to one) without breaking DP — DP is immune to
+/// post-processing (Section 2.1). Implemented after Wang et al., "Locally
+/// Differentially Private Frequency Estimation with Consistency" (NDSS'20),
+/// which the paper cites as part of the frequency-oracle substrate.
+enum class ConsistencyMethod {
+  /// Clamp to [0, 1] and rescale (the simple baseline).
+  kClampRenorm,
+  /// Norm-Sub: iteratively zero out negatives and shift the remaining
+  /// positives by a common additive term so the total is 1. Minimizes the
+  /// L2 distance to the simplex and is the method NDSS'20 recommends for
+  /// general distributions.
+  kNormSub,
+  /// Base-Cut: keep only estimates above the noise threshold and renormalize
+  /// (recommended when only the heavy hitters matter).
+  kBaseCut,
+};
+
+const char* ConsistencyMethodName(ConsistencyMethod method);
+
+/// Applies the chosen method to a raw estimate. For kBaseCut, `threshold`
+/// is the cut level (estimates <= threshold are dropped); it is ignored by
+/// the other methods.
+std::vector<double> MakeConsistent(const std::vector<double>& estimate,
+                                   ConsistencyMethod method,
+                                   double threshold = 0.0);
+
+/// Norm-Sub exposed directly: projects onto the probability simplex in L2.
+std::vector<double> NormSub(const std::vector<double>& estimate);
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_CONSISTENCY_H_

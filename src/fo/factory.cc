@@ -1,0 +1,28 @@
+#include "fo/factory.h"
+
+#include "core/check.h"
+#include "fo/grr.h"
+#include "fo/olh.h"
+#include "fo/ss.h"
+#include "fo/unary_encoding.h"
+
+namespace ldpr::fo {
+
+std::unique_ptr<FrequencyOracle> MakeOracle(Protocol protocol, int k,
+                                            double epsilon) {
+  switch (protocol) {
+    case Protocol::kGrr:
+      return std::make_unique<Grr>(k, epsilon);
+    case Protocol::kOlh:
+      return std::make_unique<Olh>(k, epsilon);
+    case Protocol::kSs:
+      return std::make_unique<Ss>(k, epsilon);
+    case Protocol::kSue:
+      return std::make_unique<Sue>(k, epsilon);
+    case Protocol::kOue:
+      return std::make_unique<Oue>(k, epsilon);
+  }
+  LDPR_CHECK(false, "unhandled protocol enum value");
+}
+
+}  // namespace ldpr::fo

@@ -1,0 +1,16 @@
+#ifndef LDPR_FO_FACTORY_H_
+#define LDPR_FO_FACTORY_H_
+
+#include <memory>
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::fo {
+
+/// Instantiates the requested protocol for domain size k and budget epsilon.
+std::unique_ptr<FrequencyOracle> MakeOracle(Protocol protocol, int k,
+                                            double epsilon);
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_FACTORY_H_

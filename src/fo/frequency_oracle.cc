@@ -1,0 +1,76 @@
+#include "fo/frequency_oracle.h"
+
+#include "core/check.h"
+
+namespace ldpr::fo {
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kGrr:
+      return "GRR";
+    case Protocol::kOlh:
+      return "OLH";
+    case Protocol::kSs:
+      return "SS";
+    case Protocol::kSue:
+      return "SUE";
+    case Protocol::kOue:
+      return "OUE";
+  }
+  return "unknown";
+}
+
+std::vector<Protocol> AllProtocols() {
+  return {Protocol::kGrr, Protocol::kOlh, Protocol::kSs, Protocol::kSue,
+          Protocol::kOue};
+}
+
+FrequencyOracle::FrequencyOracle(int k, double epsilon)
+    : k_(k), epsilon_(epsilon) {
+  LDPR_REQUIRE(k >= 2, "frequency oracle requires domain size k >= 2, got "
+                           << k);
+  LDPR_REQUIRE(epsilon > 0.0, "frequency oracle requires epsilon > 0, got "
+                                  << epsilon);
+}
+
+void FrequencyOracle::SetProbabilities(double p, double q) {
+  LDPR_CHECK(p > q && q >= 0.0 && p <= 1.0,
+             "protocol probabilities must satisfy 0 <= q < p <= 1, got p=" << p
+                                                                           << " q="
+                                                                           << q);
+  p_ = p;
+  q_ = q;
+}
+
+std::vector<double> FrequencyOracle::EstimateFromCounts(
+    const std::vector<long long>& counts, long long n) const {
+  LDPR_REQUIRE(static_cast<int>(counts.size()) == k_,
+               "counts has size " << counts.size() << ", expected k=" << k_);
+  LDPR_REQUIRE(n >= 1, "EstimateFromCounts requires n >= 1");
+  std::vector<double> est(k_);
+  const double denom = p_ - q_;
+  for (int v = 0; v < k_; ++v) {
+    est[v] = (static_cast<double>(counts[v]) / n - q_) / denom;
+  }
+  return est;
+}
+
+std::vector<double> FrequencyOracle::EstimateFrequencies(
+    const std::vector<int>& values, Rng& rng) const {
+  LDPR_REQUIRE(!values.empty(), "EstimateFrequencies requires >= 1 value");
+  std::vector<long long> counts(k_, 0);
+  for (int v : values) {
+    Report r = Randomize(v, rng);
+    AccumulateSupport(r, &counts);
+  }
+  return EstimateFromCounts(counts, static_cast<long long>(values.size()));
+}
+
+double FrequencyOracle::EstimatorVariance(long long n, double f) const {
+  LDPR_REQUIRE(n >= 1, "EstimatorVariance requires n >= 1");
+  const double denom = p_ - q_;
+  return q_ * (1.0 - q_) / (n * denom * denom) +
+         f * (1.0 - p_ - q_) / (n * denom);
+}
+
+}  // namespace ldpr::fo

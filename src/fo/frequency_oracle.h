@@ -1,0 +1,106 @@
+#ifndef LDPR_FO_FREQUENCY_ORACLE_H_
+#define LDPR_FO_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr::fo {
+
+/// The five LDP frequency-estimation protocols studied by the paper
+/// (Section 2.2).
+enum class Protocol {
+  kGrr,  ///< Generalized Randomized Response
+  kOlh,  ///< Optimal Local Hashing
+  kSs,   ///< omega-Subset Selection
+  kSue,  ///< Symmetric Unary Encoding (Basic One-time RAPPOR)
+  kOue,  ///< Optimal Unary Encoding
+};
+
+/// Short display name ("GRR", "OLH", "SS", "SUE", "OUE").
+const char* ProtocolName(Protocol protocol);
+
+/// All five protocols, in the paper's order.
+std::vector<Protocol> AllProtocols();
+
+/// One sanitized user report. Protocols use different encodings, so the
+/// struct carries one field per encoding; only the fields relevant to the
+/// emitting protocol are populated.
+struct Report {
+  /// GRR: the perturbed value in [0, k). OLH: the perturbed *hashed* value
+  /// in [0, g).
+  int value = -1;
+  /// OLH only: index of the hash function drawn from the universal family.
+  std::uint64_t hash_seed = 0;
+  /// SS only: the reported subset Omega (distinct values in [0, k)).
+  std::vector<int> subset;
+  /// SUE/OUE only: the sanitized unary-encoded vector of length k.
+  std::vector<std::uint8_t> bits;
+};
+
+/// Interface for a local frequency-estimation protocol ("frequency oracle").
+///
+/// Each implementation provides the client-side randomizer, the server-side
+/// unbiased estimator of Section 2.2 (Eq. 2 with protocol-specific p and q),
+/// and the single-report "plausible deniability" adversary of Section 3.2.1.
+class FrequencyOracle {
+ public:
+  /// `k` is the attribute domain size (>= 2); `epsilon` the LDP budget (> 0).
+  FrequencyOracle(int k, double epsilon);
+  virtual ~FrequencyOracle() = default;
+
+  FrequencyOracle(const FrequencyOracle&) = delete;
+  FrequencyOracle& operator=(const FrequencyOracle&) = delete;
+
+  /// Client side: sanitizes the true value (in [0, k)) into a report.
+  virtual Report Randomize(int value, Rng& rng) const = 0;
+
+  /// Server side: adds the report's support to `counts` (size k). A value v
+  /// is "supported" when the report is consistent with v under the protocol's
+  /// encoding (equality for GRR, hash match for OLH, subset membership for
+  /// SS, set bit for UE).
+  virtual void AccumulateSupport(const Report& report,
+                                 std::vector<long long>* counts) const = 0;
+
+  /// Adversary of Section 3.2.1: predicts the user's true value from one
+  /// report. Ties are broken uniformly at random.
+  virtual int AttackPredict(const Report& report, Rng& rng) const = 0;
+
+  /// Unbiased frequency estimate from support counts over n reports:
+  /// fhat(v) = (C(v)/n - q) / (p - q)  (Eq. 2).
+  std::vector<double> EstimateFromCounts(const std::vector<long long>& counts,
+                                         long long n) const;
+
+  /// Convenience: randomize every value, then estimate.
+  std::vector<double> EstimateFrequencies(const std::vector<int>& values,
+                                          Rng& rng) const;
+
+  /// Per-estimate variance of Eq. 2 at true frequency f (Wang et al. 2017):
+  /// Var = q(1-q) / (n (p-q)^2) + f (1 - p - q) / (n (p - q)).
+  double EstimatorVariance(long long n, double f = 0.0) const;
+
+  virtual Protocol protocol() const = 0;
+
+  int k() const { return k_; }
+  double epsilon() const { return epsilon_; }
+  /// Probability that the "true" position is reported/supported.
+  double p() const { return p_; }
+  /// Probability that any other fixed position is reported/supported.
+  double q() const { return q_; }
+
+ protected:
+  void SetProbabilities(double p, double q);
+
+ private:
+  int k_;
+  double epsilon_;
+  double p_ = 0.0;
+  double q_ = 0.0;
+};
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_FREQUENCY_ORACLE_H_

@@ -1,0 +1,44 @@
+#include "fo/grr.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::fo {
+
+Grr::Grr(int k, double epsilon) : FrequencyOracle(k, epsilon) {
+  const double e = std::exp(epsilon);
+  SetProbabilities(e / (e + k - 1), 1.0 / (e + k - 1));
+}
+
+int Grr::Perturb(int value, int k, double eps, Rng& rng) {
+  LDPR_REQUIRE(k >= 2 && eps > 0.0, "GRR perturb requires k >= 2, eps > 0");
+  LDPR_REQUIRE(value >= 0 && value < k,
+               "value " << value << " outside [0, " << k << ")");
+  const double e = std::exp(eps);
+  const double p = e / (e + k - 1);
+  if (rng.Bernoulli(p)) return value;
+  // Uniform over the k-1 other values.
+  int other = static_cast<int>(rng.UniformInt(k - 1));
+  return other >= value ? other + 1 : other;
+}
+
+Report Grr::Randomize(int value, Rng& rng) const {
+  Report r;
+  r.value = Perturb(value, k(), epsilon(), rng);
+  return r;
+}
+
+void Grr::AccumulateSupport(const Report& report,
+                            std::vector<long long>* counts) const {
+  LDPR_REQUIRE(report.value >= 0 && report.value < k(),
+               "GRR report value out of range");
+  ++(*counts)[report.value];
+}
+
+int Grr::AttackPredict(const Report& report, Rng& /*rng*/) const {
+  // The reported value is the single most likely true value (prob. p > q).
+  return report.value;
+}
+
+}  // namespace ldpr::fo

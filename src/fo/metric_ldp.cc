@@ -1,0 +1,145 @@
+#include "fo/metric_ldp.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/histogram.h"
+
+namespace ldpr::fo {
+
+namespace {
+
+/// Inverts a dense k x k matrix (row-major) by Gauss-Jordan elimination with
+/// partial pivoting. The metric-LDP transition matrix is strictly diagonally
+/// dominant after normalization for every eps > 0, so this is well-posed at
+/// the domain sizes the library targets (k up to a few hundred).
+std::vector<double> InvertMatrix(std::vector<double> a, int k) {
+  std::vector<double> inv(static_cast<std::size_t>(k) * k, 0.0);
+  for (int i = 0; i < k; ++i) inv[i * k + i] = 1.0;
+
+  for (int col = 0; col < k; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < k; ++r) {
+      if (std::abs(a[r * k + col]) > std::abs(a[pivot * k + col])) pivot = r;
+    }
+    LDPR_CHECK(std::abs(a[pivot * k + col]) > 1e-12,
+               "transition matrix is numerically singular");
+    if (pivot != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(a[pivot * k + c], a[col * k + c]);
+        std::swap(inv[pivot * k + c], inv[col * k + c]);
+      }
+    }
+    const double diag = a[col * k + col];
+    for (int c = 0; c < k; ++c) {
+      a[col * k + c] /= diag;
+      inv[col * k + c] /= diag;
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * k + col];
+      if (factor == 0.0) continue;
+      for (int c = 0; c < k; ++c) {
+        a[r * k + c] -= factor * a[col * k + c];
+        inv[r * k + c] -= factor * inv[col * k + c];
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+MetricLdp::MetricLdp(int k, double epsilon) : k_(k), epsilon_(epsilon) {
+  LDPR_REQUIRE(k >= 2, "MetricLdp requires k >= 2, got " << k);
+  LDPR_REQUIRE(epsilon > 0.0, "MetricLdp requires epsilon > 0");
+
+  transition_.resize(static_cast<std::size_t>(k_) * k_);
+  row_cdf_.resize(static_cast<std::size_t>(k_) * k_);
+  for (int x = 0; x < k_; ++x) {
+    double z = 0.0;
+    for (int y = 0; y < k_; ++y) {
+      z += std::exp(-epsilon_ * std::abs(x - y) / 2.0);
+    }
+    double acc = 0.0;
+    for (int y = 0; y < k_; ++y) {
+      const double p = std::exp(-epsilon_ * std::abs(x - y) / 2.0) / z;
+      transition_[x * k_ + y] = p;
+      acc += p;
+      row_cdf_[x * k_ + y] = acc;
+    }
+    row_cdf_[x * k_ + (k_ - 1)] = 1.0;  // absorb rounding
+  }
+  inverse_ = InvertMatrix(transition_, k_);
+}
+
+double MetricLdp::TransitionProbability(int x, int y) const {
+  LDPR_REQUIRE(x >= 0 && x < k_ && y >= 0 && y < k_, "value out of range");
+  return transition_[x * k_ + y];
+}
+
+int MetricLdp::Randomize(int value, Rng& rng) const {
+  LDPR_REQUIRE(value >= 0 && value < k_, "value out of range");
+  const double u = rng.UniformReal();
+  const double* cdf = &row_cdf_[static_cast<std::size_t>(value) * k_];
+  // Binary search the row CDF.
+  int lo = 0, hi = k_ - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (cdf[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> MetricLdp::EstimateFrequencies(
+    const std::vector<int>& reports_hist, long long n) const {
+  LDPR_REQUIRE(static_cast<int>(reports_hist.size()) == k_,
+               "histogram must have k bins");
+  LDPR_REQUIRE(n >= 1, "requires n >= 1");
+  // Observed distribution o = f * T (row vector times matrix), so the
+  // unbiased estimate is fhat = o * T^{-1}.
+  std::vector<double> observed(k_);
+  for (int y = 0; y < k_; ++y) {
+    observed[y] = static_cast<double>(reports_hist[y]) / n;
+  }
+  std::vector<double> est(k_, 0.0);
+  for (int v = 0; v < k_; ++v) {
+    double acc = 0.0;
+    for (int y = 0; y < k_; ++y) {
+      acc += observed[y] * inverse_[y * k_ + v];
+    }
+    est[v] = acc;
+  }
+  return est;
+}
+
+std::vector<double> MetricLdp::EstimateFrequencies(
+    const std::vector<int>& values, Rng& rng) const {
+  LDPR_REQUIRE(!values.empty(), "requires at least one value");
+  std::vector<int> hist(k_, 0);
+  for (int v : values) ++hist[Randomize(v, rng)];
+  return EstimateFrequencies(hist, static_cast<long long>(values.size()));
+}
+
+double MetricLdp::ExpectedAttackAcc() const {
+  double acc = 0.0;
+  for (int x = 0; x < k_; ++x) acc += transition_[x * k_ + x];
+  return acc / k_;
+}
+
+double MetricLdp::ExpectedAttackDistance() const {
+  double acc = 0.0;
+  for (int x = 0; x < k_; ++x) {
+    for (int y = 0; y < k_; ++y) {
+      acc += transition_[x * k_ + y] * std::abs(x - y);
+    }
+  }
+  return acc / k_;
+}
+
+}  // namespace ldpr::fo

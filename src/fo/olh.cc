@@ -1,0 +1,64 @@
+#include "fo/olh.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/hash.h"
+
+namespace ldpr::fo {
+
+Olh::Olh(int k, double epsilon)
+    : Olh(k, epsilon,
+          std::max(2, static_cast<int>(std::lround(std::exp(epsilon))) + 1)) {
+}
+
+Olh::Olh(int k, double epsilon, int g) : FrequencyOracle(k, epsilon) {
+  LDPR_REQUIRE(g >= 2, "local hashing needs g >= 2, got " << g);
+  const double e = std::exp(epsilon);
+  g_ = g;
+  p_prime_ = e / (e + g_ - 1);
+  // Overall support probabilities (Wang et al. 2017):
+  //   p = p',   q = (1/g) p' + (1 - 1/g) q' = 1/g.
+  SetProbabilities(p_prime_, 1.0 / g_);
+}
+
+Report Olh::Randomize(int value, Rng& rng) const {
+  LDPR_REQUIRE(value >= 0 && value < k(), "OLH value out of range");
+  Report r;
+  r.hash_seed = rng();
+  UniversalHash h(r.hash_seed, g_);
+  const int hashed = h(value);
+  // GRR inside the reduced domain [g].
+  if (rng.Bernoulli(p_prime_)) {
+    r.value = hashed;
+  } else {
+    int other = static_cast<int>(rng.UniformInt(g_ - 1));
+    r.value = other >= hashed ? other + 1 : other;
+  }
+  return r;
+}
+
+void Olh::AccumulateSupport(const Report& report,
+                            std::vector<long long>* counts) const {
+  LDPR_REQUIRE(report.value >= 0 && report.value < g_,
+               "OLH report value out of range");
+  UniversalHash h(report.hash_seed, g_);
+  for (int v = 0; v < k(); ++v) {
+    if (h(v) == report.value) ++(*counts)[v];
+  }
+}
+
+int Olh::AttackPredict(const Report& report, Rng& rng) const {
+  // The most likely true values are those hashing to the reported cell;
+  // pick one uniformly. An empty preimage carries no information, so fall
+  // back to a uniform guess over the whole domain.
+  UniversalHash h(report.hash_seed, g_);
+  std::vector<int> preimage;
+  for (int v = 0; v < k(); ++v) {
+    if (h(v) == report.value) preimage.push_back(v);
+  }
+  if (preimage.empty()) return static_cast<int>(rng.UniformInt(k()));
+  return preimage[rng.UniformInt(preimage.size())];
+}
+
+}  // namespace ldpr::fo

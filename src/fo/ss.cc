@@ -1,0 +1,52 @@
+#include "fo/ss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::fo {
+
+Ss::Ss(int k, double epsilon) : FrequencyOracle(k, epsilon) {
+  const double e = std::exp(epsilon);
+  omega_ = std::clamp(static_cast<int>(std::lround(k / (e + 1.0))), 1, k - 1);
+  const double w = omega_;
+  const double denom = w * e + k - w;
+  const double p = w * e / denom;
+  const double q = (w * e * (w - 1.0) + (k - w) * w) / ((k - 1.0) * denom);
+  SetProbabilities(p, q);
+}
+
+Report Ss::Randomize(int value, Rng& rng) const {
+  LDPR_REQUIRE(value >= 0 && value < k(), "SS value out of range");
+  Report r;
+  const bool include_true = rng.Bernoulli(p());
+  // Sample the remaining slots from the k-1 other values, without
+  // replacement; indices >= `value` in the reduced space map to index + 1.
+  const int extra = include_true ? omega_ - 1 : omega_;
+  std::vector<int> others = rng.SampleWithoutReplacement(k() - 1, extra);
+  r.subset.reserve(omega_);
+  if (include_true) r.subset.push_back(value);
+  for (int o : others) r.subset.push_back(o >= value ? o + 1 : o);
+  std::sort(r.subset.begin(), r.subset.end());
+  return r;
+}
+
+void Ss::AccumulateSupport(const Report& report,
+                           std::vector<long long>* counts) const {
+  LDPR_REQUIRE(static_cast<int>(report.subset.size()) == omega_,
+               "SS report subset size " << report.subset.size()
+                                        << " != omega " << omega_);
+  for (int v : report.subset) {
+    LDPR_REQUIRE(v >= 0 && v < k(), "SS subset value out of range");
+    ++(*counts)[v];
+  }
+}
+
+int Ss::AttackPredict(const Report& report, Rng& rng) const {
+  // Every subset member is equally likely a priori; guess uniformly in Omega.
+  LDPR_CHECK(!report.subset.empty(), "SS report has an empty subset");
+  return report.subset[rng.UniformInt(report.subset.size())];
+}
+
+}  // namespace ldpr::fo

@@ -1,0 +1,78 @@
+#include "fo/unary_encoding.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::fo {
+
+UnaryEncoding::UnaryEncoding(int k, double epsilon, double p, double q)
+    : FrequencyOracle(k, epsilon) {
+  SetProbabilities(p, q);
+}
+
+std::vector<std::uint8_t> UnaryEncoding::OneHot(int value, int k) {
+  LDPR_REQUIRE(value >= 0 && value < k,
+               "OneHot value " << value << " outside [0, " << k << ")");
+  std::vector<std::uint8_t> bits(k, 0);
+  bits[value] = 1;
+  return bits;
+}
+
+std::vector<std::uint8_t> UnaryEncoding::PerturbBits(
+    const std::vector<std::uint8_t>& input, double p, double q, Rng& rng) {
+  std::vector<std::uint8_t> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = rng.Bernoulli(input[i] ? p : q) ? 1 : 0;
+  }
+  return out;
+}
+
+Report UnaryEncoding::Randomize(int value, Rng& rng) const {
+  Report r;
+  r.bits = PerturbBits(OneHot(value, k()), p(), q(), rng);
+  return r;
+}
+
+void UnaryEncoding::AccumulateSupport(const Report& report,
+                                      std::vector<long long>* counts) const {
+  LDPR_REQUIRE(static_cast<int>(report.bits.size()) == k(),
+               "UE report has " << report.bits.size() << " bits, expected "
+                                << k());
+  for (int v = 0; v < k(); ++v) {
+    if (report.bits[v]) ++(*counts)[v];
+  }
+}
+
+int UnaryEncoding::AttackPredict(const Report& report, Rng& rng) const {
+  std::vector<int> set_bits;
+  for (int v = 0; v < k(); ++v) {
+    if (report.bits[v]) set_bits.push_back(v);
+  }
+  if (set_bits.empty()) return static_cast<int>(rng.UniformInt(k()));
+  if (set_bits.size() == 1) return set_bits[0];
+  return set_bits[rng.UniformInt(set_bits.size())];
+}
+
+double Sue::PForEpsilon(double epsilon) {
+  const double e2 = std::exp(epsilon / 2.0);
+  return e2 / (e2 + 1.0);
+}
+
+double Sue::QForEpsilon(double epsilon) {
+  return 1.0 / (std::exp(epsilon / 2.0) + 1.0);
+}
+
+Sue::Sue(int k, double epsilon)
+    : UnaryEncoding(k, epsilon, PForEpsilon(epsilon), QForEpsilon(epsilon)) {}
+
+double Oue::PForEpsilon(double /*epsilon*/) { return 0.5; }
+
+double Oue::QForEpsilon(double epsilon) {
+  return 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+Oue::Oue(int k, double epsilon)
+    : UnaryEncoding(k, epsilon, PForEpsilon(epsilon), QForEpsilon(epsilon)) {}
+
+}  // namespace ldpr::fo

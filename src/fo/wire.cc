@@ -1,0 +1,173 @@
+#include "fo/wire.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "fo/olh.h"
+#include "fo/ss.h"
+
+namespace ldpr::fo {
+
+namespace {
+
+int CeilLog2(long long n) {
+  LDPR_CHECK(n >= 1, "CeilLog2 requires n >= 1");
+  int bits = 0;
+  long long capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+void BitWriter::Write(std::uint64_t value, int width) {
+  LDPR_REQUIRE(width >= 0 && width <= 64,
+               "bit width must be in [0, 64], got " << width);
+  if (width < 64) {
+    LDPR_REQUIRE(value < (std::uint64_t{1} << width),
+                 "value " << value << " does not fit in " << width
+                          << " bits");
+  }
+  for (int i = width - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((value >> i) & 1);
+    const int offset = bit_count_ % 8;
+    if (offset == 0) bytes_.push_back(0);
+    bytes_.back() |= static_cast<std::uint8_t>(bit << (7 - offset));
+    ++bit_count_;
+  }
+}
+
+std::uint64_t BitReader::Read(int width) {
+  LDPR_REQUIRE(width >= 0 && width <= 64,
+               "bit width must be in [0, 64], got " << width);
+  LDPR_REQUIRE(bit_position_ + width <= static_cast<int>(bytes_.size()) * 8,
+               "wire buffer exhausted: need " << width << " bits at offset "
+                                              << bit_position_);
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const int byte = bit_position_ / 8;
+    const int offset = bit_position_ % 8;
+    value = (value << 1) |
+            static_cast<std::uint64_t>((bytes_[byte] >> (7 - offset)) & 1);
+    ++bit_position_;
+  }
+  return value;
+}
+
+int SerializedReportBits(const FrequencyOracle& oracle) {
+  const int k = oracle.k();
+  switch (oracle.protocol()) {
+    case Protocol::kGrr:
+      return CeilLog2(k);
+    case Protocol::kOlh:
+      return 64 + CeilLog2(static_cast<const Olh&>(oracle).g());
+    case Protocol::kSs:
+      return static_cast<const Ss&>(oracle).omega() * CeilLog2(k);
+    case Protocol::kSue:
+    case Protocol::kOue:
+      return k;
+  }
+  LDPR_CHECK(false, "unreachable protocol");
+}
+
+std::vector<std::uint8_t> SerializeReport(const FrequencyOracle& oracle,
+                                          const Report& report) {
+  const int k = oracle.k();
+  BitWriter writer;
+  switch (oracle.protocol()) {
+    case Protocol::kGrr: {
+      LDPR_REQUIRE(report.value >= 0 && report.value < k,
+                   "GRR report value out of range");
+      writer.Write(static_cast<std::uint64_t>(report.value), CeilLog2(k));
+      break;
+    }
+    case Protocol::kOlh: {
+      const int g = static_cast<const Olh&>(oracle).g();
+      LDPR_REQUIRE(report.value >= 0 && report.value < g,
+                   "OLH hashed value out of range");
+      writer.Write(report.hash_seed, 64);
+      writer.Write(static_cast<std::uint64_t>(report.value), CeilLog2(g));
+      break;
+    }
+    case Protocol::kSs: {
+      const int omega = static_cast<const Ss&>(oracle).omega();
+      LDPR_REQUIRE(static_cast<int>(report.subset.size()) == omega,
+                   "SS subset has " << report.subset.size()
+                                    << " values, expected " << omega);
+      std::vector<int> sorted = report.subset;
+      std::sort(sorted.begin(), sorted.end());
+      const int width = CeilLog2(k);
+      int previous = -1;
+      for (int v : sorted) {
+        LDPR_REQUIRE(v >= 0 && v < k, "SS subset value out of range");
+        LDPR_REQUIRE(v != previous, "SS subset values must be distinct");
+        writer.Write(static_cast<std::uint64_t>(v), width);
+        previous = v;
+      }
+      break;
+    }
+    case Protocol::kSue:
+    case Protocol::kOue: {
+      LDPR_REQUIRE(static_cast<int>(report.bits.size()) == k,
+                   "UE bit vector has " << report.bits.size()
+                                        << " bits, expected " << k);
+      for (std::uint8_t bit : report.bits) {
+        LDPR_REQUIRE(bit <= 1, "UE bits must be 0/1");
+        writer.Write(bit, 1);
+      }
+      break;
+    }
+  }
+  LDPR_CHECK(writer.bit_count() == SerializedReportBits(oracle),
+             "serialized width mismatch");
+  return writer.bytes();
+}
+
+Report DeserializeReport(const FrequencyOracle& oracle,
+                         const std::vector<std::uint8_t>& bytes) {
+  const int k = oracle.k();
+  BitReader reader(bytes);
+  Report report;
+  switch (oracle.protocol()) {
+    case Protocol::kGrr: {
+      report.value = static_cast<int>(reader.Read(CeilLog2(k)));
+      LDPR_REQUIRE(report.value < k, "decoded GRR value out of range");
+      break;
+    }
+    case Protocol::kOlh: {
+      const int g = static_cast<const Olh&>(oracle).g();
+      report.hash_seed = reader.Read(64);
+      report.value = static_cast<int>(reader.Read(CeilLog2(g)));
+      LDPR_REQUIRE(report.value < g, "decoded OLH value out of range");
+      break;
+    }
+    case Protocol::kSs: {
+      const int omega = static_cast<const Ss&>(oracle).omega();
+      const int width = CeilLog2(k);
+      report.subset.reserve(omega);
+      int previous = -1;
+      for (int i = 0; i < omega; ++i) {
+        const int v = static_cast<int>(reader.Read(width));
+        LDPR_REQUIRE(v < k, "decoded SS value out of range");
+        LDPR_REQUIRE(v > previous, "decoded SS subset not strictly sorted");
+        report.subset.push_back(v);
+        previous = v;
+      }
+      break;
+    }
+    case Protocol::kSue:
+    case Protocol::kOue: {
+      report.bits.resize(k);
+      for (int i = 0; i < k; ++i) {
+        report.bits[i] = static_cast<std::uint8_t>(reader.Read(1));
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace ldpr::fo

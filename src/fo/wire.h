@@ -1,0 +1,81 @@
+#ifndef LDPR_FO_WIRE_H_
+#define LDPR_FO_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::fo {
+
+/// Bit-exact wire format for sanitized reports.
+///
+/// The communication-cost model (fo/comm_cost) prices each protocol's report
+/// at its information-theoretic width; this module is the matching codec a
+/// deployment would actually ship: it packs a Report into exactly
+/// ReportBits(protocol, k, eps) bits (rounded up to whole bytes only at the
+/// buffer boundary) and restores it losslessly. Round-tripping every
+/// protocol's reports is also the strongest possible test that the cost
+/// model's widths are sufficient.
+///
+/// Encodings (all big-endian within a byte stream, bits packed MSB-first):
+///   GRR   value                    ceil(log2 k) bits
+///   OLH   hash seed, hashed value  64 + ceil(log2 g) bits
+///   SS    omega sorted values      omega * ceil(log2 k) bits
+///   SUE   bit vector               k bits
+///   OUE   bit vector               k bits
+///
+/// The subset size omega and the reduced domain g are protocol parameters
+/// (derivable from k and eps), so they are not transmitted.
+
+/// Append-only MSB-first bit buffer.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value` (width in [0, 64]).
+  void Write(std::uint64_t value, int width);
+
+  /// Number of bits written so far.
+  int bit_count() const { return bit_count_; }
+
+  /// The packed bytes (the final partial byte is zero-padded).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_count_ = 0;
+};
+
+/// Sequential MSB-first bit reader over a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  /// Reads `width` bits (width in [0, 64]); throws InvalidArgumentError when
+  /// the buffer is exhausted.
+  std::uint64_t Read(int width);
+
+  int bits_consumed() const { return bit_position_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  int bit_position_ = 0;
+};
+
+/// Serializes one report emitted by `oracle`. Throws when the report's shape
+/// does not match the oracle (wrong payload, out-of-range values).
+std::vector<std::uint8_t> SerializeReport(const FrequencyOracle& oracle,
+                                          const Report& report);
+
+/// Exact payload width in bits for one of `oracle`'s reports (the value the
+/// comm-cost model prices; byte buffers round up to the next multiple of 8).
+int SerializedReportBits(const FrequencyOracle& oracle);
+
+/// Restores a report serialized by SerializeReport for the same oracle
+/// configuration (protocol, k, epsilon). SS subsets come back sorted.
+Report DeserializeReport(const FrequencyOracle& oracle,
+                         const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ldpr::fo
+
+#endif  // LDPR_FO_WIRE_H_

@@ -1,0 +1,43 @@
+#include "ml/dataset_split.h"
+
+#include <numeric>
+
+#include "core/check.h"
+
+namespace ldpr::ml {
+
+void LabeledData::Append(std::vector<int> row, int label) {
+  rows.push_back(std::move(row));
+  labels.push_back(label);
+}
+
+void LabeledData::AppendAll(const LabeledData& other) {
+  rows.insert(rows.end(), other.rows.begin(), other.rows.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+TrainTestSplit Split(const LabeledData& data, double train_fraction, Rng& rng) {
+  LDPR_REQUIRE(data.rows.size() == data.labels.size(),
+               "rows/labels size mismatch");
+  LDPR_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+               "train_fraction must be in (0, 1)");
+  const int n = data.n();
+  LDPR_REQUIRE(n >= 2, "Split requires at least 2 rows");
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  int train_n = static_cast<int>(train_fraction * n);
+  train_n = std::max(1, std::min(n - 1, train_n));
+
+  TrainTestSplit out;
+  out.train.rows.reserve(train_n);
+  out.test.rows.reserve(n - train_n);
+  for (int i = 0; i < n; ++i) {
+    LabeledData& dst = i < train_n ? out.train : out.test;
+    dst.Append(data.rows[order[i]], data.labels[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace ldpr::ml

@@ -1,0 +1,30 @@
+#ifndef LDPR_ML_DATASET_SPLIT_H_
+#define LDPR_ML_DATASET_SPLIT_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr::ml {
+
+/// A labeled classification dataset (feature rows + integer labels).
+struct LabeledData {
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+
+  int n() const { return static_cast<int>(rows.size()); }
+  void Append(std::vector<int> row, int label);
+  void AppendAll(const LabeledData& other);
+};
+
+/// Splits into train/test with `train_fraction` of the rows (shuffled).
+struct TrainTestSplit {
+  LabeledData train;
+  LabeledData test;
+};
+
+TrainTestSplit Split(const LabeledData& data, double train_fraction, Rng& rng);
+
+}  // namespace ldpr::ml
+
+#endif  // LDPR_ML_DATASET_SPLIT_H_

@@ -1,0 +1,312 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace ldpr::ml {
+
+namespace {
+constexpr int kMaxBins = 256;
+constexpr double kMinHessian = 1e-6;
+}  // namespace
+
+double Gbdt::Tree::Predict(const std::vector<int>& row) const {
+  int node = 0;
+  while (nodes[node].feature >= 0) {
+    const Node& nd = nodes[node];
+    node = row[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes[node].weight;
+}
+
+double Gbdt::Tree::PredictBinned(const std::uint8_t* row_values, int stride,
+                                 long long row) const {
+  int node = 0;
+  while (nodes[node].feature >= 0) {
+    const Node& nd = nodes[node];
+    node = row_values[static_cast<long long>(nd.feature) * stride + row] <=
+                   nd.threshold
+               ? nd.left
+               : nd.right;
+  }
+  return nodes[node].weight;
+}
+
+Gbdt::Tree Gbdt::GrowTree(const std::vector<double>& grad,
+                          const std::vector<double>& hess,
+                          const GbdtConfig& config) const {
+  Tree tree;
+  std::vector<long long> indices(train_n_);
+  std::iota(indices.begin(), indices.end(), 0LL);
+
+  struct Work {
+    int node_id;
+    long long begin;
+    long long end;
+    int depth;
+  };
+  std::vector<Work> stack;
+
+  tree.nodes.push_back(Node{});
+  stack.push_back(Work{0, 0, train_n_, 0});
+
+  // Per-feature scratch histograms, reused across nodes.
+  std::vector<double> hist_g(kMaxBins), hist_h(kMaxBins);
+  std::vector<long long> hist_c(kMaxBins);
+
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    const long long count = w.end - w.begin;
+
+    double g_sum = 0.0, h_sum = 0.0;
+    for (long long i = w.begin; i < w.end; ++i) {
+      g_sum += grad[indices[i]];
+      h_sum += hess[indices[i]];
+    }
+
+    auto make_leaf = [&]() {
+      tree.nodes[w.node_id].feature = -1;
+      tree.nodes[w.node_id].weight =
+          -config.learning_rate * g_sum / (h_sum + config.lambda);
+    };
+
+    if (w.depth >= config.max_depth ||
+        count < 2LL * config.min_samples_leaf ||
+        h_sum < 2.0 * config.min_child_hessian) {
+      make_leaf();
+      continue;
+    }
+
+    // Best split search over exact per-value histograms.
+    const double parent_score = g_sum * g_sum / (h_sum + config.lambda);
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    int best_threshold = 0;
+    for (int f = 0; f < num_features_; ++f) {
+      const int bins = column_bins_[f];
+      if (bins < 2) continue;
+      const std::uint8_t* col = columns_.data() +
+                                static_cast<long long>(f) * train_n_;
+      std::fill(hist_g.begin(), hist_g.begin() + bins, 0.0);
+      std::fill(hist_h.begin(), hist_h.begin() + bins, 0.0);
+      std::fill(hist_c.begin(), hist_c.begin() + bins, 0LL);
+      for (long long i = w.begin; i < w.end; ++i) {
+        const long long row = indices[i];
+        const int b = col[row];
+        hist_g[b] += grad[row];
+        hist_h[b] += hess[row];
+        ++hist_c[b];
+      }
+      double gl = 0.0, hl = 0.0;
+      long long cl = 0;
+      for (int b = 0; b < bins - 1; ++b) {
+        gl += hist_g[b];
+        hl += hist_h[b];
+        cl += hist_c[b];
+        const long long cr = count - cl;
+        if (cl < config.min_samples_leaf || cr < config.min_samples_leaf) {
+          continue;
+        }
+        const double hr = h_sum - hl;
+        if (hl < config.min_child_hessian || hr < config.min_child_hessian) {
+          continue;
+        }
+        const double gr = g_sum - gl;
+        const double gain = gl * gl / (hl + config.lambda) +
+                            gr * gr / (hr + config.lambda) - parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      make_leaf();
+      continue;
+    }
+
+    const std::uint8_t* col =
+        columns_.data() + static_cast<long long>(best_feature) * train_n_;
+    auto mid_it = std::partition(
+        indices.begin() + w.begin, indices.begin() + w.end,
+        [&](long long row) { return col[row] <= best_threshold; });
+    const long long mid = mid_it - indices.begin();
+    LDPR_CHECK(mid > w.begin && mid < w.end,
+               "split produced an empty child; histogram and partition "
+               "disagree");
+
+    // Reserve the children before touching the parent node: push_back can
+    // reallocate and would invalidate any reference into `tree.nodes`.
+    const int left_id = static_cast<int>(tree.nodes.size());
+    const int right_id = left_id + 1;
+    tree.nodes.push_back(Node{});
+    tree.nodes.push_back(Node{});
+    Node& parent = tree.nodes[w.node_id];
+    parent.feature = best_feature;
+    parent.threshold = best_threshold;
+    parent.left = left_id;
+    parent.right = right_id;
+    stack.push_back(Work{left_id, w.begin, mid, w.depth + 1});
+    stack.push_back(Work{right_id, mid, w.end, w.depth + 1});
+  }
+  return tree;
+}
+
+void Gbdt::Train(const std::vector<std::vector<int>>& rows,
+                 const std::vector<int>& labels, int num_classes,
+                 const GbdtConfig& config, Rng& rng) {
+  (void)rng;  // reserved for future row/feature subsampling
+  LDPR_REQUIRE(!rows.empty(), "Gbdt::Train requires at least one row");
+  LDPR_REQUIRE(rows.size() == labels.size(), "rows/labels size mismatch");
+  LDPR_REQUIRE(num_classes >= 2, "Gbdt::Train requires >= 2 classes");
+  LDPR_REQUIRE(config.num_rounds >= 1 && config.max_depth >= 1,
+               "num_rounds and max_depth must be >= 1");
+
+  // Validate every input before mutating any member, so a failed Train
+  // leaves the model exactly as it was (strong exception guarantee).
+  const long long n = static_cast<long long>(rows.size());
+  const int m = static_cast<int>(rows[0].size());
+  LDPR_REQUIRE(m >= 1, "rows must have >= 1 feature");
+  for (long long i = 0; i < n; ++i) {
+    LDPR_REQUIRE(static_cast<int>(rows[i].size()) == m,
+                 "ragged feature matrix at row " << i);
+    for (int f = 0; f < m; ++f) {
+      LDPR_REQUIRE(rows[i][f] >= 0 && rows[i][f] < kMaxBins,
+                   "feature values must be in [0, 256), got " << rows[i][f]);
+    }
+    LDPR_REQUIRE(labels[i] >= 0 && labels[i] < num_classes,
+                 "label out of range: " << labels[i]);
+  }
+
+  train_n_ = n;
+  num_features_ = m;
+  num_classes_ = num_classes;
+
+  // Column-major binned copy of the features.
+  columns_.assign(static_cast<long long>(num_features_) * train_n_, 0);
+  column_bins_.assign(num_features_, 1);
+  for (long long i = 0; i < train_n_; ++i) {
+    for (int f = 0; f < num_features_; ++f) {
+      const int v = rows[i][f];
+      columns_[static_cast<long long>(f) * train_n_ + i] =
+          static_cast<std::uint8_t>(v);
+      column_bins_[f] = std::max(column_bins_[f], v + 1);
+    }
+  }
+
+  // Base margin: log class priors (with add-one smoothing).
+  std::vector<double> class_count(num_classes_, 1.0);
+  for (int y : labels) class_count[y] += 1.0;
+  base_margin_.resize(num_classes_);
+  const double total = static_cast<double>(train_n_) + num_classes_;
+  for (int c = 0; c < num_classes_; ++c) {
+    base_margin_[c] = std::log(class_count[c] / total);
+  }
+
+  std::vector<double> margins(train_n_ * num_classes_);
+  for (long long i = 0; i < train_n_; ++i) {
+    for (int c = 0; c < num_classes_; ++c) {
+      margins[i * num_classes_ + c] = base_margin_[c];
+    }
+  }
+
+  std::vector<double> grad(static_cast<long long>(num_classes_) * train_n_);
+  std::vector<double> hess(static_cast<long long>(num_classes_) * train_n_);
+
+  rounds_.clear();
+  rounds_.reserve(config.num_rounds);
+  const int threads = config.num_threads;
+
+  for (int round = 0; round < config.num_rounds; ++round) {
+    // Softmax gradients: g = p - y, h = p (1 - p), per class (column-major
+    // per class for cache-friendly tree growth).
+    ParallelFor(
+        0, train_n_,
+        [&](long long i) {
+          const double* m = &margins[i * num_classes_];
+          double max_m = m[0];
+          for (int c = 1; c < num_classes_; ++c) max_m = std::max(max_m, m[c]);
+          double z = 0.0;
+          for (int c = 0; c < num_classes_; ++c) z += std::exp(m[c] - max_m);
+          for (int c = 0; c < num_classes_; ++c) {
+            const double p = std::exp(m[c] - max_m) / z;
+            grad[static_cast<long long>(c) * train_n_ + i] =
+                p - (labels[i] == c ? 1.0 : 0.0);
+            hess[static_cast<long long>(c) * train_n_ + i] =
+                std::max(p * (1.0 - p), kMinHessian);
+          }
+        },
+        threads);
+
+    std::vector<Tree> class_trees(num_classes_);
+    ParallelFor(
+        0, num_classes_,
+        [&](long long c) {
+          std::vector<double> g(grad.begin() + c * train_n_,
+                                grad.begin() + (c + 1) * train_n_);
+          std::vector<double> h(hess.begin() + c * train_n_,
+                                hess.begin() + (c + 1) * train_n_);
+          class_trees[c] = GrowTree(g, h, config);
+          for (long long i = 0; i < train_n_; ++i) {
+            margins[i * num_classes_ + c] +=
+                class_trees[c].PredictBinned(columns_.data(),
+                                             static_cast<int>(train_n_), i);
+          }
+        },
+        threads);
+    rounds_.push_back(std::move(class_trees));
+  }
+
+  // Training-time buffers are no longer needed after fitting.
+  columns_.clear();
+  columns_.shrink_to_fit();
+}
+
+std::vector<double> Gbdt::PredictMargin(const std::vector<int>& row) const {
+  LDPR_REQUIRE(trained(), "Gbdt::PredictMargin called before Train");
+  LDPR_REQUIRE(static_cast<int>(row.size()) == num_features_,
+               "row has " << row.size() << " features, expected "
+                          << num_features_);
+  std::vector<double> margin = base_margin_;
+  for (const auto& round : rounds_) {
+    for (int c = 0; c < num_classes_; ++c) {
+      margin[c] += round[c].Predict(row);
+    }
+  }
+  return margin;
+}
+
+std::vector<double> Gbdt::PredictProba(const std::vector<int>& row) const {
+  std::vector<double> margin = PredictMargin(row);
+  double max_m = *std::max_element(margin.begin(), margin.end());
+  double z = 0.0;
+  for (double& m : margin) {
+    m = std::exp(m - max_m);
+    z += m;
+  }
+  for (double& m : margin) m /= z;
+  return margin;
+}
+
+int Gbdt::Predict(const std::vector<int>& row) const {
+  std::vector<double> margin = PredictMargin(row);
+  return static_cast<int>(
+      std::max_element(margin.begin(), margin.end()) - margin.begin());
+}
+
+std::vector<int> Gbdt::PredictBatch(
+    const std::vector<std::vector<int>>& rows) const {
+  std::vector<int> out(rows.size());
+  ParallelFor(0, static_cast<long long>(rows.size()),
+              [&](long long i) { out[i] = Predict(rows[i]); });
+  return out;
+}
+
+}  // namespace ldpr::ml

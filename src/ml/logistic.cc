@@ -1,0 +1,101 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace ldpr::ml {
+
+void LogisticRegression::Train(const std::vector<std::vector<int>>& rows,
+                               const std::vector<int>& labels, int num_classes,
+                               const LogisticConfig& config, Rng& rng) {
+  LDPR_REQUIRE(!rows.empty() && rows.size() == labels.size(),
+               "LogisticRegression::Train requires matching non-empty inputs");
+  LDPR_REQUIRE(num_classes >= 2, "requires >= 2 classes");
+  num_classes_ = num_classes;
+  num_features_ = static_cast<int>(rows[0].size());
+  const int w_stride = num_features_ + 1;
+  weights_.assign(static_cast<std::size_t>(num_classes_) * w_stride, 0.0);
+
+  const long long n = static_cast<long long>(rows.size());
+  std::vector<long long> order(n);
+  std::iota(order.begin(), order.end(), 0LL);
+
+  std::vector<double> margin(num_classes_);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Decaying step size stabilizes late epochs.
+    const double lr = config.learning_rate / (1.0 + 0.1 * epoch);
+    for (long long idx = 0; idx < n; ++idx) {
+      const long long i = order[idx];
+      const std::vector<int>& x = rows[i];
+      LDPR_REQUIRE(static_cast<int>(x.size()) == num_features_,
+                   "ragged feature matrix at row " << i);
+      // Forward pass.
+      double max_m = -1e300;
+      for (int c = 0; c < num_classes_; ++c) {
+        const double* w = &weights_[static_cast<std::size_t>(c) * w_stride];
+        double m = w[num_features_];
+        for (int f = 0; f < num_features_; ++f) m += w[f] * x[f];
+        margin[c] = m;
+        max_m = std::max(max_m, m);
+      }
+      double z = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        margin[c] = std::exp(margin[c] - max_m);
+        z += margin[c];
+      }
+      // SGD update: w_c -= lr ((p_c - y_c) x + l2 w_c).
+      for (int c = 0; c < num_classes_; ++c) {
+        const double err = margin[c] / z - (labels[i] == c ? 1.0 : 0.0);
+        double* w = &weights_[static_cast<std::size_t>(c) * w_stride];
+        for (int f = 0; f < num_features_; ++f) {
+          w[f] -= lr * (err * x[f] + config.l2 * w[f]);
+        }
+        w[num_features_] -= lr * err;
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const std::vector<int>& row) const {
+  LDPR_REQUIRE(trained(), "PredictProba called before Train");
+  LDPR_REQUIRE(static_cast<int>(row.size()) == num_features_,
+               "row feature-count mismatch");
+  const int w_stride = num_features_ + 1;
+  std::vector<double> margin(num_classes_);
+  double max_m = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = &weights_[static_cast<std::size_t>(c) * w_stride];
+    double m = w[num_features_];
+    for (int f = 0; f < num_features_; ++f) m += w[f] * row[f];
+    margin[c] = m;
+    max_m = std::max(max_m, m);
+  }
+  double z = 0.0;
+  for (double& m : margin) {
+    m = std::exp(m - max_m);
+    z += m;
+  }
+  for (double& m : margin) m /= z;
+  return margin;
+}
+
+int LogisticRegression::Predict(const std::vector<int>& row) const {
+  std::vector<double> p = PredictProba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<int> LogisticRegression::PredictBatch(
+    const std::vector<std::vector<int>>& rows) const {
+  std::vector<int> out(rows.size());
+  ParallelFor(0, static_cast<long long>(rows.size()),
+              [&](long long i) { out[i] = Predict(rows[i]); });
+  return out;
+}
+
+}  // namespace ldpr::ml

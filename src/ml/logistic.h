@@ -1,0 +1,47 @@
+#ifndef LDPR_ML_LOGISTIC_H_
+#define LDPR_ML_LOGISTIC_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr::ml {
+
+/// Multinomial logistic regression trained with mini-batch SGD.
+///
+/// A simple linear baseline next to Gbdt: the AIF attack results should not
+/// hinge on tree-specific behaviour, and the paper's "classifier learning
+/// setting" only assumes *some* multiclass learner. Also used in tests as an
+/// independent cross-check of the GBDT substrate.
+struct LogisticConfig {
+  int epochs = 30;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int batch_size = 64;
+};
+
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Fits on `rows` (n x m, small non-negative integers; features are used
+  /// as-is, so one-hot encode categoricals upstream when appropriate).
+  void Train(const std::vector<std::vector<int>>& rows,
+             const std::vector<int>& labels, int num_classes,
+             const LogisticConfig& config, Rng& rng);
+
+  std::vector<double> PredictProba(const std::vector<int>& row) const;
+  int Predict(const std::vector<int>& row) const;
+  std::vector<int> PredictBatch(const std::vector<std::vector<int>>& rows) const;
+
+  bool trained() const { return num_classes_ > 0; }
+
+ private:
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  std::vector<double> weights_;  // num_classes_ x (num_features_ + 1), bias last
+};
+
+}  // namespace ldpr::ml
+
+#endif  // LDPR_ML_LOGISTIC_H_

@@ -1,0 +1,66 @@
+#include "ml/ml_metrics.h"
+
+#include "core/check.h"
+
+namespace ldpr::ml {
+
+double Accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  LDPR_REQUIRE(truth.size() == pred.size() && !truth.empty(),
+               "Accuracy requires equal-sized non-empty vectors");
+  long long correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / truth.size();
+}
+
+std::vector<std::vector<double>> ConfusionMatrix(const std::vector<int>& truth,
+                                                 const std::vector<int>& pred,
+                                                 int num_classes) {
+  LDPR_REQUIRE(truth.size() == pred.size() && !truth.empty(),
+               "ConfusionMatrix requires equal-sized non-empty vectors");
+  LDPR_REQUIRE(num_classes >= 2, "ConfusionMatrix requires >= 2 classes");
+  std::vector<std::vector<long long>> counts(
+      num_classes, std::vector<long long>(num_classes, 0));
+  std::vector<long long> row_totals(num_classes, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    LDPR_REQUIRE(truth[i] >= 0 && truth[i] < num_classes, "truth label range");
+    LDPR_REQUIRE(pred[i] >= 0 && pred[i] < num_classes, "pred label range");
+    ++counts[truth[i]][pred[i]];
+    ++row_totals[truth[i]];
+  }
+  std::vector<std::vector<double>> out(num_classes,
+                                       std::vector<double>(num_classes, 0.0));
+  for (int t = 0; t < num_classes; ++t) {
+    if (row_totals[t] == 0) continue;
+    for (int p = 0; p < num_classes; ++p) {
+      out[t][p] = static_cast<double>(counts[t][p]) / row_totals[t];
+    }
+  }
+  return out;
+}
+
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& pred,
+               int num_classes) {
+  LDPR_REQUIRE(truth.size() == pred.size() && !truth.empty(),
+               "MacroF1 requires equal-sized non-empty vectors");
+  LDPR_REQUIRE(num_classes >= 2, "MacroF1 requires >= 2 classes");
+  std::vector<long long> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) {
+      ++tp[truth[i]];
+    } else {
+      ++fp[pred[i]];
+      ++fn[truth[i]];
+    }
+  }
+  double f1_sum = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    const double denom = 2.0 * tp[c] + fp[c] + fn[c];
+    f1_sum += denom > 0.0 ? 2.0 * tp[c] / denom : 0.0;
+  }
+  return f1_sum / num_classes;
+}
+
+}  // namespace ldpr::ml

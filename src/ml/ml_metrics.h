@@ -1,0 +1,22 @@
+#ifndef LDPR_ML_ML_METRICS_H_
+#define LDPR_ML_ML_METRICS_H_
+
+#include <vector>
+
+namespace ldpr::ml {
+
+/// Classification accuracy in [0, 1].
+double Accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Row-normalized confusion matrix C[t][p] = P(pred = p | truth = t).
+std::vector<std::vector<double>> ConfusionMatrix(const std::vector<int>& truth,
+                                                 const std::vector<int>& pred,
+                                                 int num_classes);
+
+/// Macro-averaged F1 score over `num_classes` classes.
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& pred,
+               int num_classes);
+
+}  // namespace ldpr::ml
+
+#endif  // LDPR_ML_ML_METRICS_H_

@@ -1,0 +1,144 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+
+namespace ldpr::ml {
+
+void NaiveBayes::Train(const std::vector<std::vector<int>>& rows,
+                       const std::vector<int>& labels, int num_classes,
+                       const NaiveBayesConfig& config) {
+  LDPR_REQUIRE(!rows.empty(), "training set must be non-empty");
+  LDPR_REQUIRE(rows.size() == labels.size(),
+               "rows (" << rows.size() << ") and labels (" << labels.size()
+                        << ") must align");
+  LDPR_REQUIRE(num_classes >= 2, "need at least 2 classes, got "
+                                     << num_classes);
+  LDPR_REQUIRE(config.alpha > 0, "smoothing alpha must be positive, got "
+                                     << config.alpha);
+
+  // Validate and scan into locals first so a failed Train leaves the model
+  // unchanged (strong exception safety; a half-trained model must not look
+  // trained()).
+  const int num_features = static_cast<int>(rows[0].size());
+  LDPR_REQUIRE(num_features >= 1, "rows must have at least one feature");
+
+  std::vector<int> cardinality(num_features, 1);
+  for (const auto& row : rows) {
+    LDPR_REQUIRE(static_cast<int>(row.size()) == num_features,
+                 "ragged feature matrix");
+    for (int f = 0; f < num_features; ++f) {
+      LDPR_REQUIRE(row[f] >= 0, "features must be non-negative");
+      cardinality[f] = std::max(cardinality[f], row[f] + 1);
+    }
+  }
+  for (int label : labels) {
+    LDPR_REQUIRE(label >= 0 && label < num_classes,
+                 "label out of range: " << label);
+  }
+
+  std::vector<int> offset(num_features, 0);
+  int total_values = 0;
+  for (int f = 0; f < num_features; ++f) {
+    offset[f] = total_values;
+    total_values += cardinality[f];
+  }
+
+  // Counts.
+  std::vector<double> class_count(num_classes, 0.0);
+  std::vector<double> value_count(
+      static_cast<std::size_t>(total_values) * num_classes, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const int c = labels[i];
+    class_count[c] += 1.0;
+    for (int f = 0; f < num_features; ++f) {
+      value_count[(static_cast<std::size_t>(offset[f]) + rows[i][f]) *
+                      num_classes +
+                  c] += 1.0;
+    }
+  }
+
+  // Smoothed log probabilities.
+  const double n = static_cast<double>(rows.size());
+  std::vector<double> log_prior(num_classes, 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    log_prior[c] = std::log((class_count[c] + config.alpha) /
+                            (n + config.alpha * num_classes));
+  }
+  std::vector<double> log_conditional(value_count.size(), 0.0);
+  for (int f = 0; f < num_features; ++f) {
+    for (int c = 0; c < num_classes; ++c) {
+      const double denom = class_count[c] + config.alpha * cardinality[f];
+      for (int v = 0; v < cardinality[f]; ++v) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(offset[f]) + v) * num_classes + c;
+        log_conditional[idx] =
+            std::log((value_count[idx] + config.alpha) / denom);
+      }
+    }
+  }
+
+  // Commit.
+  num_classes_ = num_classes;
+  num_features_ = num_features;
+  feature_cardinality_ = std::move(cardinality);
+  feature_offset_ = std::move(offset);
+  log_prior_ = std::move(log_prior);
+  log_conditional_ = std::move(log_conditional);
+}
+
+double NaiveBayes::LogConditional(int feature, int cls, int value) const {
+  const int clamped =
+      std::clamp(value, 0, feature_cardinality_[feature] - 1);
+  return log_conditional_[(static_cast<std::size_t>(feature_offset_[feature]) +
+                           clamped) *
+                              num_classes_ +
+                          cls];
+}
+
+std::vector<double> NaiveBayes::PredictLogJoint(
+    const std::vector<int>& row) const {
+  LDPR_REQUIRE(trained(), "model is not trained");
+  LDPR_REQUIRE(static_cast<int>(row.size()) == num_features_,
+               "row has " << row.size() << " features, expected "
+                          << num_features_);
+  std::vector<double> scores = log_prior_;
+  for (int f = 0; f < num_features_; ++f) {
+    for (int c = 0; c < num_classes_; ++c) {
+      scores[c] += LogConditional(f, c, row[f]);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> NaiveBayes::PredictProba(
+    const std::vector<int>& row) const {
+  std::vector<double> scores = PredictLogJoint(row);
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+  return scores;
+}
+
+int NaiveBayes::Predict(const std::vector<int>& row) const {
+  std::vector<double> scores = PredictLogJoint(row);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<int> NaiveBayes::PredictBatch(
+    const std::vector<std::vector<int>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Predict(row));
+  return out;
+}
+
+}  // namespace ldpr::ml

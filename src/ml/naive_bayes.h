@@ -1,0 +1,65 @@
+#ifndef LDPR_ML_NAIVE_BAYES_H_
+#define LDPR_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/dataset_split.h"
+
+namespace ldpr::ml {
+
+/// Categorical naive Bayes with Laplace smoothing.
+///
+/// A third attack learner for the sampled-attribute inference pipeline
+/// (Section 3.3), between the GBDT (the paper's XGBoost substitute) and the
+/// closed-form Bayes adversary: naive Bayes *learns* the per-feature class
+/// conditionals from the training set but assumes feature independence given
+/// the class — exactly the structure of an RS+FD tuple (one value per
+/// attribute, independent randomization), which makes it a natural
+/// diagnostic: if the GBDT falls far below naive Bayes, the GBDT is
+/// under-trained; if it exceeds it, the data carries cross-feature signal.
+struct NaiveBayesConfig {
+  double alpha = 1.0;  ///< Laplace smoothing pseudo-count (> 0)
+};
+
+class NaiveBayes {
+ public:
+  NaiveBayes() = default;
+
+  /// Fits class priors and per-feature categorical conditionals on `rows`
+  /// (n x m matrix of small non-negative integers) with labels in
+  /// [0, num_classes).
+  void Train(const std::vector<std::vector<int>>& rows,
+             const std::vector<int>& labels, int num_classes,
+             const NaiveBayesConfig& config = {});
+
+  /// Per-class log joint log P(c) + sum_f log P(x_f | c).
+  std::vector<double> PredictLogJoint(const std::vector<int>& row) const;
+
+  /// Posterior probabilities for one row.
+  std::vector<double> PredictProba(const std::vector<int>& row) const;
+
+  /// Most likely class for one row.
+  int Predict(const std::vector<int>& row) const;
+
+  /// Predicted class for every row.
+  std::vector<int> PredictBatch(const std::vector<std::vector<int>>& rows) const;
+
+  bool trained() const { return num_classes_ > 0; }
+  int num_classes() const { return num_classes_; }
+  int num_features() const { return num_features_; }
+
+ private:
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  std::vector<int> feature_cardinality_;  ///< distinct values per feature
+  std::vector<double> log_prior_;         ///< [class]
+  /// Flattened [feature][class][value] log conditionals.
+  std::vector<double> log_conditional_;
+  std::vector<int> feature_offset_;  ///< start of feature f's block
+
+  double LogConditional(int feature, int cls, int value) const;
+};
+
+}  // namespace ldpr::ml
+
+#endif  // LDPR_ML_NAIVE_BAYES_H_

@@ -1,0 +1,21 @@
+#include "multidim/amplification.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::multidim {
+
+double AmplifiedEpsilon(double epsilon, int d) {
+  LDPR_REQUIRE(epsilon > 0.0, "AmplifiedEpsilon requires epsilon > 0");
+  LDPR_REQUIRE(d >= 1, "AmplifiedEpsilon requires d >= 1");
+  return std::log(d * (std::exp(epsilon) - 1.0) + 1.0);
+}
+
+double DeamplifiedEpsilon(double epsilon_prime, int d) {
+  LDPR_REQUIRE(epsilon_prime > 0.0, "DeamplifiedEpsilon requires eps' > 0");
+  LDPR_REQUIRE(d >= 1, "DeamplifiedEpsilon requires d >= 1");
+  return std::log((std::exp(epsilon_prime) - 1.0) / d + 1.0);
+}
+
+}  // namespace ldpr::multidim

@@ -1,0 +1,20 @@
+#ifndef LDPR_MULTIDIM_AMPLIFICATION_H_
+#define LDPR_MULTIDIM_AMPLIFICATION_H_
+
+namespace ldpr::multidim {
+
+/// Privacy amplification by sampling (Li et al. 2012), as used by RS+FD and
+/// RS+RFD: when each user reports a uniformly sampled 1-of-d attribute and
+/// hides which one, the sampled attribute may be sanitized with
+///   eps' = ln(d (e^eps - 1) + 1)
+/// while the whole mechanism still satisfies eps-LDP. Requires eps > 0,
+/// d >= 1.
+double AmplifiedEpsilon(double epsilon, int d);
+
+/// Inverse of AmplifiedEpsilon: the end-to-end budget eps such that the
+/// sampled attribute is sanitized with eps'. Requires eps' > 0, d >= 1.
+double DeamplifiedEpsilon(double epsilon_prime, int d);
+
+}  // namespace ldpr::multidim
+
+#endif  // LDPR_MULTIDIM_AMPLIFICATION_H_

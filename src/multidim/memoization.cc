@@ -1,0 +1,43 @@
+#include "multidim/memoization.h"
+
+#include "core/check.h"
+
+namespace ldpr::multidim {
+
+MemoizedSmpClient::MemoizedSmpClient(const Smp& protocol)
+    : protocol_(protocol), cache_(protocol.d()) {}
+
+SmpReport MemoizedSmpClient::Report(const std::vector<int>& record,
+                                    int attribute, Rng& rng) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < protocol_.d(),
+               "attribute out of range");
+  if (!cache_[attribute].has_value()) {
+    SmpReport fresh = protocol_.RandomizeUserAttribute(record, attribute, rng);
+    cache_[attribute] = fresh.report;
+    ++fresh_reports_;
+  }
+  SmpReport out;
+  out.attribute = attribute;
+  out.report = *cache_[attribute];
+  return out;
+}
+
+SmpReport MemoizedSmpClient::ReportRandomAttribute(
+    const std::vector<int>& record, Rng& rng) {
+  const int attribute = static_cast<int>(rng.UniformInt(protocol_.d()));
+  return Report(record, attribute, rng);
+}
+
+bool MemoizedSmpClient::IsMemoized(int attribute) const {
+  LDPR_REQUIRE(attribute >= 0 && attribute < protocol_.d(),
+               "attribute out of range");
+  return cache_[attribute].has_value();
+}
+
+void MemoizedSmpClient::Invalidate(int attribute) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < protocol_.d(),
+               "attribute out of range");
+  cache_[attribute].reset();
+}
+
+}  // namespace ldpr::multidim

@@ -1,0 +1,55 @@
+#ifndef LDPR_MULTIDIM_MEMOIZATION_H_
+#define LDPR_MULTIDIM_MEMOIZATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "multidim/smp.h"
+
+namespace ldpr::multidim {
+
+/// Longitudinal SMP client with memoization (Erlingsson et al. 2014, Ding et
+/// al. 2017; the paper's recommended non-uniform-metric deployment,
+/// Sections 3.2.3 and 6).
+///
+/// A user who samples the same attribute again re-sends the *cached* report
+/// instead of re-randomizing, so repeated collections leak nothing beyond
+/// the first. One instance models one user across surveys; the server-side
+/// estimator is unchanged (Smp::Estimate), because each cached report is a
+/// valid eps-LDP report of the same value.
+///
+/// Caveat (also the paper's): memoization assumes the underlying value is
+/// static; if the value changes, call Invalidate() for that attribute.
+class MemoizedSmpClient {
+ public:
+  /// `protocol` must outlive the client.
+  explicit MemoizedSmpClient(const Smp& protocol);
+
+  /// Reports attribute `attribute` of `record`, reusing the cached report
+  /// when this attribute was reported before.
+  SmpReport Report(const std::vector<int>& record, int attribute, Rng& rng);
+
+  /// Samples an attribute uniformly at random (with replacement across
+  /// calls, i.e. the non-uniform privacy metric) and reports it.
+  SmpReport ReportRandomAttribute(const std::vector<int>& record, Rng& rng);
+
+  /// True when the given attribute has a cached report.
+  bool IsMemoized(int attribute) const;
+
+  /// Number of *fresh* randomizations performed so far — the quantity that
+  /// governs the user's cumulative privacy loss under sequential
+  /// composition.
+  int fresh_reports() const { return fresh_reports_; }
+
+  /// Drops the cached report of one attribute (value changed).
+  void Invalidate(int attribute);
+
+ private:
+  const Smp& protocol_;
+  std::vector<std::optional<fo::Report>> cache_;
+  int fresh_reports_ = 0;
+};
+
+}  // namespace ldpr::multidim
+
+#endif  // LDPR_MULTIDIM_MEMOIZATION_H_

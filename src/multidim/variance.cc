@@ -1,0 +1,85 @@
+#include "multidim/variance.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "fo/unary_encoding.h"
+#include "multidim/amplification.h"
+
+namespace ldpr::multidim {
+
+double RsFdVariance(RsFdVariant variant, int k, int d, double epsilon,
+                    long long n, double f) {
+  LDPR_REQUIRE(k >= 2 && d >= 2 && epsilon > 0.0 && n >= 1,
+               "RsFdVariance requires k >= 2, d >= 2, epsilon > 0, n >= 1");
+  const double eps_prime = AmplifiedEpsilon(epsilon, d);
+  double p = 0.0;
+  double q = 0.0;
+  switch (variant) {
+    case RsFdVariant::kGrr: {
+      const double e = std::exp(eps_prime);
+      p = e / (e + k - 1);
+      q = (1.0 - p) / (k - 1);
+      break;
+    }
+    case RsFdVariant::kSueZ:
+    case RsFdVariant::kSueR:
+      p = fo::Sue::PForEpsilon(eps_prime);
+      q = fo::Sue::QForEpsilon(eps_prime);
+      break;
+    case RsFdVariant::kOueZ:
+    case RsFdVariant::kOueR:
+      p = fo::Oue::PForEpsilon(eps_prime);
+      q = fo::Oue::QForEpsilon(eps_prime);
+      break;
+  }
+
+  const double dd = static_cast<double>(d);
+  double fake_support = 0.0;  // per-report support probability of fake data
+  switch (variant) {
+    case RsFdVariant::kGrr:
+      fake_support = 1.0 / k;
+      break;
+    case RsFdVariant::kSueZ:
+    case RsFdVariant::kOueZ:
+      fake_support = q;
+      break;
+    case RsFdVariant::kSueR:
+    case RsFdVariant::kOueR:
+      fake_support = (p - q) / k + q;
+      break;
+  }
+  const double gamma =
+      (f * (p - q) + q + (dd - 1.0) * fake_support) / dd;
+  return dd * dd * gamma * (1.0 - gamma) /
+         (static_cast<double>(n) * (p - q) * (p - q));
+}
+
+double RsFdApproxMseAvg(RsFdVariant variant, const std::vector<int>& k,
+                        double epsilon, long long n) {
+  LDPR_REQUIRE(!k.empty(), "RsFdApproxMseAvg requires >= 1 attribute");
+  const int d = static_cast<int>(k.size());
+  double acc = 0.0;
+  for (int kj : k) {
+    // Variance is value-independent under uniform fakes, so the inner
+    // average over the k_j values is just the single-value variance.
+    acc += RsFdVariance(variant, kj, d, epsilon, n, /*f=*/0.0);
+  }
+  return acc / d;
+}
+
+double RsRfdApproxMseAvg(const RsRfd& protocol, long long n) {
+  LDPR_REQUIRE(n >= 1, "RsRfdApproxMseAvg requires n >= 1");
+  double acc = 0.0;
+  for (int j = 0; j < protocol.d(); ++j) {
+    const int kj = protocol.domain_sizes()[j];
+    double attr_acc = 0.0;
+    for (int v = 0; v < kj; ++v) {
+      attr_acc += protocol.EstimatorVariance(j, v, n, /*f=*/0.0);
+    }
+    acc += attr_acc / kj;
+  }
+  return acc / protocol.d();
+}
+
+}  // namespace ldpr::multidim

@@ -1,0 +1,32 @@
+#ifndef LDPR_MULTIDIM_VARIANCE_H_
+#define LDPR_MULTIDIM_VARIANCE_H_
+
+#include <vector>
+
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+
+namespace ldpr::multidim {
+
+/// Closed-form estimator variance for an RS+FD variant at true frequency f,
+/// attribute domain size k, dimensionality d, over n users. Derived exactly
+/// like Theorems 2 / 4 with the uniform fake-data support probabilities:
+///   GRR : gamma = (1/d)(q + f(p-q) + (d-1)/k)
+///   UE-z: gamma = (1/d)(f(p-q) + q + (d-1) q)
+///   UE-r: gamma = (1/d)(f(p-q) + q + (d-1)((p-q)/k + q))
+///   Var  = d^2 gamma (1 - gamma) / (n (p - q)^2).
+double RsFdVariance(RsFdVariant variant, int k, int d, double epsilon,
+                    long long n, double f);
+
+/// The paper's "analytical" curve for Fig. 16: the approximate variance
+/// obtained by setting f(v) = 0, averaged the same way as MSE_avg —
+/// (1/d) sum_j (1/k_j) sum_v Var_j(v).
+double RsFdApproxMseAvg(RsFdVariant variant, const std::vector<int>& k,
+                        double epsilon, long long n);
+
+/// Same for RS+RFD, where the per-value variance depends on the prior f~.
+double RsRfdApproxMseAvg(const RsRfd& protocol, long long n);
+
+}  // namespace ldpr::multidim
+
+#endif  // LDPR_MULTIDIM_VARIANCE_H_

@@ -1,0 +1,118 @@
+#include "privacy/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "multidim/amplification.h"
+
+namespace ldpr::privacy {
+
+Accountant::Accountant(int d) {
+  LDPR_REQUIRE(d >= 1, "Accountant requires d >= 1, got " << d);
+  per_attribute_.assign(d, 0.0);
+}
+
+void Accountant::RecordSpl(const std::vector<int>& attributes,
+                           double epsilon) {
+  LDPR_REQUIRE(!attributes.empty(), "SPL survey needs at least one attribute");
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  const double share = epsilon / static_cast<double>(attributes.size());
+  for (int attribute : attributes) {
+    LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+                 "attribute " << attribute << " out of range");
+    per_attribute_[attribute] += share;
+    ++num_randomizations_;
+  }
+  total_ += epsilon;
+}
+
+void Accountant::RecordSmp(int attribute, double epsilon, bool memoized) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+               "attribute " << attribute << " out of range");
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  if (memoized) return;  // replaying a cached report reveals nothing new
+  per_attribute_[attribute] += epsilon;
+  total_ += epsilon;
+  ++num_randomizations_;
+}
+
+void Accountant::RecordRsFd(int attribute, int survey_d, double epsilon,
+                            bool memoized) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+               "attribute " << attribute << " out of range");
+  LDPR_REQUIRE(survey_d >= 2, "RS+FD survey needs d >= 2, got " << survey_d);
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  if (memoized) return;
+  // The tuple is eps-LDP by the amplification argument; the sampled
+  // attribute's randomizer ran at the amplified budget.
+  per_attribute_[attribute] += multidim::AmplifiedEpsilon(epsilon, survey_d);
+  total_ += epsilon;
+  ++num_randomizations_;
+}
+
+double Accountant::AttributeEpsilon(int attribute) const {
+  LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+               "attribute " << attribute << " out of range");
+  return per_attribute_[attribute];
+}
+
+double Accountant::WorstAttributeEpsilon() const {
+  return *std::max_element(per_attribute_.begin(), per_attribute_.end());
+}
+
+double ExpectedSmpTotalEpsilonUniform(int d, int num_surveys, double epsilon) {
+  LDPR_REQUIRE(d >= 1 && num_surveys >= 0 && epsilon > 0,
+               "invalid accountant parameters");
+  LDPR_REQUIRE(num_surveys <= d,
+               "uniform metric samples without replacement: num_surveys ("
+                   << num_surveys << ") must be <= d (" << d << ")");
+  return static_cast<double>(num_surveys) * epsilon;
+}
+
+double ExpectedSmpTotalEpsilonNonUniform(int d, int num_surveys,
+                                         double epsilon) {
+  LDPR_REQUIRE(d >= 1 && num_surveys >= 0 && epsilon > 0,
+               "invalid accountant parameters");
+  // Expected number of distinct attributes among num_surveys uniform draws.
+  const double distinct =
+      d * (1.0 - std::pow(1.0 - 1.0 / static_cast<double>(d), num_surveys));
+  return distinct * epsilon;
+}
+
+LedgerSummary SimulateSmpLedgers(int d, int num_surveys, double epsilon,
+                                 bool with_replacement, int num_users,
+                                 Rng& rng) {
+  LDPR_REQUIRE(num_users >= 1, "num_users must be >= 1, got " << num_users);
+  LDPR_REQUIRE(d >= 1 && epsilon > 0, "invalid accountant parameters");
+  LDPR_REQUIRE(with_replacement || num_surveys <= d,
+               "uniform metric requires num_surveys <= d");
+  LedgerSummary summary;
+  for (int u = 0; u < num_users; ++u) {
+    Accountant ledger(d);
+    if (with_replacement) {
+      std::vector<bool> seen(d, false);
+      for (int s = 0; s < num_surveys; ++s) {
+        const int attribute = static_cast<int>(rng.UniformInt(d));
+        ledger.RecordSmp(attribute, epsilon, /*memoized=*/seen[attribute]);
+        seen[attribute] = true;
+      }
+    } else {
+      std::vector<int> attributes =
+          rng.SampleWithoutReplacement(d, num_surveys);
+      for (int attribute : attributes) {
+        ledger.RecordSmp(attribute, epsilon);
+      }
+    }
+    summary.mean_total += ledger.TotalEpsilon();
+    summary.max_total = std::max(summary.max_total, ledger.TotalEpsilon());
+    summary.mean_worst_attribute += ledger.WorstAttributeEpsilon();
+    summary.mean_randomizations += ledger.num_randomizations();
+  }
+  summary.mean_total /= num_users;
+  summary.mean_worst_attribute /= num_users;
+  summary.mean_randomizations /= num_users;
+  return summary;
+}
+
+}  // namespace ldpr::privacy

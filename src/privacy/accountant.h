@@ -1,0 +1,94 @@
+#ifndef LDPR_PRIVACY_ACCOUNTANT_H_
+#define LDPR_PRIVACY_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr::privacy {
+
+/// Per-user privacy-loss ledger across repeated collections.
+///
+/// Section 6 observes that "under standard sequential composition, the
+/// overall privacy loss is excessive when using high values for eps" and
+/// recommends the non-uniform metric with memoization to bound it. This
+/// module makes the realized loss measurable: every fresh randomization is
+/// charged to the attribute it touched and to the user's sequential total;
+/// memoized replays of an earlier report are free (replaying a fixed value
+/// reveals nothing new under LDP's post-processing immunity).
+class Accountant {
+ public:
+  /// `d` is the number of attributes tracked.
+  explicit Accountant(int d);
+
+  /// One SPL survey: the budget splits evenly over `attributes` (all
+  /// collected at eps/|attributes| each); the sequential total grows by eps.
+  void RecordSpl(const std::vector<int>& attributes, double epsilon);
+
+  /// One SMP survey: the whole budget lands on `attribute`. A memoized
+  /// replay (same attribute, cached report) costs nothing.
+  void RecordSmp(int attribute, double epsilon, bool memoized = false);
+
+  /// One RS+FD / RS+RFD survey: the *tuple* satisfies eps-LDP, so the
+  /// sequential total grows by eps; the sampled attribute's randomizer ran
+  /// at the amplified budget eps' = ln(d_sv (e^eps - 1) + 1), which is what
+  /// an attacker who uncovers the sampled attribute (Section 3.3) can
+  /// exploit — the ledger tracks it per attribute. `survey_d` is the number
+  /// of attributes in this survey's tuple.
+  void RecordRsFd(int attribute, int survey_d, double epsilon,
+                  bool memoized = false);
+
+  /// Total realized budget under sequential composition.
+  double TotalEpsilon() const { return total_; }
+
+  /// Budget charged against attribute j (sequentially composed over the
+  /// surveys that randomized it).
+  double AttributeEpsilon(int attribute) const;
+
+  /// max_j AttributeEpsilon(j): the most-exposed attribute.
+  double WorstAttributeEpsilon() const;
+
+  /// Number of fresh (non-memoized) randomizations recorded.
+  int num_randomizations() const { return num_randomizations_; }
+
+  int d() const { return static_cast<int>(per_attribute_.size()); }
+
+ private:
+  std::vector<double> per_attribute_;
+  double total_ = 0.0;
+  int num_randomizations_ = 0;
+};
+
+/// Closed form: expected sequential total after `num_surveys` SMP surveys at
+/// budget `epsilon` over `d` attributes.
+///
+///   uniform metric     : num_surveys * epsilon  (every survey is fresh)
+///   non-uniform metric : epsilon * d (1 - (1 - 1/d)^num_surveys)
+///                        (with replacement + memoization, only the first
+///                        draw of each attribute is charged).
+///
+/// Requires num_surveys <= d in the uniform case (sampling without
+/// replacement exhausts the attributes).
+double ExpectedSmpTotalEpsilonUniform(int d, int num_surveys, double epsilon);
+double ExpectedSmpTotalEpsilonNonUniform(int d, int num_surveys,
+                                         double epsilon);
+
+/// Population summary of simulated per-user ledgers.
+struct LedgerSummary {
+  double mean_total = 0.0;            ///< mean per-user sequential total
+  double max_total = 0.0;             ///< worst user
+  double mean_worst_attribute = 0.0;  ///< mean of per-user worst attribute
+  double mean_randomizations = 0.0;   ///< fresh randomizations per user
+};
+
+/// Simulates `num_users` independent users running `num_surveys` SMP surveys
+/// over d attributes and returns their ledger summary. `with_replacement`
+/// selects the non-uniform metric (repeat draws memoized); the uniform
+/// metric samples without replacement and requires num_surveys <= d.
+LedgerSummary SimulateSmpLedgers(int d, int num_surveys, double epsilon,
+                                 bool with_replacement, int num_users,
+                                 Rng& rng);
+
+}  // namespace ldpr::privacy
+
+#endif  // LDPR_PRIVACY_ACCOUNTANT_H_

@@ -1,0 +1,52 @@
+#include "privacy/pie.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::privacy {
+
+namespace {
+const double kLog2E = std::log2(std::exp(1.0));
+}  // namespace
+
+double AlphaFromEpsilon(double epsilon, long long n, int k) {
+  LDPR_REQUIRE(epsilon > 0.0 && n >= 2 && k >= 2,
+               "AlphaFromEpsilon requires epsilon > 0, n >= 2, k >= 2");
+  return std::min({epsilon * kLog2E, epsilon * epsilon * kLog2E,
+                   std::log2(static_cast<double>(n)),
+                   std::log2(static_cast<double>(k))});
+}
+
+double AlphaFromBayesError(double beta, long long n) {
+  LDPR_REQUIRE(beta >= 0.0 && beta <= 1.0,
+               "AlphaFromBayesError requires beta in [0, 1]");
+  LDPR_REQUIRE(n >= 2, "AlphaFromBayesError requires n >= 2");
+  return std::max(0.0, (1.0 - beta) * std::log2(static_cast<double>(n)) - 1.0);
+}
+
+PieCalibration CalibrateForBayesError(double beta, long long n, int k) {
+  LDPR_REQUIRE(k >= 2, "CalibrateForBayesError requires k >= 2");
+  PieCalibration out;
+  out.alpha = AlphaFromBayesError(beta, n);
+  if (std::log2(static_cast<double>(k)) <= out.alpha) {
+    // Small-domain attribute: [35, Prop. 9] — no randomizer needed, the
+    // attribute itself cannot convey more than alpha bits about the user.
+    out.use_randomizer = false;
+    out.epsilon = 0.0;
+    return out;
+  }
+  out.use_randomizer = true;
+  double eps = out.alpha / kLog2E;
+  if (eps < 1.0) {
+    // For eps < 1 the binding term of Prop. 1 is eps^2 log2 e.
+    eps = std::sqrt(std::max(0.0, out.alpha / kLog2E));
+  }
+  // Guard against a degenerate zero budget (beta so high that alpha == 0):
+  // fall back to a tiny positive budget so a randomizer is still usable.
+  out.epsilon = std::max(eps, 1e-3);
+  return out;
+}
+
+}  // namespace ldpr::privacy

@@ -1,0 +1,39 @@
+#ifndef LDPR_PRIVACY_PIE_H_
+#define LDPR_PRIVACY_PIE_H_
+
+namespace ldpr::privacy {
+
+/// (U, alpha)-PIE privacy (Murakami & Takahashi 2021), the relaxed local
+/// privacy model used in Appendix C. PIE bounds the mutual information
+/// I(U; Y) between user identity and perturbed data by alpha bits.
+
+/// Proposition 1: an eps-LDP mechanism over n users and domain size k
+/// provides (U, alpha)-PIE privacy with
+///   alpha = min(eps log2 e, eps^2 log2 e, log2 n, log2 k).
+double AlphaFromEpsilon(double epsilon, long long n, int k);
+
+/// Corollary 1: Bayes error beta >= 1 - (alpha + 1) / log2 n for uniform U.
+/// Inverting at equality, the alpha budget needed to *guarantee* Bayes error
+/// at least beta over n users is
+///   alpha = (1 - beta) log2 n - 1   (floored at 0).
+double AlphaFromBayesError(double beta, long long n);
+
+/// PIE-calibrated attribute release, following Appendix C's experimental
+/// recipe ([35, Proposition 9]): for a target alpha and domain size k,
+///
+///  * if log2 k <= alpha, the attribute may be released in the clear
+///    (`use_randomizer == false`);
+///  * otherwise run an LDP protocol with the largest eps satisfying
+///    min(eps, eps^2) log2 e <= alpha, i.e.
+///    eps = alpha / log2 e when that is >= 1, else sqrt(alpha / log2 e).
+struct PieCalibration {
+  bool use_randomizer = true;
+  double epsilon = 0.0;  ///< meaningful only when use_randomizer is true
+  double alpha = 0.0;    ///< the alpha budget this calibration targets
+};
+
+PieCalibration CalibrateForBayesError(double beta, long long n, int k);
+
+}  // namespace ldpr::privacy
+
+#endif  // LDPR_PRIVACY_PIE_H_

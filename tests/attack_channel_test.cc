@@ -1,0 +1,97 @@
+// Channel-level tests: the AttackChannel abstraction used by the
+// multi-survey profiling simulations, across all three privacy models
+// (eps-LDP, alpha-PIE, metric-LDP).
+
+#include <gtest/gtest.h>
+
+#include "attack/profiling.h"
+#include "core/check.h"
+#include "fo/metric_ldp.h"
+
+namespace ldpr::attack {
+namespace {
+
+TEST(MetricLdpChannelTest, PredictionsInDomain) {
+  auto channel = MakeMetricLdpChannel({9, 4}, 1.0);
+  Rng rng(1);
+  for (int t = 0; t < 500; ++t) {
+    int p0 = channel->ReportAndPredict(4, 0, rng);
+    int p1 = channel->ReportAndPredict(2, 1, rng);
+    EXPECT_GE(p0, 0);
+    EXPECT_LT(p0, 9);
+    EXPECT_GE(p1, 0);
+    EXPECT_LT(p1, 4);
+  }
+  EXPECT_THROW(channel->ReportAndPredict(0, 2, rng), InvalidArgumentError);
+}
+
+TEST(MetricLdpChannelTest, AccuracyMatchesMechanismDiagonal) {
+  const int k = 16;
+  const double eps = 2.0;
+  auto channel = MakeMetricLdpChannel({k}, eps);
+  fo::MetricLdp reference(k, eps);
+  Rng rng(2);
+  long long correct = 0;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    const int v = static_cast<int>(rng.UniformInt(k));
+    correct += (channel->ReportAndPredict(v, 0, rng) == v);
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / trials,
+              reference.ExpectedAttackAcc(), 0.01);
+}
+
+TEST(MetricLdpChannelTest, LeaksMoreThanGrrAtSameEpsilonOnLargeDomain) {
+  const int k = 74;
+  const double eps = 2.0;
+  auto metric = MakeMetricLdpChannel({k}, eps);
+  auto grr = MakeLdpChannel(fo::Protocol::kGrr, {k}, eps);
+  Rng rng(3);
+  long long metric_correct = 0, grr_correct = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const int v = static_cast<int>(rng.UniformInt(k));
+    metric_correct += (metric->ReportAndPredict(v, 0, rng) == v);
+    grr_correct += (grr->ReportAndPredict(v, 0, rng) == v);
+  }
+  EXPECT_GT(metric_correct, 2 * grr_correct);
+}
+
+TEST(MetricLdpChannelTest, ErrorsAreMetricallyLocal) {
+  const int k = 32;
+  auto channel = MakeMetricLdpChannel({k}, 1.0);
+  Rng rng(4);
+  double mean_abs_err = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const int v = 16;
+    mean_abs_err += std::abs(channel->ReportAndPredict(v, 0, rng) - v);
+  }
+  mean_abs_err /= trials;
+  // A uniform wrong guess would average ~k/4 = 8 here; metric-LDP errors
+  // cluster around the true value.
+  EXPECT_LT(mean_abs_err, 3.0);
+}
+
+TEST(ChannelProfilingTest, MetricLdpProfilingRunsEndToEnd) {
+  data::Dataset ds({5, 7, 3}, {});
+  Rng gen(5);
+  for (int i = 0; i < 500; ++i) {
+    ds.AddRecord({static_cast<int>(gen.UniformInt(5)),
+                  static_cast<int>(gen.UniformInt(7)),
+                  static_cast<int>(gen.UniformInt(3))});
+  }
+  Rng rng(6);
+  SurveyPlan plan = MakeSurveyPlan(3, 3, rng);
+  auto channel = MakeMetricLdpChannel(ds.domain_sizes(), 4.0);
+  auto snapshots = SimulateSmpProfiling(ds, *channel, plan,
+                                        PrivacyMetricMode::kUniform, rng);
+  ASSERT_EQ(snapshots.size(), 3u);
+  for (const auto& [a, v] : snapshots.back()[0]) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, ds.domain_size(a));
+  }
+}
+
+}  // namespace
+}  // namespace ldpr::attack

@@ -1,0 +1,171 @@
+#include "attack/profiling.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "data/synthetic.h"
+
+namespace ldpr::attack {
+namespace {
+
+TEST(SurveyPlanTest, SizesWithinPaperBounds) {
+  Rng rng(1);
+  const int d = 10;
+  SurveyPlan plan = MakeSurveyPlan(d, 5, rng);
+  EXPECT_EQ(plan.num_surveys(), 5);
+  for (const auto& attrs : plan.surveys) {
+    EXPECT_GE(static_cast<int>(attrs.size()), d / 2);
+    EXPECT_LE(static_cast<int>(attrs.size()), d);
+    std::set<int> uniq(attrs.begin(), attrs.end());
+    EXPECT_EQ(uniq.size(), attrs.size());
+    for (int a : attrs) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, d);
+    }
+  }
+}
+
+TEST(SurveyPlanTest, Validation) {
+  Rng rng(2);
+  EXPECT_THROW(MakeSurveyPlan(1, 5, rng), InvalidArgumentError);
+  EXPECT_THROW(MakeSurveyPlan(10, 0, rng), InvalidArgumentError);
+}
+
+TEST(LdpChannelTest, HighEpsilonRecoversGrrValue) {
+  auto channel = MakeLdpChannel(fo::Protocol::kGrr, {5, 9}, 20.0);
+  Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_EQ(channel->ReportAndPredict(3, 0, rng), 3);
+    EXPECT_EQ(channel->ReportAndPredict(7, 1, rng), 7);
+  }
+}
+
+TEST(LdpChannelTest, LowEpsilonIsNoisy) {
+  auto channel = MakeLdpChannel(fo::Protocol::kGrr, {50}, 0.1);
+  Rng rng(4);
+  int correct = 0;
+  for (int t = 0; t < 2000; ++t) {
+    correct += (channel->ReportAndPredict(7, 0, rng) == 7);
+  }
+  EXPECT_LT(correct / 2000.0, 0.2);
+}
+
+TEST(PieChannelTest, SmallDomainsAreClearText) {
+  // At beta = 0.5 over ~45k users, k <= ~100 attributes skip the randomizer
+  // ([35, Prop. 9]) — predictions become exact.
+  auto channel = MakePieChannel(fo::Protocol::kOue, {16, 2}, 0.5, 45222);
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(channel->ReportAndPredict(7, 0, rng), 7);
+    EXPECT_EQ(channel->ReportAndPredict(1, 1, rng), 1);
+  }
+}
+
+TEST(PieChannelTest, TighterBetaKeepsRandomizer) {
+  // beta = 0.95 gives a tiny alpha; a large-domain attribute must stay
+  // randomized and predictions become unreliable.
+  auto channel =
+      MakePieChannel(fo::Protocol::kGrr, {20000}, 0.95, 45222);
+  Rng rng(6);
+  int correct = 0;
+  for (int t = 0; t < 500; ++t) {
+    correct += (channel->ReportAndPredict(7, 0, rng) == 7);
+  }
+  EXPECT_LT(correct / 500.0, 0.2);
+}
+
+TEST(SmpProfilingTest, UniformModeGrowsFreshAttributes) {
+  data::Dataset ds = data::NurseryLike(7, 0.05);
+  Rng rng(7);
+  SurveyPlan plan = MakeSurveyPlan(ds.d(), 4, rng);
+  auto channel = MakeLdpChannel(fo::Protocol::kGrr, ds.domain_sizes(), 5.0);
+  auto snapshots = SimulateSmpProfiling(ds, *channel, plan,
+                                        PrivacyMetricMode::kUniform, rng);
+  ASSERT_EQ(static_cast<int>(snapshots.size()), 4);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_EQ(static_cast<int>(snapshots[s].size()), ds.n());
+  }
+  // Under the uniform metric each user reports exactly one fresh attribute
+  // per survey (surveys cover >= d/2 of d attributes, so no exhaustion in 4
+  // surveys when d = 9).
+  for (int u = 0; u < ds.n(); ++u) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(static_cast<int>(snapshots[s][u].size()), s + 1);
+      // Profiles contain distinct attributes with valid values.
+      std::set<int> attrs;
+      for (const auto& [a, v] : snapshots[s][u]) {
+        attrs.insert(a);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, ds.domain_size(a));
+      }
+      EXPECT_EQ(static_cast<int>(attrs.size()), s + 1);
+    }
+  }
+}
+
+TEST(SmpProfilingTest, NonUniformModeGrowsSlower) {
+  data::Dataset ds = data::NurseryLike(8, 0.05);
+  Rng rng(8);
+  SurveyPlan plan = MakeSurveyPlan(ds.d(), 5, rng);
+  auto channel = MakeLdpChannel(fo::Protocol::kGrr, ds.domain_sizes(), 5.0);
+
+  Rng rng_u(9), rng_nu(9);
+  auto uni = SimulateSmpProfiling(ds, *channel, plan,
+                                  PrivacyMetricMode::kUniform, rng_u);
+  auto nonuni = SimulateSmpProfiling(ds, *channel, plan,
+                                     PrivacyMetricMode::kNonUniform, rng_nu);
+  // With replacement, repeated attributes are memoized, so the average
+  // profile is strictly smaller than under the uniform metric.
+  double uni_size = 0.0, nonuni_size = 0.0;
+  for (int u = 0; u < ds.n(); ++u) {
+    uni_size += uni.back()[u].size();
+    nonuni_size += nonuni.back()[u].size();
+  }
+  EXPECT_LT(nonuni_size, uni_size);
+  // And each profile is still within [1, num_surveys].
+  for (int u = 0; u < ds.n(); ++u) {
+    EXPECT_GE(static_cast<int>(nonuni.back()[u].size()), 1);
+    EXPECT_LE(static_cast<int>(nonuni.back()[u].size()), 5);
+  }
+}
+
+TEST(SmpProfilingTest, HighEpsilonProfilesMatchTruth) {
+  data::Dataset ds = data::NurseryLike(10, 0.05);
+  Rng rng(10);
+  SurveyPlan plan = MakeSurveyPlan(ds.d(), 3, rng);
+  auto channel = MakeLdpChannel(fo::Protocol::kGrr, ds.domain_sizes(), 20.0);
+  auto snapshots = SimulateSmpProfiling(ds, *channel, plan,
+                                        PrivacyMetricMode::kUniform, rng);
+  for (int u = 0; u < ds.n(); ++u) {
+    for (const auto& [a, v] : snapshots.back()[u]) {
+      EXPECT_EQ(v, ds.value(u, a));
+    }
+  }
+}
+
+TEST(RsFdProfilingTest, ProducesProfilesWithChainedPredictions) {
+  data::Dataset ds = data::AcsEmploymentLike(11, 0.08);
+  Rng rng(11);
+  SurveyPlan plan = MakeSurveyPlan(ds.d(), 2, rng);
+  ml::GbdtConfig gbdt;
+  gbdt.num_rounds = 5;
+  gbdt.max_depth = 3;
+  auto snapshots = SimulateRsFdProfiling(ds, multidim::RsFdVariant::kGrr, 4.0,
+                                         plan, /*synthetic_multiplier=*/1.0,
+                                         gbdt, rng);
+  ASSERT_EQ(snapshots.size(), 2u);
+  for (int u = 0; u < ds.n(); ++u) {
+    // One predicted (attribute, value) per survey, possibly overlapping.
+    EXPECT_GE(static_cast<int>(snapshots[1][u].size()), 1);
+    EXPECT_LE(static_cast<int>(snapshots[1][u].size()), 2);
+    for (const auto& [a, v] : snapshots[1][u]) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, ds.domain_size(a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldpr::attack

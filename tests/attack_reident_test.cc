@@ -1,0 +1,225 @@
+#include "attack/reident.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "data/synthetic.h"
+
+namespace ldpr::attack {
+namespace {
+
+/// A tiny background of n records over 2 attributes where record i is
+/// (i mod ka, i mod kb) — easy to reason about uniqueness.
+data::Dataset GridBackground(int n, int ka, int kb) {
+  data::Dataset ds({ka, kb});
+  for (int i = 0; i < n; ++i) ds.AddRecord({i % ka, i % kb});
+  return ds;
+}
+
+ReidentConfig AllTargets(std::vector<int> top_k = {1, 10}) {
+  ReidentConfig config;
+  config.top_k = std::move(top_k);
+  config.max_targets = 0;
+  return config;
+}
+
+TEST(ReidentTest, PerfectProfilesOnUniqueRecordsGiveFullAccuracy) {
+  // 12 records, (i mod 4, i mod 3): unique combination per record (lcm = 12).
+  data::Dataset ds = GridBackground(12, 4, 3);
+  std::vector<Profile> profiles(12);
+  for (int i = 0; i < 12; ++i) {
+    profiles[i] = {{0, i % 4}, {1, i % 3}};
+  }
+  Rng rng(1);
+  auto result = ReidentAccuracy(profiles, ds, {true, true},
+                                AllTargets({1}), rng);
+  EXPECT_DOUBLE_EQ(result.rid_acc_percent[0], 100.0);
+}
+
+TEST(ReidentTest, AnonymitySetSplitsProbability) {
+  // 10 identical records: a perfect profile still ties with all 10.
+  data::Dataset ds({2, 2});
+  for (int i = 0; i < 10; ++i) ds.AddRecord({1, 0});
+  std::vector<Profile> profiles(10, Profile{{0, 1}, {1, 0}});
+  Rng rng(2);
+  auto result =
+      ReidentAccuracy(profiles, ds, {true, true}, AllTargets({1, 5, 10}),
+                      rng);
+  EXPECT_NEAR(result.rid_acc_percent[0], 10.0, 1e-9);   // top-1: 1/10
+  EXPECT_NEAR(result.rid_acc_percent[1], 50.0, 1e-9);   // top-5: 5/10
+  EXPECT_NEAR(result.rid_acc_percent[2], 100.0, 1e-9);  // top-10
+}
+
+TEST(ReidentTest, WrongProfileValuesKillAccuracy) {
+  data::Dataset ds = GridBackground(12, 4, 3);
+  std::vector<Profile> profiles(12);
+  for (int i = 0; i < 12; ++i) {
+    // Predictions are deterministically wrong on attribute 0.
+    profiles[i] = {{0, (i + 1) % 4}, {1, i % 3}};
+  }
+  Rng rng(3);
+  auto result = ReidentAccuracy(profiles, ds, {true, true}, AllTargets({1}),
+                                rng);
+  // The target's own record is at distance 1 while some other record matches
+  // both attributes exactly, so top-1 misses.
+  EXPECT_LT(result.rid_acc_percent[0], 10.0);
+}
+
+TEST(ReidentTest, EmptyProfileFallsBackToBaseline) {
+  data::Dataset ds = GridBackground(20, 4, 5);
+  std::vector<Profile> profiles(20);  // all empty
+  Rng rng(4);
+  auto result = ReidentAccuracy(profiles, ds, {true, true}, AllTargets({1}),
+                                rng);
+  EXPECT_NEAR(result.rid_acc_percent[0], BaselineRidAcc(1, 20), 1e-9);
+}
+
+TEST(ReidentTest, PartialKnowledgeIgnoresUnknownAttributes) {
+  data::Dataset ds = GridBackground(12, 4, 3);
+  std::vector<Profile> profiles(12);
+  for (int i = 0; i < 12; ++i) {
+    profiles[i] = {{0, i % 4}, {1, i % 3}};
+  }
+  Rng rng(5);
+  // Background knows only attribute 0: each profile now ties with the 3
+  // records sharing i mod 4.
+  auto result = ReidentAccuracy(profiles, ds, {true, false}, AllTargets({1}),
+                                rng);
+  EXPECT_NEAR(result.rid_acc_percent[0], 100.0 / 3.0, 1e-9);
+}
+
+TEST(ReidentTest, TargetSubsampleApproximatesFullEvaluation) {
+  data::Dataset ds = data::AdultLike(6, 0.05);
+  const int n = ds.n();
+  Rng prof_rng(6);
+  std::vector<Profile> profiles(n);
+  for (int i = 0; i < n; ++i) {
+    // True values on three attributes, 30% chance of a wrong value each.
+    for (int a : {0, 2, 8}) {
+      int v = ds.value(i, a);
+      if (prof_rng.Bernoulli(0.3)) {
+        v = static_cast<int>(prof_rng.UniformInt(ds.domain_size(a)));
+      }
+      profiles[i].emplace_back(a, v);
+    }
+  }
+  std::vector<bool> bk(ds.d(), true);
+  Rng rng_full(7), rng_sub(8);
+  auto full = ReidentAccuracy(profiles, ds, bk, AllTargets({10}), rng_full);
+  ReidentConfig sub_config;
+  sub_config.top_k = {10};
+  sub_config.max_targets = 1500;
+  auto sub = ReidentAccuracy(profiles, ds, bk, sub_config, rng_sub);
+  EXPECT_NEAR(sub.rid_acc_percent[0], full.rid_acc_percent[0], 5.0);
+}
+
+TEST(ReidentTest, MoreProfiledAttributesHelpTheAttacker) {
+  data::Dataset ds = data::AdultLike(9, 0.05);
+  const int n = ds.n();
+  std::vector<Profile> small(n), large(n);
+  for (int i = 0; i < n; ++i) {
+    small[i] = {{0, ds.value(i, 0)}};
+    for (int a = 0; a < 5; ++a) large[i].emplace_back(a, ds.value(i, a));
+  }
+  std::vector<bool> bk(ds.d(), true);
+  Rng rng(9);
+  ReidentConfig config;
+  config.top_k = {1};
+  config.max_targets = 1000;
+  auto acc_small = ReidentAccuracy(small, ds, bk, config, rng);
+  auto acc_large = ReidentAccuracy(large, ds, bk, config, rng);
+  EXPECT_GT(acc_large.rid_acc_percent[0], acc_small.rid_acc_percent[0]);
+}
+
+TEST(ReidentTest, MakeBackgroundAttributes) {
+  Rng rng(10);
+  auto fk = MakeBackgroundAttributes(10, ReidentModel::kFullKnowledge, rng);
+  EXPECT_EQ(std::count(fk.begin(), fk.end(), true), 10);
+  for (int t = 0; t < 20; ++t) {
+    auto pk =
+        MakeBackgroundAttributes(10, ReidentModel::kPartialKnowledge, rng);
+    auto m = std::count(pk.begin(), pk.end(), true);
+    EXPECT_GE(m, 5);
+    EXPECT_LE(m, 10);
+  }
+  EXPECT_THROW(MakeBackgroundAttributes(1, ReidentModel::kFullKnowledge, rng),
+               InvalidArgumentError);
+}
+
+TEST(ReidentTest, BaselineFormula) {
+  EXPECT_DOUBLE_EQ(BaselineRidAcc(1, 100), 1.0);
+  EXPECT_DOUBLE_EQ(BaselineRidAcc(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(BaselineRidAcc(200, 100), 100.0);  // capped
+  EXPECT_THROW(BaselineRidAcc(0, 100), InvalidArgumentError);
+}
+
+TEST(ReidentTest, Validation) {
+  data::Dataset ds = GridBackground(5, 2, 3);
+  std::vector<Profile> profiles(4);  // wrong size
+  Rng rng(11);
+  EXPECT_THROW(
+      ReidentAccuracy(profiles, ds, {true, true}, AllTargets(), rng),
+      InvalidArgumentError);
+  profiles.resize(5);
+  EXPECT_THROW(ReidentAccuracy(profiles, ds, {true}, AllTargets(), rng),
+               InvalidArgumentError);
+  ReidentConfig bad;
+  bad.top_k = {};
+  EXPECT_THROW(ReidentAccuracy(profiles, ds, {true, true}, bad, rng),
+               InvalidArgumentError);
+}
+
+TEST(ReidentTest, BkNoiseValidatedAndZeroNoiseIdentical) {
+  data::Dataset ds = data::AdultLike(3, 0.02);
+  Rng rng(4);
+  std::vector<Profile> profiles(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    for (int j = 0; j < 4; ++j) profiles[i].emplace_back(j, ds.value(i, j));
+  }
+  std::vector<bool> bk(ds.d(), true);
+  ReidentConfig config;
+  config.max_targets = 500;
+  config.bk_noise = -0.1;
+  EXPECT_THROW(ReidentAccuracy(profiles, ds, bk, config, rng),
+               InvalidArgumentError);
+  config.bk_noise = 1.5;
+  EXPECT_THROW(ReidentAccuracy(profiles, ds, bk, config, rng),
+               InvalidArgumentError);
+
+  // bk_noise = 0 must take the exact-background path (same result as the
+  // default config given the same rng stream).
+  config.bk_noise = 0.0;
+  Rng rng_a(7), rng_b(7);
+  ReidentConfig default_config;
+  default_config.max_targets = 500;
+  auto with_flag = ReidentAccuracy(profiles, ds, bk, config, rng_a);
+  auto without = ReidentAccuracy(profiles, ds, bk, default_config, rng_b);
+  EXPECT_EQ(with_flag.rid_acc_percent, without.rid_acc_percent);
+}
+
+TEST(ReidentTest, BkNoiseDegradesTheAttackMonotonically) {
+  // Perfect profiles against increasingly corrupted background knowledge:
+  // RID-ACC must fall from its exact-copy level toward the baseline.
+  data::Dataset ds = data::AdultLike(5, 0.03);
+  Rng rng(11);
+  std::vector<Profile> profiles(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    for (int j = 0; j < 5; ++j) profiles[i].emplace_back(j, ds.value(i, j));
+  }
+  std::vector<bool> bk(ds.d(), true);
+  double prev = 101.0;
+  for (double noise : {0.0, 0.2, 0.5, 0.9}) {
+    ReidentConfig config;
+    config.top_k = {10};
+    config.max_targets = 800;
+    config.bk_noise = noise;
+    auto result = ReidentAccuracy(profiles, ds, bk, config, rng);
+    EXPECT_LT(result.rid_acc_percent[0], prev + 2.0) << "noise=" << noise;
+    prev = result.rid_acc_percent[0];
+  }
+  // At 90% corruption the background is nearly useless.
+  EXPECT_LT(prev, 25.0);
+}
+
+}  // namespace
+}  // namespace ldpr::attack

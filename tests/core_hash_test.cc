@@ -1,0 +1,94 @@
+#include "core/hash.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr {
+namespace {
+
+TEST(Mix64Test, DeterministicAndDistinct) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(XxHash64Test, MatchesReferenceVectors) {
+  // Reference values from the canonical xxHash64 implementation.
+  EXPECT_EQ(XxHash64(nullptr, 0, 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(XxHash64(nullptr, 0, 1), 0xD5AFBA1336A3BE4BULL);
+  const char* abc = "abc";
+  EXPECT_EQ(XxHash64(abc, 3, 0), 0x44BC2CF5AD770999ULL);
+  const std::string long_str =
+      "xxHash is an extremely fast non-cryptographic hash algorithm";
+  EXPECT_EQ(XxHash64(long_str.data(), long_str.size(), 0),
+            XxHash64(long_str.data(), long_str.size(), 0));
+}
+
+TEST(XxHash64Test, SeedChangesOutput) {
+  const char* data = "hello world";
+  EXPECT_NE(XxHash64(data, 11, 1), XxHash64(data, 11, 2));
+}
+
+TEST(XxHash64Test, LengthBoundaries) {
+  // Exercise every tail-handling branch: < 4, 4-7, 8-31, >= 32 bytes.
+  std::string buf(64, 'x');
+  std::set<std::uint64_t> hashes;
+  for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 63u}) {
+    hashes.insert(XxHash64(buf.data(), len, 0));
+  }
+  EXPECT_EQ(hashes.size(), 11u);
+}
+
+TEST(UniversalHashTest, OutputInRange) {
+  UniversalHash h(12345, 7);
+  for (int v = 0; v < 1000; ++v) {
+    int out = h(v);
+    EXPECT_GE(out, 0);
+    EXPECT_LT(out, 7);
+  }
+}
+
+TEST(UniversalHashTest, DeterministicPerSeed) {
+  UniversalHash a(99, 10), b(99, 10);
+  for (int v = 0; v < 100; ++v) EXPECT_EQ(a(v), b(v));
+}
+
+TEST(UniversalHashTest, RejectsInvalidDomain) {
+  EXPECT_THROW(UniversalHash(1, 0), InvalidArgumentError);
+  EXPECT_THROW(UniversalHash(1, -2), InvalidArgumentError);
+}
+
+TEST(UniversalHashTest, FamilyIsApproximatelyUniversal) {
+  // For a universal family, Pr_H[H(x) = H(y)] should be about 1/g for x != y.
+  const int g = 8;
+  const int num_seeds = 4000;
+  long long collisions = 0;
+  for (int s = 0; s < num_seeds; ++s) {
+    UniversalHash h(static_cast<std::uint64_t>(s) * 2654435761ULL + 17, g);
+    if (h(3) == h(42)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / num_seeds, 1.0 / g, 0.03);
+}
+
+TEST(UniversalHashTest, CellsAreBalanced) {
+  // One fixed hash function should distribute a large domain near-evenly.
+  const int g = 5;
+  UniversalHash h(777, g);
+  std::map<int, int> counts;
+  const int domain = 10000;
+  for (int v = 0; v < domain; ++v) ++counts[h(v)];
+  for (const auto& [cell, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / domain, 1.0 / g, 0.02)
+        << "cell " << cell;
+  }
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,223 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(1000000) == b.UniformInt(1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(7), parent2(7);
+  Rng c1 = parent1.Split();
+  Rng c2 = parent2.Split();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c1.UniformInt(1 << 30), c2.UniformInt(1 << 30));
+  }
+  // Two successive splits from the same parent differ.
+  Rng parent(9);
+  Rng d1 = parent.Split();
+  Rng d2 = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (d1.UniformInt(1 << 30) == d2.UniformInt(1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.UniformInt(0), InternalError);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformReal();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMeanMatchesP) {
+  Rng rng(29);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.015);
+}
+
+TEST(RngTest, LaplaceMeanAndScale) {
+  Rng rng(31);
+  const int trials = 50000;
+  double sum = 0.0, abs_sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    double v = rng.Laplace(2.0);
+    sum += v;
+    abs_sum += std::abs(v);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.1);
+  // E|X| = b for Laplace(0, b).
+  EXPECT_NEAR(abs_sum / trials, 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  const int trials = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(41);
+  const int trials = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMean) {
+  Rng rng(43);
+  const int trials = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.Gamma(3.0);
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+}
+
+TEST(RngTest, BinomialMean) {
+  Rng rng(47);
+  const int trials = 20000;
+  long long sum = 0;
+  for (int i = 0; i < trials; ++i) sum += rng.Binomial(50, 0.2);
+  EXPECT_NEAR(static_cast<double>(sum) / trials, 10.0, 0.2);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> s = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(s.size(), 8u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullAndEmpty) {
+  Rng rng(59);
+  std::vector<int> all = rng.SampleWithoutReplacement(5, 5);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), InvalidArgumentError);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  Rng rng(61);
+  std::vector<int> counts(6, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : rng.SampleWithoutReplacement(6, 2)) ++counts[v];
+  }
+  // Each element appears with probability 2/6 per trial.
+  for (int v = 0; v < 6; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(67);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleIsUniformOnFirstPosition) {
+  Rng rng(71);
+  std::vector<int> counts(5, 0);
+  const int trials = 25000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    rng.Shuffle(&v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.015);
+  }
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,157 @@
+#include "core/sampling.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr {
+namespace {
+
+TEST(NormalizeTest, Basic) {
+  auto out = Normalize({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST(NormalizeTest, RejectsBadInput) {
+  EXPECT_THROW(Normalize({}), InvalidArgumentError);
+  EXPECT_THROW(Normalize({0.0, 0.0}), InvalidArgumentError);
+  EXPECT_THROW(Normalize({1.0, -0.5}), InvalidArgumentError);
+}
+
+TEST(CategoricalSamplerTest, ProbabilitiesNormalized) {
+  CategoricalSampler s({2.0, 6.0, 2.0});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.6);
+  EXPECT_DOUBLE_EQ(s.probability(2), 0.2);
+}
+
+TEST(CategoricalSamplerTest, EmpiricalMatchesTarget) {
+  CategoricalSampler s({0.5, 0.1, 0.25, 0.15});
+  Rng rng(123);
+  std::vector<int> counts(4, 0);
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) ++counts[s.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.50, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.10, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.25, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.15, 0.01);
+}
+
+TEST(CategoricalSamplerTest, DegenerateSingleMass) {
+  CategoricalSampler s({0.0, 1.0, 0.0});
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) EXPECT_EQ(s.Sample(rng), 1);
+}
+
+TEST(CategoricalSamplerTest, SingleElement) {
+  CategoricalSampler s({3.0});
+  Rng rng(5);
+  EXPECT_EQ(s.Sample(rng), 0);
+}
+
+TEST(CategoricalSamplerTest, UniformInput) {
+  CategoricalSampler s(std::vector<double>(10, 1.0));
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < 50000; ++t) ++counts[s.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / 50000.0, 0.1, 0.01);
+  }
+}
+
+TEST(BinomialPmfTest, MatchesHandComputedValues) {
+  // Bin(1; 2, 0.5) = 0.5, Bin(0; 2, 0.5) = 0.25.
+  EXPECT_NEAR(BinomialPmf(1, 2, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(BinomialPmf(0, 2, 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(BinomialPmf(2, 2, 0.5), 0.25, 1e-12);
+  // Bin(3; 10, 0.2) = 120 * 0.008 * 0.8^7.
+  EXPECT_NEAR(BinomialPmf(3, 10, 0.2), 120.0 * 0.008 * std::pow(0.8, 7),
+              1e-12);
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (double p : {0.05, 0.3, 0.7, 0.99}) {
+    double sum = 0.0;
+    for (int i = 0; i <= 25; ++i) sum += BinomialPmf(i, 25, p);
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmfTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(0, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(1, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(4, 5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(6, 5, 0.5), 0.0);
+  EXPECT_THROW(BinomialPmf(-1, 5, 0.5), InvalidArgumentError);
+}
+
+TEST(DirichletTest, SimplexAndSymmetry) {
+  Rng rng(31);
+  std::vector<double> mean(4, 0.0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    auto draw = SampleDirichlet(4, 1.0, rng);
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_GE(draw[i], 0.0);
+      sum += draw[i];
+      mean[i] += draw[i];
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mean[i] / trials, 0.25, 0.01);
+  }
+}
+
+TEST(DirichletTest, HighAlphaConcentrates) {
+  Rng rng(37);
+  auto draw = SampleDirichlet(5, 1000.0, rng);
+  for (double v : draw) EXPECT_NEAR(v, 0.2, 0.05);
+}
+
+TEST(ZipfDistributionTest, ShapeAndNormalization) {
+  auto z = ZipfDistribution(5, 1.0);
+  double sum = std::accumulate(z.begin(), z.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int i = 1; i < 5; ++i) EXPECT_LT(z[i], z[i - 1]);
+  // p_i proportional to 1/(i+1): p_0 / p_1 = 2.
+  EXPECT_NEAR(z[0] / z[1], 2.0, 1e-9);
+}
+
+TEST(ZipfHistogramTest, SkewedTowardsFirstBuckets) {
+  Rng rng(41);
+  auto h = ZipfHistogram(10, 1.01, 100000, rng);
+  double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(h[0], h[9]);
+  EXPECT_GT(h[0], 0.3);  // heavy head
+}
+
+TEST(ExponentialHistogramTest, DecayingShape) {
+  Rng rng(43);
+  auto h = ExponentialHistogram(8, 1.0, 100000, rng);
+  double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(h[0], h[4]);
+  EXPECT_GT(h[1], h[6]);
+}
+
+TEST(SamplingValidationTest, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(SampleDirichlet(0, 1.0, rng), InvalidArgumentError);
+  EXPECT_THROW(SampleDirichlet(3, 0.0, rng), InvalidArgumentError);
+  EXPECT_THROW(ZipfDistribution(0, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ZipfDistribution(3, -1.0), InvalidArgumentError);
+  EXPECT_THROW(ZipfHistogram(5, 1.0, 2, rng), InvalidArgumentError);
+  EXPECT_THROW(ExponentialHistogram(5, 0.0, 100, rng), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,121 @@
+// Tests for the statistics utilities (core/stats): hand-computed summaries,
+// Wilson interval reference values and properties, chi-square statistic and
+// p-value against table values, and goodness-of-fit applied to the
+// library's own samplers and randomizers (the GRR output distribution).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "fo/grr.h"
+
+namespace ldpr {
+namespace {
+
+TEST(SummaryTest, HandComputed) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  // Sample variance: ((1.5)^2 + (0.5)^2 + (0.5)^2 + (1.5)^2) / 3 = 5/3.
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.stderr_mean, std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(SummaryTest, SingleValueHasZeroSpread) {
+  Summary s = Summarize({7.5});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_THROW(Summarize({}), InvalidArgumentError);
+}
+
+TEST(WilsonTest, ReferenceValues) {
+  // 10/100 at 95%: Wilson interval ~ [0.0552, 0.1744].
+  Interval i = WilsonInterval(10, 100);
+  EXPECT_NEAR(i.lo, 0.0552, 5e-4);
+  EXPECT_NEAR(i.hi, 0.1744, 5e-4);
+}
+
+TEST(WilsonTest, Properties) {
+  // Contains the point estimate; shrinks with more trials; stays in [0,1].
+  Interval small = WilsonInterval(5, 20);
+  Interval large = WilsonInterval(250, 1000);
+  EXPECT_LT(small.lo, 0.25);
+  EXPECT_GT(small.hi, 0.25);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+  Interval zero = WilsonInterval(0, 10);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  Interval full = WilsonInterval(10, 10);
+  EXPECT_DOUBLE_EQ(full.hi, 1.0);
+  EXPECT_THROW(WilsonInterval(5, 0), InvalidArgumentError);
+  EXPECT_THROW(WilsonInterval(11, 10), InvalidArgumentError);
+}
+
+TEST(ChiSquareTest, StatisticHandComputed) {
+  // Observed (10, 20, 30), expected uniform over 60: E = 20 each.
+  // X^2 = 100/20 + 0 + 100/20 = 10.
+  const double stat =
+      ChiSquareStatistic({10, 20, 30}, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_NEAR(stat, 10.0, 1e-12);
+}
+
+TEST(ChiSquareTest, PValueTableValues) {
+  // Chi-square upper-tail table: P[X >= 3.841 | dof=1] = 0.05,
+  // P[X >= 5.991 | dof=2] = 0.05, P[X >= 18.307 | dof=10] = 0.05.
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquarePValue(5.991, 2), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquarePValue(18.307, 10), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquarePValue(0.0, 3), 1.0, 1e-12);
+  EXPECT_LT(ChiSquarePValue(100.0, 3), 1e-12);
+}
+
+TEST(ChiSquareTest, Validation) {
+  EXPECT_THROW(ChiSquareStatistic({1}, {1.0}), InvalidArgumentError);
+  EXPECT_THROW(ChiSquareStatistic({1, 2}, {0.5}), InvalidArgumentError);
+  EXPECT_THROW(ChiSquareStatistic({1, 2}, {1.0, 0.0}), InvalidArgumentError);
+  EXPECT_THROW(ChiSquareStatistic({0, 0}, {0.5, 0.5}), InvalidArgumentError);
+  EXPECT_THROW(ChiSquarePValue(1.0, 0), InvalidArgumentError);
+  EXPECT_THROW(ChiSquarePValue(-1.0, 1), InvalidArgumentError);
+}
+
+TEST(ChiSquareTest, UniformRngPassesGoodnessOfFit) {
+  Rng rng(11);
+  const int bins = 16;
+  std::vector<long long> counts(bins, 0);
+  for (int i = 0; i < 64000; ++i) ++counts[rng.UniformInt(bins)];
+  std::vector<double> expected(bins, 1.0 / bins);
+  EXPECT_GT(GoodnessOfFitPValue(counts, expected), 1e-4);
+}
+
+TEST(ChiSquareTest, BiasedCountsFailGoodnessOfFit) {
+  // A 10% excess on one bin at this sample size is decisively rejected.
+  const int bins = 8;
+  std::vector<long long> counts(bins, 10000);
+  counts[0] = 11000;
+  std::vector<double> expected(bins, 1.0 / bins);
+  EXPECT_LT(GoodnessOfFitPValue(counts, expected), 1e-6);
+}
+
+TEST(ChiSquareTest, GrrOutputDistributionMatchesTheory) {
+  // End-to-end use: GRR's output distribution for a fixed input must match
+  // (p, q, ..., q) — the library's own randomizer validated by the
+  // library's own test machinery.
+  const int k = 6;
+  const double eps = 1.2;
+  fo::Grr grr(k, eps);
+  Rng rng(12);
+  std::vector<long long> counts(k, 0);
+  for (int i = 0; i < 120000; ++i) ++counts[grr.Randomize(2, rng).value];
+  std::vector<double> expected(k, grr.q());
+  expected[2] = grr.p();
+  EXPECT_GT(GoodnessOfFitPValue(counts, expected), 1e-4);
+}
+
+}  // namespace
+}  // namespace ldpr

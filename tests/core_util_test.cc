@@ -1,0 +1,146 @@
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/flags.h"
+#include "core/histogram.h"
+#include "core/metrics.h"
+#include "core/parallel.h"
+
+namespace ldpr {
+namespace {
+
+TEST(CheckTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(LDPR_REQUIRE(false, "boom " << 42), InvalidArgumentError);
+  EXPECT_NO_THROW(LDPR_REQUIRE(true, "fine"));
+}
+
+TEST(CheckTest, CheckThrowsInternalError) {
+  EXPECT_THROW(LDPR_CHECK(false, "bug"), InternalError);
+  EXPECT_NO_THROW(LDPR_CHECK(true, "fine"));
+}
+
+TEST(CheckTest, MessageContainsContext) {
+  try {
+    LDPR_REQUIRE(1 == 2, "value was " << 7);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("value was 7"), std::string::npos);
+  }
+}
+
+TEST(HistogramTest, CountValues) {
+  auto counts = CountValues({0, 1, 1, 2, 1}, 3);
+  EXPECT_EQ(counts, (std::vector<long long>{1, 3, 1}));
+  EXPECT_THROW(CountValues({0, 3}, 3), InvalidArgumentError);
+  EXPECT_THROW(CountValues({-1}, 3), InvalidArgumentError);
+}
+
+TEST(HistogramTest, EmpiricalFrequency) {
+  auto f = EmpiricalFrequency({0, 0, 1, 1}, 3);
+  EXPECT_DOUBLE_EQ(f[0], 0.5);
+  EXPECT_DOUBLE_EQ(f[1], 0.5);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_THROW(EmpiricalFrequency({}, 3), InvalidArgumentError);
+}
+
+TEST(HistogramTest, ProjectToSimplexClampsAndNormalizes) {
+  auto out = ProjectToSimplex({-0.2, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+  auto degenerate = ProjectToSimplex({-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(degenerate[0], 0.5);
+  EXPECT_DOUBLE_EQ(degenerate[1], 0.5);
+}
+
+TEST(MetricsTest, Mse) {
+  EXPECT_DOUBLE_EQ(Mse({1.0, 0.0}, {1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mse({1.0, 0.0}, {0.0, 0.0}), 0.5);
+  EXPECT_THROW(Mse({1.0}, {1.0, 2.0}), InvalidArgumentError);
+}
+
+TEST(MetricsTest, MseAvg) {
+  std::vector<std::vector<double>> truth{{1.0, 0.0}, {0.5, 0.5}};
+  std::vector<std::vector<double>> est{{0.0, 0.0}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(MseAvg(truth, est), 0.25);
+}
+
+TEST(MetricsTest, AccuracyPercent) {
+  EXPECT_DOUBLE_EQ(AccuracyPercent({1, 2, 3, 4}, {1, 2, 0, 4}), 75.0);
+  EXPECT_THROW(AccuracyPercent({}, {}), InvalidArgumentError);
+}
+
+TEST(MetricsTest, ArgMaxMeanStdDev) {
+  EXPECT_EQ(ArgMax({0.1, 0.9, 0.5}), 1);
+  EXPECT_EQ(ArgMax({0.5, 0.5}), 0);  // first on tie
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  const long long n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, [&](long long i) { hits[i].fetch_add(1); }, 4);
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool ran = false;
+  ParallelFor(5, 5, [&](long long) { ran = true; });
+  ParallelFor(5, 3, [&](long long) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 100, [](long long i) {
+        if (i == 37) throw std::runtime_error("worker failure");
+      }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  long long sum = 0;
+  ParallelFor(0, 100, [&](long long i) { sum += i; }, 1);
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(FlagsTest, EnvParsing) {
+  setenv("LDPR_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("LDPR_TEST_INT", 7), 42);
+  setenv("LDPR_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("LDPR_TEST_INT", 7), 7);
+  unsetenv("LDPR_TEST_INT");
+  EXPECT_EQ(GetEnvInt("LDPR_TEST_INT", 7), 7);
+
+  setenv("LDPR_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("LDPR_TEST_DBL", 1.0), 0.25);
+  unsetenv("LDPR_TEST_DBL");
+
+  setenv("LDPR_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("LDPR_TEST_STR", "x"), "hello");
+  unsetenv("LDPR_TEST_STR");
+  EXPECT_EQ(GetEnvString("LDPR_TEST_STR", "x"), "x");
+}
+
+TEST(FlagsTest, ScaleClampsToValidRange) {
+  setenv("LDPR_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(DatasetScale(), 0.5);
+  setenv("LDPR_SCALE", "7.0", 1);
+  EXPECT_DOUBLE_EQ(DatasetScale(), 1.0);
+  setenv("LDPR_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(DatasetScale(), 1.0);
+  unsetenv("LDPR_SCALE");
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,148 @@
+// Tests for the longitudinal drift generator (data/longitudinal): shape
+// preservation, the zero- and full-drift extremes, the expected cell-change
+// rate across a parameter sweep, approximate stationarity of the marginals,
+// and validation.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/metrics.h"
+#include "data/longitudinal.h"
+#include "data/synthetic.h"
+
+namespace ldpr::data {
+namespace {
+
+Dataset SmallBase(std::uint64_t seed) { return NurseryLike(seed, 0.1); }
+
+TEST(LongitudinalTest, FirstRoundIsTheBase) {
+  Dataset base = SmallBase(1);
+  LongitudinalConfig config;
+  config.rounds = 3;
+  auto rounds = GenerateLongitudinal(base, config);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(CellChangeFraction(base, rounds[0]), 0.0);
+  for (const Dataset& snapshot : rounds) {
+    EXPECT_EQ(snapshot.n(), base.n());
+    EXPECT_EQ(snapshot.domain_sizes(), base.domain_sizes());
+  }
+}
+
+TEST(LongitudinalTest, ZeroDriftFreezesThePopulation) {
+  Dataset base = SmallBase(2);
+  LongitudinalConfig config;
+  config.rounds = 5;
+  config.change_probability = 0.0;
+  auto rounds = GenerateLongitudinal(base, config);
+  EXPECT_DOUBLE_EQ(CellChangeFraction(rounds.front(), rounds.back()), 0.0);
+}
+
+TEST(LongitudinalTest, FullDriftResamplesAlmostEveryCell) {
+  Dataset base = SmallBase(3);
+  LongitudinalConfig config;
+  config.rounds = 2;
+  config.change_probability = 1.0;
+  auto rounds = GenerateLongitudinal(base, config);
+  // Every cell resampled; collisions with the old value keep the change
+  // fraction below 1 but far above any partial-drift level.
+  const double changed = CellChangeFraction(rounds[0], rounds[1]);
+  EXPECT_GT(changed, 0.5);
+  EXPECT_LT(changed, 1.0);
+}
+
+// One-round change fraction matches p times the probability the resample
+// differs, i.e. p * (1 - sum_v f_v^2) per attribute, averaged.
+class DriftRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftRateTest, OneRoundChangeFractionMatchesClosedForm) {
+  const double p = GetParam();
+  Dataset base = SmallBase(4);
+  LongitudinalConfig config;
+  config.rounds = 2;
+  config.change_probability = p;
+  config.seed = 99;
+  auto rounds = GenerateLongitudinal(base, config);
+
+  double collision = 0.0;  // mean over attributes of sum_v f_v^2
+  for (const auto& marginal : base.Marginals()) {
+    double sq = 0.0;
+    for (double f : marginal) sq += f * f;
+    collision += sq;
+  }
+  collision /= base.d();
+  const double expected = p * (1.0 - collision);
+  EXPECT_NEAR(CellChangeFraction(rounds[0], rounds[1]), expected,
+              0.03 + 0.1 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChangeProbabilities, DriftRateTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.9));
+
+TEST(LongitudinalTest, MarginalsStayNearStationary) {
+  // Resampling from the base marginal keeps the population distribution
+  // stationary in expectation: after many rounds the marginals stay close.
+  Dataset base = SmallBase(5);
+  LongitudinalConfig config;
+  config.rounds = 20;
+  config.change_probability = 0.3;
+  auto rounds = GenerateLongitudinal(base, config);
+  EXPECT_LT(MseAvg(base.Marginals(), rounds.back().Marginals()), 5e-4);
+}
+
+TEST(LongitudinalTest, DriftCompoundsAcrossRounds) {
+  Dataset base = SmallBase(6);
+  LongitudinalConfig config;
+  config.rounds = 10;
+  config.change_probability = 0.1;
+  auto rounds = GenerateLongitudinal(base, config);
+  double prev = 0.0;
+  for (int t = 1; t < config.rounds; t += 3) {
+    const double changed = CellChangeFraction(rounds[0], rounds[t]);
+    EXPECT_GT(changed, prev);
+    // Bounded by the no-collision union bound 1 - (1 - p)^t.
+    EXPECT_LE(changed, 1.0 - std::pow(1.0 - config.change_probability, t));
+    prev = changed;
+  }
+}
+
+TEST(LongitudinalTest, UniformShiftMovesMarginalsTowardUniform) {
+  // A skewed base: the near-uniform Nursery shape leaves no room to move.
+  Dataset base = AdultLike(8, 0.05);
+  LongitudinalConfig config;
+  config.rounds = 30;
+  config.change_probability = 0.3;
+  config.drift = DriftKind::kUniformShift;
+  auto rounds = GenerateLongitudinal(base, config);
+  std::vector<std::vector<double>> uniform;
+  for (int k : base.domain_sizes()) {
+    uniform.emplace_back(k, 1.0 / k);
+  }
+  // The final marginals are closer to uniform than the base's are, and the
+  // distance to the base marginals grows with time.
+  EXPECT_LT(MseAvg(uniform, rounds.back().Marginals()),
+            0.25 * MseAvg(uniform, base.Marginals()));
+  EXPECT_GT(MseAvg(base.Marginals(), rounds.back().Marginals()),
+            MseAvg(base.Marginals(), rounds[3].Marginals()));
+}
+
+TEST(LongitudinalTest, RejectsInvalidConfig) {
+  Dataset base = SmallBase(7);
+  LongitudinalConfig config;
+  config.rounds = 0;
+  EXPECT_THROW(GenerateLongitudinal(base, config), InvalidArgumentError);
+  config.rounds = 2;
+  config.change_probability = -0.1;
+  EXPECT_THROW(GenerateLongitudinal(base, config), InvalidArgumentError);
+  config.change_probability = 1.5;
+  EXPECT_THROW(GenerateLongitudinal(base, config), InvalidArgumentError);
+
+  Dataset other({2, 2});
+  other.AddRecord({0, 0});
+  EXPECT_THROW(CellChangeFraction(base, other), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::data

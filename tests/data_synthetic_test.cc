@@ -1,0 +1,148 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr::data {
+namespace {
+
+/// Chi-square-like uniformity deviation: max |f_v - 1/k|.
+double MaxUniformDeviation(const std::vector<double>& marginal) {
+  const double uniform = 1.0 / marginal.size();
+  double dev = 0.0;
+  for (double f : marginal) dev = std::max(dev, std::abs(f - uniform));
+  return dev;
+}
+
+TEST(SyntheticTest, AdultLikeMatchesPaperDimensions) {
+  Dataset ds = AdultLike(1);
+  EXPECT_EQ(ds.n(), 45222);
+  EXPECT_EQ(ds.d(), 10);
+  EXPECT_EQ(ds.domain_sizes(),
+            (std::vector<int>{74, 7, 16, 7, 14, 6, 5, 2, 41, 2}));
+}
+
+TEST(SyntheticTest, AcsEmploymentLikeMatchesPaperDimensions) {
+  Dataset ds = AcsEmploymentLike(1);
+  EXPECT_EQ(ds.n(), 10336);
+  EXPECT_EQ(ds.d(), 18);
+  EXPECT_EQ(ds.domain_sizes(), (std::vector<int>{92, 25, 5, 2, 2, 9, 4, 5, 5,
+                                                 4, 2, 18, 2, 2, 3, 9, 3, 6}));
+}
+
+TEST(SyntheticTest, NurseryLikeMatchesPaperDimensions) {
+  Dataset ds = NurseryLike(1);
+  EXPECT_EQ(ds.n(), 12959);
+  EXPECT_EQ(ds.d(), 9);
+  EXPECT_EQ(ds.domain_sizes(), (std::vector<int>{3, 5, 4, 4, 3, 2, 3, 3, 5}));
+}
+
+TEST(SyntheticTest, ScaleShrinksN) {
+  Dataset ds = AdultLike(1, 0.1);
+  EXPECT_NEAR(ds.n(), 4522, 2);
+  Dataset tiny = AdultLike(1, 1e-9);
+  EXPECT_EQ(tiny.n(), 100);  // floor
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  Dataset a = NurseryLike(7, 0.05);
+  Dataset b = NurseryLike(7, 0.05);
+  ASSERT_EQ(a.n(), b.n());
+  for (int i = 0; i < a.n(); ++i) EXPECT_EQ(a.Record(i), b.Record(i));
+  Dataset c = NurseryLike(8, 0.05);
+  int diff = 0;
+  for (int i = 0; i < a.n(); ++i) diff += (a.Record(i) != c.Record(i));
+  EXPECT_GT(diff, 0);
+}
+
+TEST(SyntheticTest, CensusMarginalsAreSkewed) {
+  // The census-like generators must produce clearly non-uniform marginals —
+  // the property the AIF attack exploits (Section 4.3).
+  Dataset ds = AcsEmploymentLike(3, 0.5);
+  auto marginals = ds.Marginals();
+  int skewed = 0;
+  for (const auto& m : marginals) {
+    if (MaxUniformDeviation(m) > 0.5 / m.size()) ++skewed;
+  }
+  EXPECT_GE(skewed, ds.d() / 2);
+}
+
+TEST(SyntheticTest, NurseryMarginalsAreNearUniform) {
+  Dataset ds = NurseryLike(3);
+  for (const auto& m : ds.Marginals()) {
+    EXPECT_LT(MaxUniformDeviation(m), 0.05);
+  }
+}
+
+TEST(SyntheticTest, CensusHasInterAttributeCorrelation) {
+  // Mutual information between two attributes should be clearly positive in
+  // the latent-mixture data and near zero in the independent Nursery data.
+  auto mutual_info = [](const Dataset& ds, int a, int b) {
+    const int ka = ds.domain_size(a), kb = ds.domain_size(b);
+    std::vector<double> pa(ka, 0.0), pb(kb, 0.0);
+    std::vector<std::vector<double>> pab(ka, std::vector<double>(kb, 0.0));
+    for (int i = 0; i < ds.n(); ++i) {
+      const int va = ds.value(i, a), vb = ds.value(i, b);
+      pa[va] += 1.0;
+      pb[vb] += 1.0;
+      pab[va][vb] += 1.0;
+    }
+    double mi = 0.0;
+    for (int x = 0; x < ka; ++x) {
+      for (int y = 0; y < kb; ++y) {
+        if (pab[x][y] == 0.0) continue;
+        const double pj = pab[x][y] / ds.n();
+        mi += pj * std::log(pj / ((pa[x] / ds.n()) * (pb[y] / ds.n())));
+      }
+    }
+    return mi;
+  };
+
+  // Large-domain attribute pairs carry the bulk of the latent-class signal.
+  Dataset census = AdultLike(5, 0.2);
+  Dataset nursery = NurseryLike(5);
+  EXPECT_GT(mutual_info(census, 0, 8), 0.05);
+  EXPECT_GT(mutual_info(census, 1, 2), 0.005);
+  EXPECT_LT(mutual_info(nursery, 1, 2), 0.01);
+}
+
+TEST(SyntheticTest, CensusHasUniqueRecords) {
+  // Re-identification hinges on uniqueness; most users should be unique when
+  // all 10 Adult-like attributes are combined.
+  Dataset ds = AdultLike(9, 0.2);
+  std::map<std::vector<int>, int> counts;
+  for (int i = 0; i < ds.n(); ++i) ++counts[ds.Record(i)];
+  int unique = 0;
+  for (const auto& [rec, c] : counts) {
+    if (c == 1) ++unique;
+  }
+  EXPECT_GT(static_cast<double>(unique) / ds.n(), 0.3);
+}
+
+TEST(SyntheticTest, GeneratorValidatesConfig) {
+  SyntheticCensusConfig config;
+  config.n = 0;
+  config.domain_sizes = {2, 2};
+  EXPECT_THROW(GenerateSyntheticCensus(config), InvalidArgumentError);
+  config.n = 10;
+  config.domain_sizes = {};
+  EXPECT_THROW(GenerateSyntheticCensus(config), InvalidArgumentError);
+  config.domain_sizes = {2, 2};
+  config.noise = 1.5;
+  EXPECT_THROW(GenerateSyntheticCensus(config), InvalidArgumentError);
+  config.noise = 0.2;
+  config.num_latent_classes = 0;
+  EXPECT_THROW(GenerateSyntheticCensus(config), InvalidArgumentError);
+}
+
+TEST(SyntheticTest, ScaleValidation) {
+  EXPECT_THROW(AdultLike(1, 0.0), InvalidArgumentError);
+  EXPECT_THROW(AdultLike(1, 1.5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::data

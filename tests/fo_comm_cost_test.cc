@@ -1,0 +1,193 @@
+// Tests for the communication-cost model (fo/comm_cost): closed forms,
+// agreement with measured report payloads, tuple costs of the three
+// multidimensional solutions, and the protocol recommendation rule of
+// Section 6 ("OUE and/or OLH depending on k_j due to communication costs").
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "fo/comm_cost.h"
+#include "fo/factory.h"
+#include "fo/olh.h"
+#include "fo/ss.h"
+
+namespace ldpr::fo {
+namespace {
+
+TEST(CommCostTest, GrrIsCeilLog2K) {
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 2, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 3, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 4, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 74, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 1024, 1.0), 10.0);
+}
+
+TEST(CommCostTest, GrrCostIndependentOfEpsilon) {
+  for (double eps : {0.5, 1.0, 4.0, 10.0}) {
+    EXPECT_DOUBLE_EQ(ReportBits(Protocol::kGrr, 41, eps), 6.0) << eps;
+  }
+}
+
+TEST(CommCostTest, UnaryEncodingsCostKBits) {
+  for (int k : {2, 7, 41, 92}) {
+    EXPECT_DOUBLE_EQ(ReportBits(Protocol::kSue, k, 2.0), k);
+    EXPECT_DOUBLE_EQ(ReportBits(Protocol::kOue, k, 2.0), k);
+  }
+}
+
+TEST(CommCostTest, OlhCostIsSeedPlusHashedValue) {
+  const double eps = 3.0;
+  Olh olh(1000, eps);
+  const int g = olh.g();
+  int g_bits = 0;
+  while ((1 << g_bits) < g) ++g_bits;
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kOlh, 1000, eps), 64.0 + g_bits);
+
+  CommCostModel shared_seed;
+  shared_seed.olh_seed_bits = 0;
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kOlh, 1000, eps, shared_seed), g_bits);
+}
+
+TEST(CommCostTest, OlhCostIndependentOfK) {
+  // g depends only on epsilon, so OLH's upload is flat in k — the property
+  // that makes it preferable to OUE for very large domains.
+  const double eps = 2.0;
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kOlh, 100, eps),
+                   ReportBits(Protocol::kOlh, 100000, eps));
+}
+
+TEST(CommCostTest, SsCostIsOmegaValues) {
+  const int k = 74;
+  const double eps = 1.0;
+  Ss ss(k, eps);
+  EXPECT_DOUBLE_EQ(ReportBits(Protocol::kSs, k, eps), ss.omega() * 7.0);
+}
+
+TEST(CommCostTest, SsCostShrinksWithEpsilon) {
+  // omega ~ k/(e^eps + 1): a larger budget needs a smaller subset.
+  const int k = 200;
+  EXPECT_GT(ReportBits(Protocol::kSs, k, 0.5), ReportBits(Protocol::kSs, k, 3.0));
+}
+
+TEST(CommCostTest, MeasuredMatchesClosedFormForValueProtocols) {
+  Rng rng(7);
+  for (Protocol protocol :
+       {Protocol::kGrr, Protocol::kSs, Protocol::kSue, Protocol::kOue}) {
+    const int k = 16;
+    const double eps = 1.5;
+    auto oracle = MakeOracle(protocol, k, eps);
+    for (int v = 0; v < k; ++v) {
+      Report report = oracle->Randomize(v, rng);
+      EXPECT_DOUBLE_EQ(MeasuredReportBits(protocol, report, k),
+                       ReportBits(protocol, k, eps))
+          << ProtocolName(protocol) << " v=" << v;
+    }
+  }
+}
+
+TEST(CommCostTest, RejectsInvalidArguments) {
+  EXPECT_THROW(ReportBits(Protocol::kGrr, 1, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ReportBits(Protocol::kGrr, 4, 0.0), InvalidArgumentError);
+  EXPECT_THROW(ReportBits(Protocol::kGrr, 4, -1.0), InvalidArgumentError);
+  EXPECT_THROW(SmpTupleBits(Protocol::kGrr, {}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(RecommendProtocol(8, 1.0, 0.9), InvalidArgumentError);
+}
+
+TEST(CommCostTest, SmpAddsAttributeIndex) {
+  // d = 4 attributes with equal k: SMP pays ceil(log2 d) = 2 bits on top of
+  // one report.
+  const std::vector<int> k = {16, 16, 16, 16};
+  const double eps = 1.0;
+  EXPECT_DOUBLE_EQ(SmpTupleBits(Protocol::kGrr, k, eps),
+                   2.0 + ReportBits(Protocol::kGrr, 16, eps));
+}
+
+TEST(CommCostTest, SplSumsOverAttributesAtSplitBudget) {
+  const std::vector<int> k = {8, 32};
+  const double eps = 2.0;
+  EXPECT_DOUBLE_EQ(SplTupleBits(Protocol::kSs, k, eps),
+                   ReportBits(Protocol::kSs, 8, 1.0) +
+                       ReportBits(Protocol::kSs, 32, 1.0));
+}
+
+TEST(CommCostTest, RsFdSumsAtAmplifiedBudget) {
+  const std::vector<int> k = {8, 32, 64};
+  const double eps = 1.0;
+  const double amplified = std::log(3.0 * (std::exp(eps) - 1.0) + 1.0);
+  double expected = 0.0;
+  for (int kj : k) expected += ReportBits(Protocol::kSs, kj, amplified);
+  EXPECT_DOUBLE_EQ(RsFdTupleBits(Protocol::kSs, k, eps), expected);
+}
+
+TEST(CommCostTest, RsFdUploadsMoreThanSmpForUeProtocols) {
+  // RS+FD sends a full tuple (one UE vector per attribute); SMP sends one.
+  const std::vector<int> k = {74, 7, 16, 7, 14, 6, 5, 2, 41, 2};
+  EXPECT_GT(RsFdTupleBits(Protocol::kOue, k, 1.0),
+            SmpTupleBits(Protocol::kOue, k, 1.0));
+}
+
+TEST(CommCostTest, FrontierHasAllProtocolsWithPositiveCosts) {
+  auto frontier = CostUtilityFrontier(32, 1.0);
+  ASSERT_EQ(frontier.size(), 5u);
+  for (const auto& point : frontier) {
+    EXPECT_GT(point.bits_per_report, 0.0) << ProtocolName(point.protocol);
+    EXPECT_GT(point.variance, 0.0) << ProtocolName(point.protocol);
+  }
+}
+
+TEST(CommCostTest, RecommendationPrefersGrrOnTinyDomains) {
+  // For k = 2 and moderate eps, GRR's variance is optimal (or within any
+  // reasonable slack) and its 1-bit upload is unbeatable.
+  EXPECT_EQ(RecommendProtocol(2, 2.0), Protocol::kGrr);
+}
+
+TEST(CommCostTest, RecommendationAvoidsOueOnHugeDomains) {
+  // k = 10^5: OUE costs 100k bits per report; OLH matches its variance at
+  // ~70 bits. The recommendation must not be a unary encoding.
+  Protocol recommended = RecommendProtocol(100000, 1.0);
+  EXPECT_NE(recommended, Protocol::kOue);
+  EXPECT_NE(recommended, Protocol::kSue);
+}
+
+// Parameterized sweep: the recommended protocol is always within slack of
+// the best variance, and no strictly cheaper protocol also within slack
+// exists (optimality of the rule).
+class RecommendSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RecommendSweepTest, RecommendationIsCheapestWithinSlack) {
+  const auto [k, eps] = GetParam();
+  const double slack = 1.05;
+  Protocol recommended = RecommendProtocol(k, eps, slack);
+  auto frontier = CostUtilityFrontier(k, eps);
+  double best_variance = frontier[0].variance;
+  for (const auto& point : frontier)
+    best_variance = std::min(best_variance, point.variance);
+  double recommended_bits = 0.0;
+  double recommended_variance = 0.0;
+  for (const auto& point : frontier) {
+    if (point.protocol == recommended) {
+      recommended_bits = point.bits_per_report;
+      recommended_variance = point.variance;
+    }
+  }
+  EXPECT_LE(recommended_variance, slack * best_variance * (1 + 1e-12));
+  for (const auto& point : frontier) {
+    if (point.variance <= slack * best_variance) {
+      EXPECT_GE(point.bits_per_report, recommended_bits)
+          << ProtocolName(point.protocol) << " beats "
+          << ProtocolName(recommended);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KEpsGrid, RecommendSweepTest,
+    ::testing::Combine(::testing::Values(2, 5, 16, 74, 512, 100000),
+                       ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0)));
+
+}  // namespace
+}  // namespace ldpr::fo

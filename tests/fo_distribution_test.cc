@@ -1,0 +1,139 @@
+// Statistical validation of the randomizers' support distributions using
+// the core/stats machinery: for every oracle, the empirical frequency with
+// which each domain value is *supported* by a report must match the (p, q)
+// the estimators assume — checked with Wilson intervals per value. A second
+// suite validates the RS+FD support probabilities (the gamma terms of the
+// Theorem-2-style variances) the same way. These tests would catch a
+// randomizer whose parameters drift from its estimator — a bug class the
+// LDP-bound tests (which only compare output distributions across inputs)
+// cannot see.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "fo/factory.h"
+#include "multidim/rsfd.h"
+#include "multidim/variance.h"
+
+namespace ldpr::fo {
+namespace {
+
+// Support rate of each value over many reports of a fixed input.
+std::vector<double> EmpiricalSupportRates(const FrequencyOracle& oracle,
+                                          int input, int trials, Rng& rng) {
+  std::vector<long long> counts(oracle.k(), 0);
+  std::vector<long long> one(oracle.k());
+  for (int t = 0; t < trials; ++t) {
+    std::fill(one.begin(), one.end(), 0);
+    oracle.AccumulateSupport(oracle.Randomize(input, rng), &one);
+    for (int v = 0; v < oracle.k(); ++v) counts[v] += one[v];
+  }
+  std::vector<double> rates(oracle.k());
+  for (int v = 0; v < oracle.k(); ++v) {
+    rates[v] = static_cast<double>(counts[v]) / trials;
+  }
+  return rates;
+}
+
+class SupportDistributionTest
+    : public ::testing::TestWithParam<std::tuple<Protocol, double>> {};
+
+TEST_P(SupportDistributionTest, SupportRatesMatchPQ) {
+  const auto [protocol, eps] = GetParam();
+  const int k = 8;
+  const int trials = 40000;
+  const int input = 3;
+  auto oracle = MakeOracle(protocol, k, eps);
+  Rng rng(100 + static_cast<int>(protocol));
+  const auto rates = EmpiricalSupportRates(*oracle, input, trials, rng);
+  // 4-sigma Wilson-style tolerance per value.
+  for (int v = 0; v < k; ++v) {
+    const double expected = (v == input) ? oracle->p() : oracle->q();
+    const double sigma =
+        std::sqrt(expected * (1 - expected) / trials);
+    EXPECT_NEAR(rates[v], expected, 4.5 * sigma + 1e-9)
+        << ProtocolName(protocol) << " eps=" << eps << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolEps, SupportDistributionTest,
+    ::testing::Combine(::testing::Values(Protocol::kGrr, Protocol::kOlh,
+                                         Protocol::kSs, Protocol::kSue,
+                                         Protocol::kOue),
+                       ::testing::Values(0.5, 1.0, 3.0)));
+
+TEST(SupportDistributionTest, GrrSupportPassesChiSquare) {
+  // Full goodness-of-fit over the whole support histogram (GRR reports are
+  // single values, so supports are a categorical sample).
+  const int k = 6;
+  const double eps = 1.0;
+  auto oracle = MakeOracle(Protocol::kGrr, k, eps);
+  Rng rng(17);
+  std::vector<long long> counts(k, 0);
+  const int trials = 90000;
+  for (int t = 0; t < trials; ++t) {
+    ++counts[oracle->Randomize(2, rng).value];
+  }
+  std::vector<double> expected(k, oracle->q());
+  expected[2] = oracle->p();
+  EXPECT_GT(GoodnessOfFitPValue(counts, expected), 1e-4);
+}
+
+// RS+FD per-attribute support probability gamma: the probability that one
+// user's tuple supports value v of attribute j, which drives the variance
+// formulas (multidim/variance).
+class RsFdGammaTest
+    : public ::testing::TestWithParam<std::tuple<multidim::RsFdVariant, double>> {
+};
+
+TEST_P(RsFdGammaTest, EmpiricalSupportMatchesGamma) {
+  const auto [variant, eps] = GetParam();
+  const std::vector<int> k = {6, 4};
+  const int d = 2;
+  multidim::RsFd protocol(variant, k, eps);
+  Rng rng(55);
+  const int trials = 60000;
+  // Every user holds value 1 on attribute 0 (f = 1 for value 1, f = 0 for
+  // value 0); count how often values 0 and 1 are supported.
+  long long support0 = 0, support1 = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto counts = protocol.SupportCounts(
+        {protocol.RandomizeUser({1, 2}, rng)});
+    support0 += counts[0][0];
+    support1 += counts[0][1];
+  }
+  // Map the empirical support probability gamma-hat forward through
+  // Var = d^2 gamma (1-gamma) / (p-q)^2 and compare with the closed form
+  // (forward mapping avoids the gamma <-> 1-gamma root ambiguity; the
+  // variance is invariant under it).
+  const double p = protocol.p(0);
+  const double q = protocol.q(0);
+  auto variance_from_gamma = [&](double gamma) {
+    return d * d * gamma * (1.0 - gamma) / ((p - q) * (p - q));
+  };
+  const double g1 = static_cast<double>(support1) / trials;
+  const double g0 = static_cast<double>(support0) / trials;
+  const double var1 = multidim::RsFdVariance(variant, k[0], d, eps, 1, 1.0);
+  const double var0 = multidim::RsFdVariance(variant, k[0], d, eps, 1, 0.0);
+  EXPECT_NEAR(variance_from_gamma(g1), var1, 0.05 * var1 + 1e-3)
+      << multidim::RsFdVariantName(variant);
+  EXPECT_NEAR(variance_from_gamma(g0), var0, 0.05 * var0 + 1e-3)
+      << multidim::RsFdVariantName(variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantEps, RsFdGammaTest,
+    ::testing::Combine(::testing::Values(multidim::RsFdVariant::kGrr,
+                                         multidim::RsFdVariant::kSueZ,
+                                         multidim::RsFdVariant::kSueR,
+                                         multidim::RsFdVariant::kOueZ,
+                                         multidim::RsFdVariant::kOueR),
+                       ::testing::Values(1.0, 2.0)));
+
+}  // namespace
+}  // namespace ldpr::fo

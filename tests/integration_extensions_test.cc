@@ -1,0 +1,176 @@
+// Cross-module integration tests for the extension subsystems (adaptive
+// selection, communication costs, uniqueness prediction, privacy accountant,
+// pool inference): each test exercises at least two modules together on a
+// realistic (synthetic-census) population, mirroring how the bench harnesses
+// and the CLI compose them.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/pool.h"
+#include "attack/uniqueness.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "fo/comm_cost.h"
+#include "multidim/adaptive.h"
+#include "multidim/rsfd.h"
+#include "privacy/accountant.h"
+
+namespace ldpr {
+namespace {
+
+double RsFdMse(const data::Dataset& ds, multidim::RsFdVariant variant,
+               double eps, Rng& rng) {
+  multidim::RsFd protocol(variant, ds.domain_sizes(), eps);
+  std::vector<multidim::MultidimReport> reports;
+  reports.reserve(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
+  }
+  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
+}
+
+double RsFdAdaptiveMse(const data::Dataset& ds, double eps, Rng& rng) {
+  multidim::RsFdAdaptive protocol(ds.domain_sizes(), eps);
+  std::vector<multidim::MultidimReport> reports;
+  reports.reserve(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
+  }
+  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
+}
+
+TEST(ExtensionsIntegrationTest, AdaptiveTracksLowerEnvelopeOfFixedVariants) {
+  // On the heterogeneous ACS attribute profile the adaptive estimator's MSE
+  // should not exceed the better fixed variant by more than Monte-Carlo
+  // noise, at both a low and a high budget.
+  data::Dataset ds = data::AcsEmploymentLike(7, /*scale=*/0.5);
+  for (double eps : {1.0, 6.0}) {
+    Rng rng(100 + static_cast<int>(eps));
+    double adp = 0.0, grr = 0.0, oue = 0.0;
+    const int runs = 3;
+    for (int r = 0; r < runs; ++r) {
+      adp += RsFdAdaptiveMse(ds, eps, rng);
+      grr += RsFdMse(ds, multidim::RsFdVariant::kGrr, eps, rng);
+      oue += RsFdMse(ds, multidim::RsFdVariant::kOueZ, eps, rng);
+    }
+    EXPECT_LE(adp / runs, 1.35 * std::min(grr, oue) / runs) << "eps=" << eps;
+  }
+}
+
+TEST(ExtensionsIntegrationTest, AdaptiveChoicesAgreeWithCommCostOnExtremes) {
+  // The variance-only ADP rule and the cost-aware recommendation agree on
+  // the extremes: tiny domains use GRR under both, and neither ever picks a
+  // unary encoding for very large domains at small eps (comm rule) / both
+  // pick OUE-family for large k (variance rule).
+  for (double eps : {0.5, 1.0, 2.0}) {
+    EXPECT_EQ(multidim::AdaptiveSmpChoice(2, eps), fo::Protocol::kGrr);
+    EXPECT_EQ(fo::RecommendProtocol(2, eps), fo::Protocol::kGrr);
+    EXPECT_EQ(multidim::AdaptiveSmpChoice(4096, eps), fo::Protocol::kOue);
+    const fo::Protocol comm = fo::RecommendProtocol(100000, eps);
+    EXPECT_TRUE(comm == fo::Protocol::kOlh || comm == fo::Protocol::kSs ||
+                comm == fo::Protocol::kGrr)
+        << fo::ProtocolName(comm);
+  }
+}
+
+TEST(ExtensionsIntegrationTest, UniquenessPredictsProtocolOrdering) {
+  // The closed-form predicted RID-ACC reproduces Fig. 2's protocol ordering
+  // (GRR ≈ SS above SUE above OUE ≈ OLH) on census-shaped data without
+  // running the empirical pipeline. eps = 8 sits past the SUE/OUE crossover
+  // (Fig. 1 places it between eps = 5 and 6).
+  data::Dataset ds = data::AdultLike(8, 0.05);
+  const std::vector<int> attrs = {0, 1, 2, 3};
+  const double eps = 8.0;
+  const double grr =
+      attack::PredictedRidAccPercent(ds, attrs, fo::Protocol::kGrr, eps, 10);
+  const double ss =
+      attack::PredictedRidAccPercent(ds, attrs, fo::Protocol::kSs, eps, 10);
+  const double sue =
+      attack::PredictedRidAccPercent(ds, attrs, fo::Protocol::kSue, eps, 10);
+  const double oue =
+      attack::PredictedRidAccPercent(ds, attrs, fo::Protocol::kOue, eps, 10);
+  const double olh =
+      attack::PredictedRidAccPercent(ds, attrs, fo::Protocol::kOlh, eps, 10);
+  EXPECT_GT(grr, sue);
+  EXPECT_GT(ss, sue);
+  EXPECT_GT(sue, oue);
+  EXPECT_GT(sue, olh);
+}
+
+TEST(ExtensionsIntegrationTest, LedgerMatchesProfilingDisciplines) {
+  // The accountant's two disciplines bound each other the same way the
+  // profiling attack's two privacy metrics do: after s <= d surveys the
+  // non-uniform (memoized) total never exceeds the uniform total, and the
+  // gap widens with s.
+  const int d = 10;
+  const double eps = 1.0;
+  Rng rng(3);
+  double prev_gap = -1.0;
+  for (int s : {1, 4, 7, 10}) {
+    const double uniform = privacy::ExpectedSmpTotalEpsilonUniform(d, s, eps);
+    const double nonuniform =
+        privacy::SimulateSmpLedgers(d, s, eps, true, 8000, rng).mean_total;
+    EXPECT_LE(nonuniform, uniform + 1e-9);
+    const double gap = uniform - nonuniform;
+    EXPECT_GE(gap, prev_gap - 0.05);
+    prev_gap = gap;
+  }
+}
+
+TEST(ExtensionsIntegrationTest, MemoizationFreezesPoolPosterior) {
+  // End-to-end version of the longitudinal_pools example: with fresh
+  // randomization the attacker's accuracy grows with the number of reports;
+  // replaying one memoized report keeps it at the single-report level.
+  const int k = 16;
+  const double eps = 2.0;
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, k, eps);
+  const auto pools = attack::ContiguousPools(k, 4);
+  attack::PoolInferenceAttacker attacker(*oracle, pools);
+  Rng rng(17);
+
+  const int users = 800;
+  int fresh_correct = 0, memo_correct = 0;
+  for (int u = 0; u < users; ++u) {
+    const int pool = static_cast<int>(rng.UniformInt(4));
+    const auto& members = pools[pool];
+    std::vector<fo::Report> fresh;
+    for (int t = 0; t < 30; ++t) {
+      fresh.push_back(
+          oracle->Randomize(members[rng.UniformInt(members.size())], rng));
+    }
+    // Memoization: the client caches one sanitized report and replays it —
+    // the adversary's evidence is exactly one report, 30 times.
+    std::vector<fo::Report> memo(30, fresh[0]);
+    // Feeding the duplicated reports as if independent would *overcount*
+    // evidence; the honest evaluation deduplicates to the single report.
+    if (attacker.PredictPool(fresh) == pool) ++fresh_correct;
+    if (attacker.PredictPool({memo[0]}) == pool) ++memo_correct;
+  }
+  const double fresh_acc = 100.0 * fresh_correct / users;
+  const double memo_acc = 100.0 * memo_correct / users;
+  EXPECT_GT(fresh_acc, 80.0);
+  EXPECT_LT(memo_acc, 60.0);
+  EXPECT_GT(memo_acc, 20.0);  // still above nothing — one report does leak
+}
+
+TEST(ExtensionsIntegrationTest, CommCostRanksSolutionsConsistently) {
+  // On every census profile, SMP uploads less than RS+FD for UE payloads
+  // (one vector versus d vectors) and SPL's GRR upload equals the sum of
+  // per-attribute value widths regardless of eps.
+  for (auto maker : {&data::AdultLike, &data::AcsEmploymentLike,
+                     &data::NurseryLike}) {
+    data::Dataset ds = maker(5, 0.02);
+    const auto& k = ds.domain_sizes();
+    EXPECT_LT(fo::SmpTupleBits(fo::Protocol::kOue, k, 1.0),
+              fo::RsFdTupleBits(fo::Protocol::kOue, k, 1.0));
+    EXPECT_DOUBLE_EQ(fo::SplTupleBits(fo::Protocol::kGrr, k, 1.0),
+                     fo::SplTupleBits(fo::Protocol::kGrr, k, 8.0));
+  }
+}
+
+}  // namespace
+}  // namespace ldpr

@@ -1,0 +1,192 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "ml/dataset_split.h"
+#include "ml/ml_metrics.h"
+
+namespace ldpr::ml {
+namespace {
+
+/// Synthetic separable task: label = (x0 > 2) + 2 * (x1 > 1), 4 classes,
+/// plus a handful of pure-noise features.
+LabeledData SeparableData(int n, Rng& rng, double label_noise = 0.0) {
+  LabeledData data;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> row(6);
+    for (int f = 0; f < 6; ++f) row[f] = static_cast<int>(rng.UniformInt(5));
+    int label = (row[0] > 2 ? 1 : 0) + 2 * (row[1] > 1 ? 1 : 0);
+    if (label_noise > 0.0 && rng.Bernoulli(label_noise)) {
+      label = static_cast<int>(rng.UniformInt(4));
+    }
+    data.Append(std::move(row), label);
+  }
+  return data;
+}
+
+GbdtConfig SmallConfig() {
+  GbdtConfig config;
+  config.num_rounds = 10;
+  config.max_depth = 4;
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(GbdtTest, LearnsSeparableFunction) {
+  Rng rng(1);
+  LabeledData data = SeparableData(4000, rng);
+  auto split = Split(data, 0.75, rng);
+
+  Gbdt model;
+  model.Train(split.train.rows, split.train.labels, 4, SmallConfig(), rng);
+  auto pred = model.PredictBatch(split.test.rows);
+  EXPECT_GT(Accuracy(split.test.labels, pred), 0.98);
+}
+
+TEST(GbdtTest, RobustToLabelNoise) {
+  Rng rng(2);
+  LabeledData data = SeparableData(6000, rng, 0.2);
+  auto split = Split(data, 0.75, rng);
+  Gbdt model;
+  model.Train(split.train.rows, split.train.labels, 4, SmallConfig(), rng);
+  auto pred = model.PredictBatch(split.test.rows);
+  // Bayes-optimal accuracy is 0.2*0.25 + 0.8 = 0.85.
+  EXPECT_GT(Accuracy(split.test.labels, pred), 0.78);
+}
+
+TEST(GbdtTest, ChanceLevelOnPureNoise) {
+  Rng rng(3);
+  LabeledData data;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<int> row(5);
+    for (int f = 0; f < 5; ++f) row[f] = static_cast<int>(rng.UniformInt(4));
+    data.Append(std::move(row), static_cast<int>(rng.UniformInt(3)));
+  }
+  auto split = Split(data, 0.7, rng);
+  Gbdt model;
+  model.Train(split.train.rows, split.train.labels, 3, SmallConfig(), rng);
+  auto pred = model.PredictBatch(split.test.rows);
+  EXPECT_NEAR(Accuracy(split.test.labels, pred), 1.0 / 3.0, 0.08);
+}
+
+TEST(GbdtTest, BinaryClassification) {
+  Rng rng(4);
+  LabeledData data;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int> row{static_cast<int>(rng.UniformInt(2)),
+                         static_cast<int>(rng.UniformInt(3))};
+    data.Append(row, row[0]);
+  }
+  Gbdt model;
+  model.Train(data.rows, data.labels, 2, SmallConfig(), rng);
+  EXPECT_EQ(model.Predict({0, 1}), 0);
+  EXPECT_EQ(model.Predict({1, 1}), 1);
+}
+
+TEST(GbdtTest, ProbaSumsToOne) {
+  Rng rng(5);
+  LabeledData data = SeparableData(1000, rng);
+  Gbdt model;
+  model.Train(data.rows, data.labels, 4, SmallConfig(), rng);
+  auto proba = model.PredictProba(data.rows[0]);
+  ASSERT_EQ(proba.size(), 4u);
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GbdtTest, PredictsClassPriorWithoutSignalImbalanced) {
+  // Heavily imbalanced labels, useless features: accuracy should approach
+  // the majority-class rate through the base margin.
+  Rng rng(6);
+  LabeledData data;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<int> row{static_cast<int>(rng.UniformInt(3))};
+    data.Append(row, rng.Bernoulli(0.85) ? 0 : 1);
+  }
+  Gbdt model;
+  model.Train(data.rows, data.labels, 2, SmallConfig(), rng);
+  auto pred = model.PredictBatch(data.rows);
+  EXPECT_GT(Accuracy(data.labels, pred), 0.80);
+}
+
+TEST(GbdtTest, Validation) {
+  Rng rng(7);
+  Gbdt model;
+  GbdtConfig config = SmallConfig();
+  EXPECT_THROW(model.Train({}, {}, 2, config, rng), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{1}}, {0, 1}, 2, config, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(model.Train({{1}}, {0}, 1, config, rng), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{300}}, {0}, 2, config, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(model.Train({{1}, {2}}, {0, 2}, 2, config, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(model.Predict({1}), InvalidArgumentError);  // untrained
+
+  LabeledData data = SeparableData(200, rng);
+  model.Train(data.rows, data.labels, 4, config, rng);
+  EXPECT_THROW(model.Predict({1}), InvalidArgumentError);  // wrong width
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  Rng rng1(9), rng2(9);
+  LabeledData data = SeparableData(1000, rng1);
+  Rng rng1b(10), rng2b(10);
+  Gbdt m1, m2;
+  GbdtConfig config = SmallConfig();
+  m1.Train(data.rows, data.labels, 4, config, rng1b);
+  m2.Train(data.rows, data.labels, 4, config, rng2b);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m1.Predict(data.rows[i]), m2.Predict(data.rows[i]));
+  }
+}
+
+TEST(GbdtTest, MoreRoundsDoNotHurtSeparableTask) {
+  Rng rng(11);
+  LabeledData data = SeparableData(3000, rng);
+  auto split = Split(data, 0.7, rng);
+  GbdtConfig small = SmallConfig();
+  small.num_rounds = 2;
+  GbdtConfig large = SmallConfig();
+  large.num_rounds = 20;
+  Gbdt m_small, m_large;
+  m_small.Train(split.train.rows, split.train.labels, 4, small, rng);
+  m_large.Train(split.train.rows, split.train.labels, 4, large, rng);
+  double acc_small =
+      Accuracy(split.test.labels, m_small.PredictBatch(split.test.rows));
+  double acc_large =
+      Accuracy(split.test.labels, m_large.PredictBatch(split.test.rows));
+  EXPECT_GE(acc_large, acc_small - 0.02);
+}
+
+TEST(DatasetSplitTest, PartitionsData) {
+  Rng rng(12);
+  LabeledData data = SeparableData(100, rng);
+  auto split = Split(data, 0.8, rng);
+  EXPECT_EQ(split.train.n(), 80);
+  EXPECT_EQ(split.test.n(), 20);
+  EXPECT_THROW(Split(data, 0.0, rng), InvalidArgumentError);
+  EXPECT_THROW(Split(data, 1.0, rng), InvalidArgumentError);
+}
+
+TEST(MlMetricsTest, AccuracyAndConfusion) {
+  std::vector<int> truth{0, 0, 1, 1, 2};
+  std::vector<int> pred{0, 1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(truth, pred), 0.6);
+  auto cm = ConfusionMatrix(truth, pred, 3);
+  EXPECT_DOUBLE_EQ(cm[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(cm[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(cm[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(cm[2][0], 1.0);
+  EXPECT_GT(MacroF1(truth, pred, 3), 0.0);
+  EXPECT_LT(MacroF1(truth, pred, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1(truth, truth, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace ldpr::ml

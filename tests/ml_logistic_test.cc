@@ -1,0 +1,88 @@
+#include "ml/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "ml/dataset_split.h"
+#include "ml/ml_metrics.h"
+
+namespace ldpr::ml {
+namespace {
+
+LabeledData LinearlySeparableData(int n, Rng& rng) {
+  // label = 1 iff x0 + x1 >= 4 (features in [0, 4)).
+  LabeledData data;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> row{static_cast<int>(rng.UniformInt(4)),
+                         static_cast<int>(rng.UniformInt(4)),
+                         static_cast<int>(rng.UniformInt(4))};
+    data.Append(row, row[0] + row[1] >= 4 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(LogisticTest, LearnsLinearBoundary) {
+  Rng rng(1);
+  LabeledData data = LinearlySeparableData(3000, rng);
+  auto split = Split(data, 0.75, rng);
+  LogisticRegression model;
+  model.Train(split.train.rows, split.train.labels, 2, LogisticConfig{}, rng);
+  auto pred = model.PredictBatch(split.test.rows);
+  EXPECT_GT(Accuracy(split.test.labels, pred), 0.95);
+}
+
+TEST(LogisticTest, MulticlassOneHotFeatures) {
+  // 3 classes keyed by a one-hot coordinate.
+  Rng rng(2);
+  LabeledData data;
+  for (int i = 0; i < 1500; ++i) {
+    int c = static_cast<int>(rng.UniformInt(3));
+    std::vector<int> row(3, 0);
+    row[c] = 1;
+    data.Append(row, c);
+  }
+  LogisticRegression model;
+  model.Train(data.rows, data.labels, 3, LogisticConfig{}, rng);
+  EXPECT_EQ(model.Predict({1, 0, 0}), 0);
+  EXPECT_EQ(model.Predict({0, 1, 0}), 1);
+  EXPECT_EQ(model.Predict({0, 0, 1}), 2);
+}
+
+TEST(LogisticTest, ProbaSumsToOne) {
+  Rng rng(3);
+  LabeledData data = LinearlySeparableData(500, rng);
+  LogisticRegression model;
+  model.Train(data.rows, data.labels, 2, LogisticConfig{}, rng);
+  auto p = model.PredictProba(data.rows[0]);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+}
+
+TEST(LogisticTest, ChanceOnNoise) {
+  Rng rng(4);
+  LabeledData data;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int> row{static_cast<int>(rng.UniformInt(4))};
+    data.Append(row, static_cast<int>(rng.UniformInt(4)));
+  }
+  auto split = Split(data, 0.7, rng);
+  LogisticRegression model;
+  model.Train(split.train.rows, split.train.labels, 4, LogisticConfig{}, rng);
+  auto pred = model.PredictBatch(split.test.rows);
+  EXPECT_NEAR(Accuracy(split.test.labels, pred), 0.25, 0.08);
+}
+
+TEST(LogisticTest, Validation) {
+  Rng rng(5);
+  LogisticRegression model;
+  EXPECT_THROW(model.Train({}, {}, 2, LogisticConfig{}, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(model.Train({{1}}, {0}, 1, LogisticConfig{}, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(model.Predict({1}), InvalidArgumentError);
+  LabeledData data = LinearlySeparableData(100, rng);
+  model.Train(data.rows, data.labels, 2, LogisticConfig{}, rng);
+  EXPECT_THROW(model.Predict({1}), InvalidArgumentError);  // wrong width
+}
+
+}  // namespace
+}  // namespace ldpr::ml

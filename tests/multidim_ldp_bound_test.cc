@@ -1,0 +1,218 @@
+// Tuple-level LDP characterization of the multidimensional clients. The
+// paper's amplification argument (Section 2.3.2; parallel composition +
+// amplification by sampling [31]) gives RS+FD eps-LDP *per attribute*:
+// for two records that differ in ONE attribute, the whole output tuple's
+// likelihood ratio is bounded by e^eps even though the sampled attribute's
+// randomizer runs at the amplified eps' > eps (the 1/d sampling mixture
+// plus value-independent fake data absorbs the difference). For records
+// that differ in SEVERAL attributes the guarantee degrades: with all d
+// coordinates changed the ratio provably reaches e^eps' (both branches of
+// the sampling mixture shift together; e.g. d = 2, k = [2,2]:
+// Pr[(0,0)|(0,0)] = p'/2 versus Pr[(0,0)|(1,1)] = q'/2). This suite pins
+// down both sides empirically on tiny domains for RS+FD (GRR and OUE-z),
+// RS+RFD with skewed priors (fake data is value-independent, so priors
+// must not change any ratio), and the two adaptive clients — documenting
+// precisely what "RS+FD satisfies eps-LDP" means. A negative control
+// confirms the harness detects violations: pinning the sampled attribute
+// (disclosing it, SMP-style) breaks the single-attribute eps bound.
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multidim/adaptive.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+#include "multidim/rsrfd_adaptive.h"
+
+namespace ldpr::multidim {
+namespace {
+
+std::string TupleKey(const MultidimReport& report) {
+  std::string key;
+  for (int v : report.values) {
+    key += std::to_string(v);
+    key += '|';
+  }
+  for (const auto& bits : report.bits) {
+    for (auto b : bits) key += static_cast<char>('0' + b);
+    key += '|';
+  }
+  return key;
+}
+
+int HammingDistance(const std::vector<int>& a, const std::vector<int>& b) {
+  int distance = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) distance += (a[i] != b[i]);
+  return distance;
+}
+
+/// All records over the given tiny domains.
+std::vector<std::vector<int>> AllRecords(const std::vector<int>& k) {
+  std::vector<std::vector<int>> records = {{}};
+  for (int kj : k) {
+    std::vector<std::vector<int>> next;
+    for (const auto& prefix : records) {
+      for (int v = 0; v < kj; ++v) {
+        auto record = prefix;
+        record.push_back(v);
+        next.push_back(std::move(record));
+      }
+    }
+    records = std::move(next);
+  }
+  return records;
+}
+
+/// Max over output tuples and record pairs at the given Hamming distance of
+/// Pr[y|r1]/Pr[y|r2], estimated with `trials` samples per record. Outputs
+/// with probability below `min_mass` under either record are skipped
+/// (unreliable ratios). `record_distance` <= 0 means any pair.
+template <typename Client>
+double MaxLikelihoodRatio(const Client& client, const std::vector<int>& k,
+                          int trials, double min_mass, std::uint64_t seed,
+                          int record_distance = 0) {
+  const auto records = AllRecords(k);
+  std::vector<std::map<std::string, double>> dists(records.size());
+  Rng rng(seed);
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    for (int t = 0; t < trials; ++t) {
+      dists[r][TupleKey(client.RandomizeUser(records[r], rng))] +=
+          1.0 / trials;
+    }
+  }
+  double max_ratio = 0.0;
+  for (std::size_t a = 0; a < records.size(); ++a) {
+    for (std::size_t b = 0; b < records.size(); ++b) {
+      if (a == b) continue;
+      if (record_distance > 0 &&
+          HammingDistance(records[a], records[b]) != record_distance) {
+        continue;
+      }
+      for (const auto& [key, pa] : dists[a]) {
+        if (pa < min_mass) continue;
+        auto it = dists[b].find(key);
+        const double pb = (it == dists[b].end()) ? 0.0 : it->second;
+        if (pb < min_mass) continue;
+        max_ratio = std::max(max_ratio, pa / pb);
+      }
+    }
+  }
+  return max_ratio;
+}
+
+constexpr int kTrials = 250000;
+constexpr double kMinMass = 0.01;
+constexpr double kSlack = 1.12;  // Monte-Carlo tolerance on the ratio
+
+TEST(MultidimLdpBoundTest, RsFdGrrSingleAttributeChangeIsEpsLdp) {
+  const double eps = 1.0;
+  RsFd client(RsFdVariant::kGrr, {2, 2}, eps);
+  const double ratio = MaxLikelihoodRatio(client, {2, 2}, kTrials, kMinMass,
+                                          11, /*record_distance=*/1);
+  EXPECT_LE(ratio, std::exp(eps) * kSlack);
+  // And the bound is *tight-ish*: far above e^eps/2, i.e. the amplified
+  // randomizer really is spending more than eps on the sampled attribute.
+  EXPECT_GT(ratio, std::exp(eps) * 0.75);
+}
+
+TEST(MultidimLdpBoundTest, RsFdFullRecordChangeReachesAmplifiedBudget) {
+  // Records differing in every attribute: both branches of the sampling
+  // mixture shift, and the tuple ratio climbs to e^{eps'} — the guarantee
+  // is per-attribute, not per-record.
+  const double eps = 1.0;
+  RsFd client(RsFdVariant::kGrr, {2, 2}, eps);
+  const double ratio = MaxLikelihoodRatio(client, {2, 2}, kTrials, kMinMass,
+                                          17, /*record_distance=*/2);
+  EXPECT_GT(ratio, std::exp(eps) * 1.3);  // clearly above e^eps
+  EXPECT_LE(ratio, std::exp(client.amplified_epsilon()) * kSlack);
+  EXPECT_GT(ratio, std::exp(client.amplified_epsilon()) * 0.8);  // and tight
+}
+
+TEST(MultidimLdpBoundTest, RsFdOueZSingleAttributeChangeIsEpsLdp) {
+  const double eps = 1.0;
+  RsFd client(RsFdVariant::kOueZ, {2, 2}, eps);
+  EXPECT_LE(MaxLikelihoodRatio(client, {2, 2}, kTrials, kMinMass, 12,
+                               /*record_distance=*/1),
+            std::exp(eps) * kSlack);
+}
+
+TEST(MultidimLdpBoundTest, RsRfdUniformPriorsKeepTheEpsBound) {
+  // With uniform priors RS+RFD reduces to RS+FD, so the exact e^eps
+  // branch cancellation survives.
+  const double eps = 1.0;
+  RsRfd client(RsRfdVariant::kGrr, {2, 2}, eps,
+               {{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_LE(MaxLikelihoodRatio(client, {2, 2}, kTrials, kMinMass, 13,
+                               /*record_distance=*/1),
+            std::exp(eps) * kSlack);
+}
+
+TEST(MultidimLdpBoundTest, RsRfdSkewedPriorsDegradeTheTupleBound) {
+  // Characterization finding of this reproduction: RS+FD's tuple-level
+  // e^eps bound comes from an exact cancellation — every sampling branch
+  // carries the same uniform fake factor prod_i 1/k_i, so the likelihood
+  // ratio reduces to (p + S)/(q + S) = e^eps at the design point. Skewed
+  // priors break that cancellation (branches are weighted by different
+  // prod f~_i(y_i) masses), and the realized worst-case ratio for
+  // single-attribute neighbours exceeds e^eps, approaching e^{eps'} as
+  // prior masses approach 0. Closed-form check for d = 2, k = [2,2],
+  // priors (0.9,0.1)/(0.2,0.8): binding pair ratio
+  // (q*0.2 + 0.9*p)/(q*0.2 + 0.9*q) ~ 3.8 > e^1 ~ 2.72 (eps' = 1.49).
+  // The paper's Section 5 privacy analysis is exact for uniform fakes; for
+  // realistic fakes it is an approximation whose error grows with skew.
+  const double eps = 1.0;
+  RsRfd client(RsRfdVariant::kGrr, {2, 2}, eps,
+               {{0.9, 0.1}, {0.2, 0.8}});
+  const double ratio = MaxLikelihoodRatio(client, {2, 2}, kTrials, kMinMass,
+                                          13, /*record_distance=*/1);
+  EXPECT_GT(ratio, std::exp(eps) * 1.2);  // clearly above e^eps
+  EXPECT_LE(ratio, std::exp(client.amplified_epsilon()) * kSlack);
+}
+
+TEST(MultidimLdpBoundTest, AdaptiveClientsStayWithinAmplifiedBudget) {
+  // Mixing encodings per attribute (ADP) also breaks the equal-fake-factor
+  // cancellation: the GRR-attribute branch and the OUE-attribute branch
+  // weight outputs by structurally different fake distributions. The tuple
+  // guarantee for single-attribute neighbours therefore sits strictly
+  // between e^eps and e^{eps'} — the price of per-attribute adaptivity,
+  // mirroring the skewed-prior effect above.
+  const double eps = 1.0;
+  // k = {2, 8} makes the ADP rules mix GRR and OUE choices at d = 2.
+  RsFdAdaptive fd({2, 8}, eps);
+  const double fd_ratio = MaxLikelihoodRatio(fd, {2, 8}, kTrials, kMinMass,
+                                             14, /*record_distance=*/1);
+  EXPECT_LE(fd_ratio, std::exp(fd.amplified_epsilon()) * kSlack);
+  RsRfdAdaptive rfd({2, 8}, eps,
+                    {{0.8, 0.2}, {0.3, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}});
+  const double rfd_ratio = MaxLikelihoodRatio(rfd, {2, 8}, kTrials, kMinMass,
+                                              15, /*record_distance=*/1);
+  EXPECT_LE(rfd_ratio, std::exp(rfd.amplified_epsilon()) * kSlack);
+}
+
+TEST(MultidimLdpBoundTest, NegativeControlDetectsViolation) {
+  // Disclose the sampled attribute (SMP-style) while still randomizing at
+  // the amplified budget: the per-output ratio then reaches e^{eps'} > e^eps
+  // and the harness must see it. We emulate by running RS+FD with the
+  // sampled attribute pinned (the caller-chosen-attribute API), which
+  // removes the 1/d sampling mixture the amplification relies on.
+  const double eps = 1.0;
+  RsFd client(RsFdVariant::kGrr, {2, 2}, eps);
+  struct PinnedClient {
+    const RsFd& inner;
+    MultidimReport RandomizeUser(const std::vector<int>& record,
+                                 Rng& rng) const {
+      return inner.RandomizeUserWithAttribute(record, 0, rng);
+    }
+  } pinned{client};
+  const double ratio = MaxLikelihoodRatio(pinned, {2, 2}, kTrials, kMinMass,
+                                          16, /*record_distance=*/1);
+  EXPECT_GT(ratio, std::exp(eps) * 1.3);  // clearly above e^eps
+  EXPECT_LE(ratio, std::exp(client.amplified_epsilon()) * kSlack);
+}
+
+}  // namespace
+}  // namespace ldpr::multidim

@@ -1,0 +1,102 @@
+#include "multidim/memoization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr::multidim {
+namespace {
+
+bool SameReport(const fo::Report& a, const fo::Report& b) {
+  return a.value == b.value && a.hash_seed == b.hash_seed &&
+         a.subset == b.subset && a.bits == b.bits;
+}
+
+TEST(MemoizationTest, RepeatedAttributeReturnsCachedReport) {
+  Smp smp(fo::Protocol::kGrr, {8, 5}, 1.0);
+  MemoizedSmpClient client(smp);
+  Rng rng(1);
+  const std::vector<int> record{3, 2};
+
+  SmpReport first = client.Report(record, 0, rng);
+  EXPECT_EQ(client.fresh_reports(), 1);
+  for (int t = 0; t < 50; ++t) {
+    SmpReport repeat = client.Report(record, 0, rng);
+    EXPECT_TRUE(SameReport(first.report, repeat.report));
+  }
+  EXPECT_EQ(client.fresh_reports(), 1);
+}
+
+TEST(MemoizationTest, DistinctAttributesRandomizeSeparately) {
+  Smp smp(fo::Protocol::kOue, {8, 5, 3}, 1.0);
+  MemoizedSmpClient client(smp);
+  Rng rng(2);
+  const std::vector<int> record{3, 2, 1};
+  client.Report(record, 0, rng);
+  client.Report(record, 2, rng);
+  EXPECT_EQ(client.fresh_reports(), 2);
+  EXPECT_TRUE(client.IsMemoized(0));
+  EXPECT_FALSE(client.IsMemoized(1));
+  EXPECT_TRUE(client.IsMemoized(2));
+}
+
+TEST(MemoizationTest, InvalidateForcesFreshRandomization) {
+  Smp smp(fo::Protocol::kSue, {16, 4}, 1.0);
+  MemoizedSmpClient client(smp);
+  Rng rng(3);
+  const std::vector<int> record{7, 0};
+  SmpReport first = client.Report(record, 0, rng);
+  client.Invalidate(0);
+  EXPECT_FALSE(client.IsMemoized(0));
+  SmpReport second = client.Report(record, 0, rng);
+  EXPECT_EQ(client.fresh_reports(), 2);
+  // SUE over k = 16 bits: fresh randomization collides with negligible
+  // probability; a collision here would indicate the cache was not dropped.
+  EXPECT_FALSE(SameReport(first.report, second.report));
+}
+
+TEST(MemoizationTest, RandomAttributeUsesWithReplacementSampling) {
+  Smp smp(fo::Protocol::kGrr, {4, 4, 4, 4}, 1.0);
+  MemoizedSmpClient client(smp);
+  Rng rng(4);
+  const std::vector<int> record{0, 1, 2, 3};
+  for (int t = 0; t < 100; ++t) client.ReportRandomAttribute(record, rng);
+  // 100 draws over 4 attributes: every attribute memoized, but only 4 fresh
+  // randomizations happened — the memoization bound on privacy loss.
+  EXPECT_EQ(client.fresh_reports(), 4);
+  for (int a = 0; a < 4; ++a) EXPECT_TRUE(client.IsMemoized(a));
+}
+
+TEST(MemoizationTest, CachedReportsRemainValidForEstimation) {
+  // Server-side estimates over memoized reports stay unbiased: repeated
+  // reports are just the same eps-LDP draw, so using each user's (single)
+  // latest report reproduces plain SMP.
+  const std::vector<int> k{6, 4};
+  Smp smp(fo::Protocol::kGrr, k, 4.0);
+  Rng rng(5);
+  std::vector<SmpReport> reports;
+  for (int u = 0; u < 20000; ++u) {
+    MemoizedSmpClient client(smp);
+    std::vector<int> record{static_cast<int>(rng.UniformInt(6)), 1};
+    // The user reports the same attribute across three surveys.
+    client.Report(record, 0, rng);
+    client.Report(record, 0, rng);
+    reports.push_back(client.Report(record, 0, rng));
+  }
+  auto est = smp.Estimate(reports);
+  for (int v = 0; v < 6; ++v) {
+    EXPECT_NEAR(est[0][v], 1.0 / 6.0, 0.03);
+  }
+}
+
+TEST(MemoizationTest, Validation) {
+  Smp smp(fo::Protocol::kGrr, {4, 4}, 1.0);
+  MemoizedSmpClient client(smp);
+  Rng rng(6);
+  EXPECT_THROW(client.Report({0, 0}, 2, rng), InvalidArgumentError);
+  EXPECT_THROW(client.IsMemoized(-1), InvalidArgumentError);
+  EXPECT_THROW(client.Invalidate(5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::multidim

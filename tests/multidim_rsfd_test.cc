@@ -1,0 +1,219 @@
+#include "multidim/rsfd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/metrics.h"
+#include "core/sampling.h"
+#include "data/synthetic.h"
+#include "multidim/amplification.h"
+#include "multidim/variance.h"
+
+namespace ldpr::multidim {
+namespace {
+
+std::vector<RsFdVariant> AllVariants() {
+  return {RsFdVariant::kGrr, RsFdVariant::kSueZ, RsFdVariant::kSueR,
+          RsFdVariant::kOueZ, RsFdVariant::kOueR};
+}
+
+TEST(RsFdTest, VariantNamesAndKindPredicates) {
+  EXPECT_STREQ(RsFdVariantName(RsFdVariant::kGrr), "RS+FD[GRR]");
+  EXPECT_STREQ(RsFdVariantName(RsFdVariant::kSueZ), "RS+FD[SUE-z]");
+  EXPECT_STREQ(RsFdVariantName(RsFdVariant::kOueR), "RS+FD[OUE-r]");
+  EXPECT_FALSE(IsUeVariant(RsFdVariant::kGrr));
+  EXPECT_TRUE(IsUeVariant(RsFdVariant::kSueZ));
+  EXPECT_TRUE(IsZeroFakeVariant(RsFdVariant::kOueZ));
+  EXPECT_FALSE(IsZeroFakeVariant(RsFdVariant::kOueR));
+}
+
+TEST(RsFdTest, UsesAmplifiedBudget) {
+  RsFd rsfd(RsFdVariant::kGrr, {4, 5, 6}, 1.0);
+  EXPECT_NEAR(rsfd.amplified_epsilon(), AmplifiedEpsilon(1.0, 3), 1e-12);
+  EXPECT_GT(rsfd.amplified_epsilon(), rsfd.epsilon());
+  // GRR probabilities are per-attribute (depend on k_j).
+  EXPECT_GT(rsfd.p(0), rsfd.p(2));
+}
+
+TEST(RsFdTest, Validation) {
+  EXPECT_THROW(RsFd(RsFdVariant::kGrr, {4}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(RsFd(RsFdVariant::kGrr, {4, 1}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(RsFd(RsFdVariant::kGrr, {4, 5}, 0.0), InvalidArgumentError);
+  RsFd rsfd(RsFdVariant::kGrr, {4, 5}, 1.0);
+  Rng rng(1);
+  EXPECT_THROW(rsfd.RandomizeUser({1}, rng), InvalidArgumentError);
+  EXPECT_THROW(rsfd.RandomizeUserWithAttribute({1, 2}, 2, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(rsfd.Estimate({}), InvalidArgumentError);
+}
+
+TEST(RsFdTest, ReportShapesMatchVariant) {
+  Rng rng(2);
+  RsFd grr(RsFdVariant::kGrr, {4, 5}, 1.0);
+  MultidimReport r1 = grr.RandomizeUser({1, 2}, rng);
+  EXPECT_EQ(r1.values.size(), 2u);
+  EXPECT_TRUE(r1.bits.empty());
+  EXPECT_GE(r1.sampled_attribute, 0);
+  EXPECT_LT(r1.sampled_attribute, 2);
+
+  RsFd oue(RsFdVariant::kOueZ, {4, 5}, 1.0);
+  MultidimReport r2 = oue.RandomizeUser({1, 2}, rng);
+  EXPECT_TRUE(r2.values.empty());
+  ASSERT_EQ(r2.bits.size(), 2u);
+  EXPECT_EQ(r2.bits[0].size(), 4u);
+  EXPECT_EQ(r2.bits[1].size(), 5u);
+}
+
+TEST(RsFdTest, SampledAttributeIsUniform) {
+  RsFd rsfd(RsFdVariant::kGrr, {3, 3, 3, 3}, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  for (int t = 0; t < 8000; ++t) {
+    ++counts[rsfd.RandomizeUser({0, 1, 2, 0}, rng).sampled_attribute];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 8000.0, 0.25, 0.03);
+  }
+}
+
+TEST(RsFdTest, ZeroFakesProduceSparserBitsThanRandomFakes) {
+  // The root cause of the RS+FD[UE-z] vulnerability: fake columns have only
+  // q-level bit density while the sampled column has an extra p-bit.
+  Rng rng(4);
+  const std::vector<int> k{20, 20};
+  RsFd z(RsFdVariant::kOueZ, k, 1.0);
+  RsFd r(RsFdVariant::kOueR, k, 1.0);
+  long long z_fake_bits = 0, r_fake_bits = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    MultidimReport rz = z.RandomizeUserWithAttribute({3, 7}, 0, rng);
+    MultidimReport rr = r.RandomizeUserWithAttribute({3, 7}, 0, rng);
+    for (int v = 0; v < 20; ++v) {
+      z_fake_bits += rz.bits[1][v];
+      r_fake_bits += rr.bits[1][v];
+    }
+  }
+  EXPECT_LT(z_fake_bits, r_fake_bits);
+}
+
+class RsFdEstimatorTest : public ::testing::TestWithParam<RsFdVariant> {};
+
+TEST_P(RsFdEstimatorTest, UnbiasedOnSkewedData) {
+  const RsFdVariant variant = GetParam();
+  // Skewed multidimensional population.
+  const std::vector<int> k{6, 4, 9};
+  const int n = 120000;
+  Rng rng(100 + static_cast<int>(variant));
+  std::vector<CategoricalSampler> samplers;
+  for (int kj : k) samplers.emplace_back(ZipfDistribution(kj, 1.3));
+
+  std::vector<std::vector<int>> records(n, std::vector<int>(3));
+  std::vector<std::vector<long long>> counts(3);
+  for (int j = 0; j < 3; ++j) counts[j].assign(k[j], 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      records[i][j] = samplers[j].Sample(rng);
+      ++counts[j][records[i][j]];
+    }
+  }
+  std::vector<std::vector<double>> truth(3);
+  for (int j = 0; j < 3; ++j) {
+    truth[j].resize(k[j]);
+    for (int v = 0; v < k[j]; ++v) {
+      truth[j][v] = static_cast<double>(counts[j][v]) / n;
+    }
+  }
+
+  RsFd rsfd(variant, k, 1.0);
+  std::vector<MultidimReport> reports;
+  reports.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    reports.push_back(rsfd.RandomizeUser(records[i], rng));
+  }
+  auto est = rsfd.Estimate(reports);
+
+  for (int j = 0; j < 3; ++j) {
+    for (int v = 0; v < k[j]; ++v) {
+      const double sd = std::sqrt(
+          RsFdVariance(variant, k[j], 3, 1.0, n, truth[j][v]));
+      EXPECT_NEAR(est[j][v], truth[j][v], 5.0 * sd + 1e-6)
+          << RsFdVariantName(variant) << " j=" << j << " v=" << v;
+    }
+  }
+}
+
+TEST_P(RsFdEstimatorTest, VarianceFormulaMatchesEmpirical) {
+  const RsFdVariant variant = GetParam();
+  const std::vector<int> k{5, 7};
+  const int n = 4000;
+  const int runs = 250;
+  RsFd rsfd(variant, k, 1.0);
+  Rng rng(200 + static_cast<int>(variant));
+
+  // All users hold value 0 on both attributes; measure fhat_0(1) (f = 0).
+  std::vector<int> record{0, 0};
+  std::vector<double> estimates(runs);
+  for (int r = 0; r < runs; ++r) {
+    std::vector<MultidimReport> reports;
+    reports.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      reports.push_back(rsfd.RandomizeUser(record, rng));
+    }
+    estimates[r] = rsfd.Estimate(reports)[0][1];
+  }
+  const double mean = Mean(estimates);
+  double var = 0.0;
+  for (double e : estimates) var += (e - mean) * (e - mean);
+  var /= (runs - 1);
+  const double predicted = RsFdVariance(variant, k[0], 2, 1.0, n, 0.0);
+  EXPECT_NEAR(var, predicted, 0.5 * predicted) << RsFdVariantName(variant);
+  EXPECT_NEAR(mean, 0.0, 5.0 * std::sqrt(predicted / runs));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, RsFdEstimatorTest,
+                         ::testing::ValuesIn(AllVariants()),
+                         [](const ::testing::TestParamInfo<RsFdVariant>& info) {
+                           switch (info.param) {
+                             case RsFdVariant::kGrr:
+                               return "GRR";
+                             case RsFdVariant::kSueZ:
+                               return "SUEz";
+                             case RsFdVariant::kSueR:
+                               return "SUEr";
+                             case RsFdVariant::kOueZ:
+                               return "OUEz";
+                             case RsFdVariant::kOueR:
+                               return "OUEr";
+                           }
+                           return "unknown";
+                         });
+
+TEST(RsFdVarianceTest, ApproxMseAvgAveragesAttributes) {
+  const std::vector<int> k{4, 16};
+  const double direct =
+      (RsFdVariance(RsFdVariant::kGrr, 4, 2, 1.0, 1000, 0.0) +
+       RsFdVariance(RsFdVariant::kGrr, 16, 2, 1.0, 1000, 0.0)) /
+      2.0;
+  EXPECT_NEAR(RsFdApproxMseAvg(RsFdVariant::kGrr, k, 1.0, 1000), direct,
+              1e-12);
+}
+
+TEST(RsFdVarianceTest, DecreasesWithN) {
+  const double v1 = RsFdVariance(RsFdVariant::kOueR, 8, 3, 1.0, 1000, 0.0);
+  const double v2 = RsFdVariance(RsFdVariant::kOueR, 8, 3, 1.0, 4000, 0.0);
+  EXPECT_NEAR(v1 / v2, 4.0, 1e-9);
+}
+
+TEST(RsFdVarianceTest, Validation) {
+  EXPECT_THROW(RsFdVariance(RsFdVariant::kGrr, 1, 3, 1.0, 100, 0.0),
+               InvalidArgumentError);
+  EXPECT_THROW(RsFdVariance(RsFdVariant::kGrr, 4, 1, 1.0, 100, 0.0),
+               InvalidArgumentError);
+  EXPECT_THROW(RsFdVariance(RsFdVariant::kGrr, 4, 3, 0.0, 100, 0.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::multidim

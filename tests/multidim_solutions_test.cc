@@ -1,0 +1,160 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "multidim/amplification.h"
+#include "multidim/smp.h"
+#include "multidim/spl.h"
+
+namespace ldpr::multidim {
+namespace {
+
+TEST(AmplificationTest, ClosedForm) {
+  // eps' = ln(d(e^eps - 1) + 1).
+  EXPECT_NEAR(AmplifiedEpsilon(1.0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(AmplifiedEpsilon(1.0, 3),
+              std::log(3.0 * (std::exp(1.0) - 1.0) + 1.0), 1e-12);
+  EXPECT_GT(AmplifiedEpsilon(2.0, 5), 2.0);
+}
+
+TEST(AmplificationTest, RoundTrip) {
+  for (int d : {2, 5, 18}) {
+    for (double eps : {0.5, 1.0, 4.0}) {
+      EXPECT_NEAR(DeamplifiedEpsilon(AmplifiedEpsilon(eps, d), d), eps, 1e-9);
+    }
+  }
+}
+
+TEST(AmplificationTest, MonotoneInD) {
+  double prev = 0.0;
+  for (int d = 1; d <= 20; ++d) {
+    double a = AmplifiedEpsilon(1.0, d);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(AmplificationTest, Validation) {
+  EXPECT_THROW(AmplifiedEpsilon(0.0, 3), InvalidArgumentError);
+  EXPECT_THROW(AmplifiedEpsilon(1.0, 0), InvalidArgumentError);
+  EXPECT_THROW(DeamplifiedEpsilon(-1.0, 3), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// SMP
+// ---------------------------------------------------------------------------
+
+TEST(SmpTest, ReportsDiscloseSampledAttribute) {
+  Smp smp(fo::Protocol::kGrr, {4, 6, 3}, 1.0);
+  Rng rng(1);
+  std::vector<int> attr_counts(3, 0);
+  for (int t = 0; t < 9000; ++t) {
+    SmpReport r = smp.RandomizeUser({1, 2, 0}, rng);
+    ASSERT_GE(r.attribute, 0);
+    ASSERT_LT(r.attribute, 3);
+    ++attr_counts[r.attribute];
+  }
+  for (int c : attr_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 9000.0, 1.0 / 3.0, 0.03);
+  }
+}
+
+TEST(SmpTest, EstimatesTrackTruth) {
+  data::Dataset ds = data::NurseryLike(3, 0.5);
+  Smp smp(fo::Protocol::kGrr, ds.domain_sizes(), 4.0);
+  Rng rng(2);
+  std::vector<SmpReport> reports;
+  reports.reserve(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    reports.push_back(smp.RandomizeUser(ds.Record(i), rng));
+  }
+  auto est = smp.Estimate(reports);
+  auto truth = ds.Marginals();
+  EXPECT_LT(MseAvg(truth, est), 1e-3);
+}
+
+TEST(SmpTest, ExplicitAttributeSelection) {
+  Smp smp(fo::Protocol::kGrr, {4, 6}, 10.0);
+  Rng rng(3);
+  SmpReport r = smp.RandomizeUserAttribute({2, 5}, 1, rng);
+  EXPECT_EQ(r.attribute, 1);
+  EXPECT_EQ(r.report.value, 5);  // eps = 10: essentially no perturbation
+  EXPECT_THROW(smp.RandomizeUserAttribute({2, 5}, 2, rng),
+               InvalidArgumentError);
+}
+
+TEST(SmpTest, UnsampledAttributeFallsBackToUniform) {
+  Smp smp(fo::Protocol::kGrr, {4, 6}, 1.0);
+  Rng rng(4);
+  std::vector<SmpReport> reports;
+  for (int t = 0; t < 100; ++t) {
+    reports.push_back(smp.RandomizeUserAttribute({1, 2}, 0, rng));
+  }
+  auto est = smp.Estimate(reports);
+  for (double f : est[1]) EXPECT_DOUBLE_EQ(f, 1.0 / 6.0);
+}
+
+TEST(SmpTest, Validation) {
+  EXPECT_THROW(Smp(fo::Protocol::kGrr, {4}, 1.0), InvalidArgumentError);
+  Smp smp(fo::Protocol::kGrr, {4, 6}, 1.0);
+  Rng rng(5);
+  EXPECT_THROW(smp.RandomizeUser({1}, rng), InvalidArgumentError);
+  EXPECT_THROW(smp.Estimate({}), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// SPL
+// ---------------------------------------------------------------------------
+
+TEST(SplTest, SplitsBudget) {
+  Spl spl(fo::Protocol::kGrr, {4, 6, 3, 2}, 2.0);
+  EXPECT_DOUBLE_EQ(spl.per_attribute_epsilon(), 0.5);
+  EXPECT_DOUBLE_EQ(spl.oracle(0).epsilon(), 0.5);
+}
+
+TEST(SplTest, EstimatesTrackTruth) {
+  data::Dataset ds = data::NurseryLike(7, 0.5);
+  Spl spl(fo::Protocol::kGrr, ds.domain_sizes(), 20.0);
+  Rng rng(6);
+  std::vector<std::vector<fo::Report>> reports;
+  reports.reserve(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    reports.push_back(spl.RandomizeUser(ds.Record(i), rng));
+  }
+  auto est = spl.Estimate(reports);
+  EXPECT_LT(MseAvg(ds.Marginals(), est), 1e-3);
+}
+
+TEST(SplTest, HigherErrorThanSmpAtSameBudget) {
+  // The paper's motivation for SMP: splitting the budget inflates error.
+  data::Dataset ds = data::NurseryLike(9, 0.5);
+  const double eps = 1.0;
+  Rng rng(7);
+
+  Spl spl(fo::Protocol::kGrr, ds.domain_sizes(), eps);
+  std::vector<std::vector<fo::Report>> spl_reports;
+  for (int i = 0; i < ds.n(); ++i) {
+    spl_reports.push_back(spl.RandomizeUser(ds.Record(i), rng));
+  }
+  Smp smp(fo::Protocol::kGrr, ds.domain_sizes(), eps);
+  std::vector<SmpReport> smp_reports;
+  for (int i = 0; i < ds.n(); ++i) {
+    smp_reports.push_back(smp.RandomizeUser(ds.Record(i), rng));
+  }
+  auto truth = ds.Marginals();
+  EXPECT_GT(MseAvg(truth, spl.Estimate(spl_reports)),
+            MseAvg(truth, smp.Estimate(smp_reports)));
+}
+
+TEST(SplTest, Validation) {
+  EXPECT_THROW(Spl(fo::Protocol::kGrr, {4, 6}, 0.0), InvalidArgumentError);
+  EXPECT_THROW(Spl(fo::Protocol::kGrr, {4}, 1.0), InvalidArgumentError);
+  Spl spl(fo::Protocol::kGrr, {4, 6}, 1.0);
+  EXPECT_THROW(spl.oracle(2), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::multidim

@@ -1,0 +1,152 @@
+// Tests for the privacy-loss accountant (privacy/accountant): ledger
+// arithmetic for the three solutions, memoization semantics, the closed
+// forms for expected SMP totals, and agreement between simulation and the
+// closed forms across a (d, surveys) parameter sweep.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "multidim/amplification.h"
+#include "privacy/accountant.h"
+
+namespace ldpr::privacy {
+namespace {
+
+TEST(AccountantTest, FreshLedgerIsZero) {
+  Accountant ledger(5);
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.WorstAttributeEpsilon(), 0.0);
+  EXPECT_EQ(ledger.num_randomizations(), 0);
+  EXPECT_EQ(ledger.d(), 5);
+}
+
+TEST(AccountantTest, SmpChargesOneAttribute) {
+  Accountant ledger(3);
+  ledger.RecordSmp(1, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(1), 2.0);
+  ledger.RecordSmp(1, 2.0);  // fresh randomization of the same attribute
+  EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(1), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), 4.0);
+}
+
+TEST(AccountantTest, MemoizedReplayIsFree) {
+  Accountant ledger(3);
+  ledger.RecordSmp(0, 1.0);
+  ledger.RecordSmp(0, 1.0, /*memoized=*/true);
+  ledger.RecordRsFd(1, 3, 1.0, /*memoized=*/true);
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), 1.0);
+  EXPECT_EQ(ledger.num_randomizations(), 1);
+}
+
+TEST(AccountantTest, SplSplitsEvenly) {
+  Accountant ledger(4);
+  ledger.RecordSpl({0, 1, 2, 3}, 2.0);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(j), 0.5);
+  }
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), 2.0);
+  EXPECT_EQ(ledger.num_randomizations(), 4);
+}
+
+TEST(AccountantTest, RsFdChargesAmplifiedBudgetPerAttribute) {
+  Accountant ledger(5);
+  const double eps = 1.0;
+  const int survey_d = 5;
+  ledger.RecordRsFd(2, survey_d, eps);
+  // Tuple-level sequential total grows by eps...
+  EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), eps);
+  // ...but the sampled attribute saw the amplified randomizer.
+  EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(2),
+                   multidim::AmplifiedEpsilon(eps, survey_d));
+  EXPECT_GT(ledger.AttributeEpsilon(2), eps);
+}
+
+TEST(AccountantTest, WorstAttributeTracksMaximum) {
+  Accountant ledger(3);
+  ledger.RecordSmp(0, 1.0);
+  ledger.RecordSmp(1, 3.0);
+  ledger.RecordSmp(2, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.WorstAttributeEpsilon(), 3.0);
+}
+
+TEST(AccountantTest, RejectsInvalidArguments) {
+  EXPECT_THROW(Accountant(0), InvalidArgumentError);
+  Accountant ledger(3);
+  EXPECT_THROW(ledger.RecordSmp(3, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ledger.RecordSmp(-1, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ledger.RecordSmp(0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(ledger.RecordSpl({}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ledger.RecordRsFd(0, 1, 1.0), InvalidArgumentError);
+  EXPECT_THROW(ledger.AttributeEpsilon(5), InvalidArgumentError);
+}
+
+TEST(AccountantClosedFormTest, UniformIsLinearInSurveys) {
+  EXPECT_DOUBLE_EQ(ExpectedSmpTotalEpsilonUniform(10, 5, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(ExpectedSmpTotalEpsilonUniform(10, 0, 1.0), 0.0);
+  EXPECT_THROW(ExpectedSmpTotalEpsilonUniform(4, 5, 1.0),
+               InvalidArgumentError);
+}
+
+TEST(AccountantClosedFormTest, NonUniformSaturatesAtDEpsilon) {
+  const int d = 5;
+  const double eps = 2.0;
+  double prev = 0.0;
+  for (int surveys : {1, 2, 5, 10, 50, 500}) {
+    const double total = ExpectedSmpTotalEpsilonNonUniform(d, surveys, eps);
+    EXPECT_GT(total, prev);
+    EXPECT_LT(total, d * eps + 1e-9);
+    prev = total;
+  }
+  // After many surveys every attribute has been drawn once: total -> d eps.
+  EXPECT_NEAR(ExpectedSmpTotalEpsilonNonUniform(d, 500, eps), d * eps, 1e-6);
+}
+
+TEST(AccountantClosedFormTest, NonUniformNeverExceedsUniform) {
+  for (int d : {2, 5, 18}) {
+    for (int surveys = 0; surveys <= d; ++surveys) {
+      EXPECT_LE(ExpectedSmpTotalEpsilonNonUniform(d, surveys, 1.0),
+                ExpectedSmpTotalEpsilonUniform(d, surveys, 1.0) + 1e-12);
+    }
+  }
+}
+
+// Simulation agrees with the closed forms across (d, surveys).
+class LedgerSimulationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LedgerSimulationTest, MatchesClosedForms) {
+  const auto [d, surveys] = GetParam();
+  const double eps = 1.5;
+  const int users = 4000;
+  Rng rng(1234 + d * 31 + surveys);
+
+  if (surveys <= d) {
+    LedgerSummary uniform =
+        SimulateSmpLedgers(d, surveys, eps, /*with_replacement=*/false, users,
+                           rng);
+    // Without replacement the total is deterministic.
+    EXPECT_DOUBLE_EQ(uniform.mean_total,
+                     ExpectedSmpTotalEpsilonUniform(d, surveys, eps));
+    EXPECT_DOUBLE_EQ(uniform.max_total, uniform.mean_total);
+    EXPECT_DOUBLE_EQ(uniform.mean_worst_attribute, surveys > 0 ? eps : 0.0);
+  }
+
+  LedgerSummary nonuniform = SimulateSmpLedgers(
+      d, surveys, eps, /*with_replacement=*/true, users, rng);
+  const double expected = ExpectedSmpTotalEpsilonNonUniform(d, surveys, eps);
+  EXPECT_NEAR(nonuniform.mean_total, expected, 0.05 * std::max(expected, eps));
+  // Memoization can only help: totals never exceed surveys * eps.
+  EXPECT_LE(nonuniform.max_total, surveys * eps + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(DSurveyGrid, LedgerSimulationTest,
+                         ::testing::Combine(::testing::Values(2, 5, 10, 18),
+                                            ::testing::Values(1, 3, 5, 10)));
+
+}  // namespace
+}  // namespace ldpr::privacy

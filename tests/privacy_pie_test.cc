@@ -1,0 +1,105 @@
+#include "privacy/pie.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+
+namespace ldpr::privacy {
+namespace {
+
+const double kLog2E = std::log2(std::exp(1.0));
+
+TEST(PieTest, AlphaFromEpsilonTakesMinimum) {
+  // Small eps: the eps^2 term binds.
+  EXPECT_NEAR(AlphaFromEpsilon(0.5, 1 << 20, 1 << 20), 0.25 * kLog2E, 1e-12);
+  // eps >= 1: the linear term binds (for big n, k).
+  EXPECT_NEAR(AlphaFromEpsilon(2.0, 1 << 20, 1 << 20), 2.0 * kLog2E, 1e-12);
+  // Tiny domain: log2 k binds.
+  EXPECT_NEAR(AlphaFromEpsilon(50.0, 1 << 20, 4), 2.0, 1e-12);
+  // Tiny population: log2 n binds.
+  EXPECT_NEAR(AlphaFromEpsilon(50.0, 8, 1 << 20), 3.0, 1e-12);
+}
+
+TEST(PieTest, AlphaFromBayesError) {
+  // alpha = (1 - beta) log2 n - 1.
+  EXPECT_NEAR(AlphaFromBayesError(0.5, 1 << 10), 0.5 * 10.0 - 1.0, 1e-12);
+  // High beta can push alpha to the floor at 0.
+  EXPECT_DOUBLE_EQ(AlphaFromBayesError(0.999, 4), 0.0);
+  EXPECT_THROW(AlphaFromBayesError(-0.1, 100), InvalidArgumentError);
+  EXPECT_THROW(AlphaFromBayesError(1.1, 100), InvalidArgumentError);
+  EXPECT_THROW(AlphaFromBayesError(0.5, 1), InvalidArgumentError);
+}
+
+TEST(PieTest, AlphaDecreasesWithBeta) {
+  double prev = 1e18;
+  for (double beta = 0.5; beta <= 0.95; beta += 0.05) {
+    double a = AlphaFromBayesError(beta, 45222);
+    EXPECT_LT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(PieTest, CalibrationSmallDomainSkipsRandomizer) {
+  // Adult-scale n = 45222 (log2 n ~ 15.5). At beta = 0.5, alpha ~ 6.7:
+  // every attribute with k <= 2^6.7 ~ 104 goes in the clear.
+  PieCalibration cal = CalibrateForBayesError(0.5, 45222, 16);
+  EXPECT_FALSE(cal.use_randomizer);
+  // Large-domain attribute still needs a randomizer at high beta.
+  PieCalibration cal2 = CalibrateForBayesError(0.95, 45222, 74);
+  EXPECT_TRUE(cal2.use_randomizer);
+  EXPECT_GT(cal2.epsilon, 0.0);
+}
+
+TEST(PieTest, CalibrationEpsilonSolvesProposition1) {
+  // beta = 0.9 gives a non-degenerate alpha budget at Adult scale.
+  PieCalibration cal = CalibrateForBayesError(0.9, 45222, 1 << 20);
+  ASSERT_TRUE(cal.use_randomizer);
+  // The chosen eps must spend (at equality) the alpha budget:
+  // min(eps, eps^2) * log2 e <= alpha (+ tolerance).
+  const double spent =
+      std::min(cal.epsilon, cal.epsilon * cal.epsilon) * kLog2E;
+  EXPECT_LE(spent, cal.alpha + 1e-9);
+  EXPECT_NEAR(spent, cal.alpha, 1e-9);
+}
+
+TEST(PieTest, CalibrationEpsilonGrowsAsBetaDrops) {
+  // Looser Bayes-error requirements yield larger budgets.
+  const int k = 1 << 20;  // force the randomizer branch throughout
+  double prev = 0.0;
+  for (double beta : {0.95, 0.85, 0.75, 0.65, 0.55}) {
+    PieCalibration cal = CalibrateForBayesError(beta, 45222, k);
+    ASSERT_TRUE(cal.use_randomizer) << "beta=" << beta;
+    EXPECT_GE(cal.epsilon, prev) << "beta=" << beta;
+    prev = cal.epsilon;
+  }
+}
+
+TEST(PieTest, CalibrationDegenerateBetaStillUsable) {
+  // beta ~ 1 drives alpha to 0; the calibration must still return a usable
+  // (tiny) positive budget instead of a degenerate zero.
+  PieCalibration cal = CalibrateForBayesError(0.9999, 1024, 1 << 20);
+  ASSERT_TRUE(cal.use_randomizer);
+  EXPECT_GT(cal.epsilon, 0.0);
+}
+
+TEST(PieTest, LdpImpliesPieMonotonicity) {
+  // Proposition 1's alpha is non-decreasing in eps.
+  double prev = 0.0;
+  for (double eps = 0.1; eps <= 10.0; eps += 0.1) {
+    double a = AlphaFromEpsilon(eps, 45222, 74);
+    EXPECT_GE(a, prev - 1e-12);
+    prev = a;
+  }
+}
+
+TEST(PieTest, Validation) {
+  EXPECT_THROW(AlphaFromEpsilon(0.0, 100, 4), InvalidArgumentError);
+  EXPECT_THROW(AlphaFromEpsilon(1.0, 1, 4), InvalidArgumentError);
+  EXPECT_THROW(AlphaFromEpsilon(1.0, 100, 1), InvalidArgumentError);
+  EXPECT_THROW(CalibrateForBayesError(0.5, 100, 1), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace ldpr::privacy

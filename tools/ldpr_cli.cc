@@ -1,0 +1,480 @@
+// ldpr_cli — run the library's pipelines from the command line.
+//
+// Subcommands:
+//   estimate   Estimate per-attribute frequencies of a CSV dataset under a
+//              chosen multidimensional solution and protocol.
+//   attack     Evaluate the sampled-attribute inference (AIF) attack against
+//              RS+FD / RS+RFD on a CSV dataset.
+//   reident    Evaluate the multi-survey SMP re-identification attack.
+//   uniqueness Anonymity-set analysis of a dataset and the closed-form
+//              predicted RID-ACC (attack/uniqueness).
+//   homogeneity Top-k shortlist homogeneity attack on a held-out sensitive
+//              attribute (attack/homogeneity).
+//   recommend  Per-attribute protocol recommendation: variance-optimal
+//              GRR/OUE rule plus the cheapest-within-slack rule from the
+//              communication-cost model.
+//   ledger     Expected sequential privacy loss across repeated surveys
+//              (privacy/accountant).
+//   pool       Pool-inference attack simulation across repeated collections
+//              of one attribute (attack/pool).
+//   synth      Generate a synthetic census CSV (Adult / ACS / Nursery shape).
+//
+// Examples:
+//   ldpr_cli synth --dataset adult --scale 0.1 --out adult.csv
+//   ldpr_cli estimate --csv adult.csv --solution rsrfd --protocol grr
+//            --epsilon 1.0
+//   ldpr_cli attack --csv adult.csv --solution rsfd --protocol sue-z
+//            --epsilon 8
+//   ldpr_cli reident --csv adult.csv --protocol grr --epsilon 4 --surveys 5
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "attack/aif.h"
+#include "attack/profiling.h"
+#include "attack/reident.h"
+#include "attack/homogeneity.h"
+#include "attack/pool.h"
+#include "attack/uniqueness.h"
+#include "core/check.h"
+#include "core/metrics.h"
+#include "data/csv.h"
+#include "data/priors.h"
+#include "data/synthetic.h"
+#include "fo/comm_cost.h"
+#include "multidim/adaptive.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+#include "multidim/smp.h"
+#include "multidim/spl.h"
+#include "privacy/accountant.h"
+
+namespace {
+
+using namespace ldpr;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      LDPR_REQUIRE(std::strncmp(argv[i], "--", 2) == 0,
+                   "expected --flag, got '" << argv[i] << "'");
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+fo::Protocol ParseProtocol(const std::string& name) {
+  for (fo::Protocol p : fo::AllProtocols()) {
+    std::string lower = fo::ProtocolName(p);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (name == lower) return p;
+  }
+  LDPR_REQUIRE(false, "unknown protocol '" << name
+                                           << "' (grr|olh|ss|sue|oue)");
+  return fo::Protocol::kGrr;
+}
+
+multidim::RsFdVariant ParseRsFdVariant(const std::string& name) {
+  if (name == "grr") return multidim::RsFdVariant::kGrr;
+  if (name == "sue-z") return multidim::RsFdVariant::kSueZ;
+  if (name == "sue-r") return multidim::RsFdVariant::kSueR;
+  if (name == "oue-z") return multidim::RsFdVariant::kOueZ;
+  if (name == "oue-r") return multidim::RsFdVariant::kOueR;
+  LDPR_REQUIRE(false, "unknown RS+FD variant '"
+                          << name << "' (grr|sue-z|sue-r|oue-z|oue-r)");
+  return multidim::RsFdVariant::kGrr;
+}
+
+multidim::RsRfdVariant ParseRsRfdVariant(const std::string& name) {
+  if (name == "grr") return multidim::RsRfdVariant::kGrr;
+  if (name == "sue-r") return multidim::RsRfdVariant::kSueR;
+  if (name == "oue-r") return multidim::RsRfdVariant::kOueR;
+  LDPR_REQUIRE(false,
+               "unknown RS+RFD variant '" << name << "' (grr|sue-r|oue-r)");
+  return multidim::RsRfdVariant::kGrr;
+}
+
+data::Dataset LoadOrSynthesize(const Args& args, Rng& rng) {
+  (void)rng;
+  const std::string csv = args.Get("csv", "");
+  if (!csv.empty()) return data::LoadCsv(csv);
+  const std::string name = args.Get("dataset", "acs");
+  const double scale = args.GetDouble("scale", 0.2);
+  const std::uint64_t seed = args.GetInt("seed", 2023);
+  if (name == "adult") return data::AdultLike(seed, scale);
+  if (name == "acs") return data::AcsEmploymentLike(seed, scale);
+  if (name == "nursery") return data::NurseryLike(seed, scale);
+  LDPR_REQUIRE(false, "unknown dataset '" << name << "' (adult|acs|nursery)");
+  return data::NurseryLike(seed, scale);
+}
+
+void PrintEstimates(const data::Dataset& ds,
+                    const std::vector<std::vector<double>>& est,
+                    const std::vector<std::vector<double>>& truth) {
+  std::printf("%-12s %6s %12s %12s %12s\n", "attribute", "value", "true",
+              "estimated", "abs.err");
+  for (int j = 0; j < ds.d(); ++j) {
+    const int show = std::min(ds.domain_size(j), 5);
+    for (int v = 0; v < show; ++v) {
+      std::printf("%-12s %6d %12.5f %12.5f %12.5f\n",
+                  ds.attribute_name(j).c_str(), v, truth[j][v], est[j][v],
+                  std::abs(truth[j][v] - est[j][v]));
+    }
+    if (show < ds.domain_size(j)) {
+      std::printf("%-12s   ... (%d more values)\n",
+                  ds.attribute_name(j).c_str(), ds.domain_size(j) - show);
+    }
+  }
+  std::printf("\nMSE_avg = %.4e\n", MseAvg(truth, est));
+}
+
+int CmdSynth(const Args& args) {
+  Rng rng(1);
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const std::string out = args.Get("out", "synthetic.csv");
+  data::SaveCsv(ds, out);
+  std::printf("wrote %d records x %d attributes to %s\n", ds.n(), ds.d(),
+              out.c_str());
+  return 0;
+}
+
+int CmdEstimate(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const double eps = args.GetDouble("epsilon", 1.0);
+  const std::string solution = args.Get("solution", "rsfd");
+  const auto truth = ds.Marginals();
+  std::printf("n=%d d=%d epsilon=%.3f solution=%s\n\n", ds.n(), ds.d(), eps,
+              solution.c_str());
+
+  if (solution == "spl" || solution == "smp") {
+    fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
+    if (solution == "spl") {
+      multidim::Spl spl(protocol, ds.domain_sizes(), eps);
+      std::vector<std::vector<fo::Report>> reports;
+      for (int i = 0; i < ds.n(); ++i) {
+        reports.push_back(spl.RandomizeUser(ds.Record(i), rng));
+      }
+      PrintEstimates(ds, spl.Estimate(reports), truth);
+    } else {
+      multidim::Smp smp(protocol, ds.domain_sizes(), eps);
+      std::vector<multidim::SmpReport> reports;
+      for (int i = 0; i < ds.n(); ++i) {
+        reports.push_back(smp.RandomizeUser(ds.Record(i), rng));
+      }
+      PrintEstimates(ds, smp.Estimate(reports), truth);
+    }
+    return 0;
+  }
+  if (solution == "rsfd") {
+    multidim::RsFd rsfd(ParseRsFdVariant(args.Get("protocol", "grr")),
+                        ds.domain_sizes(), eps);
+    std::vector<multidim::MultidimReport> reports;
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(rsfd.RandomizeUser(ds.Record(i), rng));
+    }
+    PrintEstimates(ds, rsfd.Estimate(reports), truth);
+    return 0;
+  }
+  if (solution == "rsrfd") {
+    auto priors = data::BuildPriors(ds, data::PriorKind::kCorrectLaplace, rng);
+    multidim::RsRfd rsrfd(ParseRsRfdVariant(args.Get("protocol", "grr")),
+                          ds.domain_sizes(), eps, priors);
+    std::vector<multidim::MultidimReport> reports;
+    for (int i = 0; i < ds.n(); ++i) {
+      reports.push_back(rsrfd.RandomizeUser(ds.Record(i), rng));
+    }
+    PrintEstimates(ds, rsrfd.Estimate(reports), truth);
+    return 0;
+  }
+  LDPR_REQUIRE(false, "unknown solution '" << solution
+                                           << "' (spl|smp|rsfd|rsrfd)");
+  return 1;
+}
+
+int CmdAttack(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const double eps = args.GetDouble("epsilon", 8.0);
+  const std::string solution = args.Get("solution", "rsfd");
+
+  attack::AifConfig config;
+  const std::string model = args.Get("model", "nk");
+  config.model = model == "pk"   ? attack::AifModel::kPk
+                 : model == "hm" ? attack::AifModel::kHm
+                                 : attack::AifModel::kNk;
+  config.synthetic_multiplier = args.GetDouble("synthetic", 1.0);
+  config.compromised_fraction = args.GetDouble("compromised", 0.1);
+  config.gbdt.num_rounds = args.GetInt("gbdt-rounds", 10);
+  config.gbdt.max_depth = args.GetInt("gbdt-depth", 4);
+
+  attack::AifResult result;
+  if (solution == "rsrfd") {
+    auto priors = data::BuildPriors(ds, data::PriorKind::kCorrectLaplace, rng);
+    multidim::RsRfd protocol(ParseRsRfdVariant(args.Get("protocol", "grr")),
+                             ds.domain_sizes(), eps, priors);
+    result = attack::RunAifAttack(
+        ds,
+        [&](const std::vector<int>& r, Rng& g) {
+          return protocol.RandomizeUser(r, g);
+        },
+        [&](const std::vector<multidim::MultidimReport>& reps) {
+          return protocol.Estimate(reps);
+        },
+        config, rng);
+  } else {
+    multidim::RsFd protocol(ParseRsFdVariant(args.Get("protocol", "grr")),
+                            ds.domain_sizes(), eps);
+    result = attack::RunAifAttack(
+        ds,
+        [&](const std::vector<int>& r, Rng& g) {
+          return protocol.RandomizeUser(r, g);
+        },
+        [&](const std::vector<multidim::MultidimReport>& reps) {
+          return protocol.Estimate(reps);
+        },
+        config, rng);
+  }
+  std::printf("model=%s train_n=%d test_n=%d\n",
+              attack::AifModelName(config.model), result.train_n,
+              result.test_n);
+  std::printf("AIF-ACC = %.3f%%   (baseline %.3f%%, %.1fx)\n",
+              result.aif_acc_percent, result.baseline_percent,
+              result.aif_acc_percent / result.baseline_percent);
+  return 0;
+}
+
+int CmdReident(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const double eps = args.GetDouble("epsilon", 4.0);
+  const int surveys = args.GetInt("surveys", 5);
+  fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
+
+  attack::SurveyPlan plan = attack::MakeSurveyPlan(ds.d(), surveys, rng);
+  auto channel = attack::MakeLdpChannel(protocol, ds.domain_sizes(), eps);
+  auto snapshots = attack::SimulateSmpProfiling(
+      ds, *channel, plan, attack::PrivacyMetricMode::kUniform, rng);
+
+  std::vector<bool> bk(ds.d(), true);
+  attack::ReidentConfig config;
+  config.top_k = {1, 10};
+  config.max_targets = args.GetInt("targets", 3000);
+
+  std::printf("protocol=%s epsilon=%.2f n=%d\n", fo::ProtocolName(protocol),
+              eps, ds.n());
+  std::printf("baseline: top-1 %.4f%%, top-10 %.4f%%\n",
+              attack::BaselineRidAcc(1, ds.n()),
+              attack::BaselineRidAcc(10, ds.n()));
+  std::printf("%8s %12s %12s\n", "surveys", "top-1(%)", "top-10(%)");
+  for (int s = 2; s <= surveys; ++s) {
+    auto result =
+        attack::ReidentAccuracy(snapshots[s - 1], ds, bk, config, rng);
+    std::printf("%8d %12.4f %12.4f\n", s, result.rid_acc_percent[0],
+                result.rid_acc_percent[1]);
+  }
+  return 0;
+}
+
+int CmdUniqueness(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  std::printf("n=%d d=%d\n\n", ds.n(), ds.d());
+
+  attack::UniquenessProfile full = attack::ComputeUniqueness(ds);
+  std::printf("full profile: %lld classes, %.2f%% unique, mean class %.2f\n",
+              full.num_classes, 100.0 * full.unique_fraction,
+              full.mean_class_size);
+
+  std::printf("\n%-4s %10s %10s %10s\n", "m", "unique(%)", "E[top1]",
+              "E[top10]");
+  for (const auto& point :
+       attack::UniquenessCurve(ds, args.GetInt("subsets", 8), rng)) {
+    std::printf("%-4d %10.2f %10.4f %10.4f\n", point.num_attributes,
+                100.0 * point.unique_fraction, point.expected_top1,
+                point.expected_top10);
+  }
+
+  const double eps = args.GetDouble("epsilon", 4.0);
+  fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
+  std::vector<int> attrs(std::min(5, ds.d()));
+  for (std::size_t a = 0; a < attrs.size(); ++a) attrs[a] = static_cast<int>(a);
+  std::printf(
+      "\npredicted RID-ACC (%s, eps=%.1f, first %zu attrs): top-1 %.4f%%, "
+      "top-10 %.4f%%\n",
+      fo::ProtocolName(protocol), eps, attrs.size(),
+      attack::PredictedRidAccPercent(ds, attrs, protocol, eps, 1),
+      attack::PredictedRidAccPercent(ds, attrs, protocol, eps, 10));
+  return 0;
+}
+
+int CmdHomogeneity(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const double eps = args.GetDouble("epsilon", 4.0);
+  fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
+  const int sensitive = args.GetInt("sensitive", ds.d() - 1);
+  LDPR_REQUIRE(sensitive >= 0 && sensitive < ds.d(),
+               "--sensitive out of range");
+
+  auto channel = attack::MakeLdpChannel(protocol, ds.domain_sizes(), eps);
+  std::vector<attack::Profile> profiles(ds.n());
+  for (int i = 0; i < ds.n(); ++i) {
+    for (int j = 0; j < ds.d(); ++j) {
+      if (j == sensitive) continue;
+      profiles[i].emplace_back(
+          j, channel->ReportAndPredict(ds.value(i, j), j, rng));
+    }
+  }
+  std::vector<bool> bk(ds.d(), true);
+  attack::HomogeneityConfig config;
+  config.top_k = args.GetInt("topk", 10);
+  config.max_targets = args.GetInt("targets", 3000);
+  attack::HomogeneityResult result =
+      attack::HomogeneityAttack(profiles, ds, bk, sensitive, config, rng);
+  std::printf("protocol=%s eps=%.2f sensitive=%s (k=%d) top-k=%d\n",
+              fo::ProtocolName(protocol), eps,
+              ds.attribute_name(sensitive).c_str(),
+              ds.domain_size(sensitive), config.top_k);
+  std::printf("inference ACC         = %.2f%% (baseline %.2f%%)\n",
+              result.inference_acc_percent, result.baseline_percent);
+  std::printf("homogeneous shortlists = %.1f%%, ACC there = %.2f%%\n",
+              100.0 * result.homogeneous_fraction,
+              result.homogeneous_inference_acc_percent);
+  std::printf("mean l-diversity       = %.2f\n", result.mean_l_diversity);
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const double eps = args.GetDouble("epsilon", 1.0);
+  const double slack = args.GetDouble("slack", 1.05);
+  std::printf("n=%d d=%d epsilon=%.2f slack=%.2f\n\n", ds.n(), ds.d(), eps,
+              slack);
+  std::printf("%-12s %-5s %-18s %-12s %-14s\n", "attribute", "k",
+              "cheapest-in-slack", "adp", "bits/report");
+  for (int j = 0; j < ds.d(); ++j) {
+    const int k = ds.domain_size(j);
+    const fo::Protocol comm = fo::RecommendProtocol(k, eps, slack);
+    const fo::Protocol adp = multidim::AdaptiveSmpChoice(k, eps);
+    std::printf("%-12s %-5d %-18s %-12s %-14.0f\n",
+                ds.attribute_name(j).c_str(), k, fo::ProtocolName(comm),
+                fo::ProtocolName(adp), fo::ReportBits(comm, k, eps));
+  }
+  std::printf("\nper-user upload with OUE everywhere: SMP %.0f bits, "
+              "RS+FD %.0f bits\n",
+              fo::SmpTupleBits(fo::Protocol::kOue, ds.domain_sizes(), eps),
+              fo::RsFdTupleBits(fo::Protocol::kOue, ds.domain_sizes(), eps));
+  return 0;
+}
+
+int CmdLedger(const Args& args) {
+  const int d = args.GetInt("d", 10);
+  const double eps = args.GetDouble("epsilon", 1.0);
+  const int surveys = args.GetInt("surveys", 12);
+  Rng rng(args.GetInt("seed", 1));
+  std::printf("d=%d eps=%.2f per survey\n\n", d, eps);
+  std::printf("%-9s %14s %14s %14s\n", "surveys", "uniform", "nonuni(mean)",
+              "nonuni(max)");
+  for (int s = 1; s <= surveys; ++s) {
+    privacy::LedgerSummary nonuni =
+        privacy::SimulateSmpLedgers(d, s, eps, true, 10000, rng);
+    if (s <= d) {
+      std::printf("%-9d %14.3f %14.3f %14.3f\n", s,
+                  privacy::ExpectedSmpTotalEpsilonUniform(d, s, eps),
+                  nonuni.mean_total, nonuni.max_total);
+    } else {
+      std::printf("%-9d %14s %14.3f %14.3f\n", s, "-", nonuni.mean_total,
+                  nonuni.max_total);
+    }
+  }
+  return 0;
+}
+
+int CmdPool(const Args& args) {
+  const int k = args.GetInt("k", 16);
+  const int num_pools = args.GetInt("pools", 4);
+  const double eps = args.GetDouble("epsilon", 2.0);
+  const int users = args.GetInt("users", 2000);
+  fo::Protocol protocol = ParseProtocol(args.Get("protocol", "oue"));
+  Rng rng(args.GetInt("seed", 1));
+  auto oracle = fo::MakeOracle(protocol, k, eps);
+  const auto pools = attack::ContiguousPools(k, num_pools);
+  std::printf("protocol=%s k=%d pools=%d eps=%.2f users=%d\n",
+              fo::ProtocolName(protocol), k, num_pools, eps, users);
+  std::printf("%-9s %12s %12s\n", "reports", "ACC(%)", "baseline(%)");
+  for (int r : {1, 2, 7, 30, 90, 180}) {
+    auto result =
+        attack::SimulatePoolInference(*oracle, pools, users, r, rng);
+    std::printf("%-9d %12.2f %12.2f\n", r, result.acc_percent,
+                result.baseline_percent);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "usage: ldpr_cli "
+      "<synth|estimate|attack|reident|uniqueness|homogeneity|recommend|"
+      "ledger|pool>\n"
+      "                [--flag value ...]\n"
+      "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
+      "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
+      "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "
+      "nk|pk|hm\n"
+      "  reident:  --protocol grr|olh|ss|sue|oue --epsilon e --surveys 5\n"
+      "  synth:    --dataset adult|acs|nursery --scale 0.2 --out file.csv\n"
+      "  uniqueness: --subsets 8 --protocol grr --epsilon 4\n"
+      "  homogeneity: --sensitive 9 --topk 10 --protocol grr --epsilon 4\n"
+      "  recommend:  --epsilon 1 --slack 1.05\n"
+      "  ledger:     --d 10 --epsilon 1 --surveys 12\n"
+      "  pool:       --k 16 --pools 4 --protocol oue --epsilon 2\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (cmd == "synth") return CmdSynth(args);
+    if (cmd == "estimate") return CmdEstimate(args);
+    if (cmd == "attack") return CmdAttack(args);
+    if (cmd == "reident") return CmdReident(args);
+    if (cmd == "uniqueness") return CmdUniqueness(args);
+    if (cmd == "homogeneity") return CmdHomogeneity(args);
+    if (cmd == "recommend") return CmdRecommend(args);
+    if (cmd == "ledger") return CmdLedger(args);
+    if (cmd == "pool") return CmdPool(args);
+    Usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
