@@ -17,7 +17,11 @@ Dataset::Dataset(std::vector<int> domain_sizes,
   if (attribute_names_.empty()) {
     attribute_names_.reserve(domain_sizes_.size());
     for (std::size_t j = 0; j < domain_sizes_.size(); ++j) {
-      attribute_names_.push_back("A" + std::to_string(j));
+      // Append instead of operator+(const char*, string&&): the latter trips
+      // a GCC 12 -Wrestrict false positive (GCC bug 105329) under -O2.
+      std::string name = "A";
+      name += std::to_string(j);
+      attribute_names_.push_back(std::move(name));
     }
   }
   LDPR_REQUIRE(attribute_names_.size() == domain_sizes_.size(),
