@@ -1,9 +1,16 @@
 // Figure 1: analytical attacker accuracy when collecting multidimensional
 // data (d = 3, k = [74, 7, 16]) with the SMP solution over #surveys = 3.
 // Panel (a): uniform privacy metric (Eq. 4); panel (b): non-uniform (Eq. 5).
+// Panel (c) cross-checks Eq. 4 empirically with the sharded simulation
+// engine (attack::MonteCarloProfileAcc runs on sim::ShardedRun, so it scales
+// with LDPR_THREADS); LDPR_FIG01_TRIALS sets the Monte-Carlo sample size
+// (0 skips the panel).
 
 #include <cstdio>
 
+#include "attack/plausible_deniability.h"
+#include "core/flags.h"
+#include "core/rng.h"
 #include "fo/analytic_acc.h"
 
 int main() {
@@ -39,6 +46,28 @@ int main() {
       std::printf(" %8.3f", 100.0 * fo::ExpectedAccNonUniform(p, eps, k));
     }
     std::printf("\n");
+  }
+
+  const int trials = GetEnvInt("LDPR_FIG01_TRIALS", 20000);
+  if (trials > 0) {
+    std::printf("\n## panel (c): simulated ACC_U (%%), %d trials/point\n",
+                trials);
+    std::printf("%-8s", "epsilon");
+    for (fo::Protocol p : fo::AllProtocols()) {
+      std::printf(" %8s", fo::ProtocolName(p));
+    }
+    std::printf("\n");
+    Rng rng(2023);
+    for (int eps = 1; eps <= 10; ++eps) {
+      std::printf("%-8d", eps);
+      for (fo::Protocol p : fo::AllProtocols()) {
+        const double acc = attack::MonteCarloProfileAcc(
+            p, eps, k, /*uniform_metric=*/true, trials, rng);
+        std::printf(" %8.3f", 100.0 * acc);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
   }
   return 0;
 }

@@ -2,6 +2,11 @@
 // dataset for top-k re-identification with the SMP solution, full-knowledge
 // FK-RI model, uniform eps-LDP privacy metric, varying the LDP protocol and
 // the number of surveys (2..5).
+//
+// The multi-survey collection runs on the sharded simulation engine
+// (attack::SimulateSmpProfiling -> sim::ShardedRun): deterministic per-shard
+// RNG streams, LDPR_THREADS-independent results, and no per-user generator
+// state.
 
 #include "bench/bench_util.h"
 #include "data/synthetic.h"

@@ -4,6 +4,11 @@
 // behind uniform fakes) and RS+RFD (this paper's countermeasure with
 // realistic fakes), on an ACSEmployment-like synthetic census.
 //
+// Every solution runs on the sharded simulation engine (sim::RunMultidim):
+// users stream through fused per-shard StreamAggregators on independent RNG
+// streams — no per-user report vectors, and LDPR_THREADS workers without
+// changing the result for a fixed seed.
+//
 // Run:  ./multidim_survey [epsilon] [scale]
 
 #include <cstdio>
@@ -17,6 +22,7 @@
 #include "multidim/rsrfd.h"
 #include "multidim/smp.h"
 #include "multidim/spl.h"
+#include "sim/engine.h"
 
 int main(int argc, char** argv) {
   const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
@@ -33,39 +39,25 @@ int main(int argc, char** argv) {
   {
     ldpr::multidim::Spl spl(ldpr::fo::Protocol::kGrr, ds.domain_sizes(),
                             epsilon);
-    std::vector<std::vector<ldpr::fo::Report>> reports;
-    reports.reserve(ds.n());
-    for (int i = 0; i < ds.n(); ++i) {
-      reports.push_back(spl.RandomizeUser(ds.Record(i), rng));
-    }
     std::printf("%-24s MSE_avg = %.3e\n", "SPL[GRR]",
-                ldpr::MseAvg(truth, spl.Estimate(reports)));
+                ldpr::MseAvg(truth, ldpr::sim::RunMultidim(spl, ds, rng)));
   }
 
   // --- SMP: one attribute per user at full eps.
   {
     ldpr::multidim::Smp smp(ldpr::fo::Protocol::kGrr, ds.domain_sizes(),
                             epsilon);
-    std::vector<ldpr::multidim::SmpReport> reports;
-    reports.reserve(ds.n());
-    for (int i = 0; i < ds.n(); ++i) {
-      reports.push_back(smp.RandomizeUser(ds.Record(i), rng));
-    }
     std::printf("%-24s MSE_avg = %.3e   (discloses sampled attribute!)\n",
-                "SMP[GRR]", ldpr::MseAvg(truth, smp.Estimate(reports)));
+                "SMP[GRR]",
+                ldpr::MseAvg(truth, ldpr::sim::RunMultidim(smp, ds, rng)));
   }
 
   // --- RS+FD: sampled attribute at amplified eps', uniform fakes elsewhere.
   {
     ldpr::multidim::RsFd rsfd(ldpr::multidim::RsFdVariant::kGrr,
                               ds.domain_sizes(), epsilon);
-    std::vector<ldpr::multidim::MultidimReport> reports;
-    reports.reserve(ds.n());
-    for (int i = 0; i < ds.n(); ++i) {
-      reports.push_back(rsfd.RandomizeUser(ds.Record(i), rng));
-    }
     std::printf("%-24s MSE_avg = %.3e   (eps' = %.2f)\n", "RS+FD[GRR]",
-                ldpr::MseAvg(truth, rsfd.Estimate(reports)),
+                ldpr::MseAvg(truth, ldpr::sim::RunMultidim(rsfd, ds, rng)),
                 rsfd.amplified_epsilon());
   }
 
@@ -76,14 +68,9 @@ int main(int argc, char** argv) {
         /*total_central_eps=*/0.1, ldpr::data::kAcsEmploymentN);
     ldpr::multidim::RsRfd rsrfd(ldpr::multidim::RsRfdVariant::kGrr,
                                 ds.domain_sizes(), epsilon, priors);
-    std::vector<ldpr::multidim::MultidimReport> reports;
-    reports.reserve(ds.n());
-    for (int i = 0; i < ds.n(); ++i) {
-      reports.push_back(rsrfd.RandomizeUser(ds.Record(i), rng));
-    }
     std::printf("%-24s MSE_avg = %.3e   (the countermeasure, Sec. 5)\n",
-                "RS+RFD[GRR] correct", ldpr::MseAvg(truth,
-                                                    rsrfd.Estimate(reports)));
+                "RS+RFD[GRR] correct",
+                ldpr::MseAvg(truth, ldpr::sim::RunMultidim(rsrfd, ds, rng)));
   }
 
   std::printf(

@@ -3,7 +3,12 @@
 // well the single-report "plausible deniability" adversary can undo the
 // randomization (Sections 2.2 and 3.2.1 of the paper).
 //
-// Run:  ./quickstart [epsilon]
+// The collection runs on the batched simulation engine (sim::RunCollection):
+// users are sharded across LDPR_THREADS workers, each shard streams fused
+// randomize+aggregate draws into its own fo::Aggregator, and no per-user
+// Report is ever materialized.
+//
+// Run:  ./quickstart [epsilon]     (LDPR_THREADS=4 ./quickstart to shard)
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +20,7 @@
 #include "core/sampling.h"
 #include "fo/analytic_acc.h"
 #include "fo/factory.h"
+#include "sim/engine.h"
 
 int main(int argc, char** argv) {
   const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
@@ -35,10 +41,11 @@ int main(int argc, char** argv) {
   for (ldpr::fo::Protocol protocol : ldpr::fo::AllProtocols()) {
     auto oracle = ldpr::fo::MakeOracle(protocol, k, epsilon);
 
-    // Client side + server side in one call: every user randomizes their
-    // value; the server aggregates supports and applies Eq. (2).
-    std::vector<double> estimate = oracle->EstimateFrequencies(values, rng);
-    const double mse = ldpr::Mse(truth, estimate);
+    // Client side + server side in one sharded pass: every user's value is
+    // randomized and aggregated in place; Eq. (2) runs on the merged counts.
+    ldpr::sim::CollectionResult collected =
+        ldpr::sim::RunCollection(*oracle, values, rng);
+    const double mse = ldpr::Mse(truth, collected.estimate);
 
     // The adversary's view: one sanitized report per user.
     const double attack_acc =

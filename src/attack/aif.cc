@@ -7,6 +7,7 @@
 #include "core/histogram.h"
 #include "core/sampling.h"
 #include "ml/ml_metrics.h"
+#include "sim/engine.h"
 
 namespace ldpr::attack {
 
@@ -120,12 +121,17 @@ AifResult RunAifAttack(const data::Dataset& dataset,
   LDPR_REQUIRE(n >= 10, "AIF attack needs a non-trivial population");
   const std::vector<int>& domain_sizes = dataset.domain_sizes();
 
-  // 1. Every user sanitizes their record.
-  std::vector<multidim::MultidimReport> reports;
-  reports.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    reports.push_back(client(dataset.Record(i), rng));
-  }
+  // 1. Every user sanitizes their record. The reports are the classifier's
+  // input, so they must be materialized; the client sweep runs sharded on
+  // deterministic per-shard streams (thread-count-independent results).
+  std::vector<multidim::MultidimReport> reports(n);
+  sim::ShardedRun(n, rng, sim::Options{},
+                  [&](int /*shard*/, long long lo, long long hi, Rng& r) {
+                    for (long long i = lo; i < hi; ++i) {
+                      reports[i] = client(dataset.Record(static_cast<int>(i)),
+                                          r);
+                    }
+                  });
 
   // 2. Build the learning and test sets per the attack model.
   ml::LabeledData learn;

@@ -24,6 +24,13 @@ const char* AifModelName(AifModel model);
 
 /// A multidimensional client: maps a true record to a sanitized tuple.
 /// Instantiated from RsFd::RandomizeUser or RsRfd::RandomizeUser.
+///
+/// Thread-safety contract: the attack drivers (RunAifAttack,
+/// SimulateRsFdProfiling) invoke the client concurrently from the sharded
+/// simulation engine, one independent Rng per shard. The callable must
+/// therefore be safe to call from multiple threads at once — stateless
+/// wrappers over const protocol objects (the instantiations above) are;
+/// clients that mutate shared state need their own synchronization.
 using MultidimClient =
     std::function<multidim::MultidimReport(const std::vector<int>&, Rng&)>;
 

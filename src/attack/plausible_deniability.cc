@@ -1,30 +1,43 @@
 #include "attack/plausible_deniability.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 #include "fo/factory.h"
+#include "sim/engine.h"
 
 namespace ldpr::attack {
 
 double EmpiricalAttackAccPercent(const fo::FrequencyOracle& oracle,
                                  const std::vector<int>& values, Rng& rng) {
   LDPR_REQUIRE(!values.empty(), "requires at least one value");
-  long long correct = 0;
-  for (int v : values) {
-    fo::Report r = oracle.Randomize(v, rng);
-    if (oracle.AttackPredict(r, rng) == v) ++correct;
-  }
+  // Sharded randomize-and-attack sweep; per-shard tallies merge at the end.
+  const long long correct = sim::ShardedTally(
+      static_cast<long long>(values.size()), rng, sim::Options{},
+      [&](long long lo, long long hi, Rng& r) {
+        long long c = 0;
+        for (long long u = lo; u < hi; ++u) {
+          fo::Report rep = oracle.Randomize(values[u], r);
+          if (oracle.AttackPredict(rep, r) == values[u]) ++c;
+        }
+        return c;
+      });
   return 100.0 * static_cast<double>(correct) / values.size();
 }
 
 double MonteCarloAttackAcc(const fo::FrequencyOracle& oracle, int trials,
                            Rng& rng) {
   LDPR_REQUIRE(trials >= 1, "requires trials >= 1");
-  long long correct = 0;
-  for (int t = 0; t < trials; ++t) {
-    int v = static_cast<int>(rng.UniformInt(oracle.k()));
-    fo::Report r = oracle.Randomize(v, rng);
-    if (oracle.AttackPredict(r, rng) == v) ++correct;
-  }
+  const long long correct = sim::ShardedTally(
+      trials, rng, sim::Options{}, [&](long long lo, long long hi, Rng& r) {
+        long long c = 0;
+        for (long long t = lo; t < hi; ++t) {
+          int v = static_cast<int>(r.UniformInt(oracle.k()));
+          fo::Report rep = oracle.Randomize(v, r);
+          if (oracle.AttackPredict(rep, r) == v) ++c;
+        }
+        return c;
+      });
   return static_cast<double>(correct) / trials;
 }
 
@@ -41,44 +54,48 @@ double MonteCarloProfileAcc(fo::Protocol protocol, double epsilon,
     oracles.push_back(fo::MakeOracle(protocol, k, epsilon));
   }
 
-  long long complete = 0;
-  std::vector<int> order(d);
-  for (int t = 0; t < trials; ++t) {
-    // Random true profile.
-    std::vector<int> truth(d);
-    for (int j = 0; j < d; ++j) {
-      truth[j] = static_cast<int>(rng.UniformInt(domain_sizes[j]));
-    }
-    // Attribute sequence across #surveys = d collections.
-    std::vector<int> sampled(d);
-    if (uniform_metric) {
-      for (int j = 0; j < d; ++j) order[j] = j;
-      rng.Shuffle(&order);
-      sampled = order;
-    } else {
-      for (int j = 0; j < d; ++j) {
-        sampled[j] = static_cast<int>(rng.UniformInt(d));
-      }
-    }
-    // Complete-profile reconstruction requires every attribute to be sampled
-    // (automatic in the uniform case) and every prediction to be correct;
-    // memoization means a repeated attribute adds no fresh information.
-    std::vector<int> predicted(d, -1);
-    for (int s = 0; s < d; ++s) {
-      const int a = sampled[s];
-      if (predicted[a] != -1) continue;  // memoized repeat
-      fo::Report r = oracles[a]->Randomize(truth[a], rng);
-      predicted[a] = oracles[a]->AttackPredict(r, rng);
-    }
-    bool all_correct = true;
-    for (int j = 0; j < d; ++j) {
-      if (predicted[j] != truth[j]) {
-        all_correct = false;
-        break;
-      }
-    }
-    if (all_correct) ++complete;
-  }
+  const long long complete = sim::ShardedTally(
+      trials, rng, sim::Options{},
+      [&](long long lo, long long hi, Rng& r) {
+        long long c = 0;
+        std::vector<int> order(d), truth(d), sampled(d), predicted(d);
+        for (long long t = lo; t < hi; ++t) {
+          // Random true profile.
+          for (int j = 0; j < d; ++j) {
+            truth[j] = static_cast<int>(r.UniformInt(domain_sizes[j]));
+          }
+          // Attribute sequence across #surveys = d collections.
+          if (uniform_metric) {
+            for (int j = 0; j < d; ++j) order[j] = j;
+            r.Shuffle(&order);
+            sampled = order;
+          } else {
+            for (int j = 0; j < d; ++j) {
+              sampled[j] = static_cast<int>(r.UniformInt(d));
+            }
+          }
+          // Complete-profile reconstruction requires every attribute to be
+          // sampled (automatic in the uniform case) and every prediction to
+          // be correct; memoization means a repeated attribute adds no fresh
+          // information.
+          std::fill(predicted.begin(), predicted.end(), -1);
+          for (int s = 0; s < d; ++s) {
+            const int a = sampled[s];
+            if (predicted[a] != -1) continue;  // memoized repeat
+            fo::Report rep = oracles[a]->Randomize(truth[a], r);
+            predicted[a] = oracles[a]->AttackPredict(rep, r);
+          }
+          bool all_correct = true;
+          for (int j = 0; j < d; ++j) {
+            if (predicted[j] != truth[j]) {
+              all_correct = false;
+              break;
+            }
+          }
+          if (all_correct) ++c;
+        }
+        return c;
+      });
   return static_cast<double>(complete) / trials;
 }
 

@@ -4,10 +4,10 @@
 
 #include "attack/aif.h"
 #include "core/check.h"
-#include "core/parallel.h"
 #include "fo/factory.h"
 #include "fo/metric_ldp.h"
 #include "privacy/pie.h"
+#include "sim/engine.h"
 
 namespace ldpr::attack {
 
@@ -145,49 +145,51 @@ std::vector<std::vector<Profile>> SimulateSmpProfiling(
   std::vector<std::vector<Profile>> snapshots(
       num_surveys, std::vector<Profile>(n));
 
-  // Independent per-user random streams enable a parallel sweep while
-  // keeping the whole simulation reproducible from one root seed.
-  std::vector<Rng> user_rngs;
-  user_rngs.reserve(n);
-  for (int i = 0; i < n; ++i) user_rngs.push_back(rng.Split());
-
-  ParallelFor(0, n, [&](long long user) {
-    Rng& r = user_rngs[user];
-    std::vector<int> predicted(dataset.d(), -1);
-    std::vector<bool> reported(dataset.d(), false);
-    std::vector<int> candidates;
-    for (int s = 0; s < num_surveys; ++s) {
-      const std::vector<int>& attrs = plan.surveys[s];
-      int chosen = -1;
-      if (mode == PrivacyMetricMode::kUniform) {
-        // Without replacement across surveys: only fresh attributes.
-        candidates.clear();
-        for (int a : attrs) {
-          if (!reported[a]) candidates.push_back(a);
+  // Sharded per-user sweep on independent per-shard RNG streams: results are
+  // reproducible from one root seed under any LDPR_THREADS setting, and the
+  // engine keeps O(shards) generator state instead of one Rng per user.
+  sim::ShardedRun(
+      n, rng, sim::Options{},
+      [&](int /*shard*/, long long lo, long long hi, Rng& r) {
+        std::vector<int> predicted(dataset.d(), -1);
+        std::vector<bool> reported(dataset.d(), false);
+        std::vector<int> candidates;
+        for (long long user = lo; user < hi; ++user) {
+          std::fill(predicted.begin(), predicted.end(), -1);
+          std::fill(reported.begin(), reported.end(), false);
+          for (int s = 0; s < num_surveys; ++s) {
+            const std::vector<int>& attrs = plan.surveys[s];
+            int chosen = -1;
+            if (mode == PrivacyMetricMode::kUniform) {
+              // Without replacement across surveys: only fresh attributes.
+              candidates.clear();
+              for (int a : attrs) {
+                if (!reported[a]) candidates.push_back(a);
+              }
+              if (!candidates.empty()) {
+                chosen = candidates[r.UniformInt(candidates.size())];
+              }
+              // All of this survey's attributes already reported: nothing
+              // new.
+            } else {
+              // With replacement; a repeated attribute is memoized (the user
+              // re-sends the prior report, so the adversary learns nothing
+              // new).
+              int a = attrs[r.UniformInt(attrs.size())];
+              if (!reported[a]) chosen = a;
+            }
+            if (chosen >= 0) {
+              predicted[chosen] = channel.ReportAndPredict(
+                  dataset.value(static_cast<int>(user), chosen), chosen, r);
+              reported[chosen] = true;
+            }
+            Profile& snap = snapshots[s][user];
+            for (int a = 0; a < dataset.d(); ++a) {
+              if (predicted[a] != -1) snap.emplace_back(a, predicted[a]);
+            }
+          }
         }
-        if (!candidates.empty()) {
-          chosen = candidates[r.UniformInt(candidates.size())];
-        }
-        // All of this survey's attributes already reported: nothing new.
-      } else {
-        // With replacement; a repeated attribute is memoized (the user
-        // re-sends the prior report, so the adversary learns nothing new).
-        int a = attrs[r.UniformInt(attrs.size())];
-        if (!reported[a]) chosen = a;
-      }
-      if (chosen >= 0) {
-        predicted[chosen] =
-            channel.ReportAndPredict(dataset.value(static_cast<int>(user),
-                                                   chosen),
-                                     chosen, r);
-        reported[chosen] = true;
-      }
-      Profile& snap = snapshots[s][user];
-      for (int a = 0; a < dataset.d(); ++a) {
-        if (predicted[a] != -1) snap.emplace_back(a, predicted[a]);
-      }
-    }
-  });
+      });
   return snapshots;
 }
 
@@ -217,24 +219,29 @@ std::vector<std::vector<Profile>> SimulateRsFdProfiling(
 
     // Client phase: every user reports an RS+FD tuple over this survey's
     // attributes, sampling without replacement across surveys (uniform
-    // privacy metric, the paper's higher-risk setting).
-    std::vector<multidim::MultidimReport> reports;
-    reports.reserve(n);
-    std::vector<int> record(d_sv), fresh;
-    for (int user = 0; user < n; ++user) {
-      for (int j = 0; j < d_sv; ++j) {
-        record[j] = dataset.value(user, attrs[j]);
-      }
-      fresh.clear();
-      for (int j = 0; j < d_sv; ++j) {
-        if (!truly_sampled[user][attrs[j]]) fresh.push_back(j);
-      }
-      int local = fresh.empty()
-                      ? static_cast<int>(rng.UniformInt(d_sv))
-                      : fresh[rng.UniformInt(fresh.size())];
-      truly_sampled[user][attrs[local]] = true;
-      reports.push_back(rsfd.RandomizeUserWithAttribute(record, local, rng));
-    }
+    // privacy metric, the paper's higher-risk setting). The reports must be
+    // materialized here — they are the NK adversary's classifier input — but
+    // the sweep runs sharded on deterministic per-shard streams.
+    std::vector<multidim::MultidimReport> reports(n);
+    sim::ShardedRun(
+        n, rng, sim::Options{},
+        [&](int /*shard*/, long long lo, long long hi, Rng& r) {
+          std::vector<int> record(d_sv), fresh;
+          for (long long user = lo; user < hi; ++user) {
+            for (int j = 0; j < d_sv; ++j) {
+              record[j] = dataset.value(static_cast<int>(user), attrs[j]);
+            }
+            fresh.clear();
+            for (int j = 0; j < d_sv; ++j) {
+              if (!truly_sampled[user][attrs[j]]) fresh.push_back(j);
+            }
+            int local = fresh.empty()
+                            ? static_cast<int>(r.UniformInt(d_sv))
+                            : fresh[r.UniformInt(fresh.size())];
+            truly_sampled[user][attrs[local]] = true;
+            reports[user] = rsfd.RandomizeUserWithAttribute(record, local, r);
+          }
+        });
 
     // Attack phase: NK sampled-attribute inference, then value prediction on
     // the predicted attribute. Wrong attribute predictions poison the

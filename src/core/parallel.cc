@@ -51,4 +51,19 @@ void ParallelFor(long long begin, long long end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ParallelForShards(long long n, int num_shards,
+                       const std::function<void(int, long long, long long)>& fn,
+                       int threads) {
+  if (num_shards <= 0) return;
+  const long long chunk = (n + num_shards - 1) / num_shards;
+  ParallelFor(
+      0, num_shards,
+      [&](long long shard) {
+        const long long lo = std::min(n, shard * chunk);
+        const long long hi = std::min(n, lo + chunk);
+        fn(static_cast<int>(shard), lo, hi);
+      },
+      threads);
+}
+
 }  // namespace ldpr

@@ -17,6 +17,16 @@ int DefaultThreadCount();
 void ParallelFor(long long begin, long long end,
                  const std::function<void(long long)>& fn, int threads = 0);
 
+/// Splits [0, n) into `num_shards` contiguous ranges and runs
+/// fn(shard, begin, end) for each across the worker pool. Shard boundaries
+/// depend only on (n, num_shards) — never on the thread count — so callers
+/// that seed one RNG stream per shard get results that are reproducible
+/// under any LDPR_THREADS setting. Shards with an empty range still run
+/// (with begin == end) so per-shard outputs stay index-stable.
+void ParallelForShards(long long n, int num_shards,
+                       const std::function<void(int, long long, long long)>& fn,
+                       int threads = 0);
+
 }  // namespace ldpr
 
 #endif  // LDPR_CORE_PARALLEL_H_

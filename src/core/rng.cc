@@ -16,6 +16,13 @@ Rng Rng::Split() {
   return Rng(child_seed);
 }
 
+Rng Rng::Fork(std::uint64_t stream) const {
+  // Same hash construction as Split, but stateless and salted into a
+  // different stream family so Fork(i) never aliases the i-th Split child.
+  constexpr std::uint64_t kForkSalt = 0xA5B35705987C29E1ULL;
+  return Rng(Mix64(seed_ ^ kForkSalt ^ Mix64(stream ^ kForkSalt)));
+}
+
 std::uint64_t Rng::UniformInt(std::uint64_t n) {
   LDPR_CHECK(n > 0, "UniformInt requires n > 0");
   std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
@@ -64,21 +71,36 @@ int Rng::Binomial(int n, double p) {
   return dist(engine_);
 }
 
+long long Rng::Binomial64(long long n, double p) {
+  LDPR_CHECK(n >= 0, "Binomial64 requires n >= 0");
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  std::binomial_distribution<long long> dist(n, p);
+  return dist(engine_);
+}
+
 std::vector<int> Rng::SampleWithoutReplacement(int n, int m) {
+  std::vector<int> idx;
+  SampleWithoutReplacementInto(n, m, &idx);
+  idx.resize(m);
+  return idx;
+}
+
+void Rng::SampleWithoutReplacementInto(int n, int m, std::vector<int>* idx) {
   LDPR_REQUIRE(m >= 0 && m <= n,
                "SampleWithoutReplacement requires 0 <= m <= n, got m=" << m
                                                                        << " n=" << n);
   // Partial Fisher–Yates over an index array. For m much smaller than n a
   // rejection-sampling scheme would use less memory, but callers in ldpr use
-  // n = attribute-domain sizes (small), so simplicity wins.
-  std::vector<int> idx(n);
-  for (int i = 0; i < n; ++i) idx[i] = i;
+  // n = attribute-domain sizes (small), so simplicity wins. Both overloads
+  // share this one draw sequence: the fused SS aggregator's bit-identical
+  // stream guarantee depends on it.
+  idx->resize(n);
+  for (int i = 0; i < n; ++i) (*idx)[i] = i;
   for (int i = 0; i < m; ++i) {
     int j = i + static_cast<int>(UniformInt(n - i));
-    std::swap(idx[i], idx[j]);
+    std::swap((*idx)[i], (*idx)[j]);
   }
-  idx.resize(m);
-  return idx;
 }
 
 }  // namespace ldpr

@@ -24,6 +24,13 @@ class Rng {
   /// its split counter.
   Rng Split();
 
+  /// Derives the `stream`-th child generator *without* mutating this one.
+  /// Fork(i) always returns the same stream for the same (seed, i), no matter
+  /// how much the parent has advanced or split — this is what gives sharded
+  /// simulations results that are independent of the worker-thread count.
+  /// Fork streams are salted so they never collide with Split children.
+  Rng Fork(std::uint64_t stream) const;
+
   /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t UniformInt(std::uint64_t n);
 
@@ -51,9 +58,20 @@ class Rng {
   /// Binomial(n, p) sample.
   int Binomial(int n, double p);
 
+  /// Binomial(n, p) sample for 64-bit n. The closed-form aggregation paths
+  /// draw support counts over millions of users in one call, which overflows
+  /// the int-based overload.
+  long long Binomial64(long long n, double p);
+
   /// Samples `m` distinct values from {0, ..., n-1} uniformly at random,
   /// without replacement. Requires m <= n. Order of the result is random.
   std::vector<int> SampleWithoutReplacement(int n, int m);
+
+  /// SampleWithoutReplacement into a caller-owned buffer (resized to n; the
+  /// first m entries are the sample afterwards). Draws identically to the
+  /// allocating overload — hot paths reuse `idx` to keep the RNG stream of
+  /// the scalar path while skipping its per-call allocation.
+  void SampleWithoutReplacementInto(int n, int m, std::vector<int>* idx);
 
   /// Fisher–Yates shuffle.
   template <typename T>

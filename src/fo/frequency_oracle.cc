@@ -58,12 +58,89 @@ std::vector<double> FrequencyOracle::EstimateFromCounts(
 std::vector<double> FrequencyOracle::EstimateFrequencies(
     const std::vector<int>& values, Rng& rng) const {
   LDPR_REQUIRE(!values.empty(), "EstimateFrequencies requires >= 1 value");
-  std::vector<long long> counts(k_, 0);
-  for (int v : values) {
-    Report r = Randomize(v, rng);
-    AccumulateSupport(r, &counts);
+  // The fused aggregator path consumes `rng` exactly like the historical
+  // Randomize + AccumulateSupport loop, so results are bit-identical.
+  std::unique_ptr<Aggregator> agg = MakeAggregator();
+  agg->AccumulateValues(values, rng);
+  return agg->Estimate();
+}
+
+void FrequencyOracle::BatchRandomize(const int* values, std::size_t count,
+                                     Rng& rng, const ReportSink& sink) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    sink(Randomize(values[i], rng));
   }
-  return EstimateFromCounts(counts, static_cast<long long>(values.size()));
+}
+
+void FrequencyOracle::BatchRandomize(const std::vector<int>& values, Rng& rng,
+                                     const ReportSink& sink) const {
+  BatchRandomize(values.data(), values.size(), rng, sink);
+}
+
+std::unique_ptr<Aggregator> FrequencyOracle::MakeAggregator() const {
+  return std::make_unique<Aggregator>(*this);
+}
+
+Aggregator::Aggregator(const FrequencyOracle& oracle)
+    : oracle_(oracle), counts_(oracle.k(), 0) {}
+
+void Aggregator::Accumulate(const Report& report) {
+  oracle_.AccumulateSupport(report, &counts_);
+  ++n_;
+}
+
+void Aggregator::AccumulateValue(int value, Rng& rng) {
+  Report r = oracle_.Randomize(value, rng);
+  Accumulate(r);
+}
+
+void Aggregator::AccumulateValues(const int* values, std::size_t count,
+                                  Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) AccumulateValue(values[i], rng);
+}
+
+void Aggregator::AccumulateValues(const std::vector<int>& values, Rng& rng) {
+  AccumulateValues(values.data(), values.size(), rng);
+}
+
+void Aggregator::AccumulateHistogram(const std::vector<long long>& histogram,
+                                     Rng& rng) {
+  const int k = oracle_.k();
+  LDPR_REQUIRE(static_cast<int>(histogram.size()) == k,
+               "histogram has size " << histogram.size() << ", expected k="
+                                     << k);
+  long long total = 0;
+  for (long long h : histogram) {
+    LDPR_REQUIRE(h >= 0, "histogram cells must be non-negative");
+    total += h;
+  }
+  // Cell v is supported by a user holding v with probability p and by any
+  // other user with probability q, independently across users, so the
+  // aggregate count is Binomial(h_v, p) + Binomial(n - h_v, q) exactly.
+  for (int v = 0; v < k; ++v) {
+    counts_[v] += rng.Binomial64(histogram[v], oracle_.p()) +
+                  rng.Binomial64(total - histogram[v], oracle_.q());
+  }
+  n_ += total;
+}
+
+void Aggregator::Merge(const Aggregator& other) {
+  LDPR_REQUIRE(oracle_.protocol() == other.oracle_.protocol() &&
+                   counts_.size() == other.counts_.size(),
+               "cannot merge aggregators of different protocols/domains");
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  n_ += other.n_;
+}
+
+std::vector<double> Aggregator::Estimate() const {
+  return oracle_.EstimateFromCounts(counts_, n_);
+}
+
+std::vector<double> Aggregator::Estimate(ConsistencyMethod method,
+                                         double threshold) const {
+  return MakeConsistent(Estimate(), method, threshold);
 }
 
 double FrequencyOracle::EstimatorVariance(long long n, double f) const {

@@ -2,11 +2,13 @@
 #define LDPR_FO_FREQUENCY_ORACLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/rng.h"
+#include "fo/consistency.h"
 
 namespace ldpr::fo {
 
@@ -41,6 +43,14 @@ struct Report {
   std::vector<std::uint8_t> bits;
 };
 
+class Aggregator;
+
+/// Receives sanitized reports from BatchRandomize, one call per user. The
+/// Report reference is only valid for the duration of the call:
+/// implementations reuse a single scratch Report across users to avoid
+/// per-user heap traffic, so sinks that need to keep a report must copy it.
+using ReportSink = std::function<void(const Report&)>;
+
 /// Interface for a local frequency-estimation protocol ("frequency oracle").
 ///
 /// Each implementation provides the client-side randomizer, the server-side
@@ -57,6 +67,21 @@ class FrequencyOracle {
 
   /// Client side: sanitizes the true value (in [0, k)) into a report.
   virtual Report Randomize(int value, Rng& rng) const = 0;
+
+  /// Client side, batched: sanitizes values[0..count) in order, handing each
+  /// report to `sink`. Draws from `rng` exactly like `count` successive
+  /// Randomize calls (bit-identical stream), but overrides reuse one scratch
+  /// Report so the batch allocates O(1) instead of O(count) heap blocks.
+  virtual void BatchRandomize(const int* values, std::size_t count, Rng& rng,
+                              const ReportSink& sink) const;
+  void BatchRandomize(const std::vector<int>& values, Rng& rng,
+                      const ReportSink& sink) const;
+
+  /// Streaming server-side aggregation state for this oracle. Protocol
+  /// subclasses return aggregators whose hot paths are fused and
+  /// allocation-free (GRR/SS count tallies, OLH hashed-support counting,
+  /// SUE/OUE bit-column sums).
+  virtual std::unique_ptr<Aggregator> MakeAggregator() const;
 
   /// Server side: adds the report's support to `counts` (size k). A value v
   /// is "supported" when the report is consistent with v under the protocol's
@@ -99,6 +124,69 @@ class FrequencyOracle {
   double epsilon_;
   double p_ = 0.0;
   double q_ = 0.0;
+};
+
+/// Streaming server-side aggregator: support counts plus the number of
+/// accumulated reports, nothing else. Feed it reports one at a time
+/// (Accumulate), fused client+server values (AccumulateValue), or whole
+/// true-value histograms (AccumulateHistogram); shard-local aggregators
+/// Merge into one before Estimate. No per-user Report vector is ever
+/// materialized on any of these paths.
+///
+/// Obtain instances from FrequencyOracle::MakeAggregator(); the oracle must
+/// outlive the aggregator.
+class Aggregator {
+ public:
+  explicit Aggregator(const FrequencyOracle& oracle);
+  virtual ~Aggregator() = default;
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Server side: folds one report's support into the counts.
+  void Accumulate(const Report& report);
+
+  /// Fused client + server: randomizes `value` and accumulates its support
+  /// directly. Draws from `rng` exactly like Randomize(value, rng)
+  /// (bit-identical stream); protocol overrides skip the Report entirely.
+  virtual void AccumulateValue(int value, Rng& rng);
+
+  /// AccumulateValue over a span of values.
+  void AccumulateValues(const int* values, std::size_t count, Rng& rng);
+  void AccumulateValues(const std::vector<int>& values, Rng& rng);
+
+  /// Closed-form batch: draws the aggregate support counts of
+  /// histogram[v]-many users holding each value v in O(k) RNG draws total,
+  /// instead of simulating the n users one by one. The default samples each
+  /// cell's count as Binomial(histogram[v], p) + Binomial(n - histogram[v],
+  /// q), which is exactly the marginal distribution of the scalar path for
+  /// every protocol (cells are supported with probability p/q independently
+  /// across users); cross-cell correlations of one user's SS subset / OLH
+  /// preimage / UE bit vector are not reproduced, which leaves every
+  /// per-cell estimate, its variance, and any expected-MSE metric
+  /// distribution-exact. GRR overrides this with a sum-preserving
+  /// multinomial that is exact jointly as well.
+  virtual void AccumulateHistogram(const std::vector<long long>& histogram,
+                                   Rng& rng);
+
+  /// Folds another aggregator of the same protocol/domain into this one.
+  void Merge(const Aggregator& other);
+
+  /// Unbiased Eq. (2) estimate over everything accumulated so far.
+  std::vector<double> Estimate() const;
+
+  /// Estimate followed by consistency post-processing (NDSS'20).
+  std::vector<double> Estimate(ConsistencyMethod method,
+                               double threshold = 0.0) const;
+
+  const std::vector<long long>& counts() const { return counts_; }
+  long long n() const { return n_; }
+  const FrequencyOracle& oracle() const { return oracle_; }
+
+ protected:
+  const FrequencyOracle& oracle_;
+  std::vector<long long> counts_;
+  long long n_ = 0;
 };
 
 }  // namespace ldpr::fo

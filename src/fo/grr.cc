@@ -41,4 +41,63 @@ int Grr::AttackPredict(const Report& report, Rng& /*rng*/) const {
   return report.value;
 }
 
+namespace {
+
+class GrrAggregator : public Aggregator {
+ public:
+  using Aggregator::Aggregator;
+
+  void AccumulateValue(int value, Rng& rng) override {
+    const int k = oracle_.k();
+    LDPR_REQUIRE(value >= 0 && value < k,
+                 "value " << value << " outside [0, " << k << ")");
+    // Same draws as Grr::Perturb, tallied without building a Report.
+    if (rng.Bernoulli(oracle_.p())) {
+      ++counts_[value];
+    } else {
+      int other = static_cast<int>(rng.UniformInt(k - 1));
+      ++counts_[other >= value ? other + 1 : other];
+    }
+    ++n_;
+  }
+
+  void AccumulateHistogram(const std::vector<long long>& histogram,
+                           Rng& rng) override {
+    const int k = oracle_.k();
+    LDPR_REQUIRE(static_cast<int>(histogram.size()) == k,
+                 "histogram has size " << histogram.size() << ", expected k="
+                                       << k);
+    // The reports of the histogram[u] users holding u are jointly
+    // Multinomial(histogram[u], (q, ..., p, ..., q)); sample it exactly as a
+    // Binomial(truthful) draw followed by a uniform binomial chain over the
+    // k - 1 lies, preserving sum(counts) == n.
+    long long total = 0;
+    for (int u = 0; u < k; ++u) {
+      const long long group = histogram[u];
+      LDPR_REQUIRE(group >= 0, "histogram cells must be non-negative");
+      if (group == 0) continue;
+      total += group;
+      const long long truthful = rng.Binomial64(group, oracle_.p());
+      counts_[u] += truthful;
+      long long lies = group - truthful;
+      int cells_left = k - 1;
+      for (int v = 0; v < k && lies > 0; ++v) {
+        if (v == u) continue;
+        const long long x =
+            cells_left == 1 ? lies : rng.Binomial64(lies, 1.0 / cells_left);
+        counts_[v] += x;
+        lies -= x;
+        --cells_left;
+      }
+    }
+    n_ += total;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> Grr::MakeAggregator() const {
+  return std::make_unique<GrrAggregator>(*this);
+}
+
 }  // namespace ldpr::fo

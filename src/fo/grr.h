@@ -22,6 +22,10 @@ class Grr : public FrequencyOracle {
   int AttackPredict(const Report& report, Rng& rng) const override;
   Protocol protocol() const override { return Protocol::kGrr; }
 
+  /// Fused tally aggregator; its histogram path draws the report counts as
+  /// one sum-preserving multinomial per true-value group (jointly exact).
+  std::unique_ptr<Aggregator> MakeAggregator() const override;
+
   /// Perturbs `value` in an arbitrary domain of size `k` with budget `eps`
   /// (used by the RS+FD / RS+RFD client, which runs GRR at the amplified
   /// budget on a per-attribute domain).

@@ -48,6 +48,42 @@ void Olh::AccumulateSupport(const Report& report,
   }
 }
 
+namespace {
+
+class OlhAggregator : public Aggregator {
+ public:
+  explicit OlhAggregator(const Olh& oracle) : Aggregator(oracle) {}
+
+  void AccumulateValue(int value, Rng& rng) override {
+    const Olh& olh = static_cast<const Olh&>(oracle_);
+    const int k = olh.k();
+    const int g = olh.g();
+    LDPR_REQUIRE(value >= 0 && value < k, "OLH value out of range");
+    // Same draws as Olh::Randomize, with the server-side preimage walk
+    // fused in.
+    const std::uint64_t seed = rng();
+    UniversalHash h(seed, g);
+    const int hashed = h(value);
+    int reported;
+    if (rng.Bernoulli(olh.p_prime())) {
+      reported = hashed;
+    } else {
+      int other = static_cast<int>(rng.UniformInt(g - 1));
+      reported = other >= hashed ? other + 1 : other;
+    }
+    for (int v = 0; v < k; ++v) {
+      if (h(v) == reported) ++counts_[v];
+    }
+    ++n_;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> Olh::MakeAggregator() const {
+  return std::make_unique<OlhAggregator>(*this);
+}
+
 int Olh::AttackPredict(const Report& report, Rng& rng) const {
   // The most likely true values are those hashing to the reported cell;
   // pick one uniformly. An empty preimage carries no information, so fall

@@ -33,6 +33,10 @@ class Olh : public FrequencyOracle {
   int AttackPredict(const Report& report, Rng& rng) const override;
   Protocol protocol() const override { return Protocol::kOlh; }
 
+  /// Fused hashed-support counting: randomizes in the reduced domain and
+  /// walks the hash preimage straight into the counts, no Report in between.
+  std::unique_ptr<Aggregator> MakeAggregator() const override;
+
   /// The reduced domain size g = round(e^eps) + 1 (at least 2).
   int g() const { return g_; }
   /// GRR probability inside the reduced domain, p' = e^eps/(e^eps + g - 1).

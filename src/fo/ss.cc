@@ -17,6 +17,60 @@ Ss::Ss(int k, double epsilon) : FrequencyOracle(k, epsilon) {
   SetProbabilities(p, q);
 }
 
+namespace {
+
+class SsAggregator : public Aggregator {
+ public:
+  explicit SsAggregator(const Ss& oracle) : Aggregator(oracle) {}
+
+  void AccumulateValue(int value, Rng& rng) override {
+    const Ss& ss = static_cast<const Ss&>(oracle_);
+    const int k = ss.k();
+    LDPR_REQUIRE(value >= 0 && value < k, "SS value out of range");
+    // Same draws as Ss::Randomize (the sort there consumes no randomness).
+    const bool include_true = rng.Bernoulli(ss.p());
+    const int extra = include_true ? ss.omega() - 1 : ss.omega();
+    rng.SampleWithoutReplacementInto(k - 1, extra, &scratch_);
+    if (include_true) ++counts_[value];
+    for (int i = 0; i < extra; ++i) {
+      const int o = scratch_[i];
+      ++counts_[o >= value ? o + 1 : o];
+    }
+    ++n_;
+  }
+
+ private:
+  std::vector<int> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> Ss::MakeAggregator() const {
+  return std::make_unique<SsAggregator>(*this);
+}
+
+void Ss::BatchRandomize(const int* values, std::size_t count, Rng& rng,
+                        const ReportSink& sink) const {
+  Report r;
+  r.subset.reserve(omega_);
+  std::vector<int> scratch;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int value = values[i];
+    LDPR_REQUIRE(value >= 0 && value < k(), "SS value out of range");
+    const bool include_true = rng.Bernoulli(p());
+    const int extra = include_true ? omega_ - 1 : omega_;
+    rng.SampleWithoutReplacementInto(k() - 1, extra, &scratch);
+    r.subset.clear();
+    if (include_true) r.subset.push_back(value);
+    for (int j = 0; j < extra; ++j) {
+      const int o = scratch[j];
+      r.subset.push_back(o >= value ? o + 1 : o);
+    }
+    std::sort(r.subset.begin(), r.subset.end());
+    sink(r);
+  }
+}
+
 Report Ss::Randomize(int value, Rng& rng) const {
   LDPR_REQUIRE(value >= 0 && value < k(), "SS value out of range");
   Report r;

@@ -26,6 +26,15 @@ class Ss : public FrequencyOracle {
   int AttackPredict(const Report& report, Rng& rng) const override;
   Protocol protocol() const override { return Protocol::kSs; }
 
+  /// Batched randomizer reusing one scratch subset across users.
+  void BatchRandomize(const int* values, std::size_t count, Rng& rng,
+                      const ReportSink& sink) const override;
+  using FrequencyOracle::BatchRandomize;
+
+  /// Fused subset tallies: samples Omega with a reusable index buffer and
+  /// increments the counts directly, never materializing a Report.
+  std::unique_ptr<Aggregator> MakeAggregator() const override;
+
   /// Subset size omega.
   int omega() const { return omega_; }
 

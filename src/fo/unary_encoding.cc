@@ -44,6 +44,48 @@ void UnaryEncoding::AccumulateSupport(const Report& report,
   }
 }
 
+namespace {
+
+class UeAggregator : public Aggregator {
+ public:
+  using Aggregator::Aggregator;
+
+  void AccumulateValue(int value, Rng& rng) override {
+    const int k = oracle_.k();
+    LDPR_REQUIRE(value >= 0 && value < k,
+                 "OneHot value " << value << " outside [0, " << k << ")");
+    // Same ascending per-bit draws as OneHot + PerturbBits, summed into the
+    // columns directly.
+    const double p = oracle_.p();
+    const double q = oracle_.q();
+    for (int i = 0; i < k; ++i) {
+      if (rng.Bernoulli(i == value ? p : q)) ++counts_[i];
+    }
+    ++n_;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> UnaryEncoding::MakeAggregator() const {
+  return std::make_unique<UeAggregator>(*this);
+}
+
+void UnaryEncoding::BatchRandomize(const int* values, std::size_t count,
+                                   Rng& rng, const ReportSink& sink) const {
+  Report r;
+  r.bits.resize(k());
+  for (std::size_t i = 0; i < count; ++i) {
+    const int value = values[i];
+    LDPR_REQUIRE(value >= 0 && value < k(),
+                 "OneHot value " << value << " outside [0, " << k() << ")");
+    for (int b = 0; b < k(); ++b) {
+      r.bits[b] = rng.Bernoulli(b == value ? p() : q()) ? 1 : 0;
+    }
+    sink(r);
+  }
+}
+
 int UnaryEncoding::AttackPredict(const Report& report, Rng& rng) const {
   std::vector<int> set_bits;
   for (int v = 0; v < k(); ++v) {

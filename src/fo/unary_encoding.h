@@ -26,6 +26,15 @@ class UnaryEncoding : public FrequencyOracle {
                          std::vector<long long>* counts) const override;
   int AttackPredict(const Report& report, Rng& rng) const override;
 
+  /// Batched randomizer perturbing into one reused k-bit scratch vector.
+  void BatchRandomize(const int* values, std::size_t count, Rng& rng,
+                      const ReportSink& sink) const override;
+  using FrequencyOracle::BatchRandomize;
+
+  /// Fused bit-column sums: each sanitized bit is drawn and folded into its
+  /// column count in place — no one-hot input, no output vector, no Report.
+  std::unique_ptr<Aggregator> MakeAggregator() const override;
+
   /// Applies the bit-flip channel to an arbitrary input bit vector. This is
   /// the primitive RS+FD reuses to build fake reports from zero vectors
   /// (UE-z) and from random one-hot vectors (UE-r).

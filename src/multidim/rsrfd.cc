@@ -109,8 +109,6 @@ MultidimReport RsRfd::RandomizeUser(const std::vector<int>& record,
 std::vector<std::vector<double>> RsRfd::Estimate(
     const std::vector<MultidimReport>& reports) const {
   LDPR_REQUIRE(!reports.empty(), "Estimate requires at least one report");
-  const double n = static_cast<double>(reports.size());
-  const double dd = static_cast<double>(d());
 
   // Support counting is identical to RS+FD's for the matching payload shape.
   std::vector<std::vector<long long>> counts(d());
@@ -130,9 +128,22 @@ std::vector<std::vector<double>> RsRfd::Estimate(
       }
     }
   }
+  return EstimateFromSupportCounts(counts,
+                                   static_cast<long long>(reports.size()));
+}
+
+std::vector<std::vector<double>> RsRfd::EstimateFromSupportCounts(
+    const std::vector<std::vector<long long>>& counts, long long n_ll) const {
+  LDPR_REQUIRE(static_cast<int>(counts.size()) == d(),
+               "counts width mismatch");
+  LDPR_REQUIRE(n_ll >= 1, "EstimateFromSupportCounts requires n >= 1");
+  const double n = static_cast<double>(n_ll);
+  const double dd = static_cast<double>(d());
 
   std::vector<std::vector<double>> est(d());
   for (int j = 0; j < d(); ++j) {
+    LDPR_REQUIRE(static_cast<int>(counts[j].size()) == domain_sizes_[j],
+                 "counts for attribute " << j << " have wrong length");
     const double pj = p(j);
     const double qj = q(j);
     est[j].resize(domain_sizes_[j]);
@@ -153,6 +164,71 @@ std::vector<std::vector<double>> RsRfd::Estimate(
     }
   }
   return est;
+}
+
+RsRfd::StreamAggregator::StreamAggregator(const RsRfd& rsrfd)
+    : rsrfd_(rsrfd) {
+  counts_.resize(rsrfd.d());
+  for (int j = 0; j < rsrfd.d(); ++j) {
+    counts_[j].assign(rsrfd.domain_sizes_[j], 0);
+  }
+}
+
+void RsRfd::StreamAggregator::AccumulateRecord(const std::vector<int>& record,
+                                               Rng& rng) {
+  const RsRfd& rfd = rsrfd_;
+  const int d = rfd.d();
+  LDPR_REQUIRE(static_cast<int>(record.size()) == d,
+               "record has " << record.size() << " values, expected " << d);
+  // Mirrors RandomizeUser (Algorithm 1) draw for draw — bit-identical
+  // stream — folding each payload column straight into the counts.
+  const int sampled = static_cast<int>(rng.UniformInt(d));
+
+  if (rfd.variant_ == RsRfdVariant::kGrr) {
+    for (int j = 0; j < d; ++j) {
+      if (j == sampled) {
+        ++counts_[j][fo::Grr::Perturb(record[j], rfd.domain_sizes_[j],
+                                      rfd.amplified_epsilon_, rng)];
+      } else {
+        ++counts_[j][rfd.prior_samplers_[j].Sample(rng)];
+      }
+    }
+    ++n_;
+    return;
+  }
+
+  for (int j = 0; j < d; ++j) {
+    const int kj = rfd.domain_sizes_[j];
+    int hot;
+    if (j == sampled) {
+      LDPR_REQUIRE(record[j] >= 0 && record[j] < kj,
+                   "record value out of range");
+      hot = record[j];
+    } else {
+      hot = rfd.prior_samplers_[j].Sample(rng);
+    }
+    for (int v = 0; v < kj; ++v) {
+      if (rng.Bernoulli(v == hot ? rfd.ue_p_ : rfd.ue_q_)) ++counts_[j][v];
+    }
+  }
+  ++n_;
+}
+
+void RsRfd::StreamAggregator::Merge(const StreamAggregator& other) {
+  LDPR_REQUIRE(counts_.size() == other.counts_.size(),
+               "cannot merge RS+RFD aggregators of different widths");
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    LDPR_REQUIRE(counts_[j].size() == other.counts_[j].size(),
+                 "cannot merge RS+RFD aggregators of different domains");
+    for (std::size_t v = 0; v < counts_[j].size(); ++v) {
+      counts_[j][v] += other.counts_[j][v];
+    }
+  }
+  n_ += other.n_;
+}
+
+std::vector<std::vector<double>> RsRfd::StreamAggregator::Estimate() const {
+  return rsrfd_.EstimateFromSupportCounts(counts_, n_);
 }
 
 double RsRfd::Gamma(int attribute, int value, double f) const {

@@ -1,0 +1,88 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace ldpr::sim {
+
+int AutoShardCount(long long n) {
+  if (n <= 0) return 0;
+  // Enough shards to keep any sane worker pool busy, few enough that the
+  // per-shard aggregator state (O(k) counts) stays negligible. Depends only
+  // on n so that one seed gives one result on every machine.
+  constexpr long long kUsersPerShard = 4096;
+  const long long shards = (n + kUsersPerShard - 1) / kUsersPerShard;
+  return static_cast<int>(std::clamp<long long>(shards, 1, 256));
+}
+
+int ResolveShardCount(long long n, const Options& options) {
+  return options.num_shards > 0 ? options.num_shards : AutoShardCount(n);
+}
+
+void ShardedRun(
+    long long n, Rng& root, const Options& options,
+    const std::function<void(int, long long, long long, Rng&)>& fn) {
+  const int shards = ResolveShardCount(n, options);
+  if (shards <= 0) return;
+  // One Split advances the root (so back-to-back runs get fresh streams);
+  // Fork(s) then derives shard streams without any shared mutable state.
+  const Rng base = root.Split();
+  ParallelForShards(
+      n, shards,
+      [&](int shard, long long lo, long long hi) {
+        Rng rng = base.Fork(static_cast<std::uint64_t>(shard));
+        fn(shard, lo, hi, rng);
+      },
+      options.threads);
+}
+
+long long ShardedTally(
+    long long n, Rng& root, const Options& options,
+    const std::function<long long(long long, long long, Rng&)>& counter) {
+  const int shards = ResolveShardCount(n, options);
+  std::vector<long long> tallies(std::max(shards, 0), 0);
+  ShardedRun(n, root, options,
+             [&](int shard, long long lo, long long hi, Rng& rng) {
+               tallies[shard] = counter(lo, hi, rng);
+             });
+  long long total = 0;
+  for (long long t : tallies) total += t;
+  return total;
+}
+
+CollectionResult RunCollection(const fo::FrequencyOracle& oracle,
+                               const std::vector<int>& values, Rng& root,
+                               const Options& options) {
+  LDPR_REQUIRE(!values.empty(), "RunCollection requires >= 1 value");
+  const long long n = static_cast<long long>(values.size());
+  const int shards = ResolveShardCount(n, options);
+  std::vector<std::unique_ptr<fo::Aggregator>> parts(shards);
+  ShardedRun(n, root, options,
+             [&](int shard, long long lo, long long hi, Rng& rng) {
+               auto agg = oracle.MakeAggregator();
+               if (options.mode == Mode::kClosedForm) {
+                 std::vector<long long> hist(oracle.k(), 0);
+                 for (long long u = lo; u < hi; ++u) {
+                   const int v = values[u];
+                   LDPR_REQUIRE(v >= 0 && v < oracle.k(),
+                                "value " << v << " outside [0, " << oracle.k()
+                                         << ")");
+                   ++hist[v];
+                 }
+                 agg->AccumulateHistogram(hist, rng);
+               } else {
+                 agg->AccumulateValues(values.data() + lo,
+                                       static_cast<std::size_t>(hi - lo), rng);
+               }
+               parts[shard] = std::move(agg);
+             });
+  for (int s = 1; s < shards; ++s) parts[0]->Merge(*parts[s]);
+  CollectionResult result;
+  result.counts = parts[0]->counts();
+  result.n = parts[0]->n();
+  result.estimate = parts[0]->Estimate();
+  return result;
+}
+
+}  // namespace ldpr::sim

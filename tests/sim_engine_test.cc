@@ -1,0 +1,199 @@
+// The sharded simulation engine (sim::RunCollection / sim::RunMultidim):
+// deterministic per-shard RNG streams must make results identical under any
+// thread count (satellite 3, guarding against shared-state races), shard
+// boundaries must depend only on n, and both modes must estimate correctly.
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "fo/factory.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+#include "multidim/smp.h"
+#include "multidim/spl.h"
+#include "sim/engine.h"
+
+namespace ldpr::sim {
+namespace {
+
+std::vector<int> SkewedValues(int n, int k) {
+  std::vector<int> values(n);
+  for (long long i = 0; i < n; ++i) {
+    values[i] = static_cast<int>((i * 7 + i * i / 5) % k);
+  }
+  return values;
+}
+
+/// Runs fn with LDPR_THREADS set to `threads`, restoring the prior value.
+template <typename Fn>
+auto WithThreadsEnv(const char* threads, Fn fn) {
+  const char* old = std::getenv("LDPR_THREADS");
+  std::string saved = old ? old : "";
+  setenv("LDPR_THREADS", threads, 1);
+  auto result = fn();
+  if (old) {
+    setenv("LDPR_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("LDPR_THREADS");
+  }
+  return result;
+}
+
+TEST(ShardedRunTest, ShardsPartitionTheRange) {
+  Rng root(1);
+  Options options;
+  options.num_shards = 7;
+  std::vector<long long> seen(7, -1);
+  std::vector<std::pair<long long, long long>> ranges(7);
+  ShardedRun(100, root, options,
+             [&](int shard, long long lo, long long hi, Rng&) {
+               seen[shard] = shard;
+               ranges[shard] = {lo, hi};
+             });
+  long long covered = 0;
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_EQ(seen[s], s) << "shard " << s << " never ran";
+    EXPECT_LE(ranges[s].first, ranges[s].second);
+    covered += ranges[s].second - ranges[s].first;
+    if (s > 0) {
+      EXPECT_EQ(ranges[s].first, ranges[s - 1].second);
+    }
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ShardedRunTest, ShardStreamsAreIndependentOfThreadCount) {
+  const std::vector<int> values = SkewedValues(20000, 16);
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, 16, 1.0);
+
+  auto run = [&](int threads) {
+    Rng root(99);
+    Options options;
+    options.threads = threads;
+    return RunCollection(*oracle, values, root, options);
+  };
+  const CollectionResult one = run(1);
+  const CollectionResult four = run(4);
+  EXPECT_EQ(one.counts, four.counts);
+  EXPECT_EQ(one.estimate, four.estimate);
+  EXPECT_EQ(one.n, four.n);
+}
+
+TEST(ShardedRunTest, LdprThreadsEnvDoesNotChangeResults) {
+  // The concurrency satellite as specified: LDPR_THREADS in {1, 4} with the
+  // same seed must be bit-identical (threads = 0 defers to the env knob).
+  const std::vector<int> values = SkewedValues(20000, 16);
+  auto oracle = fo::MakeOracle(fo::Protocol::kSue, 16, 1.0);
+  auto run = [&] {
+    Rng root(1234);
+    return RunCollection(*oracle, values, root, Options{});
+  };
+  const CollectionResult one = WithThreadsEnv("1", run);
+  const CollectionResult four = WithThreadsEnv("4", run);
+  EXPECT_EQ(one.counts, four.counts);
+  EXPECT_EQ(one.estimate, four.estimate);
+}
+
+TEST(ShardedRunTest, AutoShardCountDependsOnlyOnN) {
+  EXPECT_EQ(AutoShardCount(0), 0);
+  EXPECT_EQ(AutoShardCount(1), 1);
+  EXPECT_EQ(AutoShardCount(4096), 1);
+  EXPECT_EQ(AutoShardCount(4097), 2);
+  EXPECT_EQ(AutoShardCount(1 << 20), 256);
+  EXPECT_EQ(AutoShardCount(100000000), 256);  // clamped
+}
+
+TEST(ShardedRunTest, SuccessiveRunsUseFreshStreams) {
+  const std::vector<int> values = SkewedValues(5000, 8);
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, 8, 1.0);
+  Rng root(7);
+  const CollectionResult a = RunCollection(*oracle, values, root, Options{});
+  const CollectionResult b = RunCollection(*oracle, values, root, Options{});
+  EXPECT_NE(a.counts, b.counts);  // same root, advanced stream
+}
+
+TEST(RunCollectionTest, StreamingAndClosedFormBothRecoverTruth) {
+  const int k = 12;
+  const int n = 60000;
+  const std::vector<int> values = SkewedValues(n, k);
+  std::vector<double> truth(k, 0.0);
+  for (int v : values) truth[v] += 1.0 / n;
+
+  for (fo::Protocol protocol : fo::AllProtocols()) {
+    auto oracle = fo::MakeOracle(protocol, k, 2.0);
+    for (Mode mode : {Mode::kStreaming, Mode::kClosedForm}) {
+      Rng root(55);
+      Options options;
+      options.mode = mode;
+      const CollectionResult result =
+          RunCollection(*oracle, values, root, options);
+      EXPECT_EQ(result.n, n);
+      double sum = 0.0;
+      for (int v = 0; v < k; ++v) {
+        const double sd = std::sqrt(oracle->EstimatorVariance(n, truth[v]));
+        EXPECT_NEAR(result.estimate[v], truth[v], 6.0 * sd)
+            << fo::ProtocolName(protocol) << " mode "
+            << (mode == Mode::kStreaming ? "streaming" : "closed-form")
+            << " value " << v;
+        sum += result.estimate[v];
+      }
+      // Eq. 2 estimates sum close to 1 even before consistency steps.
+      EXPECT_NEAR(sum, 1.0, 0.15);
+    }
+  }
+}
+
+TEST(RunMultidimTest, ResultsIndependentOfThreadCountForAllSolutions) {
+  data::Dataset ds = data::AdultLike(11, 0.02);
+
+  auto check = [](auto&& make_run) {
+    const auto one = make_run(1);
+    const auto four = make_run(4);
+    EXPECT_EQ(one, four);
+  };
+
+  multidim::Spl spl(fo::Protocol::kGrr, ds.domain_sizes(), 1.0);
+  check([&](int threads) {
+    Rng root(3);
+    Options options;
+    options.threads = threads;
+    return RunMultidim(spl, ds, root, options);
+  });
+
+  multidim::Smp smp(fo::Protocol::kOue, ds.domain_sizes(), 1.0);
+  check([&](int threads) {
+    Rng root(4);
+    Options options;
+    options.threads = threads;
+    return RunMultidim(smp, ds, root, options);
+  });
+
+  multidim::RsFd rsfd(multidim::RsFdVariant::kOueZ, ds.domain_sizes(), 1.0);
+  check([&](int threads) {
+    Rng root(5);
+    Options options;
+    options.threads = threads;
+    return RunMultidim(rsfd, ds, root, options);
+  });
+
+  std::vector<std::vector<double>> priors;
+  for (int kj : ds.domain_sizes()) {
+    priors.push_back(std::vector<double>(kj, 1.0 / kj));
+  }
+  multidim::RsRfd rsrfd(multidim::RsRfdVariant::kGrr, ds.domain_sizes(), 1.0,
+                        priors);
+  check([&](int threads) {
+    Rng root(6);
+    Options options;
+    options.threads = threads;
+    return RunMultidim(rsrfd, ds, root, options);
+  });
+}
+
+}  // namespace
+}  // namespace ldpr::sim
