@@ -1,0 +1,15 @@
+// Shared main() of every figure/ablation/framework bench binary. Each
+// binary is compiled from this file with LDPR_EXPERIMENT_NAME set to the
+// registered experiment it fronts (see bench/CMakeLists.txt); the actual
+// experiment logic lives in src/exp/scenarios/. Output and env knobs are
+// unchanged from the historical standalone drivers: CSV on stdout, scaled
+// by LDPR_RUNS / LDPR_SCALE / ..., plus LDPR_SMOKE=1 for the CI preset and
+// LDPR_JSON_OUT=file.json for structured output.
+
+#include "exp/experiment.h"
+
+#ifndef LDPR_EXPERIMENT_NAME
+#error "compile with -DLDPR_EXPERIMENT_NAME=\"<name>\""
+#endif
+
+int main() { return ldpr::exp::RunExperimentMain(LDPR_EXPERIMENT_NAME); }

@@ -28,6 +28,14 @@ std::string GetEnvString(const char* name, const std::string& fallback) {
   return env;
 }
 
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
 int NumRuns() { return GetEnvInt("LDPR_RUNS", 3); }
 
 int ReidentTargets() { return GetEnvInt("LDPR_REIDENT_TARGETS", 3000); }

@@ -5,13 +5,17 @@
 
 namespace ldpr {
 
-/// Environment-variable readers used by the bench harness to scale
-/// experiments (number of repetitions, re-identification target subsample,
-/// dataset scale) without recompiling. Each returns `fallback` when the
-/// variable is unset or unparsable.
+/// Environment-variable readers used by the experiment subsystem to scale
+/// runs (number of repetitions, re-identification target subsample, dataset
+/// scale) without recompiling — see exp::RunProfile for the full knob table.
+/// Each returns `fallback` when the variable is unset or unparsable.
 int GetEnvInt(const char* name, int fallback);
 double GetEnvDouble(const char* name, double fallback);
 std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Boolean env knob: unset/"" -> fallback; "0"/"false"/"off"/"no" -> false;
+/// anything else -> true. Used by LDPR_SMOKE and the CLI.
+bool GetEnvBool(const char* name, bool fallback);
 
 /// Number of experiment repetitions (paper: 20). Env LDPR_RUNS, default 3.
 int NumRuns();

@@ -8,6 +8,17 @@
 
 namespace ldpr {
 
+namespace {
+// Depth of ParallelFor regions on this thread. Work scheduled from inside a
+// worker (e.g. a sharded simulation launched by a grid cell that is itself
+// running on the pool) executes inline instead of spawning a second layer of
+// threads: the outer region already saturates the machine, and every caller
+// in the tree is deterministic w.r.t. thread count by construction.
+thread_local int tl_parallel_depth = 0;
+}  // namespace
+
+bool InParallelRegion() { return tl_parallel_depth > 0; }
+
 int DefaultThreadCount() {
   if (const char* env = std::getenv("LDPR_THREADS")) {
     int v = std::atoi(env);
@@ -24,7 +35,7 @@ void ParallelFor(long long begin, long long end,
   int workers = threads > 0 ? threads : DefaultThreadCount();
   if (workers > count) workers = static_cast<int>(count);
 
-  if (workers <= 1) {
+  if (workers <= 1 || InParallelRegion()) {
     for (long long i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -39,6 +50,7 @@ void ParallelFor(long long begin, long long end,
     long long hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
     pool.emplace_back([&, lo, hi]() {
+      ++tl_parallel_depth;
       try {
         for (long long i = lo; i < hi; ++i) fn(i);
       } catch (...) {

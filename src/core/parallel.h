@@ -9,6 +9,15 @@ namespace ldpr {
 /// environment variable, falling back to the hardware concurrency.
 int DefaultThreadCount();
 
+/// True when the calling thread is itself a ParallelFor worker. Nested
+/// ParallelFor/ParallelForShards calls detect this and run inline (serially)
+/// instead of spawning a second layer of threads, so outer-level parallelism
+/// — e.g. the experiment grid runner fanning (trial, grid-point) cells over
+/// the pool — composes with the sharded simulation engine inside each cell
+/// without oversubscription. Results are unaffected: every caller is
+/// deterministic w.r.t. the thread count by construction.
+bool InParallelRegion();
+
 /// Runs fn(i) for every i in [begin, end) across `threads` workers
 /// (DefaultThreadCount() when threads <= 0). Blocks until all complete.
 /// The iteration space is split into contiguous chunks, so fn should be

@@ -1,0 +1,78 @@
+#ifndef LDPR_EXP_AIF_FIGURE_H_
+#define LDPR_EXP_AIF_FIGURE_H_
+
+// The attribute-inference (AIF-ACC) figure family: Fig. 3 / 14 / 15 (RS+FD),
+// Fig. 6 (RS+RFD, Correct priors) and Fig. 17 (RS+RFD, Incorrect priors).
+// Ported from the legacy bench/aif_bench_util driver onto the GridRunner
+// with the historical per-(point, setting, trial) RNG seeds.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/aif.h"
+#include "data/dataset.h"
+#include "data/priors.h"
+#include "exp/experiment.h"
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+
+namespace ldpr::exp {
+
+/// A client+estimator pair bound to one protocol instance (one eps value).
+class AifSolution {
+ public:
+  virtual ~AifSolution() = default;
+  virtual attack::MultidimClient Client() const = 0;
+  virtual attack::MultidimEstimator Estimator() const = 0;
+};
+
+/// Builds a solution for a given epsilon (and run-specific randomness, used
+/// by RS+RFD to draw its priors the way Section 5.2.1 prescribes).
+using AifSolutionFactory =
+    std::function<std::unique_ptr<AifSolution>(double epsilon, Rng& rng)>;
+
+/// RS+FD[variant] factory.
+AifSolutionFactory MakeRsFdFactory(multidim::RsFdVariant variant,
+                                   const data::Dataset& dataset);
+
+/// RS+RFD[variant] factory with priors of the given kind. `prior_n` is the
+/// full-population size behind the Census statistics (0 = dataset.n()); pass
+/// the paper's n when the simulation runs on a subsample so the "Correct"
+/// Laplace priors keep the paper's noise level.
+AifSolutionFactory MakeRsRfdFactory(multidim::RsRfdVariant variant,
+                                    data::PriorKind prior_kind,
+                                    const data::Dataset& dataset,
+                                    int prior_n = 0);
+
+/// One labeled curve family of an AIF figure.
+struct AifCurve {
+  std::string label;
+  AifSolutionFactory factory;
+};
+
+/// One attack-model panel: which model and which (s, npk) settings to sweep.
+struct AifPanel {
+  attack::AifModel model = attack::AifModel::kNk;
+  /// (synthetic multiplier, compromised fraction) pairs; the irrelevant
+  /// member is ignored by NK / PK.
+  std::vector<std::pair<double, double>> settings;
+};
+
+/// The paper's parameter grid: NK s in {1,3,5}n, PK npk in {.1,.3,.5}n,
+/// HM zipped pairs.
+std::vector<AifPanel> PaperAifPanels();
+
+/// Emits the full figure: one table per (panel, curve), rows are epsilon and
+/// columns are the panel's settings, values are mean AIF-ACC(%) over
+/// profile().runs trials.
+void RunAifFigure(Context& ctx, const std::string& bench_name,
+                  const data::Dataset& dataset,
+                  const std::vector<AifCurve>& curves,
+                  const std::vector<AifPanel>& panels);
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_AIF_FIGURE_H_

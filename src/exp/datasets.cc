@@ -1,0 +1,81 @@
+#include "exp/datasets.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/check.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "exp/emitter.h"
+
+namespace ldpr::exp {
+
+namespace {
+
+std::mutex& CacheMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::unique_ptr<data::Dataset>>& Cache() {
+  static auto* cache = new std::map<std::string, std::unique_ptr<data::Dataset>>();
+  return *cache;
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kAdult: return "adult";
+    case DatasetKind::kAcsEmployment: return "acs";
+    case DatasetKind::kNursery: return "nursery";
+  }
+  return "?";
+}
+
+const data::Dataset& GetDataset(DatasetKind kind, std::uint64_t seed,
+                                double scale) {
+  // %a keys the exact double, so nearby scales never alias.
+  const std::string key = StrPrintf("%s:%llu:%a", DatasetKindName(kind),
+                                    static_cast<unsigned long long>(seed),
+                                    scale);
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  auto it = Cache().find(key);
+  if (it == Cache().end()) {
+    data::Dataset ds = kind == DatasetKind::kAdult
+                           ? data::AdultLike(seed, scale)
+                       : kind == DatasetKind::kAcsEmployment
+                           ? data::AcsEmploymentLike(seed, scale)
+                           : data::NurseryLike(seed, scale);
+    it = Cache()
+             .emplace(key, std::make_unique<data::Dataset>(std::move(ds)))
+             .first;
+  }
+  return *it->second;
+}
+
+const data::Dataset& GetCsvDataset(const std::string& path) {
+  const std::string key = "csv:" + path;
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  auto it = Cache().find(key);
+  if (it == Cache().end()) {
+    it = Cache()
+             .emplace(key,
+                      std::make_unique<data::Dataset>(data::LoadCsv(path)))
+             .first;
+  }
+  return *it->second;
+}
+
+int DatasetCacheSize() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  return static_cast<int>(Cache().size());
+}
+
+void ClearDatasetCache() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  Cache().clear();
+}
+
+}  // namespace ldpr::exp

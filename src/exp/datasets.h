@@ -1,0 +1,39 @@
+#ifndef LDPR_EXP_DATASETS_H_
+#define LDPR_EXP_DATASETS_H_
+
+// Process-wide memoized dataset loading for the experiment subsystem.
+//
+// Synthesizing the paper populations (and parsing CSV files) is pure in
+// (source, seed, scale), so repeated requests — a multi-panel driver, or
+// `ldpr_cli experiment run 'fig*'` sweeping thirty scenarios over the same
+// two populations — are served from a single in-memory copy instead of
+// regenerating/re-reading per panel. Entries live for the process lifetime;
+// the handful of paper-scale datasets is a few MB total.
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ldpr::exp {
+
+/// The three paper populations (data/synthetic.h).
+enum class DatasetKind { kAdult, kAcsEmployment, kNursery };
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// Memoized data::AdultLike / AcsEmploymentLike / NurseryLike, keyed by
+/// (kind, seed, scale).
+const data::Dataset& GetDataset(DatasetKind kind, std::uint64_t seed,
+                                double scale);
+
+/// Memoized data::LoadCsv, keyed by path.
+const data::Dataset& GetCsvDataset(const std::string& path);
+
+/// Number of cache entries (tests) and cache reset (isolation in tests).
+int DatasetCacheSize();
+void ClearDatasetCache();
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_DATASETS_H_

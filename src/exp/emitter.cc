@@ -1,0 +1,212 @@
+#include "exp/emitter.h"
+
+#include <cmath>
+#include <cstdarg>
+
+namespace ldpr::exp {
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(needed > 0 ? needed : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+Cell Cell::Number(const char* fmt, double v) {
+  Cell c;
+  c.text = StrPrintf(fmt, v);  // NOLINT: fmt comes from scenario literals
+  c.number = v;
+  c.is_number = true;
+  return c;
+}
+
+Cell Cell::Integer(const char* fmt, int v) {
+  Cell c;
+  c.text = StrPrintf(fmt, v);  // NOLINT
+  c.number = static_cast<double>(v);
+  c.is_number = true;
+  return c;
+}
+
+Cell Cell::Text(const char* fmt, const std::string& v) {
+  Cell c;
+  c.text = StrPrintf(fmt, v.c_str());  // NOLINT
+  return c;
+}
+
+void Emitter::Config(const std::string&, const std::string&) {}
+
+CsvEmitter::CsvEmitter(std::FILE* out) : out_(out) {}
+CsvEmitter::CsvEmitter(std::string* sink) : sink_(sink) {}
+
+void CsvEmitter::Write(const std::string& chunk) {
+  if (sink_ != nullptr) {
+    sink_->append(chunk);
+  } else {
+    std::fwrite(chunk.data(), 1, chunk.size(), out_);
+  }
+}
+
+void CsvEmitter::Comment(const std::string& line) { Write(line + "\n"); }
+
+void CsvEmitter::Text(const std::string& line) { Write(line + "\n"); }
+
+void CsvEmitter::BeginTable(const TableSpec& spec) {
+  if (!spec.section.empty()) Write("\n## " + spec.section + "\n");
+  if (!spec.header.empty()) Write(spec.header + "\n");
+}
+
+void CsvEmitter::Row(const std::vector<Cell>& cells) {
+  std::string line;
+  for (const Cell& cell : cells) line += cell.text;
+  line += '\n';
+  Write(line);
+  // Legacy drivers fflush(stdout) after every data row so long sweeps stream
+  // progressively into tee/pipes; keep that contract.
+  if (sink_ == nullptr) std::fflush(out_);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return StrPrintf("%.17g", v);
+}
+
+/// Strips leading blank lines and the "# " prefix off a legacy comment line.
+std::string TrimComment(const std::string& line) {
+  std::size_t i = line.find_first_not_of('\n');
+  if (i == std::string::npos) return "";
+  if (line.compare(i, 2, "# ") == 0) i += 2;
+  return line.substr(i);
+}
+
+}  // namespace
+
+JsonEmitter::JsonEmitter(std::string* sink, std::string experiment_name)
+    : sink_(sink), name_(std::move(experiment_name)) {}
+
+void JsonEmitter::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, value);
+}
+
+void JsonEmitter::Comment(const std::string& line) {
+  comments_.push_back(TrimComment(line));
+}
+
+void JsonEmitter::Text(const std::string& line) {
+  text_.push_back(TrimComment(line));
+}
+
+void JsonEmitter::BeginTable(const TableSpec& spec) {
+  tables_.push_back({spec, {}});
+}
+
+void JsonEmitter::Row(const std::vector<Cell>& cells) {
+  // Rows before any BeginTable would be a scenario bug; keep them anyway
+  // under an anonymous table instead of crashing a long sweep.
+  if (tables_.empty()) tables_.push_back({{}, {}});
+  tables_.back().rows.push_back(cells);
+}
+
+void JsonEmitter::Finish() {
+  std::string& out = *sink_;
+  out += "{\"experiment\":\"" + JsonEscape(name_) + "\",";
+  out += "\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(config_[i].first) + "\":\"" +
+           JsonEscape(config_[i].second) + '"';
+  }
+  out += "},\"comments\":[";
+  for (std::size_t i = 0; i < comments_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(comments_[i]) + '"';
+  }
+  out += "],\"text\":[";
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(text_[i]) + '"';
+  }
+  out += "],\"tables\":[";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = tables_[t];
+    if (t > 0) out += ',';
+    out += "{\"section\":\"" + JsonEscape(table.spec.section) + "\",";
+    out += "\"x\":\"" + JsonEscape(table.spec.x_name) + "\",";
+    out += "\"columns\":[";
+    for (std::size_t c = 0; c < table.spec.columns.size(); ++c) {
+      if (c > 0) out += ',';
+      out += '"' + JsonEscape(table.spec.columns[c]) + '"';
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      if (r > 0) out += ',';
+      out += '[';
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        const Cell& cell = table.rows[r][c];
+        if (c > 0) out += ',';
+        if (cell.is_number) {
+          out += JsonNumber(cell.number);
+        } else {
+          // Trim the printf padding off text cells.
+          std::string v = cell.text;
+          const std::size_t b = v.find_first_not_of(' ');
+          const std::size_t e = v.find_last_not_of(' ');
+          v = b == std::string::npos ? "" : v.substr(b, e - b + 1);
+          out += '"' + JsonEscape(v) + '"';
+        }
+      }
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+}
+
+void TeeEmitter::Config(const std::string& key, const std::string& value) {
+  for (Emitter* sink : sinks_) sink->Config(key, value);
+}
+void TeeEmitter::Comment(const std::string& line) {
+  for (Emitter* sink : sinks_) sink->Comment(line);
+}
+void TeeEmitter::Text(const std::string& line) {
+  for (Emitter* sink : sinks_) sink->Text(line);
+}
+void TeeEmitter::BeginTable(const TableSpec& spec) {
+  for (Emitter* sink : sinks_) sink->BeginTable(spec);
+}
+void TeeEmitter::Row(const std::vector<Cell>& cells) {
+  for (Emitter* sink : sinks_) sink->Row(cells);
+}
+void TeeEmitter::Finish() {
+  for (Emitter* sink : sinks_) sink->Finish();
+}
+
+}  // namespace ldpr::exp

@@ -1,0 +1,141 @@
+#ifndef LDPR_EXP_EMITTER_H_
+#define LDPR_EXP_EMITTER_H_
+
+// Pluggable result writers for the experiment subsystem.
+//
+// Every scenario emits its results through an Emitter instead of printf-ing
+// to stdout. A Cell carries both the exact text a legacy driver would have
+// printed (so CsvEmitter replays the historical stdout format byte for byte
+// — pinned by the golden tests) and the structured value, so JsonEmitter can
+// write machine-readable output with the full run configuration without the
+// scenario doing anything extra.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldpr::exp {
+
+/// snprintf into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// One formatted cell of a table row.
+struct Cell {
+  /// Numeric cell: `fmt` is the legacy printf format (e.g. " %8.4f").
+  static Cell Number(const char* fmt, double v);
+  /// Integer cell printed with an int format (e.g. "%-8d").
+  static Cell Integer(const char* fmt, int v);
+  /// Text cell (e.g. a row label or a "-" placeholder), `fmt` e.g. "%-22s".
+  static Cell Text(const char* fmt, const std::string& v);
+
+  std::string text;     ///< exactly what the legacy driver printed
+  double number = 0.0;  ///< structured value (valid when is_number)
+  bool is_number = false;
+};
+
+/// Declares one table of an experiment's output. `section` and `header` are
+/// replayed verbatim by CsvEmitter; `x_name`/`columns` name the row cells
+/// for structured writers.
+struct TableSpec {
+  std::string section;  ///< "" = none, else printed as "\n## <section>\n"
+  std::string header;   ///< "" = none, else printed verbatim + "\n"
+  std::string x_name;   ///< name of the first row cell (the x-axis)
+  std::vector<std::string> columns;  ///< names of the remaining row cells
+};
+
+/// Sink interface. Scenarios call Comment/Text for free-form lines,
+/// BeginTable + Row for tabular results, and Config for structured run
+/// metadata (ignored by the CSV writer, recorded by the JSON writer).
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  /// Structured run metadata (bench name, n, d, runs, scale, ...).
+  virtual void Config(const std::string& key, const std::string& value);
+
+  /// A comment line; `line` includes the legacy "# " prefix (and any leading
+  /// blank line), e.g. "# n = 452, d = 10".
+  virtual void Comment(const std::string& line) = 0;
+
+  /// A free-form output line, replayed verbatim (plus trailing newline).
+  virtual void Text(const std::string& line) = 0;
+
+  virtual void BeginTable(const TableSpec& spec) = 0;
+  virtual void Row(const std::vector<Cell>& cells) = 0;
+
+  /// Called once after the scenario returns.
+  virtual void Finish() {}
+};
+
+/// Replays the legacy stdout format bit-identically.
+class CsvEmitter : public Emitter {
+ public:
+  /// Writes to `out` (defaults to stdout), flushing after every row like the
+  /// legacy drivers did.
+  explicit CsvEmitter(std::FILE* out = stdout);
+  /// Collects the output into `*sink` (golden tests).
+  explicit CsvEmitter(std::string* sink);
+
+  void Comment(const std::string& line) override;
+  void Text(const std::string& line) override;
+  void BeginTable(const TableSpec& spec) override;
+  void Row(const std::vector<Cell>& cells) override;
+
+ private:
+  void Write(const std::string& chunk);
+
+  std::FILE* out_ = nullptr;
+  std::string* sink_ = nullptr;
+};
+
+/// Writes one JSON document per experiment run with the full config, all
+/// comments, and every table as named columns + numeric/text rows.
+class JsonEmitter : public Emitter {
+ public:
+  /// Collects the JSON document into `*sink`; the document is completed by
+  /// Finish().
+  explicit JsonEmitter(std::string* sink, std::string experiment_name);
+
+  void Config(const std::string& key, const std::string& value) override;
+  void Comment(const std::string& line) override;
+  void Text(const std::string& line) override;
+  void BeginTable(const TableSpec& spec) override;
+  void Row(const std::vector<Cell>& cells) override;
+  void Finish() override;
+
+ private:
+  struct Table {
+    TableSpec spec;
+    std::vector<std::vector<Cell>> rows;
+  };
+
+  std::string* sink_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::string> comments_;
+  std::vector<std::string> text_;
+  std::vector<Table> tables_;
+};
+
+/// Fans every call out to several sinks (e.g. CSV to stdout + JSON to file).
+class TeeEmitter : public Emitter {
+ public:
+  void Add(Emitter* sink) { sinks_.push_back(sink); }
+
+  void Config(const std::string& key, const std::string& value) override;
+  void Comment(const std::string& line) override;
+  void Text(const std::string& line) override;
+  void BeginTable(const TableSpec& spec) override;
+  void Row(const std::vector<Cell>& cells) override;
+  void Finish() override;
+
+ private:
+  std::vector<Emitter*> sinks_;
+};
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_EMITTER_H_

@@ -1,0 +1,42 @@
+#include "exp/grid_runner.h"
+
+#include "core/check.h"
+#include "sim/engine.h"
+
+namespace ldpr::exp {
+
+std::vector<std::vector<double>> RunGrid(int points, int trials, int columns,
+                                         const GridCellFn& cell) {
+  LDPR_REQUIRE(points >= 0 && trials >= 1, "RunGrid needs trials >= 1");
+  std::vector<std::vector<double>> results(
+      static_cast<std::size_t>(points) * trials);
+  sim::RunCells(static_cast<long long>(points) * trials, [&](long long i) {
+    const int point = static_cast<int>(i / trials);
+    const int trial = static_cast<int>(i % trials);
+    std::vector<double> values = cell(point, trial);
+    LDPR_CHECK(static_cast<int>(values.size()) == columns,
+               "grid cell returned " << values.size() << " values, expected "
+                                     << columns);
+    results[i] = std::move(values);
+  });
+
+  std::vector<std::vector<double>> means(points,
+                                         std::vector<double>(columns, 0.0));
+  for (int p = 0; p < points; ++p) {
+    for (int t = 0; t < trials; ++t) {
+      const auto& row = results[static_cast<std::size_t>(p) * trials + t];
+      for (int c = 0; c < columns; ++c) means[p][c] += row[c];
+    }
+    for (int c = 0; c < columns; ++c) means[p][c] /= trials;
+  }
+  return means;
+}
+
+Rng SplitStream(std::uint64_t seed, int trial) {
+  Rng root(seed);
+  Rng stream = root.Split();
+  for (int t = 0; t < trial; ++t) stream = root.Split();
+  return stream;
+}
+
+}  // namespace ldpr::exp

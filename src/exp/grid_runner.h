@@ -1,0 +1,44 @@
+#ifndef LDPR_EXP_GRID_RUNNER_H_
+#define LDPR_EXP_GRID_RUNNER_H_
+
+// The shared trials x grid-points execution engine of the experiment layer.
+//
+// A scenario's sweep is a grid of points (the x axis) each averaged over
+// `trials` repetitions. GridRunner flattens the (point, trial) space into
+// cells and drives them through sim::RunCells, so *trials* parallelize
+// across the worker pool exactly like users parallelize across shards
+// inside each cell (nested regions run inline; see core/parallel).
+//
+// Determinism contract: the cell function must derive every random stream
+// from (point, trial) alone — typically by reconstructing the legacy
+// per-cell seed, or via SplitStream below. Under that contract the result
+// is bit-identical to the historical serial for-x{for-run{...}} loops for
+// any thread count: per-point means accumulate trial results in trial
+// order, matching the legacy sum-then-divide float order.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ldpr::exp {
+
+/// Computes one (point, trial) cell: returns the row's column values for
+/// that trial.
+using GridCellFn = std::function<std::vector<double>(int point, int trial)>;
+
+/// Runs points x trials cells across the worker pool and returns the
+/// trial-means, indexed [point][column]. Every cell must return `columns`
+/// values.
+std::vector<std::vector<double>> RunGrid(int points, int trials, int columns,
+                                         const GridCellFn& cell);
+
+/// Recreates the `trial`-th Rng::Split() child of a root seeded with `seed`
+/// — the stream the legacy drivers handed trial #`trial` when they split one
+/// root per grid point serially.
+Rng SplitStream(std::uint64_t seed, int trial);
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_GRID_RUNNER_H_

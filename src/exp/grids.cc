@@ -1,0 +1,13 @@
+#include "exp/grids.h"
+
+#include <cmath>
+
+namespace ldpr::exp {
+
+std::vector<double> LogUtilityEpsilonGrid() {
+  std::vector<double> out;
+  for (int b = 2; b <= 7; ++b) out.push_back(std::log(static_cast<double>(b)));
+  return out;
+}
+
+}  // namespace ldpr::exp

@@ -1,0 +1,27 @@
+#ifndef LDPR_EXP_GRIDS_H_
+#define LDPR_EXP_GRIDS_H_
+
+// The paper's x-axis grids, shared by every scenario (formerly duplicated
+// between bench/bench_util and bench/aif_bench_util).
+
+#include <vector>
+
+namespace ldpr::exp {
+
+/// The paper's epsilon grid for the attack experiments.
+inline std::vector<double> EpsilonGrid() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+}
+
+/// The paper's Bayes-error grid for the alpha-PIE experiments (Appendix C).
+inline std::vector<double> BetaGrid() {
+  return {0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55, 0.5};
+}
+
+/// The paper's epsilon grid for the utility experiments (Section 5.2.2):
+/// ln 2 .. ln 7.
+std::vector<double> LogUtilityEpsilonGrid();
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_GRIDS_H_

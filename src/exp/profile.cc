@@ -1,0 +1,38 @@
+#include "exp/profile.h"
+
+#include <cstdlib>
+
+#include "core/flags.h"
+
+namespace ldpr::exp {
+
+RunProfile RunProfile::FromEnv() {
+  RunProfile profile;
+  profile.smoke = false;
+  profile.runs = NumRuns();
+  profile.reident_targets = ReidentTargets();
+  profile.has_scale_override = std::getenv("LDPR_SCALE") != nullptr;
+  profile.scale_override = GetEnvDouble("LDPR_SCALE", 0.2);
+  profile.gbdt.num_rounds = GetEnvInt("LDPR_GBDT_ROUNDS", 8);
+  profile.gbdt.max_depth = GetEnvInt("LDPR_GBDT_DEPTH", 4);
+  return profile;
+}
+
+RunProfile RunProfile::Smoke() {
+  RunProfile profile;
+  profile.smoke = true;
+  profile.runs = 1;
+  profile.reident_targets = 50;
+  profile.gbdt.num_rounds = 2;
+  profile.gbdt.max_depth = 2;
+  return profile;
+}
+
+long long RunProfile::Mc(const char* env, long long full,
+                         long long smoke_value) const {
+  if (smoke) return smoke_value;
+  if (env != nullptr) return GetEnvInt(env, static_cast<int>(full));
+  return full;
+}
+
+}  // namespace ldpr::exp

@@ -1,0 +1,87 @@
+// Ablation 5: communication cost versus utility across the five frequency
+// oracles — the trade-off behind the paper's Section 6 recommendation
+// ("the OUE and/or OLH protocols, depending on k_j due to communication
+// costs"). For each (k, eps) cell the table reports every protocol's bits
+// per report and approximate estimator variance (n = 1, f = 0), then the
+// cheapest-within-5%-variance recommendation. A second panel prints the
+// per-user upload of the three multidimensional solutions on the Adult
+// attribute profile.
+
+#include "exp/experiment.h"
+#include "fo/comm_cost.h"
+#include "fo/factory.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+using fo::Protocol;
+
+void Run(exp::Context& ctx) {
+  ctx.out().Comment("# bench = abl05_comm_cost");
+  ctx.out().Comment("# panel 1: per-report bits and variance by (k, eps)");
+  ctx.out().Config("bench", "abl05_comm_cost");
+
+  // Built in locals and moved in: assigning literals between the +=
+  // appends trips the GCC 12 -Wrestrict false positive (GCC bug 105329).
+  std::string header = exp::StrPrintf("%-8s %-6s", "k", "eps");
+  std::vector<std::string> columns{"eps"};
+  for (Protocol p : fo::AllProtocols()) {
+    header += exp::StrPrintf(" %9s_b %9s_v", fo::ProtocolName(p),
+                             fo::ProtocolName(p));
+    columns.push_back(exp::StrPrintf("%s_bits", fo::ProtocolName(p)));
+    columns.push_back(exp::StrPrintf("%s_var", fo::ProtocolName(p)));
+  }
+  header += exp::StrPrintf(" %11s", "recommended");
+  columns.push_back("recommended");
+  exp::TableSpec spec;
+  spec.header = std::move(header);
+  spec.x_name = "domain_k";
+  spec.columns = std::move(columns);
+  ctx.out().BeginTable(spec);
+
+  for (int k : {2, 16, 74, 512, 4096}) {
+    for (double eps : {1.0, 4.0}) {
+      std::vector<Cell> cells{Cell::Integer("%-8d", k),
+                              Cell::Number(" %-6.1f", eps)};
+      for (const auto& point : fo::CostUtilityFrontier(k, eps)) {
+        cells.push_back(Cell::Number(" %11.0f", point.bits_per_report));
+        cells.push_back(Cell::Number(" %11.3g", point.variance));
+      }
+      cells.push_back(Cell::Text(
+          " %11s", fo::ProtocolName(fo::RecommendProtocol(k, eps))));
+      ctx.out().Row(cells);
+    }
+  }
+
+  ctx.out().Comment(
+      "\n# panel 2: per-user upload (bits) on the Adult profile");
+  const std::vector<int> adult_k = {74, 7, 16, 7, 14, 6, 5, 2, 41, 2};
+  exp::TableSpec spec2;
+  spec2.header = exp::StrPrintf("%-6s %-10s %10s %10s %10s", "eps",
+                                "protocol", "SPL", "SMP", "RS+FD");
+  spec2.x_name = "eps";
+  spec2.columns = {"protocol", "spl_bits", "smp_bits", "rsfd_bits"};
+  ctx.out().BeginTable(spec2);
+  for (double eps : {1.0, 4.0}) {
+    for (Protocol p : fo::AllProtocols()) {
+      ctx.out().Row(
+          {Cell::Number("%-6.1f", eps), Cell::Text(" %-10s", fo::ProtocolName(p)),
+           Cell::Number(" %10.0f", fo::SplTupleBits(p, adult_k, eps)),
+           Cell::Number(" %10.0f", fo::SmpTupleBits(p, adult_k, eps)),
+           Cell::Number(" %10.0f", fo::RsFdTupleBits(p, adult_k, eps))});
+    }
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"abl05",
+    /*title=*/"abl05_comm_cost",
+    /*description=*/
+    "Communication cost vs estimator variance across the five oracles",
+    /*group=*/"ablation",
+    /*datasets=*/{},
+    /*run=*/Run,
+}};
+
+}  // namespace

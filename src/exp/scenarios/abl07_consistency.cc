@@ -1,0 +1,105 @@
+// Ablation 7: consistency post-processing (fo/consistency; Wang et al.,
+// NDSS'20) applied to the multidimensional estimates. Raw RS+FD / SMP
+// estimates can be negative and need not sum to one; DP's immunity to
+// post-processing (Section 2.1) lets the server project them onto the
+// simplex for free. The table reports MSE_avg of the raw estimates against
+// ClampRenorm, Norm-Sub and Base-Cut across eps on the ACS profile — the
+// gain is largest in high-privacy regimes where the additive noise is wide.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.h"
+#include "exp/experiment.h"
+#include "exp/grid_runner.h"
+#include "exp/grids.h"
+#include "fo/consistency.h"
+#include "multidim/rsfd.h"
+#include "multidim/variance.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+std::vector<std::vector<double>> PostProcess(
+    const std::vector<std::vector<double>>& est, fo::ConsistencyMethod method,
+    double threshold) {
+  std::vector<std::vector<double>> out;
+  out.reserve(est.size());
+  for (const auto& attribute : est) {
+    out.push_back(fo::MakeConsistent(attribute, method, threshold));
+  }
+  return out;
+}
+
+void Run(exp::Context& ctx) {
+  const exp::RunProfile& profile = ctx.profile();
+  const data::Dataset& ds = ctx.Acs(606, profile.Scale(1.0));
+  ctx.EmitRunConfig("abl07_consistency", ds.n(), ds.d());
+  ctx.out().Comment(
+      "# RS+FD[GRR]; Base-Cut threshold = 2 sigma of the estimator");
+
+  exp::TableSpec spec;
+  spec.header = exp::StrPrintf("%-8s %12s %12s %12s %12s", "epsilon", "raw",
+                               "clamp", "norm-sub", "base-cut");
+  spec.x_name = "epsilon";
+  spec.columns = {"raw", "clamp", "norm_sub", "base_cut"};
+  ctx.out().BeginTable(spec);
+
+  const int runs = profile.runs;
+  const std::vector<double> grid = profile.Grid(exp::EpsilonGrid());
+  // Legacy seeding: seed = 17, Rng(++seed * 2903) per trial.
+  const auto means = exp::RunGrid(
+      static_cast<int>(grid.size()), runs, 4, [&](int point, int trial) {
+        const std::uint64_t seed =
+            17 + static_cast<std::uint64_t>(point) * runs + trial + 1;
+        Rng rng(seed * 2903);
+        const double eps = grid[point];
+        multidim::RsFd protocol(multidim::RsFdVariant::kGrr,
+                                ds.domain_sizes(), eps);
+        std::vector<multidim::MultidimReport> reports;
+        reports.reserve(ds.n());
+        for (int i = 0; i < ds.n(); ++i) {
+          reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
+        }
+        const auto truth = ds.Marginals();
+        const auto est = protocol.Estimate(reports);
+        std::vector<double> row(4, 0.0);
+        row[0] = MseAvg(truth, est);
+        row[1] = MseAvg(
+            truth, PostProcess(est, fo::ConsistencyMethod::kClampRenorm, 0));
+        row[2] = MseAvg(truth,
+                        PostProcess(est, fo::ConsistencyMethod::kNormSub, 0));
+        // 2-sigma Base-Cut using the worst attribute's variance as the level.
+        double sigma = 0.0;
+        for (int j = 0; j < ds.d(); ++j) {
+          sigma = std::max(
+              sigma, std::sqrt(multidim::RsFdVariance(
+                         multidim::RsFdVariant::kGrr, ds.domain_size(j),
+                         ds.d(), eps, ds.n(), 0.0)));
+        }
+        row[3] = MseAvg(truth,
+                        PostProcess(est, fo::ConsistencyMethod::kBaseCut,
+                                    2.0 * sigma));
+        return row;
+      });
+
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    std::vector<Cell> cells{Cell::Number("%-8.1f", grid[p])};
+    for (double v : means[p]) cells.push_back(Cell::Number(" %12.4e", v));
+    ctx.out().Row(cells);
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"abl07",
+    /*title=*/"abl07_consistency",
+    /*description=*/
+    "Consistency post-processing gains on RS+FD[GRR] estimates",
+    /*group=*/"ablation",
+    /*datasets=*/{"acs"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,34 @@
+// Figure 2: attacker's re-identification accuracy (RID-ACC) on the Adult
+// dataset for top-k re-identification with the SMP solution, full-knowledge
+// FK-RI model, uniform eps-LDP privacy metric, varying the LDP protocol and
+// the number of surveys (2..5).
+
+#include "exp/grids.h"
+#include "exp/smp_reident.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Adult(2023, ctx.profile().BenchScale());
+  exp::RunSmpReidentFigure(
+      ctx, "fig02_smp_reident_adult", ds,
+      {fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+       fo::Protocol::kOlh, fo::Protocol::kOue},
+      exp::ChannelKind::kLdp, exp::EpsilonGrid(),
+      attack::PrivacyMetricMode::kUniform,
+      attack::ReidentModel::kFullKnowledge);
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig02",
+    /*title=*/"fig02_smp_reident_adult",
+    /*description=*/
+    "SMP top-k re-identification on Adult, FK-RI, uniform eps-LDP metric",
+    /*group=*/"figure",
+    /*datasets=*/{"adult"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Figure 3: attacker's AIF-ACC on the ACSEmployment dataset with the three
+// attack models (NK, PK, HM) and the five RS+FD protocols, varying epsilon,
+// the number of synthetic profiles s and compromised profiles npk.
+
+#include "exp/aif_figure.h"
+
+namespace {
+
+using namespace ldpr;
+
+std::vector<exp::AifCurve> RsFdCurves(const data::Dataset& ds) {
+  return {
+      {"RS+FD[GRR]", exp::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+}
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Acs(2023, ctx.profile().BenchScale());
+  exp::RunAifFigure(ctx, "fig03_rsfd_aif_acs", ds, RsFdCurves(ds),
+                    exp::PaperAifPanels());
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig03",
+    /*title=*/"fig03_rsfd_aif_acs",
+    /*description=*/
+    "AIF attack accuracy on ACSEmployment against the five RS+FD variants",
+    /*group=*/"figure",
+    /*datasets=*/{"acs"},
+    /*run=*/Run,
+}};
+
+}  // namespace

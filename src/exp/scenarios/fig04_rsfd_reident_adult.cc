@@ -1,0 +1,89 @@
+// Figure 4: attacker's RID-ACC on the Adult dataset using the RS+FD[GRR]
+// protocol across multiple surveys. Per survey, the attacker first predicts
+// each user's sampled attribute with the NK model (s = 1n synthetic
+// profiles) and then predicts the value of the predicted attribute —
+// chained errors collapse the re-identification rates versus SMP (Fig. 2).
+
+#include "attack/profiling.h"
+#include "attack/reident.h"
+#include "exp/experiment.h"
+#include "exp/grid_runner.h"
+#include "exp/grids.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+void Run(exp::Context& ctx) {
+  const exp::RunProfile& profile = ctx.profile();
+  const data::Dataset& ds = ctx.Adult(2023, 0.5 * profile.BenchScale());
+  ctx.EmitRunConfig("fig04_rsfd_reident_adult", ds.n(), ds.d());
+  ctx.out().Comment(
+      "# protocol = RS+FD[GRR], NK model (s = 1n), FK-RI, uniform");
+  ctx.out().Comment(
+      exp::StrPrintf("# baseline: top-1 = %.4f%%, top-10 = %.4f%%",
+                     attack::BaselineRidAcc(1, ds.n()),
+                     attack::BaselineRidAcc(10, ds.n())));
+
+  const int num_surveys = profile.Count(5, 3);
+  const int runs = profile.runs;
+  const int prefixes = num_surveys - 1;
+
+  exp::TableSpec spec;
+  spec.header = exp::StrPrintf("%-8s", "epsilon");
+  spec.x_name = "epsilon";
+  for (int k : {1, 10}) {
+    for (int s = 2; s <= num_surveys; ++s) {
+      spec.header += exp::StrPrintf(" top%d_sv%d", k, s);
+      spec.columns.push_back(exp::StrPrintf("top%d_sv%d", k, s));
+    }
+  }
+  ctx.out().BeginTable(spec);
+
+  const std::vector<double> grid = profile.Grid(exp::EpsilonGrid());
+  // Legacy seeding: seed = 40, pre-incremented per trial across the grid:
+  // Rng(++seed * 7919).
+  const auto means = exp::RunGrid(
+      static_cast<int>(grid.size()), runs, 2 * prefixes,
+      [&](int point, int trial) {
+        const std::uint64_t seed =
+            40 + static_cast<std::uint64_t>(point) * runs + trial + 1;
+        Rng rng(seed * 7919);
+        attack::SurveyPlan plan =
+            attack::MakeSurveyPlan(ds.d(), num_surveys, rng);
+        auto snapshots = attack::SimulateRsFdProfiling(
+            ds, multidim::RsFdVariant::kGrr, grid[point], plan,
+            /*synthetic_multiplier=*/1.0, profile.gbdt, rng);
+        std::vector<bool> bk(ds.d(), true);
+        attack::ReidentConfig config;
+        config.top_k = {1, 10};
+        config.max_targets = profile.reident_targets;
+        std::vector<double> acc(2 * prefixes, 0.0);
+        for (int s = 2; s <= num_surveys; ++s) {
+          auto result =
+              attack::ReidentAccuracy(snapshots[s - 1], ds, bk, config, rng);
+          acc[s - 2] = result.rid_acc_percent[0];
+          acc[prefixes + s - 2] = result.rid_acc_percent[1];
+        }
+        return acc;
+      });
+
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    std::vector<Cell> cells{Cell::Number("%-8.1f", grid[p])};
+    for (double v : means[p]) cells.push_back(Cell::Number(" %8.4f", v));
+    ctx.out().Row(cells);
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig04",
+    /*title=*/"fig04_rsfd_reident_adult",
+    /*description=*/
+    "RS+FD[GRR] multi-survey re-identification on Adult (chained NK attack)",
+    /*group=*/"figure",
+    /*datasets=*/{"adult"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Figures 7 and 8 (Appendices A-B): the probability trees of the
+// RS+RFD[GRR] and RS+RFD[UE-r] protocols. This scenario prints every leaf
+// probability of reporting/supporting a target value v analytically and
+// verifies each against a Monte-Carlo simulation of the client.
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "exp/experiment.h"
+#include "fo/unary_encoding.h"
+#include "multidim/amplification.h"
+#include "multidim/rsrfd.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+void Run(exp::Context& ctx) {
+  const int d = 3;
+  const int k = 5;
+  const double eps = 1.0;
+  const double eps_prime = multidim::AmplifiedEpsilon(eps, d);
+  const int target = 1;      // value v_i whose support we track
+  const int true_value = 1;  // the user's true value (B = v_i branch)
+  const std::vector<double> prior{0.4, 0.3, 0.1, 0.1, 0.1};
+  const double f_tilde = prior[target];
+
+  ctx.out().Comment("# bench = fig07_08_probability_trees");
+  ctx.out().Comment(exp::StrPrintf(
+      "# d = %d, k = %d, eps = %.2f, eps' = %.4f, f~(v) = %.2f", d, k, eps,
+      eps_prime, f_tilde));
+  ctx.out().Config("bench", "fig07_08_probability_trees");
+
+  const int trials =
+      static_cast<int>(ctx.profile().Mc(nullptr, 2000000, 20000));
+  std::vector<int> record(d, true_value);
+  std::vector<std::vector<double>> priors(d, prior);
+
+  auto row = [&](const char* label, double v) {
+    ctx.out().Row({Cell::Text("%s", label), Cell::Number("%.6f", v)});
+  };
+
+  {
+    // ---- Fig. 7: RS+RFD[GRR] -------------------------------------------
+    const double e = std::exp(eps_prime);
+    const double p = e / (e + k - 1);
+    const double q = (1.0 - p) / (k - 1);
+    exp::TableSpec spec;
+    spec.section = "Fig. 7 probability tree, RS+RFD[GRR]";
+    spec.header = "branch                                   analytic";
+    spec.x_name = "branch";
+    spec.columns = {"analytic"};
+    ctx.out().BeginTable(spec);
+    row("true data (1/d) -> B' = v  (p)           ", p / d);
+    row("true data (1/d) -> B' != v (q*(k-1))     ", (1.0 - p) / d);
+    row("fake data (1-1/d) -> B' = v  (f~)        ",
+        (1.0 - 1.0 / d) * f_tilde);
+    row("fake data (1-1/d) -> B' != v (1-f~)      ",
+        (1.0 - 1.0 / d) * (1.0 - f_tilde));
+    const double gamma = (q + 1.0 * (p - q) + (d - 1.0) * f_tilde) / d;
+    row("P[report v | truth v] (gamma, f = 1)     ", gamma);
+
+    multidim::RsRfd protocol(multidim::RsRfdVariant::kGrr, {k, k, k}, eps,
+                             priors);
+    Rng rng(1);
+    long long hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      multidim::MultidimReport rep = protocol.RandomizeUser(record, rng);
+      hits += (rep.values[0] == target);
+    }
+    ctx.out().Row({Cell::Text("%s", "Monte-Carlo P[report v | truth v]        "),
+                   Cell::Number("%.6f", static_cast<double>(hits) / trials),
+                   Cell::Integer("  (%d trials)", trials)});
+  }
+
+  {
+    // ---- Fig. 8: RS+RFD[UE-r] (with SUE parameters) ---------------------
+    const double p = fo::Sue::PForEpsilon(eps_prime);
+    const double q = fo::Sue::QForEpsilon(eps_prime);
+    exp::TableSpec spec;
+    spec.section = "Fig. 8 probability tree, RS+RFD[SUE-r]";
+    spec.header = "branch                                   analytic";
+    spec.x_name = "branch";
+    spec.columns = {"analytic"};
+    ctx.out().BeginTable(spec);
+    row("true data (1/d), B_i = 1 -> B'_i = 1 (p) ", p / d);
+    row("true data (1/d), B_i = 0 -> B'_i = 1 (q) ", q / d);
+    row("fake data, B_i = 1 (f~) -> B'_i = 1 (p)  ",
+        (1.0 - 1.0 / d) * f_tilde * p);
+    row("fake data, B_i = 0      -> B'_i = 1 (q)  ",
+        (1.0 - 1.0 / d) * (1.0 - f_tilde) * q);
+    const double gamma =
+        (1.0 * (p - q) + q + (d - 1.0) * (f_tilde * (p - q) + q)) / d;
+    row("P[bit v set | truth v] (gamma, f = 1)    ", gamma);
+
+    multidim::RsRfd protocol(multidim::RsRfdVariant::kSueR, {k, k, k}, eps,
+                             priors);
+    Rng rng(2);
+    long long hits = 0;
+    for (int t = 0; t < trials / 4; ++t) {
+      multidim::MultidimReport rep = protocol.RandomizeUser(record, rng);
+      hits += (rep.bits[0][target] != 0);
+    }
+    ctx.out().Row(
+        {Cell::Text("%s", "Monte-Carlo P[bit v set | truth v]       "),
+         Cell::Number("%.6f", static_cast<double>(hits) / (trials / 4)),
+         Cell::Integer("  (%d trials)", trials / 4)});
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig07_08",
+    /*title=*/"fig07_08_probability_trees",
+    /*description=*/
+    "RS+RFD probability-tree leaves, analytic vs Monte-Carlo client",
+    /*group=*/"figure",
+    /*datasets=*/{},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Figure 9 (Appendix C): RID-ACC on the ACSEmployment dataset for top-k
+// re-identification with the SMP solution, FK-RI model, uniform eps-LDP
+// metric — the Fig. 2 experiment on the second dataset, all five protocols.
+
+#include "exp/grids.h"
+#include "exp/smp_reident.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Acs(2023, ctx.profile().BenchScale());
+  exp::RunSmpReidentFigure(
+      ctx, "fig09_smp_reident_acs", ds,
+      {fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+       fo::Protocol::kOlh, fo::Protocol::kOue},
+      exp::ChannelKind::kLdp, exp::EpsilonGrid(),
+      attack::PrivacyMetricMode::kUniform,
+      attack::ReidentModel::kFullKnowledge);
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig09",
+    /*title=*/"fig09_smp_reident_acs",
+    /*description=*/
+    "SMP top-k re-identification on ACSEmployment, FK-RI, uniform metric",
+    /*group=*/"figure",
+    /*datasets=*/{"acs"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Figure 10 (Appendix C): RID-ACC on the Adult dataset with the SMP
+// solution and the *partial-knowledge* PK-RI model (background restricted to
+// a random subset of >= d/2 attributes), uniform eps-LDP metric.
+
+#include "exp/grids.h"
+#include "exp/smp_reident.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Adult(2023, ctx.profile().BenchScale());
+  exp::RunSmpReidentFigure(
+      ctx, "fig10_smp_reident_pk", ds,
+      {fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+       fo::Protocol::kOlh, fo::Protocol::kOue},
+      exp::ChannelKind::kLdp, exp::EpsilonGrid(),
+      attack::PrivacyMetricMode::kUniform,
+      attack::ReidentModel::kPartialKnowledge);
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig10",
+    /*title=*/"fig10_smp_reident_pk",
+    /*description=*/
+    "SMP top-k re-identification on Adult with the PK-RI attacker model",
+    /*group=*/"figure",
+    /*datasets=*/{"adult"},
+    /*run=*/Run,
+}};
+
+}  // namespace

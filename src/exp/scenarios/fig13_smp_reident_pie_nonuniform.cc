@@ -1,0 +1,41 @@
+// Figure 13 (Appendix C): the Fig. 12 experiment under the *non-uniform*
+// privacy metric (sampling with replacement + memoization).
+
+#include "exp/grids.h"
+#include "exp/smp_reident.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Adult(2023, ctx.profile().BenchScale());
+  const std::vector<fo::Protocol> protocols{
+      fo::Protocol::kGrr, fo::Protocol::kSs, fo::Protocol::kSue,
+      fo::Protocol::kOlh, fo::Protocol::kOue};
+
+  ctx.out().Text("=== left panels: FK-RI ===");
+  exp::RunSmpReidentFigure(ctx, "fig13_smp_reident_pie_nonuniform[FK]", ds,
+                           protocols, exp::ChannelKind::kPie,
+                           exp::BetaGrid(),
+                           attack::PrivacyMetricMode::kNonUniform,
+                           attack::ReidentModel::kFullKnowledge);
+  ctx.out().Text("\n=== right panels: PK-RI ===");
+  exp::RunSmpReidentFigure(ctx, "fig13_smp_reident_pie_nonuniform[PK]", ds,
+                           protocols, exp::ChannelKind::kPie,
+                           exp::BetaGrid(),
+                           attack::PrivacyMetricMode::kNonUniform,
+                           attack::ReidentModel::kPartialKnowledge);
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig13",
+    /*title=*/"fig13_smp_reident_pie_nonuniform",
+    /*description=*/
+    "SMP re-identification on Adult under (U, alpha)-PIE, non-uniform metric",
+    /*group=*/"figure",
+    /*datasets=*/{"adult"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Figure 14 (Appendix D): attacker's AIF-ACC on the Adult dataset with the
+// three attack models and all five RS+FD protocols.
+
+#include "exp/aif_figure.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  // Adult is 4.4x larger than ACSEmployment; halve the bench scale so the
+  // GBDT sweep stays laptop-sized at the default settings.
+  const data::Dataset& ds =
+      ctx.Adult(2023, 0.5 * ctx.profile().BenchScale());
+  std::vector<exp::AifCurve> curves{
+      {"RS+FD[GRR]", exp::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+  exp::RunAifFigure(ctx, "fig14_rsfd_aif_adult", ds, curves,
+                    exp::PaperAifPanels());
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig14",
+    /*title=*/"fig14_rsfd_aif_adult",
+    /*description=*/
+    "AIF attack accuracy on Adult against the five RS+FD variants",
+    /*group=*/"figure",
+    /*datasets=*/{"adult"},
+    /*run=*/Run,
+}};
+
+}  // namespace

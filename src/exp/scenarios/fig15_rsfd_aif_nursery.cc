@@ -1,0 +1,39 @@
+// Figure 15 (Appendix D): attacker's AIF-ACC on the Nursery dataset, whose
+// uniform-like attribute distributions defeat the attack for the GRR / UE-r
+// variants (fake data is indistinguishable from real values); only the
+// UE-z variants remain vulnerable.
+
+#include "exp/aif_figure.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Nursery(2023, ctx.profile().BenchScale());
+  std::vector<exp::AifCurve> curves{
+      {"RS+FD[GRR]", exp::MakeRsFdFactory(multidim::RsFdVariant::kGrr, ds)},
+      {"RS+FD[SUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueZ, ds)},
+      {"RS+FD[OUE-z]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueZ, ds)},
+      {"RS+FD[SUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kSueR, ds)},
+      {"RS+FD[OUE-r]",
+       exp::MakeRsFdFactory(multidim::RsFdVariant::kOueR, ds)},
+  };
+  exp::RunAifFigure(ctx, "fig15_rsfd_aif_nursery", ds, curves,
+                    exp::PaperAifPanels());
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig15",
+    /*title=*/"fig15_rsfd_aif_nursery",
+    /*description=*/
+    "AIF attack accuracy on Nursery: near-uniform marginals defeat it",
+    /*group=*/"figure",
+    /*datasets=*/{"nursery"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Figure 17 (Appendix E): attacker's AIF-ACC (NK model) on the
+// ACSEmployment dataset against RS+RFD with the three "Incorrect" prior
+// families — Dirichlet(1), Zipf(1.01) and Exp(1). Even wrong non-uniform
+// priors suppress the attack versus RS+FD's uniform fakes.
+
+#include "data/synthetic.h"
+#include "exp/aif_figure.h"
+
+namespace {
+
+using namespace ldpr;
+
+void Run(exp::Context& ctx) {
+  const data::Dataset& ds = ctx.Acs(2023, ctx.profile().BenchScale());
+
+  std::vector<exp::AifCurve> curves;
+  const std::pair<multidim::RsRfdVariant, const char*> variants[] = {
+      {multidim::RsRfdVariant::kGrr, "RS+RFD[GRR]"},
+      {multidim::RsRfdVariant::kSueR, "RS+RFD[SUE-r]"},
+      {multidim::RsRfdVariant::kOueR, "RS+RFD[OUE-r]"},
+  };
+  const std::pair<data::PriorKind, const char*> priors[] = {
+      {data::PriorKind::kIncorrectDirichlet, "DIR"},
+      {data::PriorKind::kIncorrectZipf, "ZIPF"},
+      {data::PriorKind::kIncorrectExponential, "EXP"},
+  };
+  for (const auto& [variant, vname] : variants) {
+    for (const auto& [kind, pname] : priors) {
+      curves.push_back({std::string(vname) + " " + pname,
+                        exp::MakeRsRfdFactory(variant, kind, ds,
+                                              data::kAcsEmploymentN)});
+    }
+  }
+
+  // NK model only (the paper's Fig. 17), s in {1, 3, 5}n.
+  std::vector<exp::AifPanel> panels{
+      {attack::AifModel::kNk, {{1.0, 0.0}, {3.0, 0.0}, {5.0, 0.0}}}};
+  exp::RunAifFigure(ctx, "fig17_rsrfd_aif_incorrect", ds, curves, panels);
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fig17",
+    /*title=*/"fig17_rsrfd_aif_incorrect",
+    /*description=*/
+    "AIF attack (NK) against RS+RFD with the Incorrect prior families",
+    /*group=*/"figure",
+    /*datasets=*/{"acs"},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Future-work 3: realized privacy loss under sequential composition across
+// surveys (Section 6's "the overall privacy loss is excessive when using
+// high values for eps"). For d = 10 attributes at eps = 1 per survey, the
+// table reports, versus the number of surveys: the closed-form and simulated
+// mean per-user total for the uniform metric (fresh attribute every survey)
+// and the non-uniform metric (with replacement + memoization), plus the mean
+// worst-attribute exposure when the same surveys run under RS+FD (whose
+// sampled-attribute randomizer uses the amplified budget).
+
+#include "exp/experiment.h"
+#include "multidim/amplification.h"
+#include "privacy/accountant.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+void Run(exp::Context& ctx) {
+  const exp::RunProfile& profile = ctx.profile();
+  const int d = 10;
+  const double eps = 1.0;
+  const int users = static_cast<int>(profile.Mc(nullptr, 20000, 2000));
+  ctx.out().Comment("# bench = fw03_privacy_loss");
+  ctx.out().Comment(exp::StrPrintf(
+      "# d = %d, eps = %.1f per survey, %d simulated users", d, eps, users));
+  ctx.out().Comment(
+      exp::StrPrintf("# RS+FD per-survey amplified eps' = %.4f",
+                     multidim::AmplifiedEpsilon(eps, d)));
+  ctx.out().Config("bench", "fw03_privacy_loss");
+
+  exp::TableSpec spec;
+  spec.header = exp::StrPrintf("%-9s %12s %12s %12s %12s %12s", "surveys",
+                               "uni_closed", "uni_sim", "nonuni_closed",
+                               "nonuni_sim", "nonuni_worst");
+  spec.x_name = "surveys";
+  spec.columns = {"uni_closed", "uni_sim", "nonuni_closed", "nonuni_sim",
+                  "nonuni_worst"};
+  ctx.out().BeginTable(spec);
+
+  Rng rng(31337);
+  for (int surveys :
+       profile.Grid(std::vector<int>{1, 2, 3, 5, 8, 10, 20, 50, 100})) {
+    double uni_closed = 0.0, uni_sim = 0.0;
+    if (surveys <= d) {
+      uni_closed = privacy::ExpectedSmpTotalEpsilonUniform(d, surveys, eps);
+      uni_sim = privacy::SimulateSmpLedgers(d, surveys, eps, false, users, rng)
+                    .mean_total;
+    }
+    const double nonuni_closed =
+        privacy::ExpectedSmpTotalEpsilonNonUniform(d, surveys, eps);
+    privacy::LedgerSummary nonuni =
+        privacy::SimulateSmpLedgers(d, surveys, eps, true, users, rng);
+    std::vector<Cell> cells{Cell::Integer("%-9d", surveys)};
+    if (surveys <= d) {
+      cells.push_back(Cell::Number(" %12.4f", uni_closed));
+      cells.push_back(Cell::Number(" %12.4f", uni_sim));
+    } else {
+      cells.push_back(Cell::Text(" %12s", "-"));
+      cells.push_back(Cell::Text(" %12s", "-"));
+    }
+    cells.push_back(Cell::Number(" %12.4f", nonuni_closed));
+    cells.push_back(Cell::Number(" %12.4f", nonuni.mean_total));
+    cells.push_back(Cell::Number(" %12.4f", nonuni.mean_worst_attribute));
+    ctx.out().Row(cells);
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fw03",
+    /*title=*/"fw03_privacy_loss",
+    /*description=*/
+    "Sequential-composition privacy loss across repeated surveys",
+    /*group=*/"framework",
+    /*datasets=*/{},
+    /*run=*/Run,
+}};
+
+}  // namespace

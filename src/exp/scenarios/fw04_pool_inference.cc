@@ -1,0 +1,71 @@
+// Future-work 4: pool inference attack (Gadotti et al., USENIX Security '22;
+// Section 7 related work). A user answers the same attribute across r
+// collections without memoization, drawing each value from a personal pool;
+// the exact Bayes attacker of attack/pool predicts the pool from the r
+// sanitized reports. The table reports attacker accuracy versus r for all
+// five oracles — echoing Gadotti's r in {7, 30, 90, 180} plus small r —
+// at k = 16 with 4 pools (baseline 25%). Expected shape: every protocol
+// leaks the pool as r grows, faster at larger eps; memoization (Section 6's
+// recommendation) would cap the attack at the r = 1 column.
+
+#include "attack/pool.h"
+#include "exp/experiment.h"
+#include "fo/factory.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+void Run(exp::Context& ctx) {
+  const exp::RunProfile& profile = ctx.profile();
+  const int k = 16;
+  const int num_pools = 4;
+  const int users = static_cast<int>(profile.Mc(nullptr, 3000, 500));
+  ctx.out().Comment("# bench = fw04_pool_inference");
+  ctx.out().Comment(exp::StrPrintf(
+      "# k = %d, %d contiguous pools, %d users, baseline = %.1f%%", k,
+      num_pools, users, 100.0 / num_pools));
+  ctx.out().Config("bench", "fw04_pool_inference");
+  const auto pools = attack::ContiguousPools(k, num_pools);
+  const std::vector<int> report_counts =
+      profile.Grid(std::vector<int>{1, 2, 7, 30, 90, 180});
+  const std::vector<fo::Protocol> protocols =
+      profile.Shortlist(fo::AllProtocols());
+
+  for (double eps : profile.Shortlist(std::vector<double>{1.0, 2.0, 4.0})) {
+    exp::TableSpec spec;
+    spec.section = exp::StrPrintf("eps = %.1f (attacker ACC %%)", eps);
+    spec.header = exp::StrPrintf("%-9s", "reports");
+    spec.x_name = "reports";
+    for (fo::Protocol p : protocols) {
+      spec.header += exp::StrPrintf(" %9s", fo::ProtocolName(p));
+      spec.columns.push_back(fo::ProtocolName(p));
+    }
+    ctx.out().BeginTable(spec);
+    // One serial stream per section, like the legacy driver.
+    Rng rng(9000 + static_cast<int>(eps * 10));
+    for (int r : report_counts) {
+      std::vector<Cell> cells{Cell::Integer("%-9d", r)};
+      for (fo::Protocol protocol : protocols) {
+        auto oracle = fo::MakeOracle(protocol, k, eps);
+        auto result =
+            attack::SimulatePoolInference(*oracle, pools, users, r, rng);
+        cells.push_back(Cell::Number(" %9.2f", result.acc_percent));
+      }
+      ctx.out().Row(cells);
+    }
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"fw04",
+    /*title=*/"fw04_pool_inference",
+    /*description=*/
+    "Pool-inference attack accuracy vs repeated collections",
+    /*group=*/"framework",
+    /*datasets=*/{},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -1,0 +1,53 @@
+#ifndef LDPR_EXP_SMP_REIDENT_H_
+#define LDPR_EXP_SMP_REIDENT_H_
+
+// The SMP re-identification figure family (Figs. 2, 9-13): multi-survey
+// profiling -> top-k matching, swept over an epsilon (or PIE beta) grid per
+// protocol. Ported from the legacy bench/bench_util driver onto the
+// GridRunner: every (grid-point, trial) cell reconstructs the historical
+// RNG stream, so the CSV output is bit-identical to the pre-registry
+// drivers while trials parallelize across the worker pool.
+
+#include <vector>
+
+#include "attack/profiling.h"
+#include "attack/reident.h"
+#include "data/dataset.h"
+#include "exp/experiment.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::exp {
+
+/// Builds a channel for one x-axis point: plain eps-LDP or alpha-PIE.
+enum class ChannelKind { kLdp, kPie };
+
+struct SmpReidentOptions {
+  fo::Protocol protocol = fo::Protocol::kGrr;
+  ChannelKind channel = ChannelKind::kLdp;
+  double x = 1.0;  ///< epsilon (kLdp) or beta (kPie)
+  int num_surveys = 5;
+  attack::PrivacyMetricMode mode = attack::PrivacyMetricMode::kUniform;
+  attack::ReidentModel model = attack::ReidentModel::kFullKnowledge;
+  std::vector<int> top_k = {1, 10};
+  int reident_targets = 3000;
+};
+
+/// One trial of one grid point: surveys -> profiling -> matching. Returns
+/// mean RID-ACC(%) flattened in output order, [ki * prefixes + (s - 2)].
+std::vector<double> SmpReidentTrial(const data::Dataset& dataset,
+                                    const SmpReidentOptions& options,
+                                    Rng& rng);
+
+/// Emits one figure panel of the SMP re-identification family: one table
+/// per protocol, rows are x-axis values, columns are (top-k x survey
+/// prefix) RID-ACC means over profile().runs trials.
+void RunSmpReidentFigure(Context& ctx, const std::string& bench_name,
+                         const data::Dataset& dataset,
+                         const std::vector<fo::Protocol>& protocols,
+                         ChannelKind channel, const std::vector<double>& xs,
+                         attack::PrivacyMetricMode mode,
+                         attack::ReidentModel model);
+
+}  // namespace ldpr::exp
+
+#endif  // LDPR_EXP_SMP_REIDENT_H_

@@ -37,6 +37,11 @@ void ShardedRun(
       options.threads);
 }
 
+void RunCells(long long num_cells, const std::function<void(long long)>& fn,
+              int threads) {
+  ParallelFor(0, num_cells, fn, threads);
+}
+
 long long ShardedTally(
     long long n, Rng& root, const Options& options,
     const std::function<long long(long long, long long, Rng&)>& counter) {

@@ -50,6 +50,16 @@ void ShardedRun(
     long long n, Rng& root, const Options& options,
     const std::function<void(int, long long, long long, Rng&)>& fn);
 
+/// Runs fn(cell) for every cell in [0, num_cells) across the worker pool.
+/// The experiment layer's GridRunner uses this to parallelize (grid-point,
+/// trial) cells: fn must derive all of its randomness from the cell index
+/// (deterministic per-cell RNG construction), so results are independent of
+/// scheduling. Nested ShardedRun/ParallelFor calls inside fn run inline
+/// (core/parallel's nesting guard), so cell-level parallelism composes with
+/// per-user sharding without oversubscribing the machine.
+void RunCells(long long num_cells, const std::function<void(long long)>& fn,
+              int threads = 0);
+
 /// Sharded counting sweep: runs counter(begin, end, rng) per shard (same
 /// stream/sharding rules as ShardedRun) and returns the summed tallies.
 /// Collapses the tally-vector + merge boilerplate of Monte-Carlo drivers.

@@ -1,0 +1,71 @@
+// Golden-output pinning (ctest label exp_smoke): the GridRunner-based
+// experiment subsystem must reproduce the pre-refactor bench drivers'
+// stdout byte for byte at a pinned seed/environment. The files under
+// tests/golden/ were captured from the standalone driver binaries at the
+// commit before the registry port, with:
+//
+//   LDPR_RUNS=1 LDPR_SCALE=0.02 LDPR_REIDENT_TARGETS=100
+//   LDPR_GBDT_ROUNDS=2 LDPR_GBDT_DEPTH=2 LDPR_FIG01_TRIALS=500
+//
+// Results are thread-count independent (per-cell RNG streams), so the
+// comparison holds under any LDPR_THREADS.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/emitter.h"
+#include "exp/experiment.h"
+
+#ifndef LDPR_GOLDEN_DIR
+#error "compile with -DLDPR_GOLDEN_DIR=\"<path to tests/golden>\""
+#endif
+
+namespace ldpr::exp {
+namespace {
+
+std::string ReadGolden(const std::string& name) {
+  const std::string path = std::string(LDPR_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ExpGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ASSERT_EQ(setenv("LDPR_RUNS", "1", 1), 0);
+    ASSERT_EQ(setenv("LDPR_SCALE", "0.02", 1), 0);
+    ASSERT_EQ(setenv("LDPR_REIDENT_TARGETS", "100", 1), 0);
+    ASSERT_EQ(setenv("LDPR_GBDT_ROUNDS", "2", 1), 0);
+    ASSERT_EQ(setenv("LDPR_GBDT_DEPTH", "2", 1), 0);
+    ASSERT_EQ(setenv("LDPR_FIG01_TRIALS", "500", 1), 0);
+  }
+
+  static void RunAndCompare(const std::string& name,
+                            const std::string& golden_file) {
+    const ExperimentSpec* spec = Registry::Instance().Find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    std::string csv;
+    CsvEmitter emitter(&csv);
+    RunExperiment(*spec, emitter, RunProfile::FromEnv());
+    EXPECT_EQ(csv, ReadGolden(golden_file))
+        << name << " CSV output drifted from the pre-refactor driver";
+  }
+};
+
+TEST_F(ExpGoldenTest, Fig01BitIdentical) { RunAndCompare("fig01", "fig01.txt"); }
+
+TEST_F(ExpGoldenTest, Fig02BitIdentical) { RunAndCompare("fig02", "fig02.txt"); }
+
+TEST_F(ExpGoldenTest, Abl05BitIdentical) { RunAndCompare("abl05", "abl05.txt"); }
+
+TEST_F(ExpGoldenTest, Abl10BitIdentical) { RunAndCompare("abl10", "abl10.txt"); }
+
+}  // namespace
+}  // namespace ldpr::exp

@@ -1,0 +1,243 @@
+// Structural tests for the experiment subsystem: registry invariants (every
+// scenario registered exactly once, with metadata), the glob matcher, the
+// emitters, the grid runner's determinism contract, and the memoized
+// dataset cache. End-to-end smoke runs live in exp_smoke_test (ctest label
+// exp_smoke); pinned-output checks in exp_golden_test.
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "exp/datasets.h"
+#include "exp/emitter.h"
+#include "exp/experiment.h"
+#include "exp/grid_runner.h"
+#include "exp/grids.h"
+#include "exp/profile.h"
+
+namespace ldpr::exp {
+namespace {
+
+TEST(ExpRegistry, EveryExperimentHasUniqueNameAndMetadata) {
+  const auto all = Registry::Instance().All();
+  ASSERT_GE(all.size(), 30u) << "acceptance gate: >= 30 registered scenarios";
+
+  std::set<std::string> names;
+  std::set<std::string> titles;
+  for (const ExperimentSpec* spec : all) {
+    EXPECT_TRUE(names.insert(spec->name).second)
+        << "duplicate name " << spec->name;
+    EXPECT_TRUE(titles.insert(spec->title).second)
+        << "duplicate title " << spec->title;
+    EXPECT_FALSE(spec->description.empty()) << spec->name;
+    EXPECT_TRUE(spec->group == "figure" || spec->group == "ablation" ||
+                spec->group == "framework")
+        << spec->name << " group '" << spec->group << "'";
+    EXPECT_NE(spec->run, nullptr) << spec->name;
+  }
+}
+
+TEST(ExpRegistry, CoversAllPaperFamilies) {
+  const auto& registry = Registry::Instance();
+  EXPECT_EQ(registry.Match("fig*").size(), 16u);
+  EXPECT_EQ(registry.Match("abl*").size(), 11u);
+  EXPECT_EQ(registry.Match("fw*").size(), 6u);
+}
+
+TEST(ExpRegistry, FindAndMatch) {
+  const auto& registry = Registry::Instance();
+  ASSERT_NE(registry.Find("fig02"), nullptr);
+  EXPECT_EQ(registry.Find("fig02")->title, "fig02_smp_reident_adult");
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+
+  // Matching works on both the short name and the legacy title.
+  EXPECT_EQ(registry.Match("fig02").size(), 1u);
+  EXPECT_EQ(registry.Match("fig02_smp_reident_adult").size(), 1u);
+  EXPECT_EQ(registry.Match("*reident*").size(), registry.Match("fig02").size() +
+                                                    registry.Match("fig04").size() +
+                                                    registry.Match("fig09").size() +
+                                                    registry.Match("fig10").size() +
+                                                    registry.Match("fig11").size() +
+                                                    registry.Match("fig12").size() +
+                                                    registry.Match("fig13").size() +
+                                                    registry.Match("abl03").size() +
+                                                    registry.Match("fw01").size());
+
+  // Sorted by name.
+  const auto figs = registry.Match("fig0?");
+  ASSERT_GE(figs.size(), 2u);
+  for (std::size_t i = 1; i < figs.size(); ++i) {
+    EXPECT_LT(figs[i - 1]->name, figs[i]->name);
+  }
+}
+
+TEST(ExpGlob, Matching) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("fig*", "fig02"));
+  EXPECT_TRUE(GlobMatch("*adult*", "fig02_smp_reident_adult"));
+  EXPECT_TRUE(GlobMatch("fig0?", "fig02"));
+  EXPECT_FALSE(GlobMatch("fig0?", "fig10"));
+  EXPECT_FALSE(GlobMatch("fig", "fig02"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "axxbxxc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "axxcxxb"));
+}
+
+TEST(ExpEmitter, CsvReplaysLegacyFormat) {
+  std::string out;
+  CsvEmitter csv(&out);
+  csv.Comment("# bench = demo");
+  TableSpec spec;
+  spec.section = "protocol = GRR";
+  spec.header = "epsilon   value";
+  spec.x_name = "epsilon";
+  spec.columns = {"value"};
+  csv.BeginTable(spec);
+  csv.Row({Cell::Number("%-8.1f", 1.0), Cell::Number(" %8.4f", 12.5)});
+  EXPECT_EQ(out,
+            "# bench = demo\n"
+            "\n## protocol = GRR\n"
+            "epsilon   value\n"
+            "1.0       12.5000\n");
+}
+
+TEST(ExpEmitter, JsonCarriesConfigAndStructuredRows) {
+  std::string json;
+  JsonEmitter emitter(&json, "demo");
+  emitter.Config("runs", "3");
+  emitter.Comment("# n = 42");
+  TableSpec spec;
+  spec.section = "panel";
+  spec.x_name = "epsilon";
+  spec.columns = {"acc"};
+  emitter.BeginTable(spec);
+  emitter.Row({Cell::Number("%-8.1f", 2.0), Cell::Number(" %8.4f", 0.25)});
+  emitter.Row({Cell::Text("%-8s", "label"), Cell::Number(" %8.4f", 0.5)});
+  emitter.Finish();
+  EXPECT_NE(json.find("\"experiment\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"n = 42\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns\":[\"acc\"]"), std::string::npos);
+  EXPECT_NE(json.find("[2,0.25]"), std::string::npos);
+  EXPECT_NE(json.find("[\"label\",0.5]"), std::string::npos);
+}
+
+TEST(ExpEmitter, TeeFansOut) {
+  std::string a;
+  std::string b;
+  CsvEmitter csv_a(&a);
+  CsvEmitter csv_b(&b);
+  TeeEmitter tee;
+  tee.Add(&csv_a);
+  tee.Add(&csv_b);
+  tee.Comment("# hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "# hello\n");
+}
+
+TEST(ExpGridRunner, MeansMatchSerialLoopAndThreadCount) {
+  auto cell = [](int point, int trial) {
+    // Any deterministic function of (point, trial).
+    return std::vector<double>{point + 0.25 * trial, point * 10.0 + trial};
+  };
+  std::vector<std::vector<double>> expected(4, std::vector<double>(2, 0.0));
+  for (int p = 0; p < 4; ++p) {
+    for (int t = 0; t < 3; ++t) {
+      const auto v = cell(p, t);
+      expected[p][0] += v[0];
+      expected[p][1] += v[1];
+    }
+    expected[p][0] /= 3;
+    expected[p][1] /= 3;
+  }
+
+  ASSERT_EQ(setenv("LDPR_THREADS", "1", 1), 0);
+  const auto serial = RunGrid(4, 3, 2, cell);
+  ASSERT_EQ(setenv("LDPR_THREADS", "4", 1), 0);
+  const auto parallel = RunGrid(4, 3, 2, cell);
+  ASSERT_EQ(unsetenv("LDPR_THREADS"), 0);
+
+  ASSERT_EQ(serial.size(), 4u);
+  for (int p = 0; p < 4; ++p) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(serial[p][c], expected[p][c]);
+      EXPECT_DOUBLE_EQ(parallel[p][c], expected[p][c]);
+    }
+  }
+}
+
+TEST(ExpGridRunner, SplitStreamMatchesLegacySplitSequence) {
+  // The legacy drivers split one root per grid point, handing trial t the
+  // t-th child. SplitStream must reproduce that stream exactly.
+  Rng root(1234);
+  Rng s0 = root.Split();
+  Rng s1 = root.Split();
+  Rng s2 = root.Split();
+
+  Rng f0 = SplitStream(1234, 0);
+  Rng f1 = SplitStream(1234, 1);
+  Rng f2 = SplitStream(1234, 2);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(s0(), f0());
+    EXPECT_EQ(s1(), f1());
+    EXPECT_EQ(s2(), f2());
+  }
+}
+
+TEST(ExpProfile, SmokeShrinksEverything) {
+  const RunProfile smoke = RunProfile::Smoke();
+  EXPECT_TRUE(smoke.smoke);
+  EXPECT_EQ(smoke.runs, 1);
+  EXPECT_LE(smoke.Grid(EpsilonGrid()).size(), smoke.grid_cap);
+  EXPECT_EQ(smoke.Count(5, 3), 3);
+  EXPECT_EQ(smoke.Mc("LDPR_FIG01_TRIALS", 20000, 500), 500);
+  EXPECT_LT(smoke.BenchScale(), 0.2);
+  const auto few = smoke.Shortlist(std::vector<int>{1, 2, 3, 4, 5});
+  EXPECT_EQ(few.size(), smoke.shortlist_cap);
+}
+
+TEST(ExpProfile, FromEnvReadsKnobs) {
+  ASSERT_EQ(setenv("LDPR_RUNS", "7", 1), 0);
+  ASSERT_EQ(setenv("LDPR_SCALE", "0.33", 1), 0);
+  const RunProfile profile = RunProfile::FromEnv();
+  EXPECT_EQ(profile.runs, 7);
+  EXPECT_DOUBLE_EQ(profile.BenchScale(), 0.33);
+  EXPECT_DOUBLE_EQ(profile.Scale(1.0), 0.33);  // env overrides any default
+  ASSERT_EQ(unsetenv("LDPR_RUNS"), 0);
+  ASSERT_EQ(unsetenv("LDPR_SCALE"), 0);
+  const RunProfile defaults = RunProfile::FromEnv();
+  EXPECT_EQ(defaults.runs, 3);
+  EXPECT_DOUBLE_EQ(defaults.BenchScale(), 0.2);
+  EXPECT_DOUBLE_EQ(defaults.Scale(1.0), 1.0);
+}
+
+TEST(ExpDatasets, MemoizesByKindSeedAndScale) {
+  ClearDatasetCache();
+  const data::Dataset& a = GetDataset(DatasetKind::kNursery, 7, 0.01);
+  const data::Dataset& b = GetDataset(DatasetKind::kNursery, 7, 0.01);
+  EXPECT_EQ(&a, &b) << "same key must be served from cache";
+  EXPECT_EQ(DatasetCacheSize(), 1);
+
+  const data::Dataset& c = GetDataset(DatasetKind::kNursery, 8, 0.01);
+  const data::Dataset& d = GetDataset(DatasetKind::kNursery, 7, 0.02);
+  EXPECT_NE(&a, &c);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(DatasetCacheSize(), 3);
+
+  // Memoized construction returns the same data as a direct build.
+  const data::Dataset direct = data::NurseryLike(7, 0.01);
+  ASSERT_EQ(a.n(), direct.n());
+  ASSERT_EQ(a.d(), direct.d());
+  for (int i = 0; i < a.n(); ++i) {
+    for (int j = 0; j < a.d(); ++j) {
+      ASSERT_EQ(a.value(i, j), direct.value(i, j));
+    }
+  }
+  ClearDatasetCache();
+}
+
+}  // namespace
+}  // namespace ldpr::exp

@@ -1,0 +1,92 @@
+// End-to-end smoke pass over the experiment registry (ctest label
+// exp_smoke): every registered scenario must run at the Smoke() preset and
+// emit well-formed output — at least one table, at least one row per table,
+// every row carrying the declared columns with finite numbers — through
+// both the CSV and the JSON writers.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/emitter.h"
+#include "exp/experiment.h"
+
+namespace ldpr::exp {
+namespace {
+
+/// Records the structured event stream for inspection.
+class RecordingEmitter : public Emitter {
+ public:
+  struct Table {
+    TableSpec spec;
+    std::vector<std::vector<Cell>> rows;
+  };
+
+  void Comment(const std::string& line) override { comments.push_back(line); }
+  void Text(const std::string& line) override { text.push_back(line); }
+  void BeginTable(const TableSpec& spec) override {
+    tables.push_back({spec, {}});
+  }
+  void Row(const std::vector<Cell>& cells) override {
+    ASSERT_FALSE(tables.empty()) << "Row emitted before any BeginTable";
+    tables.back().rows.push_back(cells);
+  }
+
+  std::vector<std::string> comments;
+  std::vector<std::string> text;
+  std::vector<Table> tables;
+};
+
+TEST(ExpSmoke, EveryExperimentRunsAndEmitsWellFormedRows) {
+  const RunProfile profile = RunProfile::Smoke();
+  for (const ExperimentSpec* spec : Registry::Instance().All()) {
+    SCOPED_TRACE(spec->name);
+
+    RecordingEmitter recording;
+    std::string csv;
+    CsvEmitter csv_emitter(&csv);
+    std::string json;
+    JsonEmitter json_emitter(&json, spec->name);
+    TeeEmitter tee;
+    tee.Add(&recording);
+    tee.Add(&csv_emitter);
+    tee.Add(&json_emitter);
+
+    ASSERT_NO_THROW(RunExperiment(*spec, tee, profile)) << spec->name;
+
+    EXPECT_FALSE(csv.empty());
+    EXPECT_EQ(csv.back(), '\n');
+    ASSERT_FALSE(recording.tables.empty())
+        << spec->name << " emitted no tables";
+    for (const auto& table : recording.tables) {
+      ASSERT_FALSE(table.rows.empty())
+          << spec->name << " table '" << table.spec.section << "' is empty";
+      EXPECT_FALSE(table.spec.x_name.empty());
+      for (const auto& row : table.rows) {
+        // Row = x cell + the declared columns (a few scenarios append
+        // extras, e.g. fig07_08's trial counts — never fewer).
+        ASSERT_GE(row.size(), 1 + table.spec.columns.size());
+        for (const Cell& cell : row) {
+          EXPECT_FALSE(cell.text.empty());
+          if (cell.is_number) {
+            EXPECT_TRUE(std::isfinite(cell.number))
+                << "non-finite value in " << spec->name;
+          }
+        }
+      }
+    }
+
+    // The JSON document must be complete and balanced.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"experiment\":\"" + spec->name + "\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tables\":["), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ldpr::exp

@@ -1,6 +1,10 @@
 // ldpr_cli — run the library's pipelines from the command line.
 //
 // Subcommands:
+//   experiment Run the registered paper experiments (figures, ablations,
+//              framework studies): `experiment list`, `experiment describe
+//              <name|glob>`, `experiment run <name|glob> [--smoke]
+//              [--json file.json|-]`.
 //   estimate   Estimate per-attribute frequencies of a CSV dataset under a
 //              chosen multidimensional solution and protocol.
 //   attack     Evaluate the sampled-attribute inference (AIF) attack against
@@ -20,6 +24,9 @@
 //   synth      Generate a synthetic census CSV (Adult / ACS / Nursery shape).
 //
 // Examples:
+//   ldpr_cli experiment list
+//   ldpr_cli experiment run fig01 --smoke
+//   ldpr_cli experiment run 'fig*' --json results.json
 //   ldpr_cli synth --dataset adult --scale 0.1 --out adult.csv
 //   ldpr_cli estimate --csv adult.csv --solution rsrfd --protocol grr
 //            --epsilon 1.0
@@ -43,6 +50,8 @@
 #include "data/csv.h"
 #include "data/priors.h"
 #include "data/synthetic.h"
+#include "exp/datasets.h"
+#include "exp/experiment.h"
 #include "fo/comm_cost.h"
 #include "multidim/adaptive.h"
 #include "multidim/rsfd.h"
@@ -114,18 +123,22 @@ multidim::RsRfdVariant ParseRsRfdVariant(const std::string& name) {
   return multidim::RsRfdVariant::kGrr;
 }
 
-data::Dataset LoadOrSynthesize(const Args& args, Rng& rng) {
+// Memoized (exp/datasets): repeated invocations within one process — e.g.
+// the experiment runner sweeping scenarios — load each source once.
+const data::Dataset& LoadOrSynthesize(const Args& args, Rng& rng) {
   (void)rng;
   const std::string csv = args.Get("csv", "");
-  if (!csv.empty()) return data::LoadCsv(csv);
+  if (!csv.empty()) return exp::GetCsvDataset(csv);
   const std::string name = args.Get("dataset", "acs");
   const double scale = args.GetDouble("scale", 0.2);
   const std::uint64_t seed = args.GetInt("seed", 2023);
-  if (name == "adult") return data::AdultLike(seed, scale);
-  if (name == "acs") return data::AcsEmploymentLike(seed, scale);
-  if (name == "nursery") return data::NurseryLike(seed, scale);
-  LDPR_REQUIRE(false, "unknown dataset '" << name << "' (adult|acs|nursery)");
-  return data::NurseryLike(seed, scale);
+  if (name == "adult") return exp::GetDataset(exp::DatasetKind::kAdult, seed, scale);
+  if (name == "acs") {
+    return exp::GetDataset(exp::DatasetKind::kAcsEmployment, seed, scale);
+  }
+  LDPR_REQUIRE(name == "nursery",
+               "unknown dataset '" << name << "' (adult|acs|nursery)");
+  return exp::GetDataset(exp::DatasetKind::kNursery, seed, scale);
 }
 
 void PrintEstimates(const data::Dataset& ds,
@@ -150,7 +163,7 @@ void PrintEstimates(const data::Dataset& ds,
 
 int CmdSynth(const Args& args) {
   Rng rng(1);
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const std::string out = args.Get("out", "synthetic.csv");
   data::SaveCsv(ds, out);
   std::printf("wrote %d records x %d attributes to %s\n", ds.n(), ds.d(),
@@ -160,7 +173,7 @@ int CmdSynth(const Args& args) {
 
 int CmdEstimate(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const double eps = args.GetDouble("epsilon", 1.0);
   const std::string solution = args.Get("solution", "rsfd");
   const auto truth = ds.Marginals();
@@ -214,7 +227,7 @@ int CmdEstimate(const Args& args) {
 
 int CmdAttack(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const double eps = args.GetDouble("epsilon", 8.0);
   const std::string solution = args.Get("solution", "rsfd");
 
@@ -266,7 +279,7 @@ int CmdAttack(const Args& args) {
 
 int CmdReident(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const double eps = args.GetDouble("epsilon", 4.0);
   const int surveys = args.GetInt("surveys", 5);
   fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
@@ -298,7 +311,7 @@ int CmdReident(const Args& args) {
 
 int CmdUniqueness(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   std::printf("n=%d d=%d\n\n", ds.n(), ds.d());
 
   attack::UniquenessProfile full = attack::ComputeUniqueness(ds);
@@ -330,7 +343,7 @@ int CmdUniqueness(const Args& args) {
 
 int CmdHomogeneity(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const double eps = args.GetDouble("epsilon", 4.0);
   fo::Protocol protocol = ParseProtocol(args.Get("protocol", "grr"));
   const int sensitive = args.GetInt("sensitive", ds.d() - 1);
@@ -367,7 +380,7 @@ int CmdHomogeneity(const Args& args) {
 
 int CmdRecommend(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
-  data::Dataset ds = LoadOrSynthesize(args, rng);
+  const data::Dataset& ds = LoadOrSynthesize(args, rng);
   const double eps = args.GetDouble("epsilon", 1.0);
   const double slack = args.GetDouble("slack", 1.05);
   std::printf("n=%d d=%d epsilon=%.2f slack=%.2f\n\n", ds.n(), ds.d(), eps,
@@ -433,12 +446,107 @@ int CmdPool(const Args& args) {
   return 0;
 }
 
+int CmdExperiment(int argc, char** argv) {
+  const std::string action = argc >= 3 ? argv[2] : "list";
+  std::string pattern = "*";
+  bool smoke = false;
+  std::string json_path;
+  bool saw_pattern = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--", 0) != 0 && !saw_pattern) {
+      pattern = arg;
+      saw_pattern = true;
+    } else {
+      LDPR_REQUIRE(false, "unexpected experiment argument '" << arg << "'");
+    }
+  }
+
+  const auto& registry = exp::Registry::Instance();
+  const auto matches = registry.Match(pattern);
+
+  if (action == "list") {
+    std::printf("%-10s %-10s %-28s %s\n", "name", "group", "title",
+                "description");
+    for (const exp::ExperimentSpec* spec : matches) {
+      std::printf("%-10s %-10s %-28s %s\n", spec->name.c_str(),
+                  spec->group.c_str(), spec->title.c_str(),
+                  spec->description.c_str());
+    }
+    std::printf("\n%zu experiments registered\n", matches.size());
+    return matches.empty() && pattern != "*" ? 1 : 0;
+  }
+
+  if (action == "describe") {
+    LDPR_REQUIRE(!matches.empty(),
+                 "no experiment matches '" << pattern << "'");
+    for (const exp::ExperimentSpec* spec : matches) {
+      std::printf("name:        %s\n", spec->name.c_str());
+      std::printf("title:       %s\n", spec->title.c_str());
+      std::printf("group:       %s\n", spec->group.c_str());
+      std::printf("datasets:   ");
+      if (spec->datasets.empty()) std::printf(" (synthetic/closed-form)");
+      for (const std::string& ds : spec->datasets) {
+        std::printf(" %s", ds.c_str());
+      }
+      std::printf("\ndescription: %s\n\n", spec->description.c_str());
+    }
+    std::printf(
+        "scale knobs: LDPR_RUNS LDPR_SCALE LDPR_REIDENT_TARGETS "
+        "LDPR_THREADS\n"
+        "             LDPR_GBDT_ROUNDS LDPR_GBDT_DEPTH (or --smoke)\n");
+    return 0;
+  }
+
+  LDPR_REQUIRE(action == "run", "unknown experiment action '"
+                                    << action << "' (list|describe|run)");
+  LDPR_REQUIRE(!matches.empty(), "no experiment matches '" << pattern << "'");
+
+  const exp::RunProfile profile =
+      smoke ? exp::RunProfile::Smoke() : exp::RunProfile::FromEnv();
+  const bool json_to_stdout = json_path == "-";
+  std::string json_docs;
+  for (const exp::ExperimentSpec* spec : matches) {
+    exp::TeeEmitter tee;
+    exp::CsvEmitter csv;
+    if (!json_to_stdout) tee.Add(&csv);
+    std::string json;
+    exp::JsonEmitter json_emitter(&json, spec->name);
+    if (!json_path.empty()) tee.Add(&json_emitter);
+    exp::RunExperiment(*spec, tee, profile);
+    if (!json_path.empty()) {
+      if (!json_docs.empty()) json_docs += ",\n";
+      json_docs += json;
+    }
+  }
+  if (!json_path.empty()) {
+    const std::string doc = "[" + json_docs + "]\n";
+    if (json_to_stdout) {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      LDPR_REQUIRE(f != nullptr, "cannot write '" << json_path << "'");
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s (%zu experiments)\n", json_path.c_str(),
+                   matches.size());
+    }
+  }
+  return 0;
+}
+
 void Usage() {
   std::printf(
       "usage: ldpr_cli "
-      "<synth|estimate|attack|reident|uniqueness|homogeneity|recommend|"
-      "ledger|pool>\n"
+      "<experiment|synth|estimate|attack|reident|uniqueness|homogeneity|"
+      "recommend|ledger|pool>\n"
       "                [--flag value ...]\n"
+      "  experiment: list | describe <name|glob> | run <name|glob> "
+      "[--smoke] [--json f.json|-]\n"
       "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
       "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
       "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "
@@ -461,6 +569,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    if (cmd == "experiment") return CmdExperiment(argc, argv);
     Args args(argc, argv, 2);
     if (cmd == "synth") return CmdSynth(args);
     if (cmd == "estimate") return CmdEstimate(args);
