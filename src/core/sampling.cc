@@ -21,6 +21,27 @@ std::vector<double> Normalize(const std::vector<double>& weights) {
   return out;
 }
 
+std::vector<long long> SampleMultinomial(long long n,
+                                         const std::vector<double>& weights,
+                                         Rng& rng) {
+  LDPR_REQUIRE(n >= 0, "SampleMultinomial requires n >= 0, got " << n);
+  const std::vector<double> probs = Normalize(weights);
+  const std::size_t k = probs.size();
+  std::vector<long long> counts(k, 0);
+  long long remaining = n;
+  double rest = 1.0;
+  for (std::size_t i = 0; i + 1 < k && remaining > 0; ++i) {
+    // Conditional on the first i cells, cell i is Binomial(remaining, p/rest).
+    const double p = rest > 0.0 ? std::clamp(probs[i] / rest, 0.0, 1.0) : 1.0;
+    const long long x = rng.Binomial64(remaining, p);
+    counts[i] = x;
+    remaining -= x;
+    rest -= probs[i];
+  }
+  counts[k - 1] += remaining;
+  return counts;
+}
+
 CategoricalSampler::CategoricalSampler(const std::vector<double>& weights)
     : normalized_(Normalize(weights)) {
   const int k = static_cast<int>(normalized_.size());

@@ -36,6 +36,15 @@ class CategoricalSampler {
 /// Requires a strictly positive sum.
 std::vector<double> Normalize(const std::vector<double>& weights);
 
+/// Samples counts ~ Multinomial(n, Normalize(weights)) with the conditional
+/// binomial chain: O(k) Binomial64 draws regardless of n, preserving
+/// sum(counts) == n exactly. This is the workhorse of the closed-form
+/// multidimensional tally paths, which replace per-user fake-data draws over
+/// millions of users with one multinomial per attribute.
+std::vector<long long> SampleMultinomial(long long n,
+                                         const std::vector<double>& weights,
+                                         Rng& rng);
+
 /// Binomial probability mass Bin(i; n, p) = C(n, i) p^i (1-p)^(n-i),
 /// computed in log-space for numerical stability. Used by the closed-form
 /// attacker-accuracy expressions for UE protocols (Section 3.2.1).

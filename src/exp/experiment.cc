@@ -21,6 +21,12 @@ void Context::EmitRunConfig(const std::string& bench_name, int n, int d) {
   out_.Config("scale", StrPrintf("%.3f", profile_.BenchScale()));
   out_.Config("reident_targets", StrPrintf("%d", profile_.reident_targets));
   out_.Config("smoke", profile_.smoke ? "1" : "0");
+  // The legacy-exact preamble is pinned byte-for-byte by the goldens, so the
+  // fidelity marker only appears on the fast profile (whose goldens pin it).
+  if (profile_.fast()) {
+    out_.Comment("# profile = fast (closed-form estimation paths)");
+    out_.Config("profile", "fast");
+  }
 }
 
 Registry& Registry::Instance() {
@@ -104,9 +110,7 @@ int RunExperimentMain(const std::string& name) {
     std::fprintf(stderr, "unknown experiment '%s'\n", name.c_str());
     return 1;
   }
-  const RunProfile profile = GetEnvBool("LDPR_SMOKE", false)
-                                 ? RunProfile::Smoke()
-                                 : RunProfile::FromEnv();
+  const RunProfile profile = RunProfile::Resolve();
   CsvEmitter csv;
   TeeEmitter tee;
   tee.Add(&csv);

@@ -57,7 +57,7 @@ struct ExperimentSpec {
   std::string name;         ///< short id, e.g. "fig02" — unique
   std::string title;        ///< legacy bench id, e.g. "fig02_smp_reident_adult"
   std::string description;  ///< one line, shown by `experiment list`
-  std::string group;        ///< "figure" | "ablation" | "framework"
+  std::string group;  ///< "figure" | "ablation" | "framework" | "related"
   std::vector<std::string> datasets;  ///< e.g. {"adult"}; informational
   std::function<void(Context&)> run;
 };

@@ -34,6 +34,12 @@ using GridCellFn = std::function<std::vector<double>(int point, int trial)>;
 std::vector<std::vector<double>> RunGrid(int points, int trials, int columns,
                                          const GridCellFn& cell);
 
+/// Seed salt for the fast (closed-form) profile's per-cell streams: fast
+/// cells reuse their scenario's legacy seed schedule XORed with this
+/// constant, so the two fidelities never share a stream and the fast
+/// goldens stay stable independently of the legacy ones.
+inline constexpr std::uint64_t kFastProfileSeedSalt = 0xFA57C0DEF0115EEDULL;
+
 /// Recreates the `trial`-th Rng::Split() child of a root seeded with `seed`
 /// — the stream the legacy drivers handed trial #`trial` when they split one
 /// root per grid point serially.

@@ -1,7 +1,9 @@
 #include "exp/profile.h"
 
 #include <cstdlib>
+#include <string>
 
+#include "core/check.h"
 #include "core/flags.h"
 
 namespace ldpr::exp {
@@ -25,6 +27,17 @@ RunProfile RunProfile::Smoke() {
   profile.reident_targets = 50;
   profile.gbdt.num_rounds = 2;
   profile.gbdt.max_depth = 2;
+  return profile;
+}
+
+RunProfile RunProfile::Resolve() {
+  const std::string name = GetEnvString("LDPR_PROFILE", "legacy");
+  LDPR_REQUIRE(name == "legacy" || name == "fast" || name == "smoke",
+               "unknown LDPR_PROFILE '" << name
+                                        << "' (legacy|fast|smoke)");
+  const bool smoke = GetEnvBool("LDPR_SMOKE", false) || name == "smoke";
+  RunProfile profile = smoke ? Smoke() : FromEnv();
+  if (name == "fast") profile.fidelity = Fidelity::kFast;
   return profile;
 }
 

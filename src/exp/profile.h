@@ -16,6 +16,12 @@
 //   LDPR_GBDT_DEPTH      AIF attack GBDT tree depth            (default 4)
 //   LDPR_FIG01_TRIALS    fig01 panel (c) Monte-Carlo trials    (default 20000)
 //   LDPR_SMOKE           when set, every driver runs the smoke preset
+//   LDPR_PROFILE         fidelity/scale preset: "legacy" (default),
+//                        "fast" (closed-form estimation paths; new RNG
+//                        streams, separately pinned goldens), or "smoke"
+//                        (alias for LDPR_SMOKE). "fast" composes with the
+//                        smoke preset: LDPR_SMOKE=1 LDPR_PROFILE=fast runs
+//                        the closed-form paths at smoke scale.
 //
 // The paper uses 20 runs at full n on a compute cluster; the FromEnv()
 // defaults reproduce every curve's *shape* on a laptop in minutes. Set
@@ -32,7 +38,19 @@
 namespace ldpr::exp {
 
 struct RunProfile {
+  /// How estimation-only scenarios simulate the population.
+  enum class Fidelity {
+    /// Per-user simulation, bit-identical to the historical drivers for any
+    /// fixed environment (the existing goldens pin this path).
+    kLegacyExact,
+    /// Closed-form tally sampling (sim/closed_form.h): per attribute
+    /// distribution-exact, orders of magnitude faster at full scale, on its
+    /// own RNG streams (separate *_fast goldens).
+    kFast,
+  };
+
   bool smoke = false;
+  Fidelity fidelity = Fidelity::kLegacyExact;
 
   int runs = 3;                ///< trials averaged per grid point
   int reident_targets = 3000;  ///< matcher subsample; <= 0 means all users
@@ -44,10 +62,18 @@ struct RunProfile {
   ml::GbdtConfig gbdt;              ///< AIF attack classifier size
 
   /// The historical env-driven preset (bit-identical to the pre-registry
-  /// bench drivers for any fixed environment).
+  /// bench drivers for any fixed environment). Does not consult
+  /// LDPR_PROFILE — use Resolve() for the full env contract.
   static RunProfile FromEnv();
   /// The CI/`--smoke` preset.
   static RunProfile Smoke();
+  /// The full environment contract: Smoke() when LDPR_SMOKE is set or
+  /// LDPR_PROFILE=smoke, FromEnv() otherwise; LDPR_PROFILE=fast then flips
+  /// the fidelity to kFast on either base. Rejects unknown LDPR_PROFILE
+  /// values.
+  static RunProfile Resolve();
+
+  bool fast() const { return fidelity == Fidelity::kFast; }
 
   /// Dataset scale: the scenario's own default, overridden by LDPR_SCALE,
   /// collapsed to smoke_scale under smoke.

@@ -9,25 +9,17 @@
 #include "exp/experiment.h"
 #include "exp/grid_runner.h"
 #include "exp/grids.h"
+#include "exp/measure.h"
 #include "multidim/adaptive.h"
+#include "multidim/closed_form.h"
 #include "multidim/rsfd.h"
 #include "multidim/smp.h"
+#include "sim/closed_form.h"
 
 namespace {
 
 using namespace ldpr;
 using exp::Cell;
-
-template <typename Protocol, typename Report>
-double ProtocolMse(const data::Dataset& ds, const Protocol& protocol,
-                   Rng& rng) {
-  std::vector<Report> reports;
-  reports.reserve(ds.n());
-  for (int i = 0; i < ds.n(); ++i) {
-    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-  }
-  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
-}
 
 void Run(exp::Context& ctx) {
   const exp::RunProfile& profile = ctx.profile();
@@ -55,46 +47,67 @@ void Run(exp::Context& ctx) {
 
   const int runs = profile.runs;
   const std::vector<double> grid = profile.Grid(exp::EpsilonGrid());
+  const bool fast = profile.fast();
+  multidim::AttributeHistograms hists;
+  std::vector<std::vector<double>> truth;
+  if (fast) {
+    hists = sim::BuildAttributeHistograms(ds);
+    truth = ds.Marginals();
+  }
   // Legacy seeding: seed = 77, Rng(++seed * 9176) per trial; one stream
-  // drives all six measurements sequentially.
+  // drives all six measurements sequentially. The fast profile salts the
+  // same schedule with kFastProfileSeedSalt (fresh streams, pinned by
+  // tests/golden/abl06_fast.txt).
   const auto means = exp::RunGrid(
       static_cast<int>(grid.size()), runs, 6, [&](int point, int trial) {
         const std::uint64_t seed =
             77 + static_cast<std::uint64_t>(point) * runs + trial + 1;
-        Rng rng(seed * 9176);
         const double eps = grid[point];
         std::vector<double> row(6, 0.0);
+        if (fast) {
+          Rng rng((seed * 9176) ^ exp::kFastProfileSeedSalt);
+          const long long n = ds.n();
+          const auto mse = [&](const auto& protocol) {
+            return exp::ClosedFormProtocolMse(protocol, hists, n, truth, rng);
+          };
+          row[0] = mse(multidim::RsFdAdaptive(ds.domain_sizes(), eps));
+          row[1] = mse(multidim::RsFd(multidim::RsFdVariant::kGrr,
+                                      ds.domain_sizes(), eps));
+          row[2] = mse(multidim::RsFd(multidim::RsFdVariant::kOueZ,
+                                      ds.domain_sizes(), eps));
+          row[3] = mse(multidim::SmpAdaptive(ds.domain_sizes(), eps));
+          row[4] = mse(multidim::Smp(fo::Protocol::kGrr, ds.domain_sizes(),
+                                     eps));
+          row[5] = mse(multidim::Smp(fo::Protocol::kOue, ds.domain_sizes(),
+                                     eps));
+          return row;
+        }
+        Rng rng(seed * 9176);
         {
           multidim::RsFdAdaptive p(ds.domain_sizes(), eps);
-          row[0] = ProtocolMse<multidim::RsFdAdaptive,
-                               multidim::MultidimReport>(ds, p, rng);
+          row[0] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         {
           multidim::RsFd p(multidim::RsFdVariant::kGrr, ds.domain_sizes(),
                            eps);
-          row[1] = ProtocolMse<multidim::RsFd, multidim::MultidimReport>(
-              ds, p, rng);
+          row[1] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         {
           multidim::RsFd p(multidim::RsFdVariant::kOueZ, ds.domain_sizes(),
                            eps);
-          row[2] = ProtocolMse<multidim::RsFd, multidim::MultidimReport>(
-              ds, p, rng);
+          row[2] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         {
           multidim::SmpAdaptive p(ds.domain_sizes(), eps);
-          row[3] = ProtocolMse<multidim::SmpAdaptive, multidim::SmpReport>(
-              ds, p, rng);
+          row[3] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         {
           multidim::Smp p(fo::Protocol::kGrr, ds.domain_sizes(), eps);
-          row[4] = ProtocolMse<multidim::Smp, multidim::SmpReport>(ds, p,
-                                                                   rng);
+          row[4] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         {
           multidim::Smp p(fo::Protocol::kOue, ds.domain_sizes(), eps);
-          row[5] = ProtocolMse<multidim::Smp, multidim::SmpReport>(ds, p,
-                                                                   rng);
+          row[5] = exp::SerialProtocolMse(p, ds, ds.Marginals(), rng);
         }
         return row;
       });

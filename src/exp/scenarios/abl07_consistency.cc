@@ -13,9 +13,12 @@
 #include "exp/experiment.h"
 #include "exp/grid_runner.h"
 #include "exp/grids.h"
+#include "exp/measure.h"
 #include "fo/consistency.h"
+#include "multidim/closed_form.h"
 #include "multidim/rsfd.h"
 #include "multidim/variance.h"
+#include "sim/closed_form.h"
 
 namespace {
 
@@ -49,22 +52,28 @@ void Run(exp::Context& ctx) {
 
   const int runs = profile.runs;
   const std::vector<double> grid = profile.Grid(exp::EpsilonGrid());
-  // Legacy seeding: seed = 17, Rng(++seed * 2903) per trial.
+  const bool fast = profile.fast();
+  multidim::AttributeHistograms hists;
+  if (fast) hists = sim::BuildAttributeHistograms(ds);
+  // Legacy seeding: seed = 17, Rng(++seed * 2903) per trial. The fast
+  // profile salts the same schedule with kFastProfileSeedSalt (fresh
+  // streams, pinned by tests/golden/abl07_fast.txt).
   const auto means = exp::RunGrid(
       static_cast<int>(grid.size()), runs, 4, [&](int point, int trial) {
         const std::uint64_t seed =
             17 + static_cast<std::uint64_t>(point) * runs + trial + 1;
-        Rng rng(seed * 2903);
         const double eps = grid[point];
         multidim::RsFd protocol(multidim::RsFdVariant::kGrr,
                                 ds.domain_sizes(), eps);
-        std::vector<multidim::MultidimReport> reports;
-        reports.reserve(ds.n());
-        for (int i = 0; i < ds.n(); ++i) {
-          reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-        }
         const auto truth = ds.Marginals();
-        const auto est = protocol.Estimate(reports);
+        std::vector<std::vector<double>> est;
+        if (fast) {
+          Rng rng((seed * 2903) ^ exp::kFastProfileSeedSalt);
+          est = multidim::EstimateClosedForm(protocol, hists, ds.n(), rng);
+        } else {
+          Rng rng(seed * 2903);
+          est = exp::SerialEstimate(protocol, ds, rng);
+        }
         std::vector<double> row(4, 0.0);
         row[0] = MseAvg(truth, est);
         row[1] = MseAvg(

@@ -12,6 +12,7 @@
 #include "data/priors.h"
 #include "exp/experiment.h"
 #include "exp/grid_runner.h"
+#include "exp/measure.h"
 #include "multidim/adaptive.h"
 #include "multidim/rsrfd.h"
 #include "multidim/rsrfd_adaptive.h"
@@ -24,12 +25,7 @@ using exp::Cell;
 template <typename Protocol>
 double ProtocolMse(const data::Dataset& ds, const Protocol& protocol,
                    Rng& rng) {
-  std::vector<multidim::MultidimReport> reports;
-  reports.reserve(ds.n());
-  for (int i = 0; i < ds.n(); ++i) {
-    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-  }
-  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
+  return exp::SerialProtocolMse(protocol, ds, ds.Marginals(), rng);
 }
 
 template <typename Protocol>

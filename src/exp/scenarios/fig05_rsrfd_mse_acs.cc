@@ -8,8 +8,11 @@
 #include "exp/experiment.h"
 #include "exp/grid_runner.h"
 #include "exp/grids.h"
+#include "exp/measure.h"
+#include "multidim/closed_form.h"
 #include "multidim/rsfd.h"
 #include "multidim/rsrfd.h"
+#include "sim/closed_form.h"
 
 namespace {
 
@@ -19,24 +22,14 @@ using exp::Cell;
 double RsFdMse(const data::Dataset& ds, multidim::RsFdVariant variant,
                double eps, Rng& rng) {
   multidim::RsFd protocol(variant, ds.domain_sizes(), eps);
-  std::vector<multidim::MultidimReport> reports;
-  reports.reserve(ds.n());
-  for (int i = 0; i < ds.n(); ++i) {
-    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-  }
-  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
+  return exp::SerialProtocolMse(protocol, ds, ds.Marginals(), rng);
 }
 
 double RsRfdMse(const data::Dataset& ds, multidim::RsRfdVariant variant,
                 data::PriorKind prior_kind, double eps, Rng& rng) {
   auto priors = data::BuildPriors(ds, prior_kind, rng);
   multidim::RsRfd protocol(variant, ds.domain_sizes(), eps, priors);
-  std::vector<multidim::MultidimReport> reports;
-  reports.reserve(ds.n());
-  for (int i = 0; i < ds.n(); ++i) {
-    reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-  }
-  return MseAvg(ds.Marginals(), protocol.Estimate(reports));
+  return exp::SerialProtocolMse(protocol, ds, ds.Marginals(), rng);
 }
 
 void Panel(exp::Context& ctx, const data::Dataset& ds,
@@ -56,13 +49,23 @@ void Panel(exp::Context& ctx, const data::Dataset& ds,
   const int runs = ctx.profile().runs;
   const std::vector<double> grid =
       ctx.profile().Grid(exp::LogUtilityEpsilonGrid());
+  const bool fast = ctx.profile().fast();
+  // Fast profile: the per-user report loops collapse to closed-form tally
+  // sampling over these hoisted per-attribute histograms.
+  multidim::AttributeHistograms hists;
+  std::vector<std::vector<double>> truth;
+  if (fast) {
+    hists = sim::BuildAttributeHistograms(ds);
+    truth = ds.Marginals();
+  }
   // Legacy seeding: seed = 50 per panel, Rng(++seed * 6151) per trial; one
-  // stream drives rfd/fd for all three variants interleaved.
+  // stream drives rfd/fd for all three variants interleaved. The fast
+  // profile salts the same schedule with kFastProfileSeedSalt (fresh
+  // streams, pinned by tests/golden/fig05_fast.txt).
   const auto means = exp::RunGrid(
       static_cast<int>(grid.size()), runs, 6, [&](int point, int trial) {
         const std::uint64_t seed =
             50 + static_cast<std::uint64_t>(point) * runs + trial + 1;
-        Rng rng(seed * 6151);
         const multidim::RsRfdVariant rfd_variants[] = {
             multidim::RsRfdVariant::kGrr, multidim::RsRfdVariant::kSueR,
             multidim::RsRfdVariant::kOueR};
@@ -70,6 +73,21 @@ void Panel(exp::Context& ctx, const data::Dataset& ds,
             multidim::RsFdVariant::kGrr, multidim::RsFdVariant::kSueR,
             multidim::RsFdVariant::kOueR};
         std::vector<double> row(6, 0.0);
+        if (fast) {
+          Rng rng((seed * 6151) ^ exp::kFastProfileSeedSalt);
+          const long long n = ds.n();
+          for (int v = 0; v < 3; ++v) {
+            auto priors = data::BuildPriors(ds, prior_kind, rng);
+            multidim::RsRfd rfd(rfd_variants[v], ds.domain_sizes(),
+                                grid[point], priors);
+            row[v] = exp::ClosedFormProtocolMse(rfd, hists, n, truth, rng);
+            multidim::RsFd fd(fd_variants[v], ds.domain_sizes(), grid[point]);
+            row[3 + v] =
+                exp::ClosedFormProtocolMse(fd, hists, n, truth, rng);
+          }
+          return row;
+        }
+        Rng rng(seed * 6151);
         for (int v = 0; v < 3; ++v) {
           row[v] = RsRfdMse(ds, rfd_variants[v], prior_kind, grid[point], rng);
           row[3 + v] = RsFdMse(ds, fd_variants[v], grid[point], rng);

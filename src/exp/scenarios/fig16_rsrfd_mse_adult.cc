@@ -9,9 +9,12 @@
 #include "exp/experiment.h"
 #include "exp/grid_runner.h"
 #include "exp/grids.h"
+#include "exp/measure.h"
+#include "multidim/closed_form.h"
 #include "multidim/rsfd.h"
 #include "multidim/rsrfd.h"
 #include "multidim/variance.h"
+#include "sim/closed_form.h"
 
 namespace {
 
@@ -73,11 +76,31 @@ void EmpiricalPanel(exp::Context& ctx, const data::Dataset& ds,
   const auto truth = ds.Marginals();
   const std::vector<double> grid =
       ctx.profile().Grid(exp::LogUtilityEpsilonGrid());
-  // Legacy seeding: seed = 60 per panel, Rng(++seed * 4099) per trial.
+  const bool fast = ctx.profile().fast();
+  multidim::AttributeHistograms hists;
+  if (fast) hists = sim::BuildAttributeHistograms(ds);
+  // Legacy seeding: seed = 60 per panel, Rng(++seed * 4099) per trial. The
+  // fast profile salts the same schedule with kFastProfileSeedSalt (fresh
+  // streams, pinned by tests/golden/fig16_fast.txt).
   const auto means = exp::RunGrid(
       static_cast<int>(grid.size()), runs, 6, [&](int point, int trial) {
         const std::uint64_t seed =
             60 + static_cast<std::uint64_t>(point) * runs + trial + 1;
+        if (fast) {
+          Rng rng((seed * 4099) ^ exp::kFastProfileSeedSalt);
+          auto priors = data::BuildPriors(ds, prior_kind, rng);
+          const long long n = ds.n();
+          std::vector<double> row(6, 0.0);
+          for (int v = 0; v < 3; ++v) {
+            multidim::RsRfd rfd(kPairs[v].rfd, ds.domain_sizes(), grid[point],
+                                priors);
+            row[v] = exp::ClosedFormProtocolMse(rfd, hists, n, truth, rng);
+            multidim::RsFd fd(kPairs[v].fd, ds.domain_sizes(), grid[point]);
+            row[3 + v] =
+                exp::ClosedFormProtocolMse(fd, hists, n, truth, rng);
+          }
+          return row;
+        }
         Rng rng(seed * 4099);
         auto priors = data::BuildPriors(ds, prior_kind, rng);
         std::vector<double> row(6, 0.0);
@@ -85,22 +108,12 @@ void EmpiricalPanel(exp::Context& ctx, const data::Dataset& ds,
           {
             multidim::RsRfd protocol(kPairs[v].rfd, ds.domain_sizes(),
                                      grid[point], priors);
-            std::vector<multidim::MultidimReport> reports;
-            reports.reserve(ds.n());
-            for (int i = 0; i < ds.n(); ++i) {
-              reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-            }
-            row[v] = MseAvg(truth, protocol.Estimate(reports));
+            row[v] = exp::SerialProtocolMse(protocol, ds, truth, rng);
           }
           {
             multidim::RsFd protocol(kPairs[v].fd, ds.domain_sizes(),
                                     grid[point]);
-            std::vector<multidim::MultidimReport> reports;
-            reports.reserve(ds.n());
-            for (int i = 0; i < ds.n(); ++i) {
-              reports.push_back(protocol.RandomizeUser(ds.Record(i), rng));
-            }
-            row[3 + v] = MseAvg(truth, protocol.Estimate(reports));
+            row[3 + v] = exp::SerialProtocolMse(protocol, ds, truth, rng);
           }
         }
         return row;

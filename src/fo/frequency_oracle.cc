@@ -124,6 +124,21 @@ void Aggregator::AccumulateHistogram(const std::vector<long long>& histogram,
   n_ += total;
 }
 
+long long Aggregator::AccumulateSubsampledHistogram(
+    const std::vector<long long>& histogram, double rate, Rng& rng) {
+  LDPR_REQUIRE(rate >= 0.0 && rate <= 1.0,
+               "subsample rate must be in [0, 1], got " << rate);
+  std::vector<long long> thinned(histogram.size(), 0);
+  long long total = 0;
+  for (std::size_t v = 0; v < histogram.size(); ++v) {
+    LDPR_REQUIRE(histogram[v] >= 0, "histogram cells must be non-negative");
+    thinned[v] = rng.Binomial64(histogram[v], rate);
+    total += thinned[v];
+  }
+  AccumulateHistogram(thinned, rng);
+  return total;
+}
+
 void Aggregator::Merge(const Aggregator& other) {
   LDPR_REQUIRE(oracle_.protocol() == other.oracle_.protocol() &&
                    counts_.size() == other.counts_.size(),

@@ -169,6 +169,15 @@ class Aggregator {
   virtual void AccumulateHistogram(const std::vector<long long>& histogram,
                                    Rng& rng);
 
+  /// Closed-form batch for a Bernoulli(rate)-thinned population: draws the
+  /// sub-histogram Binomial(histogram[v], rate) per cell — the users that
+  /// actually reach this oracle, e.g. the 1/d uniform attribute samplers of
+  /// SMP — then folds its closed-form support counts in via
+  /// AccumulateHistogram. Returns the number of thinned users accumulated,
+  /// which is also what n() grows by.
+  long long AccumulateSubsampledHistogram(
+      const std::vector<long long>& histogram, double rate, Rng& rng);
+
   /// Folds another aggregator of the same protocol/domain into this one.
   void Merge(const Aggregator& other);
 

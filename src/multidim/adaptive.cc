@@ -175,9 +175,6 @@ MultidimReport RsFdAdaptive::RandomizeUserWithAttribute(
 std::vector<std::vector<double>> RsFdAdaptive::Estimate(
     const std::vector<MultidimReport>& reports) const {
   LDPR_REQUIRE(!reports.empty(), "Estimate requires at least one report");
-  const double n = static_cast<double>(reports.size());
-  const double dd = static_cast<double>(d());
-
   std::vector<std::vector<long long>> counts(d());
   for (int j = 0; j < d(); ++j) counts[j].assign(domain_sizes_[j], 0);
   for (const MultidimReport& r : reports) {
@@ -199,8 +196,22 @@ std::vector<std::vector<double>> RsFdAdaptive::Estimate(
     }
   }
 
+  return EstimateFromSupportCounts(counts,
+                                   static_cast<long long>(reports.size()));
+}
+
+std::vector<std::vector<double>> RsFdAdaptive::EstimateFromSupportCounts(
+    const std::vector<std::vector<long long>>& counts, long long n_ll) const {
+  LDPR_REQUIRE(static_cast<int>(counts.size()) == d(),
+               "counts width mismatch");
+  LDPR_REQUIRE(n_ll >= 1, "EstimateFromSupportCounts requires n >= 1");
+  const double n = static_cast<double>(n_ll);
+  const double dd = static_cast<double>(d());
+
   std::vector<std::vector<double>> est(d());
   for (int j = 0; j < d(); ++j) {
+    LDPR_REQUIRE(static_cast<int>(counts[j].size()) == domain_sizes_[j],
+                 "counts for attribute " << j << " have wrong length");
     const double kj = domain_sizes_[j];
     const double pj = p(j);
     const double qj = q(j);

@@ -82,6 +82,11 @@ class RsFdAdaptive {
   std::vector<std::vector<double>> Estimate(
       const std::vector<MultidimReport>& reports) const;
 
+  /// The per-attribute estimators applied to pre-accumulated support counts
+  /// over n reports — the streaming/closed-form half of Estimate.
+  std::vector<std::vector<double>> EstimateFromSupportCounts(
+      const std::vector<std::vector<long long>>& counts, long long n) const;
+
   /// The RS+FD variant chosen for attribute j (kGrr or kOueZ).
   RsFdVariant choice(int attribute) const;
 

@@ -1,0 +1,238 @@
+#include "multidim/closed_form.h"
+
+#include <memory>
+
+#include "core/check.h"
+#include "core/sampling.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpr::multidim {
+
+namespace {
+
+/// Validates `hists` against a solution of dimensionality d / the given
+/// domain sizes and total population n.
+void CheckHistograms(const AttributeHistograms& hists,
+                     const std::vector<int>& domain_sizes, long long n) {
+  LDPR_REQUIRE(hists.size() == domain_sizes.size(),
+               "histograms cover " << hists.size() << " attributes, expected "
+                                   << domain_sizes.size());
+  LDPR_REQUIRE(n >= 1, "closed-form sampling requires n >= 1");
+  for (std::size_t j = 0; j < hists.size(); ++j) {
+    LDPR_REQUIRE(static_cast<int>(hists[j].size()) == domain_sizes[j],
+                 "histogram for attribute " << j << " has wrong length");
+    long long total = 0;
+    for (long long h : hists[j]) {
+      LDPR_REQUIRE(h >= 0, "histogram cells must be non-negative");
+      total += h;
+    }
+    LDPR_REQUIRE(total == n, "histogram for attribute "
+                                 << j << " sums to " << total
+                                 << ", expected n = " << n);
+  }
+}
+
+/// Thins one attribute's histogram by the 1/d attribute-sampling rate:
+/// sub[v] ~ Binomial(hist[v], 1/d), returning the thinned total m_j.
+long long ThinByAttributeSampling(const std::vector<long long>& hist, int d,
+                                  Rng& rng, std::vector<long long>* sub) {
+  const double rate = 1.0 / static_cast<double>(d);
+  sub->assign(hist.size(), 0);
+  long long m = 0;
+  for (std::size_t v = 0; v < hist.size(); ++v) {
+    (*sub)[v] = rng.Binomial64(hist[v], rate);
+    m += (*sub)[v];
+  }
+  return m;
+}
+
+/// Sampled-user closed form, shared by every randomizer: value v of the
+/// attribute is supported with probability p by each of the sub[v] users
+/// truly holding v and with probability q by each of the other m - sub[v]
+/// sampled users, so cell v's count is Binomial(sub[v], p) +
+/// Binomial(m - sub[v], q) — O(k) draws. For UE payloads this is exact
+/// jointly across cells (bits perturb independently); for GRR it is the
+/// per-cell-exact marginal form of the report multinomial (the same
+/// contract as fo::Aggregator::AccumulateHistogram's default — every
+/// per-cell estimate, its variance, and any expected-MSE metric stays
+/// distribution-exact; only cross-cell count correlations are dropped).
+/// The O(k) form is what buys the order-of-magnitude on large-k attributes
+/// (ACS k = 92) over a sum-preserving O(k^2) lie-spreading chain.
+void AddSampledSupportCounts(const std::vector<long long>& sub, long long m,
+                             double p, double q, Rng& rng,
+                             std::vector<long long>* counts) {
+  for (std::size_t v = 0; v < sub.size(); ++v) {
+    (*counts)[v] += rng.Binomial64(sub[v], p) + rng.Binomial64(m - sub[v], q);
+  }
+}
+
+/// Fake-data counts for one attribute: `fakes` users draw a fake value from
+/// `weights` (uniform for RS+FD, the prior f~ for RS+RFD). GRR payloads emit
+/// the value itself (one multinomial); UE payloads one-hot it and perturb
+/// (multinomial over hot positions, then per-bit binomials). UE-z payloads
+/// perturb the all-zero vector: Binomial(fakes, q) per bit.
+void AddFakeCounts(long long fakes, bool ue_payload, bool zero_vector,
+                   double p, double q, const std::vector<double>& weights,
+                   Rng& rng, std::vector<long long>* counts) {
+  if (fakes <= 0) return;
+  const int k = static_cast<int>(counts->size());
+  if (!ue_payload) {
+    const std::vector<long long> draw = SampleMultinomial(fakes, weights, rng);
+    for (int v = 0; v < k; ++v) (*counts)[v] += draw[v];
+    return;
+  }
+  if (zero_vector) {
+    for (int v = 0; v < k; ++v) (*counts)[v] += rng.Binomial64(fakes, q);
+    return;
+  }
+  const std::vector<long long> hot = SampleMultinomial(fakes, weights, rng);
+  AddSampledSupportCounts(hot, fakes, p, q, rng, counts);
+}
+
+std::vector<double> UniformWeights(int k) {
+  return std::vector<double>(k, 1.0);
+}
+
+}  // namespace
+
+std::vector<std::vector<long long>> SampleSupportCounts(
+    const RsFd& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  CheckHistograms(hists, protocol.domain_sizes(), n);
+  const int d = protocol.d();
+  const bool ue = IsUeVariant(protocol.variant());
+  const bool zero = IsZeroFakeVariant(protocol.variant());
+  std::vector<std::vector<long long>> counts(d);
+  std::vector<long long> sub;
+  for (int j = 0; j < d; ++j) {
+    const int kj = protocol.domain_sizes()[j];
+    counts[j].assign(kj, 0);
+    const long long m = ThinByAttributeSampling(hists[j], d, rng, &sub);
+    const double pj = protocol.p(j);
+    const double qj = protocol.q(j);
+    AddSampledSupportCounts(sub, m, pj, qj, rng, &counts[j]);
+    AddFakeCounts(n - m, ue, zero, pj, qj, UniformWeights(kj), rng,
+                  &counts[j]);
+  }
+  return counts;
+}
+
+std::vector<std::vector<long long>> SampleSupportCounts(
+    const RsRfd& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  CheckHistograms(hists, protocol.domain_sizes(), n);
+  const int d = protocol.d();
+  const bool ue = protocol.variant() != RsRfdVariant::kGrr;
+  std::vector<std::vector<long long>> counts(d);
+  std::vector<long long> sub;
+  for (int j = 0; j < d; ++j) {
+    counts[j].assign(protocol.domain_sizes()[j], 0);
+    const long long m = ThinByAttributeSampling(hists[j], d, rng, &sub);
+    const double pj = protocol.p(j);
+    const double qj = protocol.q(j);
+    AddSampledSupportCounts(sub, m, pj, qj, rng, &counts[j]);
+    // Realistic fakes: one draw from the attribute's prior f~ per fake user.
+    AddFakeCounts(n - m, ue, /*zero_vector=*/false, pj, qj,
+                  protocol.priors()[j], rng, &counts[j]);
+  }
+  return counts;
+}
+
+std::vector<std::vector<long long>> SampleSupportCounts(
+    const RsFdAdaptive& protocol, const AttributeHistograms& hists,
+    long long n, Rng& rng) {
+  CheckHistograms(hists, protocol.domain_sizes(), n);
+  const int d = protocol.d();
+  std::vector<std::vector<long long>> counts(d);
+  std::vector<long long> sub;
+  for (int j = 0; j < d; ++j) {
+    const int kj = protocol.domain_sizes()[j];
+    counts[j].assign(kj, 0);
+    const long long m = ThinByAttributeSampling(hists[j], d, rng, &sub);
+    const double pj = protocol.p(j);
+    const double qj = protocol.q(j);
+    const bool ue = protocol.choice(j) != RsFdVariant::kGrr;  // kOueZ
+    AddSampledSupportCounts(sub, m, pj, qj, rng, &counts[j]);
+    AddFakeCounts(n - m, ue, /*zero_vector=*/true, pj, qj,
+                  UniformWeights(kj), rng, &counts[j]);
+  }
+  return counts;
+}
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const RsFd& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  return protocol.EstimateFromSupportCounts(
+      SampleSupportCounts(protocol, hists, n, rng), n);
+}
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const RsRfd& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  return protocol.EstimateFromSupportCounts(
+      SampleSupportCounts(protocol, hists, n, rng), n);
+}
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const RsFdAdaptive& protocol, const AttributeHistograms& hists,
+    long long n, Rng& rng) {
+  return protocol.EstimateFromSupportCounts(
+      SampleSupportCounts(protocol, hists, n, rng), n);
+}
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const Spl& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  CheckHistograms(hists, protocol.domain_sizes(), n);
+  std::vector<std::vector<double>> est(protocol.d());
+  for (int j = 0; j < protocol.d(); ++j) {
+    auto agg = protocol.oracle(j).MakeAggregator();
+    agg->AccumulateHistogram(hists[j], rng);
+    est[j] = agg->Estimate();
+  }
+  return est;
+}
+
+namespace {
+
+/// Shared SMP closed form: works for any solution exposing d() and
+/// oracle(j) (Smp, SmpAdaptive).
+template <typename Solution>
+std::vector<std::vector<double>> SmpClosedForm(
+    const Solution& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  CheckHistograms(hists, protocol.domain_sizes(), n);
+  const int d = protocol.d();
+  const double rate = 1.0 / static_cast<double>(d);
+  std::vector<std::vector<double>> est(d);
+  for (int j = 0; j < d; ++j) {
+    auto agg = protocol.oracle(j).MakeAggregator();
+    const long long nj = agg->AccumulateSubsampledHistogram(hists[j], rate,
+                                                            rng);
+    if (nj == 0) {
+      // No user sampled this attribute; the best unbiased guess is uniform
+      // (mirrors Smp::Estimate).
+      const int kj = protocol.domain_sizes()[j];
+      est[j].assign(kj, 1.0 / kj);
+    } else {
+      est[j] = agg->Estimate();
+    }
+  }
+  return est;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const Smp& protocol, const AttributeHistograms& hists, long long n,
+    Rng& rng) {
+  return SmpClosedForm(protocol, hists, n, rng);
+}
+
+std::vector<std::vector<double>> EstimateClosedForm(
+    const SmpAdaptive& protocol, const AttributeHistograms& hists,
+    long long n, Rng& rng) {
+  return SmpClosedForm(protocol, hists, n, rng);
+}
+
+}  // namespace ldpr::multidim

@@ -1,0 +1,295 @@
+#include "multidim/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace ldpr::multidim {
+
+const char* NumericMechanismName(NumericMechanism mechanism) {
+  switch (mechanism) {
+    case NumericMechanism::kDuchi:
+      return "Duchi";
+    case NumericMechanism::kPiecewise:
+      return "PM";
+  }
+  return "unknown";
+}
+
+NumericLdp::NumericLdp(NumericMechanism mechanism, double epsilon,
+                       int grid_points)
+    : mechanism_(mechanism), epsilon_(epsilon), grid_points_(grid_points) {
+  LDPR_REQUIRE(epsilon > 0.0, "NumericLdp requires epsilon > 0");
+  LDPR_REQUIRE(grid_points >= 2, "NumericLdp requires >= 2 grid points");
+  const double e = std::exp(epsilon_);
+
+  if (mechanism_ == NumericMechanism::kDuchi) {
+    duchi_b_ = (e + 1.0) / (e - 1.0);
+    duchi_pos_prob_.resize(grid_points_);
+    for (int g = 0; g < grid_points_; ++g) {
+      // P(+B | t) = ((e^eps - 1) t + e^eps + 1) / (2 e^eps + 2), the choice
+      // that makes B(2P - 1) = t exactly.
+      duchi_pos_prob_[g] =
+          ((e - 1.0) * GridValue(g) + e + 1.0) / (2.0 * e + 2.0);
+    }
+    return;
+  }
+
+  // Piecewise Mechanism (Wang et al., Section III-B): piecewise-constant
+  // density p_high on [l(t), r(t)] (width C - 1), p_high / e^eps elsewhere
+  // on [-C, C].
+  const double ehalf = std::exp(epsilon_ / 2.0);
+  pm_c_ = (ehalf + 1.0) / (ehalf - 1.0);
+  const double p_high = (e - ehalf) / (2.0 * ehalf + 2.0);
+  const double p_low = p_high / e;
+
+  const double bucket_width = 2.0 * pm_c_ / grid_points_;
+  pm_bucket_value_.resize(grid_points_);
+  for (int b = 0; b < grid_points_; ++b) {
+    pm_bucket_value_[b] = -pm_c_ + (b + 0.5) * bucket_width;
+  }
+
+  pm_bucket_prob_.resize(grid_points_);
+  pm_samplers_.reserve(grid_points_);
+  for (int g = 0; g < grid_points_; ++g) {
+    const double t = GridValue(g);
+    const double l = (pm_c_ + 1.0) / 2.0 * t - (pm_c_ - 1.0) / 2.0;
+    const double r = l + pm_c_ - 1.0;
+    std::vector<double>& probs = pm_bucket_prob_[g];
+    probs.resize(grid_points_);
+    double sum = 0.0;
+    for (int b = 0; b < grid_points_; ++b) {
+      const double lo = -pm_c_ + b * bucket_width;
+      const double hi = lo + bucket_width;
+      const double overlap =
+          std::max(0.0, std::min(hi, r) - std::max(lo, l));
+      probs[b] = p_low * bucket_width + (p_high - p_low) * overlap;
+      sum += probs[b];
+    }
+    // Exact integrals sum to 1 up to float drift; renormalize so the
+    // categorical and multinomial draws share one distribution.
+    for (double& p : probs) p /= sum;
+    pm_samplers_.emplace_back(probs);
+  }
+}
+
+int NumericLdp::GridIndex(double t) const {
+  const double clamped = std::clamp(t, -1.0, 1.0);
+  const double step = 2.0 / (grid_points_ - 1);
+  const int g = static_cast<int>(std::lround((clamped + 1.0) / step));
+  return std::clamp(g, 0, grid_points_ - 1);
+}
+
+double NumericLdp::GridValue(int g) const {
+  LDPR_REQUIRE(g >= 0 && g < grid_points_, "grid index out of range");
+  return -1.0 + 2.0 * g / (grid_points_ - 1);
+}
+
+double NumericLdp::output_bound() const {
+  return mechanism_ == NumericMechanism::kDuchi ? duchi_b_ : pm_c_;
+}
+
+double NumericLdp::Randomize(double t, Rng& rng) const {
+  const int g = GridIndex(t);
+  if (mechanism_ == NumericMechanism::kDuchi) {
+    return rng.Bernoulli(duchi_pos_prob_[g]) ? duchi_b_ : -duchi_b_;
+  }
+  return pm_bucket_value_[pm_samplers_[g].Sample(rng)];
+}
+
+double NumericLdp::SampleOutputSum(const std::vector<long long>& input_counts,
+                                   Rng& rng) const {
+  LDPR_REQUIRE(static_cast<int>(input_counts.size()) == grid_points_,
+               "input histogram has " << input_counts.size()
+                                      << " cells, expected " << grid_points_);
+  double sum = 0.0;
+  for (int g = 0; g < grid_points_; ++g) {
+    const long long m = input_counts[g];
+    LDPR_REQUIRE(m >= 0, "histogram cells must be non-negative");
+    if (m == 0) continue;
+    if (mechanism_ == NumericMechanism::kDuchi) {
+      const long long pos = rng.Binomial64(m, duchi_pos_prob_[g]);
+      sum += duchi_b_ * static_cast<double>(2 * pos - m);
+    } else {
+      const std::vector<long long> buckets =
+          SampleMultinomial(m, pm_bucket_prob_[g], rng);
+      for (int b = 0; b < grid_points_; ++b) {
+        sum += static_cast<double>(buckets[b]) * pm_bucket_value_[b];
+      }
+    }
+  }
+  return sum;
+}
+
+double NumericLdp::ConditionalMean(int g) const {
+  LDPR_REQUIRE(g >= 0 && g < grid_points_, "grid index out of range");
+  if (mechanism_ == NumericMechanism::kDuchi) {
+    return duchi_b_ * (2.0 * duchi_pos_prob_[g] - 1.0);
+  }
+  double mean = 0.0;
+  for (int b = 0; b < grid_points_; ++b) {
+    mean += pm_bucket_prob_[g][b] * pm_bucket_value_[b];
+  }
+  return mean;
+}
+
+double NumericLdp::ConditionalVariance(int g) const {
+  const double mean = ConditionalMean(g);
+  if (mechanism_ == NumericMechanism::kDuchi) {
+    return duchi_b_ * duchi_b_ - mean * mean;
+  }
+  double second = 0.0;
+  for (int b = 0; b < grid_points_; ++b) {
+    second +=
+        pm_bucket_prob_[g][b] * pm_bucket_value_[b] * pm_bucket_value_[b];
+  }
+  return second - mean * mean;
+}
+
+long long NumericMeanHalfCount(long long n) { return (n + 1) / 2; }
+
+namespace {
+
+/// t -> s = 2 t^2 - 1, the [-1, 1] recentering of t^2 (Wang et al.).
+double SecondMomentInput(double t) { return 2.0 * t * t - 1.0; }
+
+}  // namespace
+
+std::vector<double> EstimateNumericMeans(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<double>>& columns, Rng& rng) {
+  const int d = static_cast<int>(columns.size());
+  LDPR_REQUIRE(d >= 1, "need at least one attribute column");
+  const std::size_t n = columns[0].size();
+  LDPR_REQUIRE(n >= 1, "need at least one user");
+  for (const auto& column : columns) {
+    LDPR_REQUIRE(column.size() == n,
+                 "attribute columns must have equal length");
+  }
+  std::vector<double> sums(d, 0.0);
+  std::vector<long long> counts(d, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int j = static_cast<int>(rng.UniformInt(d));
+    sums[j] += mechanism.Randomize(columns[j][i], rng);
+    ++counts[j];
+  }
+  std::vector<double> means(d, 0.0);
+  for (int j = 0; j < d; ++j) {
+    if (counts[j] > 0) means[j] = sums[j] / counts[j];
+  }
+  return means;
+}
+
+std::vector<double> EstimateNumericMeansClosedForm(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<long long>>& hists, Rng& rng) {
+  const int d = static_cast<int>(hists.size());
+  LDPR_REQUIRE(d >= 1, "need at least one attribute histogram");
+  const int grid = mechanism.grid_points();
+  const double rate = 1.0 / static_cast<double>(d);
+  std::vector<double> means(d, 0.0);
+  std::vector<long long> sub(grid);
+  for (int j = 0; j < d; ++j) {
+    LDPR_REQUIRE(static_cast<int>(hists[j].size()) == grid,
+                 "histogram for attribute " << j << " has wrong length");
+    long long nj = 0;
+    for (int g = 0; g < grid; ++g) {
+      sub[g] = rng.Binomial64(hists[j][g], rate);
+      nj += sub[g];
+    }
+    if (nj > 0) means[j] = mechanism.SampleOutputSum(sub, rng) / nj;
+  }
+  return means;
+}
+
+NumericMoments EstimateNumericMoments(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<double>>& columns, Rng& rng) {
+  const int d = static_cast<int>(columns.size());
+  LDPR_REQUIRE(d >= 1, "need at least one attribute column");
+  const long long n = static_cast<long long>(columns[0].size());
+  LDPR_REQUIRE(n >= 1, "need at least one user");
+  for (const auto& column : columns) {
+    LDPR_REQUIRE(static_cast<long long>(column.size()) == n,
+                 "attribute columns must have equal length");
+  }
+
+  const long long mean_half = NumericMeanHalfCount(n);
+  std::vector<double> sums(d, 0.0), moment_sums(d, 0.0);
+  std::vector<long long> counts(d, 0), moment_counts(d, 0);
+  for (long long i = 0; i < n; ++i) {
+    const int j = static_cast<int>(rng.UniformInt(d));
+    const double t = columns[j][static_cast<std::size_t>(i)];
+    if (i < mean_half) {
+      sums[j] += mechanism.Randomize(t, rng);
+      ++counts[j];
+    } else {
+      moment_sums[j] += mechanism.Randomize(SecondMomentInput(t), rng);
+      ++moment_counts[j];
+    }
+  }
+
+  NumericMoments out;
+  out.mean.resize(d);
+  out.second_moment.resize(d);
+  for (int j = 0; j < d; ++j) {
+    out.mean[j] = counts[j] > 0 ? sums[j] / counts[j] : 0.0;
+    // E[t^2] = (E[s] + 1) / 2; with no reports fall back to the uniform
+    // prior's 1/3.
+    out.second_moment[j] =
+        moment_counts[j] > 0
+            ? (moment_sums[j] / moment_counts[j] + 1.0) / 2.0
+            : 1.0 / 3.0;
+  }
+  return out;
+}
+
+NumericMoments EstimateNumericMomentsClosedForm(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<long long>>& mean_hists,
+    const std::vector<std::vector<long long>>& moment_hists, Rng& rng) {
+  const int d = static_cast<int>(mean_hists.size());
+  LDPR_REQUIRE(d >= 1, "need at least one attribute histogram");
+  LDPR_REQUIRE(moment_hists.size() == mean_hists.size(),
+               "mean/moment histogram widths differ");
+  const int grid = mechanism.grid_points();
+  const double rate = 1.0 / static_cast<double>(d);
+
+  NumericMoments out;
+  out.mean.resize(d);
+  out.second_moment.resize(d);
+  std::vector<long long> folded(grid), sub(grid);
+  for (int j = 0; j < d; ++j) {
+    LDPR_REQUIRE(static_cast<int>(mean_hists[j].size()) == grid &&
+                     static_cast<int>(moment_hists[j].size()) == grid,
+                 "histogram for attribute " << j << " has wrong length");
+    // Mean half: thin by the 1/d attribute sampling, then draw the summed
+    // outputs in closed form.
+    long long nj = 0;
+    for (int g = 0; g < grid; ++g) {
+      sub[g] = rng.Binomial64(mean_hists[j][g], rate);
+      nj += sub[g];
+    }
+    out.mean[j] = nj > 0 ? mechanism.SampleOutputSum(sub, rng) / nj : 0.0;
+
+    // Moment half: fold t -> s = 2 t^2 - 1 on the grid (identical to the
+    // snap Randomize applies), then thin and sum the same way.
+    std::fill(folded.begin(), folded.end(), 0);
+    for (int g = 0; g < grid; ++g) {
+      folded[mechanism.GridIndex(SecondMomentInput(mechanism.GridValue(g)))] +=
+          moment_hists[j][g];
+    }
+    long long mj = 0;
+    for (int g = 0; g < grid; ++g) {
+      sub[g] = rng.Binomial64(folded[g], rate);
+      mj += sub[g];
+    }
+    out.second_moment[j] =
+        mj > 0 ? (mechanism.SampleOutputSum(sub, rng) / mj + 1.0) / 2.0
+               : 1.0 / 3.0;
+  }
+  return out;
+}
+
+}  // namespace ldpr::multidim

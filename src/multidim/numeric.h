@@ -1,0 +1,143 @@
+#ifndef LDPR_MULTIDIM_NUMERIC_H_
+#define LDPR_MULTIDIM_NUMERIC_H_
+
+// Numeric (mean / variance) estimation under LDP, after Wang et al.,
+// "Collecting and Analyzing Multidimensional Data with Local Differential
+// Privacy" (ICDE '19, arXiv:1907.00782).
+//
+// Two one-dimensional eps-LDP mechanisms over [-1, 1] are provided, both
+// defined on a finite G-point value grid so that estimation-only
+// simulations admit closed-form tallies (the same trick the categorical
+// closed-form paths use):
+//
+//   kDuchi     — Duchi et al.'s binary mechanism: output +/- B with
+//                B = (e^eps + 1)/(e^eps - 1); E[y | t] = t exactly. The
+//                aggregate is one Binomial per input grid value.
+//   kPiecewise — Wang et al.'s Piecewise Mechanism with its output
+//                discretized to G equal-width buckets over [-C, C]
+//                (deterministic post-processing of the exact PM, so eps-LDP
+//                is preserved). Bucket probabilities are exact integrals of
+//                the piecewise-constant PM density; decoding a bucket to its
+//                midpoint adds O((C/G)^2) bias, negligible against the LDP
+//                noise at the G = 64 default. The aggregate is one
+//                Multinomial over buckets per input grid value.
+//
+// Randomize() snaps its input to the grid first, so the per-user and
+// closed-form paths target byte-for-byte the same output distribution —
+// which is what lets sim_fast_profile_test assert exact statistical
+// equivalence between the two fidelities.
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/sampling.h"
+
+namespace ldpr::multidim {
+
+enum class NumericMechanism {
+  kDuchi,      ///< Duchi et al. binary mechanism.
+  kPiecewise,  ///< Wang et al. Piecewise Mechanism on an output grid.
+};
+
+const char* NumericMechanismName(NumericMechanism mechanism);
+
+class NumericLdp {
+ public:
+  /// `grid_points` (G >= 2) fixes both the input value grid over [-1, 1]
+  /// and, for kPiecewise, the output bucket grid over [-C, C].
+  NumericLdp(NumericMechanism mechanism, double epsilon, int grid_points = 64);
+
+  /// Index of the input grid point nearest to t (t clamped to [-1, 1]).
+  int GridIndex(double t) const;
+  /// Value of input grid point g.
+  double GridValue(int g) const;
+  int grid_points() const { return grid_points_; }
+
+  /// Client side: one sanitized numeric output for true value t (snapped to
+  /// the grid).
+  double Randomize(double t, Rng& rng) const;
+
+  /// Closed-form server side: the summed outputs of input_counts[g]-many
+  /// users holding grid value g, drawn from exactly the per-input output
+  /// distribution of Randomize — O(G) (kDuchi) / O(G^2) (kPiecewise) RNG
+  /// draws regardless of the user count.
+  double SampleOutputSum(const std::vector<long long>& input_counts,
+                         Rng& rng) const;
+
+  /// E[output | input grid g]: GridValue(g) for kDuchi; GridValue(g) plus
+  /// the O((C/G)^2) bucketing bias for kPiecewise.
+  double ConditionalMean(int g) const;
+  /// Var[output | input grid g] — drives the equivalence-test tolerances.
+  double ConditionalVariance(int g) const;
+
+  NumericMechanism mechanism() const { return mechanism_; }
+  double epsilon() const { return epsilon_; }
+  /// Output magnitude bound (B for kDuchi, C for kPiecewise).
+  double output_bound() const;
+
+ private:
+  NumericMechanism mechanism_;
+  double epsilon_;
+  int grid_points_;
+
+  // kDuchi
+  double duchi_b_ = 0.0;
+  std::vector<double> duchi_pos_prob_;  ///< P(+B | input grid g)
+
+  // kPiecewise
+  double pm_c_ = 0.0;
+  std::vector<double> pm_bucket_value_;           ///< output bucket midpoints
+  std::vector<std::vector<double>> pm_bucket_prob_;  ///< [g][bucket]
+  std::vector<CategoricalSampler> pm_samplers_;      ///< one per input grid g
+};
+
+/// Per-attribute mean estimates for d numeric attributes: every user
+/// samples one attribute uniformly and reports its value through
+/// `mechanism`; attribute j averages the outputs of the users that sampled
+/// it (0 if none did). columns[j] holds attribute j's value for every user.
+std::vector<double> EstimateNumericMeans(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<double>>& columns, Rng& rng);
+
+/// Closed-form counterpart over per-attribute input grid histograms
+/// (hists[j][g] = #users with GridIndex(t) == g): Binomial(h, 1/d) thinning
+/// followed by SampleOutputSum — O(d G^2) draws regardless of n.
+std::vector<double> EstimateNumericMeansClosedForm(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<long long>>& hists, Rng& rng);
+
+/// Per-attribute mean and (raw) second-moment estimates for d numeric
+/// attributes. Every user samples one attribute uniformly; the first half
+/// of the population reports the value t itself, the second half reports
+/// s = 2 t^2 - 1 (both through `mechanism`), following Wang et al.'s
+/// mean/variance split. Attributes nobody sampled estimate 0 mean / 1/3
+/// second moment (the uniform-prior guess).
+struct NumericMoments {
+  std::vector<double> mean;           ///< E[t_j] estimates
+  std::vector<double> second_moment;  ///< E[t_j^2] estimates
+};
+
+/// Size of the mean-reporting half of an n-user population (the first
+/// NumericMeanHalfCount(n) users; the rest report the second moment).
+/// Callers building the closed-form histograms split at the same boundary.
+long long NumericMeanHalfCount(long long n);
+
+/// Per-user reference path: columns[j] holds attribute j's value for every
+/// user (columns equal length). Draw-for-draw the simulation the paper's
+/// evaluation would run.
+NumericMoments EstimateNumericMoments(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<double>>& columns, Rng& rng);
+
+/// Closed-form path: mean_hists[j][g] / moment_hists[j][g] are the input
+/// grid histograms (GridIndex of t) of the mean-half and moment-half users.
+/// The t -> s = 2 t^2 - 1 folding for the moment half happens internally on
+/// the grid, exactly as Randomize would snap it.
+NumericMoments EstimateNumericMomentsClosedForm(
+    const NumericLdp& mechanism,
+    const std::vector<std::vector<long long>>& mean_hists,
+    const std::vector<std::vector<long long>>& moment_hists, Rng& rng);
+
+}  // namespace ldpr::multidim
+
+#endif  // LDPR_MULTIDIM_NUMERIC_H_

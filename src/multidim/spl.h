@@ -47,6 +47,7 @@ class Spl {
 
   const fo::FrequencyOracle& oracle(int attribute) const;
   int d() const { return static_cast<int>(oracles_.size()); }
+  const std::vector<int>& domain_sizes() const { return domain_sizes_; }
   double per_attribute_epsilon() const { return per_attribute_epsilon_; }
 
  private:

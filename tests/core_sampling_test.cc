@@ -153,5 +153,47 @@ TEST(SamplingValidationTest, RejectsBadParameters) {
   EXPECT_THROW(ExponentialHistogram(5, 0.0, 100, rng), InvalidArgumentError);
 }
 
+TEST(SampleMultinomialTest, PreservesTotalExactly) {
+  Rng rng(5);
+  const std::vector<double> weights = {0.5, 0.2, 0.2, 0.1};
+  for (long long n : {0LL, 1LL, 17LL, 1000LL, 1000000LL}) {
+    const auto counts = SampleMultinomial(n, weights, rng);
+    ASSERT_EQ(counts.size(), weights.size());
+    long long total = 0;
+    for (long long c : counts) {
+      EXPECT_GE(c, 0);
+      total += c;
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(SampleMultinomialTest, MarginalMeansMatch) {
+  Rng rng(6);
+  const std::vector<double> weights = {4.0, 3.0, 2.0, 1.0};
+  const auto probs = Normalize(weights);
+  const long long n = 200000;
+  const auto counts = SampleMultinomial(n, weights, rng);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    // Binomial marginal: 5-sigma band around n p_i.
+    const double sigma = std::sqrt(n * probs[i] * (1.0 - probs[i]));
+    EXPECT_NEAR(static_cast<double>(counts[i]), n * probs[i], 5.0 * sigma)
+        << "cell " << i;
+  }
+}
+
+TEST(SampleMultinomialTest, DegenerateWeightPutsAllMassThere) {
+  Rng rng(7);
+  const auto counts = SampleMultinomial(1234, {0.0, 1.0, 0.0}, rng);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 1234);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(SampleMultinomialTest, RejectsNegativeCount) {
+  Rng rng(8);
+  EXPECT_THROW(SampleMultinomial(-1, {1.0, 1.0}, rng), InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace ldpr

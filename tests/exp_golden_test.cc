@@ -57,6 +57,23 @@ class ExpGoldenTest : public ::testing::Test {
     EXPECT_EQ(csv, ReadGolden(golden_file))
         << name << " CSV output drifted from the pre-refactor driver";
   }
+
+  /// Fast-profile pins: same environment, Fidelity::kFast. These goldens
+  /// were captured from this repo's own fast path (there is no historical
+  /// driver for it); they pin the closed-form RNG streams — re-pin with
+  /// tools/repin_fast_goldens.sh whenever those streams change.
+  static void RunAndCompareFast(const std::string& name,
+                                const std::string& golden_file) {
+    const ExperimentSpec* spec = Registry::Instance().Find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    RunProfile profile = RunProfile::FromEnv();
+    profile.fidelity = RunProfile::Fidelity::kFast;
+    std::string csv;
+    CsvEmitter emitter(&csv);
+    RunExperiment(*spec, emitter, profile);
+    EXPECT_EQ(csv, ReadGolden(golden_file))
+        << name << " fast-profile CSV output drifted from its pin";
+  }
 };
 
 TEST_F(ExpGoldenTest, Fig01BitIdentical) { RunAndCompare("fig01", "fig01.txt"); }
@@ -66,6 +83,22 @@ TEST_F(ExpGoldenTest, Fig02BitIdentical) { RunAndCompare("fig02", "fig02.txt"); 
 TEST_F(ExpGoldenTest, Abl05BitIdentical) { RunAndCompare("abl05", "abl05.txt"); }
 
 TEST_F(ExpGoldenTest, Abl10BitIdentical) { RunAndCompare("abl10", "abl10.txt"); }
+
+TEST_F(ExpGoldenTest, Fig05FastPinned) {
+  RunAndCompareFast("fig05", "fig05_fast.txt");
+}
+
+TEST_F(ExpGoldenTest, Fig16FastPinned) {
+  RunAndCompareFast("fig16", "fig16_fast.txt");
+}
+
+TEST_F(ExpGoldenTest, Abl06FastPinned) {
+  RunAndCompareFast("abl06", "abl06_fast.txt");
+}
+
+TEST_F(ExpGoldenTest, Abl07FastPinned) {
+  RunAndCompareFast("abl07", "abl07_fast.txt");
+}
 
 }  // namespace
 }  // namespace ldpr::exp

@@ -450,12 +450,19 @@ int CmdExperiment(int argc, char** argv) {
   const std::string action = argc >= 3 ? argv[2] : "list";
   std::string pattern = "*";
   bool smoke = false;
+  std::string profile_name;
   std::string json_path;
   bool saw_pattern = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_name = argv[++i];
+      LDPR_REQUIRE(profile_name == "legacy" || profile_name == "fast" ||
+                       profile_name == "smoke",
+                   "unknown profile '" << profile_name
+                                       << "' (legacy|fast|smoke)");
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg.rfind("--", 0) != 0 && !saw_pattern) {
@@ -469,6 +476,15 @@ int CmdExperiment(int argc, char** argv) {
   const auto& registry = exp::Registry::Instance();
   const auto matches = registry.Match(pattern);
 
+  // A pattern that matches nothing must fail loudly for every action: a CI
+  // script invoking `experiment run <glob>` against a renamed scenario must
+  // not silently no-op into a green job.
+  if (matches.empty() && (action != "list" || pattern != "*")) {
+    std::fprintf(stderr, "error: no experiment matches '%s'\n",
+                 pattern.c_str());
+    return 1;
+  }
+
   if (action == "list") {
     std::printf("%-10s %-10s %-28s %s\n", "name", "group", "title",
                 "description");
@@ -478,12 +494,10 @@ int CmdExperiment(int argc, char** argv) {
                   spec->description.c_str());
     }
     std::printf("\n%zu experiments registered\n", matches.size());
-    return matches.empty() && pattern != "*" ? 1 : 0;
+    return 0;
   }
 
   if (action == "describe") {
-    LDPR_REQUIRE(!matches.empty(),
-                 "no experiment matches '" << pattern << "'");
     for (const exp::ExperimentSpec* spec : matches) {
       std::printf("name:        %s\n", spec->name.c_str());
       std::printf("title:       %s\n", spec->title.c_str());
@@ -504,10 +518,20 @@ int CmdExperiment(int argc, char** argv) {
 
   LDPR_REQUIRE(action == "run", "unknown experiment action '"
                                     << action << "' (list|describe|run)");
-  LDPR_REQUIRE(!matches.empty(), "no experiment matches '" << pattern << "'");
 
-  const exp::RunProfile profile =
-      smoke ? exp::RunProfile::Smoke() : exp::RunProfile::FromEnv();
+  // Environment contract first (LDPR_SMOKE / LDPR_PROFILE), CLI flags
+  // override. --smoke scales down without changing the fidelity axis.
+  exp::RunProfile profile = exp::RunProfile::Resolve();
+  if (smoke || profile_name == "smoke") {
+    const exp::RunProfile::Fidelity fidelity = profile.fidelity;
+    profile = exp::RunProfile::Smoke();
+    profile.fidelity = fidelity;
+  }
+  if (profile_name == "fast") {
+    profile.fidelity = exp::RunProfile::Fidelity::kFast;
+  } else if (profile_name == "legacy") {
+    profile.fidelity = exp::RunProfile::Fidelity::kLegacyExact;
+  }
   const bool json_to_stdout = json_path == "-";
   std::string json_docs;
   for (const exp::ExperimentSpec* spec : matches) {
@@ -546,7 +570,7 @@ void Usage() {
       "recommend|ledger|pool>\n"
       "                [--flag value ...]\n"
       "  experiment: list | describe <name|glob> | run <name|glob> "
-      "[--smoke] [--json f.json|-]\n"
+      "[--smoke] [--profile legacy|fast|smoke] [--json f.json|-]\n"
       "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
       "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
       "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Turn `ldpr_cli experiment run --json` documents into the paper's figures.
+
+One subcommand per figure family:
+
+  utility  MSE-versus-epsilon curves on a log y axis (fig05, fig16, abl06,
+           abl07, wang01, wang02 — any table whose cells are MSEs).
+  attack   attack-accuracy curves, linear percent y axis (fig01-04,
+           fig09-15, fig17, abl03, abl08, fw01, ...).
+  generic  x-versus-value lines with an auto-scaled y axis (everything
+           else: fw studies, comm-cost tables, ...).
+  list     print the experiments and tables a JSON document contains.
+
+Examples:
+  ldpr_cli experiment run fig05 --json fig05.json
+  tools/plot_experiments.py utility --json fig05.json --out-dir plots/
+  tools/plot_experiments.py attack --json fig01.json --check   # no matplotlib
+
+`--check` parses and validates the document and reports what would be
+plotted without importing matplotlib — the CI smoke for environments
+without it. Output files are named <experiment>_<table-index>.png.
+
+Colors are the skill-validated categorical palette (fixed slot order, CVD
+checked for adjacent series); the grid is recessive; one y axis per chart.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Validated categorical palette, fixed slot order (light mode). Series i
+# always wears slot i — never cycled, never reordered by rank.
+PALETTE = [
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+]
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+SURFACE = "#fcfcfb"
+GRID = "#e4e3df"
+
+
+def load_docs(path):
+    with open(path) as f:
+        docs = json.load(f)
+    if isinstance(docs, dict):
+        docs = [docs]
+    if not isinstance(docs, list):
+        raise ValueError(f"{path}: expected a JSON array of experiment docs")
+    for doc in docs:
+        for key in ("experiment", "tables"):
+            if key not in doc:
+                raise ValueError(f"{path}: document missing '{key}'")
+    return docs
+
+
+def numeric_series(table):
+    """Splits a table into (xs, {column: ys}) keeping numeric cells only."""
+    columns = table.get("columns", [])
+    xs, series = [], {name: [] for name in columns}
+    for row in table.get("rows", []):
+        if not row or not isinstance(row[0], (int, float)):
+            continue
+        xs.append(row[0])
+        for i, name in enumerate(columns):
+            value = row[1 + i] if 1 + i < len(row) else None
+            series[name].append(
+                value if isinstance(value, (int, float)) else None
+            )
+    return xs, series
+
+
+def slug(text):
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", text).strip("_") or "table"
+
+
+def plot_family(docs, family, out_dir, check):
+    made = []
+    if not check:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+    for doc in docs:
+        for t, table in enumerate(doc["tables"]):
+            xs, series = numeric_series(table)
+            # Keep the original column index as the palette slot: a column
+            # that is non-numeric in one panel must not shift the colors of
+            # the series after it (color follows the entity, not its rank).
+            drawable = [
+                (slot, name, ys)
+                for slot, (name, ys) in enumerate(series.items())
+                if any(v is not None for v in ys)
+            ]
+            if not xs or not drawable:
+                continue
+            if len(series) > len(PALETTE):
+                raise ValueError(
+                    f"{doc['experiment']} table {t}: {len(series)} series "
+                    f"exceed the {len(PALETTE)}-slot palette — split the "
+                    "table or fold series"
+                )
+            name = f"{doc['experiment']}_{t:02d}_{slug(table.get('section') or 'main')}"
+            made.append(name)
+            if check:
+                continue
+
+            fig, ax = plt.subplots(figsize=(6.0, 4.0), dpi=150)
+            fig.patch.set_facecolor(SURFACE)
+            ax.set_facecolor(SURFACE)
+            for slot, label, ys in drawable:
+                ax.plot(
+                    xs,
+                    ys,
+                    label=label,
+                    color=PALETTE[slot],
+                    linewidth=2.0,
+                    marker="o",
+                    markersize=4.5,
+                )
+            if family == "utility":
+                ax.set_yscale("log")
+                ax.set_ylabel("MSE", color=TEXT_PRIMARY)
+            elif family == "attack":
+                ax.set_ylabel("accuracy (%)", color=TEXT_PRIMARY)
+            else:
+                ax.set_ylabel("value", color=TEXT_PRIMARY)
+            ax.set_xlabel(table.get("x", "x"), color=TEXT_PRIMARY)
+            title = doc["experiment"]
+            if table.get("section"):
+                title += f" — {table['section']}"
+            ax.set_title(title, color=TEXT_PRIMARY, fontsize=10)
+            ax.grid(True, color=GRID, linewidth=0.6)
+            ax.set_axisbelow(True)
+            for spine in ("top", "right"):
+                ax.spines[spine].set_visible(False)
+            for spine in ("left", "bottom"):
+                ax.spines[spine].set_color(TEXT_SECONDARY)
+            ax.tick_params(colors=TEXT_SECONDARY)
+            if len(drawable) >= 2:
+                ax.legend(fontsize=8, frameon=False, labelcolor=TEXT_PRIMARY)
+            fig.tight_layout()
+            out = f"{out_dir.rstrip('/')}/{name}.png"
+            fig.savefig(out, facecolor=SURFACE)
+            plt.close(fig)
+            print(f"wrote {out}")
+    return made
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "family", choices=["utility", "attack", "generic", "list"]
+    )
+    parser.add_argument("--json", required=True, help="experiment JSON file")
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate and report without importing matplotlib",
+    )
+    args = parser.parse_args()
+
+    docs = load_docs(args.json)
+    if args.family == "list":
+        for doc in docs:
+            print(f"{doc['experiment']}: {len(doc['tables'])} tables")
+            for t, table in enumerate(doc["tables"]):
+                xs, series = numeric_series(table)
+                print(
+                    f"  [{t}] {table.get('section') or '(main)'}: "
+                    f"{len(xs)} rows x {len(series)} series"
+                )
+        return 0
+
+    made = plot_family(docs, args.family, args.out_dir, args.check)
+    if not made:
+        print("error: no plottable tables found", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"OK: {len(made)} figure(s) would be written: {', '.join(made)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
