@@ -1,0 +1,139 @@
+// Microbenchmark (google-benchmark) for the streaming collection service:
+// end-to-end ingest throughput of wire-encoded reports through a Collector
+// lane (decode + validate + accumulate), the epoch seal cost, and the load
+// generator's encode rate.
+//
+// The issue's acceptance bar: >= 1M wire-decoded reports ingested per second
+// per core for GRR and OUE at k = 100 (items_per_second of
+// BM_ServeIngest/grr and /oue; all five protocols are reported). OLH pays
+// its k universal-hash evaluations per report server-side, SS its omega
+// tallies — the same asymmetry the comm-cost model prices client-side.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "fo/factory.h"
+#include "serve/collector.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using namespace ldpr;
+
+constexpr int kDomain = 100;
+
+std::vector<int> MakeValues(long long n) {
+  std::vector<int> values(n);
+  for (long long i = 0; i < n; ++i) {
+    values[i] = static_cast<int>((i * 37 + i / 11) % kDomain);
+  }
+  return values;
+}
+
+serve::EncodedStream MakeStream(const fo::FrequencyOracle& oracle,
+                                long long n) {
+  Rng root(1);
+  sim::Options options;
+  options.threads = 1;  // encode single-threaded: the bench measures ingest
+  return serve::EncodeScalarLoad(oracle, MakeValues(n), root, options);
+}
+
+// One core, one lane: pure decode-and-accumulate throughput.
+void BM_ServeIngest(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const serve::EncodedStream stream = MakeStream(*oracle, n);
+  serve::Collector collector(*oracle, serve::CollectorOptions{.lanes = 1});
+  for (auto _ : state) {
+    for (long long i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          collector.Ingest(0, stream.frame(i), stream.frame_bytes));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long long>(stream.bytes.size()));
+  benchmark::DoNotOptimize(collector.Drain());
+}
+
+// Full epoch round trip: open, ingest the stream, seal (merge + estimate +
+// consistency post-processing).
+void BM_ServeEpochRoundTrip(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const serve::EncodedStream stream = MakeStream(*oracle, n);
+  serve::EpochManager manager(*oracle, serve::CollectorOptions{.lanes = 8});
+  for (auto _ : state) {
+    manager.OpenEpoch();
+    for (long long i = 0; i < n; ++i) {
+      manager.collector().Ingest(static_cast<int>(i & 7), stream.frame(i),
+                                 stream.frame_bytes);
+    }
+    benchmark::DoNotOptimize(manager.Seal());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// Seal alone: O(lanes * k) regardless of the reports ingested — the cost of
+// snapshotting a live epoch.
+void BM_ServeSeal(benchmark::State& state) {
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, kDomain, 1.0);
+  const serve::EncodedStream stream = MakeStream(*oracle, 1 << 12);
+  serve::EpochManager manager(*oracle, serve::CollectorOptions{.lanes = 8});
+  for (auto _ : state) {
+    state.PauseTiming();
+    manager.OpenEpoch();
+    for (long long i = 0; i < stream.count; ++i) {
+      manager.collector().Ingest(static_cast<int>(i & 7), stream.frame(i),
+                                 stream.frame_bytes);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(manager.Seal());
+  }
+}
+
+// Client side of the pipeline: randomize + serialize (the load generator's
+// per-producer work).
+void BM_ServeEncode(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const std::vector<int> values = MakeValues(n);
+  Rng root(1);
+  sim::Options options;
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serve::EncodeScalarLoad(*oracle, values, root, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+// The acceptance pair at full width: GRR and OUE, k = 100, n = 1M.
+BENCHMARK_CAPTURE(BM_ServeIngest, grr, fo::Protocol::kGrr)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeIngest, oue, fo::Protocol::kOue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeIngest, sue, fo::Protocol::kSue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+// OLH ingests k hash evaluations per report, SS omega tallies: smaller n
+// keeps the suite quick while items_per_second stays comparable.
+BENCHMARK_CAPTURE(BM_ServeIngest, ss, fo::Protocol::kSs)->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeIngest, olh, fo::Protocol::kOlh)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_ServeEpochRoundTrip, grr, fo::Protocol::kGrr)
+    ->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeEpochRoundTrip, oue, fo::Protocol::kOue)
+    ->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ServeSeal)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_ServeEncode, grr, fo::Protocol::kGrr)->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeEncode, oue, fo::Protocol::kOue)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

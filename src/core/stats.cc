@@ -1,5 +1,6 @@
 #include "core/stats.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "core/check.h"
@@ -119,6 +120,11 @@ double GoodnessOfFitPValue(const std::vector<long long>& observed,
                            const std::vector<double>& expected_probs) {
   const double statistic = ChiSquareStatistic(observed, expected_probs);
   return ChiSquarePValue(statistic, static_cast<int>(observed.size()) - 1);
+}
+
+double MonotonicSeconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
 }
 
 }  // namespace ldpr

@@ -47,6 +47,25 @@ double ChiSquarePValue(double statistic, int dof);
 double GoodnessOfFitPValue(const std::vector<long long>& observed,
                            const std::vector<double>& expected_probs);
 
+/// Mergeable ingest tallies for streaming report consumers (serve/). One
+/// instance lives per collector lane so producers never contend on a shared
+/// counter; lanes Merge into the epoch totals at seal time.
+struct IngestCounters {
+  long long reports = 0;   ///< reports decoded and accumulated
+  long long bytes = 0;     ///< wire bytes consumed (accepted reports only)
+  long long rejected = 0;  ///< malformed buffers cleanly rejected
+
+  void Merge(const IngestCounters& other) {
+    reports += other.reports;
+    bytes += other.bytes;
+    rejected += other.rejected;
+  }
+};
+
+/// Monotonic wall-clock seconds (steady_clock): throughput measurement for
+/// the ingest paths. Differences are meaningful; absolute values are not.
+double MonotonicSeconds();
+
 }  // namespace ldpr
 
 #endif  // LDPR_CORE_STATS_H_

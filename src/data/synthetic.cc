@@ -23,8 +23,14 @@ std::vector<double> PermutedZipf(int k, double s, Rng& rng) {
 }
 
 int ScaledN(int n, double scale) {
-  LDPR_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-  return std::max(100, static_cast<int>(std::lround(n * scale)));
+  // Downscaling shrinks the population for quick runs; upscaling (scale > 1)
+  // grows it toward deployment sizes — e.g. the fast profile running the
+  // ACSEmployment scenarios at the source paper's true 3.2M users.
+  LDPR_REQUIRE(scale > 0.0 && scale <= 1024.0,
+               "scale must be in (0, 1024], got " << scale);
+  const long long scaled = std::llround(static_cast<double>(n) * scale);
+  LDPR_REQUIRE(scaled <= 1'000'000'000, "scaled population too large");
+  return std::max(100, static_cast<int>(scaled));
 }
 
 }  // namespace

@@ -8,23 +8,9 @@
 #include "fo/factory.h"
 #include "fo/olh.h"
 #include "fo/ss.h"
+#include "fo/wire.h"  // CeilLog2 — the codec and the cost model must agree
 
 namespace ldpr::fo {
-
-namespace {
-
-int CeilLog2(long long n) {
-  LDPR_REQUIRE(n >= 1, "CeilLog2 requires n >= 1, got " << n);
-  int bits = 0;
-  long long capacity = 1;
-  while (capacity < n) {
-    capacity <<= 1;
-    ++bits;
-  }
-  return bits;
-}
-
-}  // namespace
 
 double ReportBits(Protocol protocol, int k, double epsilon,
                   const CommCostModel& model) {

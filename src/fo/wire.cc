@@ -8,8 +8,6 @@
 
 namespace ldpr::fo {
 
-namespace {
-
 int CeilLog2(long long n) {
   LDPR_CHECK(n >= 1, "CeilLog2 requires n >= 1");
   int bits = 0;
@@ -21,7 +19,14 @@ int CeilLog2(long long n) {
   return bits;
 }
 
-}  // namespace
+bool ExactWireSize(const std::uint8_t* data, std::size_t size, int bits) {
+  if (data == nullptr ||
+      size != static_cast<std::size_t>((bits + 7) / 8)) {
+    return false;
+  }
+  const int padding = static_cast<int>(size) * 8 - bits;
+  return padding == 0 || (data[size - 1] & ((1u << padding) - 1u)) == 0;
+}
 
 void BitWriter::Write(std::uint64_t value, int width) {
   LDPR_REQUIRE(width >= 0 && width <= 64,
@@ -75,8 +80,17 @@ int SerializedReportBits(const FrequencyOracle& oracle) {
 
 std::vector<std::uint8_t> SerializeReport(const FrequencyOracle& oracle,
                                           const Report& report) {
-  const int k = oracle.k();
   BitWriter writer;
+  AppendReport(oracle, report, &writer);
+  LDPR_CHECK(writer.bit_count() == SerializedReportBits(oracle),
+             "serialized width mismatch");
+  return writer.bytes();
+}
+
+void AppendReport(const FrequencyOracle& oracle, const Report& report,
+                  BitWriter* writer_ptr) {
+  const int k = oracle.k();
+  BitWriter& writer = *writer_ptr;
   switch (oracle.protocol()) {
     case Protocol::kGrr: {
       LDPR_REQUIRE(report.value >= 0 && report.value < k,
@@ -121,16 +135,21 @@ std::vector<std::uint8_t> SerializeReport(const FrequencyOracle& oracle,
       break;
     }
   }
-  LDPR_CHECK(writer.bit_count() == SerializedReportBits(oracle),
-             "serialized width mismatch");
-  return writer.bytes();
 }
 
 Report DeserializeReport(const FrequencyOracle& oracle,
                          const std::vector<std::uint8_t>& bytes) {
-  const int k = oracle.k();
   BitReader reader(bytes);
   Report report;
+  ReadReportInto(oracle, &reader, &report);
+  return report;
+}
+
+void ReadReportInto(const FrequencyOracle& oracle, BitReader* reader_ptr,
+                    Report* report_ptr) {
+  const int k = oracle.k();
+  BitReader& reader = *reader_ptr;
+  Report& report = *report_ptr;
   switch (oracle.protocol()) {
     case Protocol::kGrr: {
       report.value = static_cast<int>(reader.Read(CeilLog2(k)));
@@ -147,6 +166,7 @@ Report DeserializeReport(const FrequencyOracle& oracle,
     case Protocol::kSs: {
       const int omega = static_cast<const Ss&>(oracle).omega();
       const int width = CeilLog2(k);
+      report.subset.clear();
       report.subset.reserve(omega);
       int previous = -1;
       for (int i = 0; i < omega; ++i) {
@@ -167,7 +187,89 @@ Report DeserializeReport(const FrequencyOracle& oracle,
       break;
     }
   }
-  return report;
+}
+
+WireDecoder::WireDecoder(const FrequencyOracle& oracle)
+    : protocol_(oracle.protocol()), k_(oracle.k()) {
+  report_bits_ = SerializedReportBits(oracle);
+  report_bytes_ = static_cast<std::size_t>((report_bits_ + 7) / 8);
+  switch (protocol_) {
+    case Protocol::kGrr:
+      value_width_ = CeilLog2(k_);
+      break;
+    case Protocol::kOlh:
+      g_ = static_cast<const Olh&>(oracle).g();
+      value_width_ = CeilLog2(g_);
+      break;
+    case Protocol::kSs:
+      omega_ = static_cast<const Ss&>(oracle).omega();
+      value_width_ = CeilLog2(k_);
+      scratch_.subset.resize(omega_);
+      break;
+    case Protocol::kSue:
+    case Protocol::kOue:
+      scratch_.bits.resize(k_);
+      break;
+  }
+}
+
+bool WireDecoder::DecodeInto(const std::uint8_t* data, std::size_t size,
+                             Aggregator& agg) {
+  if (!ExactWireSize(data, size, report_bits_)) return false;
+  int bit_offset = 0;
+  if (!DecodeField(data, &bit_offset)) return false;
+  agg.Accumulate(scratch_);
+  return true;
+}
+
+bool WireDecoder::DecodeField(const std::uint8_t* data, int* bit_offset) {
+  BitCursor cursor{data, *bit_offset};
+  switch (protocol_) {
+    case Protocol::kGrr: {
+      const int value = static_cast<int>(cursor.Read(value_width_));
+      if (value >= k_) return false;
+      scratch_.value = value;
+      break;
+    }
+    case Protocol::kOlh: {
+      scratch_.hash_seed = cursor.Read(64);
+      const int value = static_cast<int>(cursor.Read(value_width_));
+      if (value >= g_) return false;
+      scratch_.value = value;
+      break;
+    }
+    case Protocol::kSs: {
+      int previous = -1;
+      for (int i = 0; i < omega_; ++i) {
+        const int v = static_cast<int>(cursor.Read(value_width_));
+        if (v >= k_ || v <= previous) return false;
+        scratch_.subset[i] = v;
+        previous = v;
+      }
+      break;
+    }
+    case Protocol::kSue:
+    case Protocol::kOue: {
+      // Any bit pattern of the right width is a valid UE report. Byte-wise
+      // unpack on the aligned fast path (whole buffers always are); generic
+      // cursor reads when packed mid-tuple.
+      if ((cursor.position & 7) == 0) {
+        const std::uint8_t* base = data + (cursor.position >> 3);
+        for (int i = 0; i < k_; ++i) {
+          scratch_.bits[i] =
+              static_cast<std::uint8_t>((base[i >> 3] >> (7 - (i & 7))) & 1);
+        }
+        cursor.position += k_;
+      } else {
+        for (int i = 0; i < k_; ++i) {
+          scratch_.bits[i] = static_cast<std::uint8_t>(cursor.Read(1));
+        }
+      }
+      break;
+    }
+  }
+  *bit_offset = cursor.position;
+  return true;
 }
 
 }  // namespace ldpr::fo

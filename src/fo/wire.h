@@ -67,14 +67,110 @@ class BitReader {
 std::vector<std::uint8_t> SerializeReport(const FrequencyOracle& oracle,
                                           const Report& report);
 
+/// Appends one report's payload to `writer` without byte-aligning — the
+/// building block multidimensional tuples (serve/multidim_wire) use to pack
+/// several per-attribute reports into one buffer at exactly the priced
+/// tuple width. SerializeReport is this plus a fresh writer.
+void AppendReport(const FrequencyOracle& oracle, const Report& report,
+                  BitWriter* writer);
+
+/// Reads one report's payload from `reader` (the inverse of AppendReport).
+/// Throws on exhausted buffers or malformed payloads. `report` is reused:
+/// its vectors are resized, not reallocated, when capacity suffices.
+void ReadReportInto(const FrequencyOracle& oracle, BitReader* reader,
+                    Report* report);
+
 /// Exact payload width in bits for one of `oracle`'s reports (the value the
 /// comm-cost model prices; byte buffers round up to the next multiple of 8).
 int SerializedReportBits(const FrequencyOracle& oracle);
+
+/// Bits needed to address n distinct values (0 for n = 1). Shared by the
+/// codec and the multidimensional tuple formats built on it.
+int CeilLog2(long long n);
+
+/// Unchecked MSB-first bit cursor for pre-validated buffers: the decode hot
+/// paths (WireDecoder, serve/multidim_collector) check a buffer's length
+/// once via ExactWireSize and then read fields without per-bit bounds
+/// checks. Never point one at a buffer that has not been length-checked.
+struct BitCursor {
+  const std::uint8_t* data;
+  int position = 0;
+
+  std::uint64_t Read(int width) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i, ++position) {
+      value = (value << 1) |
+              static_cast<std::uint64_t>(
+                  (data[position >> 3] >> (7 - (position & 7))) & 1);
+    }
+    return value;
+  }
+};
+
+/// The strict acceptance rule every ingest surface shares: the buffer is
+/// exactly `bits` rounded up to whole bytes AND the final byte's padding
+/// bits are zero — so each accepted buffer is exactly one serializer image.
+bool ExactWireSize(const std::uint8_t* data, std::size_t size, int bits);
 
 /// Restores a report serialized by SerializeReport for the same oracle
 /// configuration (protocol, k, epsilon). SS subsets come back sorted.
 Report DeserializeReport(const FrequencyOracle& oracle,
                          const std::vector<std::uint8_t>& bytes);
+
+/// Streaming decode-into-aggregator fast path — the serving layer's hot
+/// loop. Where DeserializeReport allocates a fresh Report and throws on
+/// malformed input, a WireDecoder validates the whole buffer up front,
+/// decodes into one reused scratch Report, and folds the support straight
+/// into an Aggregator: no heap traffic and no exceptions on the ingest path,
+/// at millions of reports per second per core.
+///
+/// Acceptance is strict — stricter than DeserializeReport: the buffer must
+/// be exactly the report's width rounded up to whole bytes, the zero-padding
+/// bits of the final byte must actually be zero, and every decoded value
+/// must be in range (SS subsets strictly increasing). Under those rules
+/// decoding is a bijection with SerializeReport, so a collector can count a
+/// rejected buffer as definitively malformed rather than merely suspicious.
+class WireDecoder {
+ public:
+  explicit WireDecoder(const FrequencyOracle& oracle);
+
+  /// Decodes one report and accumulates it into `agg` (which must have been
+  /// created by the same oracle). Returns true on success. A malformed
+  /// buffer is rejected with `agg` untouched; nothing is thrown.
+  bool DecodeInto(const std::uint8_t* data, std::size_t size, Aggregator& agg);
+  bool DecodeInto(const std::vector<std::uint8_t>& bytes, Aggregator& agg) {
+    return DecodeInto(bytes.data(), bytes.size(), agg);
+  }
+
+  /// Field-level half of DecodeInto for packed multidimensional tuples
+  /// (serve/multidim_collector): decodes one report starting at bit
+  /// `*bit_offset` of `data` into the internal scratch and advances the
+  /// offset. The caller must already have validated that the buffer extends
+  /// at least report_bits() past the offset; only field *values* are checked
+  /// here. Returns false on an out-of-range / non-increasing field, in which
+  /// case the caller drops the whole tuple (nothing was accumulated).
+  bool DecodeField(const std::uint8_t* data, int* bit_offset);
+
+  /// Accumulates the report last decoded by a successful DecodeField.
+  /// Splitting decode from accumulate lets a tuple decoder validate every
+  /// attribute before mutating any aggregator (all-or-nothing ingest).
+  void AccumulateScratch(Aggregator& agg) const { agg.Accumulate(scratch_); }
+
+  /// The exact buffer size DecodeInto accepts.
+  std::size_t report_bytes() const { return report_bytes_; }
+  /// The payload width in bits (SerializedReportBits of the oracle).
+  int report_bits() const { return report_bits_; }
+
+ private:
+  const Protocol protocol_;
+  const int k_;
+  int value_width_ = 0;  ///< GRR/SS value width; OLH hashed-value width
+  int omega_ = 0;        ///< SS subset size
+  int g_ = 0;            ///< OLH reduced domain
+  int report_bits_ = 0;
+  std::size_t report_bytes_ = 0;
+  Report scratch_;
+};
 
 }  // namespace ldpr::fo
 

@@ -1,0 +1,110 @@
+#include "serve/collector.h"
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace ldpr::serve {
+
+Collector::Collector(const fo::FrequencyOracle& oracle,
+                     const CollectorOptions& options)
+    : oracle_(oracle), options_(options) {
+  int lanes = options.lanes > 0 ? options.lanes : DefaultThreadCount();
+  LDPR_CHECK(lanes >= 1, "collector needs at least one lane");
+  lanes_.reserve(lanes);
+  for (int i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(oracle));
+  }
+  report_bytes_ = lanes_[0]->decoder.report_bytes();
+}
+
+bool Collector::Ingest(int lane_hint, const std::uint8_t* data,
+                       std::size_t size) {
+  Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
+  std::lock_guard<std::mutex> guard(lane.mutex);
+  if (lane.decoder.DecodeInto(data, size, *lane.aggregator)) {
+    ++lane.tallies.reports;
+    lane.tallies.bytes += static_cast<long long>(size);
+    return true;
+  }
+  ++lane.tallies.rejected;
+  return false;
+}
+
+void Collector::IngestHistogram(int lane_hint,
+                                const std::vector<long long>& histogram,
+                                Rng& rng) {
+  Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
+  std::lock_guard<std::mutex> guard(lane.mutex);
+  const long long before = lane.aggregator->n();
+  lane.aggregator->AccumulateHistogram(histogram, rng);
+  const long long added = lane.aggregator->n() - before;
+  lane.tallies.reports += added;
+  lane.tallies.bytes += added * static_cast<long long>(report_bytes_);
+}
+
+Collector::Drained Collector::Drain() {
+  Drained out;
+  out.counts.assign(oracle_.k(), 0);
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    std::lock_guard<std::mutex> guard(lane.mutex);
+    const std::vector<long long>& counts = lane.aggregator->counts();
+    for (std::size_t v = 0; v < out.counts.size(); ++v) {
+      out.counts[v] += counts[v];
+    }
+    out.n += lane.aggregator->n();
+    out.tallies.Merge(lane.tallies);
+    lane.aggregator = oracle_.MakeAggregator();
+    lane.tallies = IngestCounters{};
+  }
+  return out;
+}
+
+EpochManager::EpochManager(const fo::FrequencyOracle& oracle,
+                           const CollectorOptions& options)
+    : collector_(oracle, options) {}
+
+long long EpochManager::OpenEpoch() {
+  LDPR_REQUIRE(!open_, "cannot open an epoch while epoch "
+                           << next_epoch_ - 1 << " is still ingesting");
+  open_ = true;
+  opened_at_ = MonotonicSeconds();
+  return next_epoch_++;
+}
+
+Collector& EpochManager::collector() {
+  LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
+  return collector_;
+}
+
+const EstimateSnapshot& EpochManager::Seal() {
+  LDPR_REQUIRE(open_, "no open epoch to seal");
+  const double seconds = MonotonicSeconds() - opened_at_;
+  Collector::Drained drained = collector_.Drain();
+
+  EstimateSnapshot snapshot;
+  snapshot.epoch = next_epoch_ - 1;
+  snapshot.n = drained.n;
+  snapshot.counts = std::move(drained.counts);
+  if (drained.n > 0) {
+    const fo::FrequencyOracle& oracle = collector_.oracle();
+    snapshot.frequencies =
+        oracle.EstimateFromCounts(snapshot.counts, drained.n);
+    snapshot.consistent = fo::MakeConsistent(
+        snapshot.frequencies, collector_.options().consistency,
+        collector_.options().consistency_threshold);
+  }
+  snapshot.stats.reports = drained.tallies.reports;
+  snapshot.stats.bytes = drained.tallies.bytes;
+  snapshot.stats.rejected = drained.tallies.rejected;
+  snapshot.stats.seconds = seconds;
+  snapshot.stats.reports_per_second =
+      seconds > 0.0 ? static_cast<double>(drained.tallies.reports) / seconds
+                    : 0.0;
+
+  open_ = false;
+  history_.push_back(std::move(snapshot));
+  return history_.back();
+}
+
+}  // namespace ldpr::serve

@@ -1,0 +1,159 @@
+#ifndef LDPR_SERVE_COLLECTOR_H_
+#define LDPR_SERVE_COLLECTOR_H_
+
+// The streaming collection service's scalar ingest core.
+//
+// The paper's deployment surface is a server continuously receiving
+// wire-encoded sanitized reports from millions of users. A Collector models
+// exactly that for one attribute: producers push raw report buffers into
+// lock-striped lanes, each lane owning its own fo::Aggregator,
+// fo::WireDecoder scratch and IngestCounters, so concurrent producers that
+// shard themselves over lanes never contend. Sealing an epoch merges the
+// lane aggregators (O(lanes * k), constant in the number of reports) into an
+// immutable EstimateSnapshot.
+//
+// Determinism: merged support counts are integer sums, so the sealed
+// snapshot depends only on the multiset of accepted reports — never on lane
+// assignment, producer interleaving or LDPR_THREADS
+// (serve_collector_test pins this, and pins snapshot estimates bit-identical
+// to a batch fo::Aggregator fed the same report stream).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/stats.h"
+#include "fo/consistency.h"
+#include "fo/frequency_oracle.h"
+#include "fo/wire.h"
+
+namespace ldpr::serve {
+
+struct CollectorOptions {
+  /// Number of lock-striped ingest lanes; 0 = one per worker thread
+  /// (core DefaultThreadCount). Lane count never affects sealed results.
+  int lanes = 0;
+  /// Post-processing applied to the snapshot's `consistent` estimate.
+  fo::ConsistencyMethod consistency = fo::ConsistencyMethod::kNormSub;
+  double consistency_threshold = 0.0;
+};
+
+/// Per-epoch ingest statistics, frozen into the snapshot at seal time.
+struct IngestStats {
+  long long reports = 0;   ///< accepted (decoded + accumulated) reports
+  long long bytes = 0;     ///< wire bytes of the accepted reports
+  long long rejected = 0;  ///< malformed buffers cleanly rejected
+  double seconds = 0.0;    ///< epoch open -> seal wall time
+  double reports_per_second = 0.0;  ///< reports / seconds (0 if degenerate)
+};
+
+/// Immutable estimate of one sealed epoch.
+struct EstimateSnapshot {
+  long long epoch = -1;
+  long long n = 0;                  ///< accepted reports in the epoch
+  std::vector<long long> counts;    ///< merged support counts, size k
+  std::vector<double> frequencies;  ///< raw Eq. (2) estimate
+  std::vector<double> consistent;   ///< consistency post-processed estimate
+  IngestStats stats;
+};
+
+/// Lock-striped ingest state for one frequency oracle. The oracle must
+/// outlive the collector.
+class Collector {
+ public:
+  explicit Collector(const fo::FrequencyOracle& oracle,
+                     const CollectorOptions& options = {});
+
+  /// Decodes one wire-encoded report into lane `lane % lanes()` and folds
+  /// its support into that lane's aggregator. Thread-safe; producers that
+  /// use distinct lanes never contend. Returns false when the buffer is
+  /// malformed (counted, nothing accumulated).
+  bool Ingest(int lane, const std::uint8_t* data, std::size_t size);
+  bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
+    return Ingest(lane, bytes.data(), bytes.size());
+  }
+
+  /// Closed-form lane feed for the fast simulation profile: draws the
+  /// aggregate support counts of `histogram` directly into lane
+  /// `lane % lanes()` (fo::Aggregator::AccumulateHistogram), bypassing the
+  /// wire. Counted as histogram-total reports of report_bytes() each.
+  void IngestHistogram(int lane, const std::vector<long long>& histogram,
+                       Rng& rng);
+
+  /// Sums every lane's counts/tallies and resets the lanes for the next
+  /// epoch. O(lanes * k). Used by EpochManager::Seal; exposed for tests.
+  struct Drained {
+    std::vector<long long> counts;
+    long long n = 0;
+    IngestCounters tallies;
+  };
+  Drained Drain();
+
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  /// The exact buffer size Ingest accepts (WireDecoder::report_bytes).
+  std::size_t report_bytes() const { return report_bytes_; }
+  const fo::FrequencyOracle& oracle() const { return oracle_; }
+  const CollectorOptions& options() const { return options_; }
+
+ private:
+  struct Lane {
+    explicit Lane(const fo::FrequencyOracle& oracle)
+        : aggregator(oracle.MakeAggregator()), decoder(oracle) {}
+
+    std::mutex mutex;
+    std::unique_ptr<fo::Aggregator> aggregator;
+    fo::WireDecoder decoder;
+    IngestCounters tallies;
+  };
+
+  const fo::FrequencyOracle& oracle_;
+  CollectorOptions options_;
+  std::size_t report_bytes_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// Epoch/round lifecycle over a Collector: open -> ingest -> seal ->
+/// snapshot. One instance serves one attribute across many rounds; sealed
+/// epochs accumulate an immutable snapshot history.
+class EpochManager {
+ public:
+  explicit EpochManager(const fo::FrequencyOracle& oracle,
+                        const CollectorOptions& options = {});
+
+  /// Opens the next epoch; requires the previous one to be sealed.
+  /// Returns the new epoch id (0, 1, ...).
+  long long OpenEpoch();
+
+  bool open() const { return open_; }
+
+  /// The live collector producers ingest into; requires an open epoch.
+  Collector& collector();
+
+  /// Seals the open epoch: merges the lanes, estimates (raw + consistency
+  /// post-processing), freezes the ingest stats and archives the snapshot.
+  /// O(lanes * k) regardless of how many reports were ingested. The
+  /// returned reference stays valid for the manager's lifetime (snapshots
+  /// live in a deque, so later seals never relocate earlier epochs).
+  const EstimateSnapshot& Seal();
+
+  /// All sealed epochs, oldest first.
+  const std::deque<EstimateSnapshot>& snapshots() const { return history_; }
+  const fo::FrequencyOracle& oracle() const { return collector_.oracle(); }
+  /// Static wire config — readable with or without an open epoch.
+  std::size_t report_bytes() const { return collector_.report_bytes(); }
+  int lanes() const { return collector_.lanes(); }
+
+ private:
+  Collector collector_;
+  std::deque<EstimateSnapshot> history_;
+  bool open_ = false;
+  long long next_epoch_ = 0;
+  double opened_at_ = 0.0;
+};
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_COLLECTOR_H_

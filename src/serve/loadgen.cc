@@ -1,0 +1,158 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "fo/wire.h"
+
+namespace ldpr::serve {
+
+namespace {
+
+/// Shared shape of the multidim encoders: one frame per dataset record,
+/// shard-local buffers concatenated in shard order so the stream is
+/// identical to a serial encode of users 0..n-1.
+EncodedFrames EncodeRecordFrames(
+    const data::Dataset& dataset, Rng& root, const sim::Options& options,
+    const std::function<std::vector<std::uint8_t>(const std::vector<int>&,
+                                                  Rng&)>& encode) {
+  const long long n = dataset.n();
+  LDPR_REQUIRE(n >= 1, "load generation requires a non-empty dataset");
+  const int shards = sim::ResolveShardCount(n, options);
+  std::vector<std::vector<std::uint8_t>> shard_bytes(shards);
+  std::vector<std::vector<std::size_t>> shard_sizes(shards);
+  sim::ShardedRun(n, root, options,
+                  [&](int shard, long long lo, long long hi, Rng& rng) {
+                    std::vector<int> record(dataset.d());
+                    for (long long user = lo; user < hi; ++user) {
+                      for (int j = 0; j < dataset.d(); ++j) {
+                        record[j] = dataset.value(static_cast<int>(user), j);
+                      }
+                      const std::vector<std::uint8_t> frame =
+                          encode(record, rng);
+                      shard_bytes[shard].insert(shard_bytes[shard].end(),
+                                                frame.begin(), frame.end());
+                      shard_sizes[shard].push_back(frame.size());
+                    }
+                  });
+  EncodedFrames out;
+  for (int s = 0; s < shards; ++s) {
+    out.bytes.insert(out.bytes.end(), shard_bytes[s].begin(),
+                     shard_bytes[s].end());
+    for (std::size_t size : shard_sizes[s]) {
+      out.offsets.push_back(out.offsets.back() + size);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EncodedStream EncodeScalarLoad(const fo::FrequencyOracle& oracle,
+                               const std::vector<int>& values, Rng& root,
+                               const sim::Options& options) {
+  const long long n = static_cast<long long>(values.size());
+  LDPR_REQUIRE(n >= 1, "load generation requires at least one value");
+  EncodedStream out;
+  out.count = n;
+  out.frame_bytes =
+      static_cast<std::size_t>((fo::SerializedReportBits(oracle) + 7) / 8);
+  out.bytes.assign(static_cast<std::size_t>(n) * out.frame_bytes, 0);
+  sim::ShardedRun(
+      n, root, options,
+      [&](int /*shard*/, long long lo, long long hi, Rng& rng) {
+        std::size_t offset = static_cast<std::size_t>(lo) * out.frame_bytes;
+        oracle.BatchRandomize(
+            values.data() + lo, static_cast<std::size_t>(hi - lo), rng,
+            [&](const fo::Report& report) {
+              const std::vector<std::uint8_t> frame =
+                  fo::SerializeReport(oracle, report);
+              std::copy(frame.begin(), frame.end(),
+                        out.bytes.begin() + offset);
+              offset += out.frame_bytes;
+            });
+      });
+  return out;
+}
+
+EncodedFrames EncodeSplLoad(const multidim::Spl& spl,
+                            const data::Dataset& dataset, Rng& root,
+                            const sim::Options& options) {
+  return EncodeRecordFrames(
+      dataset, root, options, [&](const std::vector<int>& record, Rng& rng) {
+        return SerializeSplReports(spl, spl.RandomizeUser(record, rng));
+      });
+}
+
+EncodedFrames EncodeSmpLoad(const multidim::Smp& smp,
+                            const data::Dataset& dataset, Rng& root,
+                            const sim::Options& options) {
+  return EncodeRecordFrames(
+      dataset, root, options, [&](const std::vector<int>& record, Rng& rng) {
+        return SerializeSmpReport(smp, smp.RandomizeUser(record, rng));
+      });
+}
+
+EncodedFrames EncodeRsFdLoad(const multidim::RsFd& rsfd,
+                             const data::Dataset& dataset, Rng& root,
+                             const sim::Options& options) {
+  return EncodeRecordFrames(
+      dataset, root, options, [&](const std::vector<int>& record, Rng& rng) {
+        return SerializeRsFdReport(rsfd, rsfd.RandomizeUser(record, rng));
+      });
+}
+
+EncodedFrames EncodeRsRfdLoad(const multidim::RsRfd& rsrfd,
+                              const data::Dataset& dataset, Rng& root,
+                              const sim::Options& options) {
+  return EncodeRecordFrames(
+      dataset, root, options, [&](const std::vector<int>& record, Rng& rng) {
+        return SerializeRsRfdReport(rsrfd, rsrfd.RandomizeUser(record, rng));
+      });
+}
+
+long long IngestStream(Collector& collector, const EncodedStream& stream,
+                       int threads) {
+  const int shards = collector.lanes();
+  std::vector<long long> accepted(shards, 0);
+  ParallelForShards(
+      stream.count, shards,
+      [&](int shard, long long lo, long long hi) {
+        long long ok = 0;
+        for (long long i = lo; i < hi; ++i) {
+          ok += collector.Ingest(shard, stream.frame(i), stream.frame_bytes)
+                    ? 1
+                    : 0;
+        }
+        accepted[shard] = ok;
+      },
+      threads);
+  long long total = 0;
+  for (long long a : accepted) total += a;
+  return total;
+}
+
+long long IngestFrames(MultidimCollector& collector,
+                       const EncodedFrames& frames, int threads) {
+  const int shards = collector.lanes();
+  std::vector<long long> accepted(shards, 0);
+  ParallelForShards(
+      frames.count(), shards,
+      [&](int shard, long long lo, long long hi) {
+        long long ok = 0;
+        for (long long i = lo; i < hi; ++i) {
+          ok += collector.Ingest(shard, frames.frame(i), frames.frame_size(i))
+                    ? 1
+                    : 0;
+        }
+        accepted[shard] = ok;
+      },
+      threads);
+  long long total = 0;
+  for (long long a : accepted) total += a;
+  return total;
+}
+
+}  // namespace ldpr::serve

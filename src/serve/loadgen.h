@@ -1,0 +1,86 @@
+#ifndef LDPR_SERVE_LOADGEN_H_
+#define LDPR_SERVE_LOADGEN_H_
+
+// Load generator for the collection service: synthesizes the wire traffic
+// of millions of users so the Collector is exercised end to end (randomize
+// -> serialize -> ingest -> seal) rather than via in-process Report objects.
+//
+// Producers are sharded with the simulation engine's rules (sim::ShardedRun:
+// shard boundaries and Fork streams depend only on n), so a fixed root seed
+// yields byte-identical traffic under any LDPR_THREADS — which is what lets
+// serve_collector_test pin sealed snapshots across thread counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "serve/collector.h"
+#include "serve/multidim_collector.h"
+#include "sim/engine.h"
+
+namespace ldpr::serve {
+
+/// Fixed-stride wire stream: every scalar report of one oracle occupies the
+/// same number of whole bytes, so a flat buffer needs no offset table.
+struct EncodedStream {
+  std::vector<std::uint8_t> bytes;
+  std::size_t frame_bytes = 0;
+  long long count = 0;
+
+  const std::uint8_t* frame(long long i) const {
+    return bytes.data() + static_cast<std::size_t>(i) * frame_bytes;
+  }
+};
+
+/// Variable-width frame stream for multidimensional tuples (SMP tuples vary
+/// with the sampled attribute). offsets.size() == count + 1.
+struct EncodedFrames {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> offsets{0};
+
+  long long count() const {
+    return static_cast<long long>(offsets.size()) - 1;
+  }
+  const std::uint8_t* frame(long long i) const {
+    return bytes.data() + offsets[static_cast<std::size_t>(i)];
+  }
+  std::size_t frame_size(long long i) const {
+    return offsets[static_cast<std::size_t>(i) + 1] -
+           offsets[static_cast<std::size_t>(i)];
+  }
+};
+
+/// Randomizes values[i] through `oracle` (BatchRandomize draw order) and
+/// serializes each report into its slot of one flat buffer, fanned over
+/// `options.threads` producers.
+EncodedStream EncodeScalarLoad(const fo::FrequencyOracle& oracle,
+                               const std::vector<int>& values, Rng& root,
+                               const sim::Options& options = {});
+
+/// Multidimensional loads: one wire tuple per dataset record.
+EncodedFrames EncodeSplLoad(const multidim::Spl& spl,
+                            const data::Dataset& dataset, Rng& root,
+                            const sim::Options& options = {});
+EncodedFrames EncodeSmpLoad(const multidim::Smp& smp,
+                            const data::Dataset& dataset, Rng& root,
+                            const sim::Options& options = {});
+EncodedFrames EncodeRsFdLoad(const multidim::RsFd& rsfd,
+                             const data::Dataset& dataset, Rng& root,
+                             const sim::Options& options = {});
+EncodedFrames EncodeRsRfdLoad(const multidim::RsRfd& rsrfd,
+                              const data::Dataset& dataset, Rng& root,
+                              const sim::Options& options = {});
+
+/// Feeds every frame into the collector, producers sharded over lanes
+/// (shard s ingests into lane s: zero lock contention). Returns the number
+/// of accepted reports.
+long long IngestStream(Collector& collector, const EncodedStream& stream,
+                       int threads = 0);
+long long IngestFrames(MultidimCollector& collector,
+                       const EncodedFrames& frames, int threads = 0);
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_LOADGEN_H_

@@ -1,0 +1,248 @@
+#include "serve/multidim_collector.h"
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "fo/wire.h"
+
+namespace ldpr::serve {
+
+struct MultidimCollector::Lane {
+  std::mutex mutex;
+  /// SPL/SMP: one aggregator + wire decoder per attribute.
+  std::vector<std::unique_ptr<fo::Aggregator>> per_attribute;
+  std::vector<fo::WireDecoder> decoders;
+  /// RS+FD / RS+RFD: the support-count matrix of the StreamAggregators.
+  std::vector<std::vector<long long>> counts;
+  std::vector<int> values_scratch;
+  long long n = 0;
+  IngestCounters tallies;
+};
+
+MultidimCollector::~MultidimCollector() = default;
+
+MultidimCollector::MultidimCollector(Kind kind, std::vector<int> domain_sizes,
+                                     const CollectorOptions& options)
+    : kind_(kind), domain_sizes_(std::move(domain_sizes)) {
+  (void)options;
+  opened_at_ = MonotonicSeconds();
+}
+
+MultidimCollector::MultidimCollector(const multidim::Spl& spl,
+                                     const CollectorOptions& options)
+    : MultidimCollector(Kind::kSpl, spl.domain_sizes(), options) {
+  spl_ = &spl;
+  fixed_tuple_bits_ = SplTupleWireBits(spl);
+  InitLanes(options.lanes);
+}
+
+MultidimCollector::MultidimCollector(const multidim::Smp& smp,
+                                     const CollectorOptions& options)
+    : MultidimCollector(Kind::kSmp, smp.domain_sizes(), options) {
+  smp_ = &smp;
+  attr_width_ = fo::CeilLog2(smp.d());
+  value_widths_.resize(smp.d());
+  for (int j = 0; j < smp.d(); ++j) {
+    value_widths_[j] = SmpTupleWireBits(smp, j);
+  }
+  InitLanes(options.lanes);
+}
+
+MultidimCollector::MultidimCollector(const multidim::RsFd& rsfd,
+                                     const CollectorOptions& options)
+    : MultidimCollector(Kind::kRsFd, rsfd.domain_sizes(), options) {
+  rsfd_ = &rsfd;
+  ue_variant_ = multidim::IsUeVariant(rsfd.variant());
+  fixed_tuple_bits_ = FdTupleWireBits(ue_variant_, domain_sizes_);
+  for (int k : domain_sizes_) value_widths_.push_back(fo::CeilLog2(k));
+  InitLanes(options.lanes);
+}
+
+MultidimCollector::MultidimCollector(const multidim::RsRfd& rsrfd,
+                                     const CollectorOptions& options)
+    : MultidimCollector(Kind::kRsRfd, rsrfd.domain_sizes(), options) {
+  rsrfd_ = &rsrfd;
+  ue_variant_ = rsrfd.variant() != multidim::RsRfdVariant::kGrr;
+  fixed_tuple_bits_ = FdTupleWireBits(ue_variant_, domain_sizes_);
+  for (int k : domain_sizes_) value_widths_.push_back(fo::CeilLog2(k));
+  InitLanes(options.lanes);
+}
+
+void MultidimCollector::InitLanes(int lanes) {
+  if (lanes <= 0) lanes = DefaultThreadCount();
+  LDPR_CHECK(lanes >= 1, "collector needs at least one lane");
+  lanes_.reserve(lanes);
+  for (int i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    if (kind_ == Kind::kSpl || kind_ == Kind::kSmp) {
+      lane->per_attribute.reserve(d());
+      lane->decoders.reserve(d());
+      for (int j = 0; j < d(); ++j) {
+        const fo::FrequencyOracle& oracle =
+            kind_ == Kind::kSpl ? spl_->oracle(j) : smp_->oracle(j);
+        lane->per_attribute.push_back(oracle.MakeAggregator());
+        lane->decoders.emplace_back(oracle);
+      }
+    } else {
+      lane->counts.resize(d());
+      for (int j = 0; j < d(); ++j) lane->counts[j].assign(domain_sizes_[j], 0);
+      lane->values_scratch.resize(d());
+    }
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+bool MultidimCollector::Ingest(int lane_hint, const std::uint8_t* data,
+                               std::size_t size) {
+  Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
+  std::lock_guard<std::mutex> guard(lane.mutex);
+  const bool accepted = (kind_ == Kind::kSpl || kind_ == Kind::kSmp)
+                            ? IngestSplSmp(lane, data, size)
+                            : IngestFd(lane, data, size);
+  if (accepted) {
+    ++lane.tallies.reports;
+    lane.tallies.bytes += static_cast<long long>(size);
+  } else {
+    ++lane.tallies.rejected;
+  }
+  return accepted;
+}
+
+bool MultidimCollector::IngestSplSmp(Lane& lane, const std::uint8_t* data,
+                                     std::size_t size) {
+  if (kind_ == Kind::kSpl) {
+    if (!fo::ExactWireSize(data, size, fixed_tuple_bits_)) return false;
+    int offset = 0;
+    // Validate every attribute's field before touching any aggregator.
+    for (int j = 0; j < d(); ++j) {
+      if (!lane.decoders[j].DecodeField(data, &offset)) return false;
+    }
+    for (int j = 0; j < d(); ++j) {
+      lane.decoders[j].AccumulateScratch(*lane.per_attribute[j]);
+    }
+    ++lane.n;
+    return true;
+  }
+  // SMP: the attribute index determines the tuple's width. Widths compare
+  // in 64-bit so absurdly large buffers reject cleanly instead of
+  // overflowing the bit count.
+  if (data == nullptr ||
+      size * 8ull < static_cast<unsigned long long>(attr_width_)) {
+    return false;
+  }
+  fo::BitCursor cursor{data};
+  const int attribute = static_cast<int>(cursor.Read(attr_width_));
+  if (attribute >= d() ||
+      !fo::ExactWireSize(data, size, value_widths_[attribute])) {
+    return false;
+  }
+  int offset = cursor.position;
+  if (!lane.decoders[attribute].DecodeField(data, &offset)) return false;
+  lane.decoders[attribute].AccumulateScratch(*lane.per_attribute[attribute]);
+  ++lane.n;
+  return true;
+}
+
+bool MultidimCollector::IngestFd(Lane& lane, const std::uint8_t* data,
+                                 std::size_t size) {
+  if (!fo::ExactWireSize(data, size, fixed_tuple_bits_)) return false;
+  fo::BitCursor cursor{data};
+  if (!ue_variant_) {
+    for (int j = 0; j < d(); ++j) {
+      const int value = static_cast<int>(cursor.Read(value_widths_[j]));
+      if (value >= domain_sizes_[j]) return false;
+      lane.values_scratch[j] = value;
+    }
+    for (int j = 0; j < d(); ++j) ++lane.counts[j][lane.values_scratch[j]];
+  } else {
+    // Every bit pattern is a valid UE tuple; fold the set bits directly
+    // into the support-count matrix.
+    for (int j = 0; j < d(); ++j) {
+      std::vector<long long>& column = lane.counts[j];
+      for (int v = 0; v < domain_sizes_[j]; ++v) {
+        column[v] += static_cast<long long>(cursor.Read(1));
+      }
+    }
+  }
+  ++lane.n;
+  return true;
+}
+
+MultidimSnapshot MultidimCollector::Seal() {
+  const double now = MonotonicSeconds();
+  MultidimSnapshot snapshot;
+  snapshot.epoch = next_epoch_++;
+  snapshot.stats.seconds = now - opened_at_;
+  opened_at_ = now;
+
+  IngestCounters tallies;
+  if (kind_ == Kind::kSpl || kind_ == Kind::kSmp) {
+    std::vector<std::unique_ptr<fo::Aggregator>> merged;
+    merged.reserve(d());
+    for (int j = 0; j < d(); ++j) {
+      const fo::FrequencyOracle& oracle =
+          kind_ == Kind::kSpl ? spl_->oracle(j) : smp_->oracle(j);
+      merged.push_back(oracle.MakeAggregator());
+    }
+    for (auto& lane_ptr : lanes_) {
+      Lane& lane = *lane_ptr;
+      std::lock_guard<std::mutex> guard(lane.mutex);
+      for (int j = 0; j < d(); ++j) {
+        merged[j]->Merge(*lane.per_attribute[j]);
+        const fo::FrequencyOracle& oracle =
+            kind_ == Kind::kSpl ? spl_->oracle(j) : smp_->oracle(j);
+        lane.per_attribute[j] = oracle.MakeAggregator();
+      }
+      snapshot.n += lane.n;
+      lane.n = 0;
+      tallies.Merge(lane.tallies);
+      lane.tallies = IngestCounters{};
+    }
+    if (snapshot.n > 0) {
+      snapshot.estimates.resize(d());
+      for (int j = 0; j < d(); ++j) {
+        if (merged[j]->n() == 0) {
+          // No user sampled this attribute (SMP); best unbiased guess is
+          // uniform — mirrors Smp::StreamAggregator::Estimate.
+          snapshot.estimates[j].assign(domain_sizes_[j],
+                                       1.0 / domain_sizes_[j]);
+        } else {
+          snapshot.estimates[j] = merged[j]->Estimate();
+        }
+      }
+    }
+  } else {
+    std::vector<std::vector<long long>> counts(d());
+    for (int j = 0; j < d(); ++j) counts[j].assign(domain_sizes_[j], 0);
+    for (auto& lane_ptr : lanes_) {
+      Lane& lane = *lane_ptr;
+      std::lock_guard<std::mutex> guard(lane.mutex);
+      for (int j = 0; j < d(); ++j) {
+        for (int v = 0; v < domain_sizes_[j]; ++v) {
+          counts[j][v] += lane.counts[j][v];
+        }
+        lane.counts[j].assign(domain_sizes_[j], 0);
+      }
+      snapshot.n += lane.n;
+      lane.n = 0;
+      tallies.Merge(lane.tallies);
+      lane.tallies = IngestCounters{};
+    }
+    if (snapshot.n > 0) {
+      snapshot.estimates =
+          kind_ == Kind::kRsFd
+              ? rsfd_->EstimateFromSupportCounts(counts, snapshot.n)
+              : rsrfd_->EstimateFromSupportCounts(counts, snapshot.n);
+    }
+  }
+
+  snapshot.stats.reports = tallies.reports;
+  snapshot.stats.bytes = tallies.bytes;
+  snapshot.stats.rejected = tallies.rejected;
+  snapshot.stats.reports_per_second =
+      snapshot.stats.seconds > 0.0
+          ? static_cast<double>(tallies.reports) / snapshot.stats.seconds
+          : 0.0;
+  return snapshot;
+}
+
+}  // namespace ldpr::serve

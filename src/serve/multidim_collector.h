@@ -1,0 +1,101 @@
+#ifndef LDPR_SERVE_MULTIDIM_COLLECTOR_H_
+#define LDPR_SERVE_MULTIDIM_COLLECTOR_H_
+
+// Multidimensional front-end of the collection service: routes wire-encoded
+// SPL / SMP / RS+FD / RS+RFD tuples (serve/multidim_wire formats) into
+// lock-striped per-attribute lanes.
+//
+// Per lane, SPL and SMP decode through one fo::WireDecoder per attribute
+// into per-attribute fo::Aggregators (SMP feeds only the sampled
+// attribute's); the fake-data solutions accumulate straight into a
+// support-count matrix — the same counts their StreamAggregators keep — so
+// sealing estimates via RsFd/RsRfd::EstimateFromSupportCounts. Ingest is
+// all-or-nothing: every attribute field of a tuple is validated before any
+// aggregator is touched, and a malformed tuple is rejected without side
+// effects. As with the scalar Collector, sealed results depend only on the
+// multiset of accepted tuples, never on lane assignment or thread count.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/collector.h"
+#include "serve/multidim_wire.h"
+
+namespace ldpr::serve {
+
+/// Immutable per-epoch estimate of a multidimensional collection round.
+struct MultidimSnapshot {
+  long long epoch = -1;
+  long long n = 0;  ///< accepted tuples
+  std::vector<std::vector<double>> estimates;  ///< per-attribute frequencies
+  IngestStats stats;
+};
+
+class MultidimCollector {
+ public:
+  /// The solution object must outlive the collector. `options.consistency`
+  /// is unused here (the multidim estimators are already unbiased per
+  /// attribute; post-processing stays a caller concern).
+  MultidimCollector(const multidim::Spl& spl,
+                    const CollectorOptions& options = {});
+  MultidimCollector(const multidim::Smp& smp,
+                    const CollectorOptions& options = {});
+  MultidimCollector(const multidim::RsFd& rsfd,
+                    const CollectorOptions& options = {});
+  MultidimCollector(const multidim::RsRfd& rsrfd,
+                    const CollectorOptions& options = {});
+
+  ~MultidimCollector();  // Lane is incomplete here
+
+  /// Decodes one wire-encoded tuple into lane `lane % lanes()`.
+  /// Thread-safe; returns false (counted, no accumulation) on malformed
+  /// buffers.
+  bool Ingest(int lane, const std::uint8_t* data, std::size_t size);
+  bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
+    return Ingest(lane, bytes.data(), bytes.size());
+  }
+
+  /// Merges every lane, estimates per-attribute frequencies, freezes the
+  /// ingest stats and resets the lanes for the next epoch. O(lanes * sum k_j)
+  /// regardless of the number of tuples ingested.
+  MultidimSnapshot Seal();
+
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  int d() const { return static_cast<int>(domain_sizes_.size()); }
+  const std::vector<int>& domain_sizes() const { return domain_sizes_; }
+
+ private:
+  enum class Kind { kSpl, kSmp, kRsFd, kRsRfd };
+
+  struct Lane;
+
+  MultidimCollector(Kind kind, std::vector<int> domain_sizes,
+                    const CollectorOptions& options);
+  void InitLanes(int lanes);
+  bool IngestSplSmp(Lane& lane, const std::uint8_t* data, std::size_t size);
+  bool IngestFd(Lane& lane, const std::uint8_t* data, std::size_t size);
+
+  Kind kind_;
+  const multidim::Spl* spl_ = nullptr;
+  const multidim::Smp* smp_ = nullptr;
+  const multidim::RsFd* rsfd_ = nullptr;
+  const multidim::RsRfd* rsrfd_ = nullptr;
+
+  std::vector<int> domain_sizes_;
+  bool ue_variant_ = false;         ///< FD kinds: unary-encoded payloads
+  int attr_width_ = 0;              ///< SMP attribute-index width
+  int fixed_tuple_bits_ = 0;        ///< SPL / FD: the whole tuple's width
+  /// FD: per-attribute value widths (GRR payloads); SMP: per-attribute
+  /// whole-tuple widths (index + report).
+  std::vector<int> value_widths_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  long long next_epoch_ = 0;
+  double opened_at_ = 0.0;
+};
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_MULTIDIM_COLLECTOR_H_

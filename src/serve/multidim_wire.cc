@@ -1,0 +1,100 @@
+#include "serve/multidim_wire.h"
+
+#include "core/check.h"
+#include "fo/wire.h"
+
+namespace ldpr::serve {
+
+namespace {
+
+/// Shared RS+FD / RS+RFD tuple payload: one field per attribute.
+std::vector<std::uint8_t> SerializeFdTuple(
+    bool ue_variant, const std::vector<int>& domain_sizes,
+    const multidim::MultidimReport& report) {
+  const int d = static_cast<int>(domain_sizes.size());
+  fo::BitWriter writer;
+  if (!ue_variant) {
+    LDPR_REQUIRE(static_cast<int>(report.values.size()) == d,
+                 "FD report has " << report.values.size()
+                                  << " values, expected " << d);
+    for (int j = 0; j < d; ++j) {
+      LDPR_REQUIRE(report.values[j] >= 0 && report.values[j] < domain_sizes[j],
+                   "FD report value out of range for attribute " << j);
+      writer.Write(static_cast<std::uint64_t>(report.values[j]),
+                   fo::CeilLog2(domain_sizes[j]));
+    }
+  } else {
+    LDPR_REQUIRE(static_cast<int>(report.bits.size()) == d,
+                 "FD report has " << report.bits.size()
+                                  << " bit vectors, expected " << d);
+    for (int j = 0; j < d; ++j) {
+      LDPR_REQUIRE(static_cast<int>(report.bits[j].size()) == domain_sizes[j],
+                   "FD report bit vector " << j << " has wrong length");
+      for (std::uint8_t bit : report.bits[j]) {
+        LDPR_REQUIRE(bit <= 1, "UE bits must be 0/1");
+        writer.Write(bit, 1);
+      }
+    }
+  }
+  return writer.bytes();
+}
+
+}  // namespace
+
+int SplTupleWireBits(const multidim::Spl& spl) {
+  int bits = 0;
+  for (int j = 0; j < spl.d(); ++j) {
+    bits += fo::SerializedReportBits(spl.oracle(j));
+  }
+  return bits;
+}
+
+int SmpTupleWireBits(const multidim::Smp& smp, int attribute) {
+  return fo::CeilLog2(smp.d()) +
+         fo::SerializedReportBits(smp.oracle(attribute));
+}
+
+int FdTupleWireBits(bool ue_variant, const std::vector<int>& domain_sizes) {
+  int bits = 0;
+  for (int k : domain_sizes) {
+    bits += ue_variant ? k : fo::CeilLog2(k);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> SerializeSplReports(
+    const multidim::Spl& spl, const std::vector<fo::Report>& reports) {
+  LDPR_REQUIRE(static_cast<int>(reports.size()) == spl.d(),
+               "SPL tuple has " << reports.size() << " reports, expected "
+                                << spl.d());
+  fo::BitWriter writer;
+  for (int j = 0; j < spl.d(); ++j) {
+    fo::AppendReport(spl.oracle(j), reports[j], &writer);
+  }
+  return writer.bytes();
+}
+
+std::vector<std::uint8_t> SerializeSmpReport(
+    const multidim::Smp& smp, const multidim::SmpReport& report) {
+  LDPR_REQUIRE(report.attribute >= 0 && report.attribute < smp.d(),
+               "SMP report attribute out of range");
+  fo::BitWriter writer;
+  writer.Write(static_cast<std::uint64_t>(report.attribute),
+               fo::CeilLog2(smp.d()));
+  fo::AppendReport(smp.oracle(report.attribute), report.report, &writer);
+  return writer.bytes();
+}
+
+std::vector<std::uint8_t> SerializeRsFdReport(
+    const multidim::RsFd& rsfd, const multidim::MultidimReport& report) {
+  return SerializeFdTuple(multidim::IsUeVariant(rsfd.variant()),
+                          rsfd.domain_sizes(), report);
+}
+
+std::vector<std::uint8_t> SerializeRsRfdReport(
+    const multidim::RsRfd& rsrfd, const multidim::MultidimReport& report) {
+  return SerializeFdTuple(rsrfd.variant() != multidim::RsRfdVariant::kGrr,
+                          rsrfd.domain_sizes(), report);
+}
+
+}  // namespace ldpr::serve

@@ -1,0 +1,51 @@
+#ifndef LDPR_SERVE_MULTIDIM_WIRE_H_
+#define LDPR_SERVE_MULTIDIM_WIRE_H_
+
+// Wire formats for multidimensional tuples — the client upload of each
+// Section 2.3 solution, packed at exactly the width the communication-cost
+// model prices (fo/comm_cost: SplTupleBits / SmpTupleBits / RsFdTupleBits),
+// rounded up to whole bytes only at the buffer boundary. All fields are
+// MSB-first (fo/wire bit order):
+//
+//   SPL     concat_j report_j          report_j at budget eps/d (fo widths)
+//   SMP     attr | report_attr         attr in ceil(log2 d) bits, report at
+//                                      full eps (width varies with attr)
+//   RS+FD   GRR variant:  concat_j value_j   value_j in ceil(log2 k_j) bits
+//           UE variants:  concat_j bits_j    k_j bits per attribute
+//   RS+RFD  identical payload to RS+FD (realistic fake data changes the
+//           distribution, not the encoding)
+//
+// The ground-truth `sampled_attribute` of an RS+FD/RS+RFD report is never
+// transmitted — indistinguishability of the sampled attribute is the whole
+// point of the fake-data design.
+
+#include <cstdint>
+#include <vector>
+
+#include "multidim/rsfd.h"
+#include "multidim/rsrfd.h"
+#include "multidim/smp.h"
+#include "multidim/spl.h"
+
+namespace ldpr::serve {
+
+/// Exact payload widths in bits (byte buffers round up once).
+int SplTupleWireBits(const multidim::Spl& spl);
+int SmpTupleWireBits(const multidim::Smp& smp, int attribute);
+int FdTupleWireBits(bool ue_variant, const std::vector<int>& domain_sizes);
+
+std::vector<std::uint8_t> SerializeSplReports(
+    const multidim::Spl& spl, const std::vector<fo::Report>& reports);
+
+std::vector<std::uint8_t> SerializeSmpReport(const multidim::Smp& smp,
+                                             const multidim::SmpReport& report);
+
+std::vector<std::uint8_t> SerializeRsFdReport(
+    const multidim::RsFd& rsfd, const multidim::MultidimReport& report);
+
+std::vector<std::uint8_t> SerializeRsRfdReport(
+    const multidim::RsRfd& rsrfd, const multidim::MultidimReport& report);
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_MULTIDIM_WIRE_H_

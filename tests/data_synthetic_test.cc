@@ -141,7 +141,18 @@ TEST(SyntheticTest, GeneratorValidatesConfig) {
 
 TEST(SyntheticTest, ScaleValidation) {
   EXPECT_THROW(AdultLike(1, 0.0), InvalidArgumentError);
-  EXPECT_THROW(AdultLike(1, 1.5), InvalidArgumentError);
+  EXPECT_THROW(AdultLike(1, 1025.0), InvalidArgumentError);
+}
+
+TEST(SyntheticTest, UpscalingGrowsThePopulation) {
+  // scale > 1 grows the population toward deployment sizes (the fast
+  // profile runs fig05 at the source paper's true ~3.2M ACSEmployment
+  // users via kAcsEmploymentPaperScale).
+  const Dataset ds = NurseryLike(1, 1.5);
+  EXPECT_EQ(ds.n(), static_cast<int>(std::lround(kNurseryN * 1.5)));
+  EXPECT_EQ(static_cast<int>(std::lround(
+                kAcsEmploymentN * kAcsEmploymentPaperScale)),
+            kAcsEmploymentPaperN);
 }
 
 }  // namespace

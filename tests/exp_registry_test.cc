@@ -35,7 +35,8 @@ TEST(ExpRegistry, EveryExperimentHasUniqueNameAndMetadata) {
         << "duplicate title " << spec->title;
     EXPECT_FALSE(spec->description.empty()) << spec->name;
     EXPECT_TRUE(spec->group == "figure" || spec->group == "ablation" ||
-                spec->group == "framework" || spec->group == "related")
+                spec->group == "framework" || spec->group == "related" ||
+                spec->group == "serving")
         << spec->name << " group '" << spec->group << "'";
     EXPECT_NE(spec->run, nullptr) << spec->name;
   }

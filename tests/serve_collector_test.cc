@@ -1,0 +1,266 @@
+// Scalar collection service (serve/collector): the sealed snapshot of a
+// wire-ingested epoch must be bit-identical to a batch fo::Aggregator fed
+// the same report stream (the PR's acceptance gate), sealing must be
+// independent of lane/thread configuration, malformed buffers must be
+// rejected cleanly (no UB under ASan/UBSan, nothing accumulated), and the
+// epoch lifecycle must enforce open -> ingest -> seal.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/sampling.h"
+#include "fo/factory.h"
+#include "fo/wire.h"
+#include "serve/collector.h"
+#include "serve/loadgen.h"
+
+namespace ldpr::serve {
+namespace {
+
+std::vector<int> ZipfValues(int n, int k, Rng& rng) {
+  CategoricalSampler sampler(ZipfDistribution(k, 1.1));
+  std::vector<int> values(n);
+  for (int& v : values) v = sampler.Sample(rng);
+  return values;
+}
+
+class ServeCollectorTest : public ::testing::TestWithParam<fo::Protocol> {};
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ServeCollectorTest,
+                         ::testing::ValuesIn(fo::AllProtocols()),
+                         [](const auto& info) {
+                           return std::string(fo::ProtocolName(info.param));
+                         });
+
+// Acceptance: Collector epoch snapshots are bit-identical to the equivalent
+// batch fo::Aggregator::Estimate on the same report stream.
+TEST_P(ServeCollectorTest, SnapshotBitIdenticalToBatchAggregator) {
+  const int k = 23;  // not a power of two: exercises value-range rejection
+  const int n = 1500;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.5);
+  Rng rng(42);
+  const std::vector<int> values = ZipfValues(n, k, rng);
+
+  // Client side: real reports, serialized to wire buffers.
+  std::vector<fo::Report> reports;
+  std::vector<std::vector<std::uint8_t>> frames;
+  reports.reserve(n);
+  frames.reserve(n);
+  for (int v : values) {
+    reports.push_back(oracle->Randomize(v, rng));
+    frames.push_back(fo::SerializeReport(*oracle, reports.back()));
+  }
+
+  // Reference: one batch aggregator over the in-process reports.
+  auto batch = oracle->MakeAggregator();
+  for (const fo::Report& r : reports) batch->Accumulate(r);
+
+  CollectorOptions options;
+  options.lanes = 4;
+  EpochManager manager(*oracle, options);
+  EXPECT_EQ(manager.OpenEpoch(), 0);
+  for (int i = 0; i < n; ++i) {
+    // Scatter reports over lanes in an arbitrary pattern: lane assignment
+    // must not matter.
+    EXPECT_TRUE(manager.collector().Ingest(i * 7 + i % 3, frames[i]));
+  }
+  const EstimateSnapshot& snapshot = manager.Seal();
+
+  EXPECT_EQ(snapshot.epoch, 0);
+  EXPECT_EQ(snapshot.n, n);
+  EXPECT_EQ(snapshot.counts, batch->counts());
+  // Same integer counts, same Eq. (2) arithmetic: exact double equality.
+  EXPECT_EQ(snapshot.frequencies, batch->Estimate());
+  EXPECT_EQ(snapshot.consistent,
+            batch->Estimate(fo::ConsistencyMethod::kNormSub));
+  EXPECT_EQ(snapshot.stats.reports, n);
+  EXPECT_EQ(snapshot.stats.rejected, 0);
+  EXPECT_EQ(snapshot.stats.bytes,
+            static_cast<long long>(n) *
+                static_cast<long long>(manager.report_bytes()));
+}
+
+// Sealing depends only on the multiset of accepted reports: any lane count,
+// producer thread count, or ingest order yields the same snapshot.
+TEST_P(ServeCollectorTest, SealingIsLaneAndThreadCountIndependent) {
+  const int k = 17;
+  const int n = 4000;
+  auto oracle = fo::MakeOracle(GetParam(), k, 2.0);
+  Rng seed_rng(7);
+  const std::vector<int> values = ZipfValues(n, k, seed_rng);
+
+  // The load generator itself must be thread-count independent.
+  sim::Options one_thread;
+  one_thread.threads = 1;
+  sim::Options four_threads;
+  four_threads.threads = 4;
+  Rng root_a(99);
+  Rng root_b(99);
+  const EncodedStream stream_a =
+      EncodeScalarLoad(*oracle, values, root_a, one_thread);
+  const EncodedStream stream_b =
+      EncodeScalarLoad(*oracle, values, root_b, four_threads);
+  EXPECT_EQ(stream_a.bytes, stream_b.bytes);
+
+  EstimateSnapshot reference;
+  for (const auto& [lanes, threads] :
+       std::vector<std::pair<int, int>>{{1, 1}, {3, 2}, {8, 4}}) {
+    CollectorOptions options;
+    options.lanes = lanes;
+    EpochManager manager(*oracle, options);
+    manager.OpenEpoch();
+    EXPECT_EQ(IngestStream(manager.collector(), stream_a, threads), n);
+    const EstimateSnapshot& snapshot = manager.Seal();
+    if (lanes == 1) {
+      reference = snapshot;
+      continue;
+    }
+    EXPECT_EQ(snapshot.counts, reference.counts) << "lanes=" << lanes;
+    EXPECT_EQ(snapshot.frequencies, reference.frequencies);
+    EXPECT_EQ(snapshot.consistent, reference.consistent);
+    EXPECT_EQ(snapshot.n, reference.n);
+  }
+}
+
+// Property test: randomized, truncated and corrupted buffers are rejected
+// cleanly — never accumulated, never UB (this suite runs under the ASan
+// fast label).
+TEST_P(ServeCollectorTest, MalformedBuffersAreRejectedCleanly) {
+  const int k = 100;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.0);
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 2});
+  manager.OpenEpoch();
+  Collector& collector = manager.collector();
+  const std::size_t frame_bytes = collector.report_bytes();
+
+  Rng rng(1234);
+  long long accepted = 0;
+  long long attempted = 0;
+
+  // Truncations and extensions of valid frames are always rejected.
+  const std::vector<std::uint8_t> valid = fo::SerializeReport(
+      *oracle, oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
+  std::vector<std::uint8_t> truncated(valid.begin(), valid.end() - 1);
+  EXPECT_FALSE(collector.Ingest(0, truncated));
+  std::vector<std::uint8_t> extended = valid;
+  extended.push_back(0);
+  EXPECT_FALSE(collector.Ingest(0, extended));
+  EXPECT_FALSE(collector.Ingest(0, nullptr, frame_bytes));
+  EXPECT_FALSE(collector.Ingest(0, valid.data(), 0));
+  attempted += 4;
+
+  // Random buffers of random sizes: may decode by chance at the exact frame
+  // size, must never crash or throw.
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t size = rng.UniformInt(2 * frame_bytes + 2);
+    std::vector<std::uint8_t> buffer(size);
+    for (std::uint8_t& b : buffer) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    }
+    accepted += collector.Ingest(static_cast<int>(rng.UniformInt(64)), buffer)
+                    ? 1
+                    : 0;
+    ++attempted;
+  }
+
+  // Bit flips in valid frames: either still-valid payloads (accepted) or
+  // clean rejections; the ledger must balance either way.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> frame = fo::SerializeReport(
+        *oracle, oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
+    frame[rng.UniformInt(frame.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.UniformInt(8));
+    accepted += collector.Ingest(trial, frame) ? 1 : 0;
+    ++attempted;
+  }
+
+  const EstimateSnapshot& snapshot = manager.Seal();
+  EXPECT_EQ(snapshot.n, accepted);
+  EXPECT_EQ(snapshot.stats.reports, accepted);
+  EXPECT_EQ(snapshot.stats.rejected, attempted - accepted);
+  long long total_support = 0;
+  for (long long c : snapshot.counts) {
+    EXPECT_GE(c, 0);
+    total_support += c;
+  }
+  if (GetParam() == fo::Protocol::kGrr) {
+    // Every accepted GRR report supports exactly one value.
+    EXPECT_EQ(total_support, accepted);
+  }
+}
+
+// The wire decoder is strict: the zero padding of the final byte must be
+// zero, so every accepted buffer is exactly one SerializeReport image.
+TEST_P(ServeCollectorTest, NonzeroPaddingIsRejected) {
+  const int k = 23;  // GRR: 5 bits + 3 padding; UE: 23 bits + 1 padding
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.0);
+  fo::WireDecoder decoder(*oracle);
+  const int padding = static_cast<int>(decoder.report_bytes()) * 8 -
+                      decoder.report_bits();
+  if (padding == 0) GTEST_SKIP() << "no padding at this (protocol, k)";
+  Rng rng(5);
+  std::vector<std::uint8_t> frame =
+      fo::SerializeReport(*oracle, oracle->Randomize(3, rng));
+  auto agg = oracle->MakeAggregator();
+  EXPECT_TRUE(decoder.DecodeInto(frame, *agg));
+  frame.back() |= 1;  // lowest bit is always padding when padding > 0
+  EXPECT_FALSE(decoder.DecodeInto(frame, *agg));
+  EXPECT_EQ(agg->n(), 1);
+}
+
+TEST(ServeEpochTest, LifecycleIsEnforced) {
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, 8, 1.0);
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 2});
+  EXPECT_FALSE(manager.open());
+  EXPECT_THROW(manager.collector(), InvalidArgumentError);
+  EXPECT_THROW(manager.Seal(), InvalidArgumentError);
+
+  EXPECT_EQ(manager.OpenEpoch(), 0);
+  EXPECT_TRUE(manager.open());
+  EXPECT_THROW(manager.OpenEpoch(), InvalidArgumentError);
+
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto frame =
+        fo::SerializeReport(*oracle, oracle->Randomize(i % 8, rng));
+    EXPECT_TRUE(manager.collector().Ingest(i, frame));
+  }
+  const EstimateSnapshot& first = manager.Seal();
+  EXPECT_EQ(first.epoch, 0);
+  EXPECT_EQ(first.n, 10);
+  EXPECT_FALSE(manager.open());
+
+  // The next epoch starts from zero: sealing resets the lanes.
+  EXPECT_EQ(manager.OpenEpoch(), 1);
+  const EstimateSnapshot& second = manager.Seal();
+  EXPECT_EQ(second.epoch, 1);
+  EXPECT_EQ(second.n, 0);
+  EXPECT_TRUE(second.frequencies.empty());
+  ASSERT_EQ(manager.snapshots().size(), 2u);
+  EXPECT_EQ(manager.snapshots()[0].n, 10);
+}
+
+// The closed-form lane feed (fast simulation profile) tallies reports and
+// synthetic bytes like wire ingest does.
+TEST(ServeEpochTest, HistogramIngestCountsReports) {
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, 6, 1.0);
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 2});
+  manager.OpenEpoch();
+  Rng rng(11);
+  const std::vector<long long> histogram = {100, 50, 25, 12, 6, 7};
+  manager.collector().IngestHistogram(0, histogram, rng);
+  manager.collector().IngestHistogram(1, histogram, rng);
+  const EstimateSnapshot& snapshot = manager.Seal();
+  EXPECT_EQ(snapshot.n, 400);
+  EXPECT_EQ(snapshot.stats.reports, 400);
+  EXPECT_EQ(snapshot.stats.bytes,
+            400 * static_cast<long long>(manager.report_bytes()));
+  long long total = 0;
+  for (long long c : snapshot.counts) total += c;
+  EXPECT_EQ(total, 400);  // GRR closed form is sum-preserving
+}
+
+}  // namespace
+}  // namespace ldpr::serve

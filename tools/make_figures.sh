@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Sweeps registered experiments with --json and renders the full figure set
+# via tools/plot_experiments.py — the `figures` CMake target.
+#
+# Usage: make_figures.sh <ldpr_cli> <out_dir> [pattern]
+#
+# One CLI invocation runs the whole sweep (the dataset cache then loads each
+# population once); the resulting JSON is partitioned into the plot tool's
+# three figure families (utility = log-MSE axes, attack = percent axes,
+# generic = everything else) and rendered family by family. Scale comes from
+# the usual environment knobs — e.g.
+#   LDPR_PROFILE=fast ../tools/make_figures.sh tools/ldpr_cli figures
+# for the closed-form profile at full populations, or LDPR_SMOKE=1 for a
+# quick smoke sweep.
+set -euo pipefail
+
+cli="${1:?usage: make_figures.sh <ldpr_cli> <out_dir> [pattern]}"
+out="${2:?usage: make_figures.sh <ldpr_cli> <out_dir> [pattern]}"
+pattern="${3:-*}"
+tools_dir="$(cd "$(dirname "$0")" && pwd)"
+
+mkdir -p "$out"
+json="$out/experiments.json"
+
+echo "sweeping experiments matching '$pattern' ..."
+"$cli" experiment run "$pattern" --json "$json" > "$out/experiments.txt"
+
+# Partition the sweep by figure family (mirrors plot_experiments.py's
+# docstring; unknown experiments fall into `generic`).
+python3 - "$json" "$out" <<'EOF'
+import json, sys
+
+UTILITY = {
+    "fig05", "fig16", "abl06", "abl07", "wang01", "wang02", "csv01", "srv01",
+}
+ATTACK = {
+    "fig01", "fig02", "fig03", "fig04", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig17", "abl03", "abl08", "fw01",
+}
+
+path, out = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    docs = json.load(f)
+
+families = {"utility": [], "attack": [], "generic": []}
+for doc in docs:
+    name = doc.get("experiment", "")
+    family = ("utility" if name in UTILITY
+              else "attack" if name in ATTACK else "generic")
+    families[family].append(doc)
+
+for family, subset in families.items():
+    with open(f"{out}/experiments_{family}.json", "w") as f:
+        json.dump(subset, f)
+    print(f"{family}: {len(subset)} experiment(s)")
+EOF
+
+# Without matplotlib, validate what would be plotted instead of failing
+# (the plot tool's --check mode).
+check_flag=""
+if ! python3 -c "import matplotlib" 2>/dev/null; then
+  echo "matplotlib not available: running plot validation only (--check)"
+  check_flag="--check"
+fi
+
+for family in utility attack generic; do
+  family_json="$out/experiments_${family}.json"
+  if [ "$(python3 -c "import json;print(len(json.load(open('$family_json'))))")" = "0" ]; then
+    continue
+  fi
+  python3 "$tools_dir/plot_experiments.py" "$family" \
+    --json "$family_json" --out-dir "$out" $check_flag
+done
+
+echo "figures written to $out"

@@ -102,57 +102,75 @@ def plot_family(docs, family, out_dir, check):
             ]
             if not xs or not drawable:
                 continue
-            if len(series) > len(PALETTE):
-                raise ValueError(
-                    f"{doc['experiment']} table {t}: {len(series)} series "
-                    f"exceed the {len(PALETTE)}-slot palette — split the "
-                    "table or fold series"
+            # Tables wider than the palette (e.g. abl05's 12-protocol cost
+            # frontier) are split into several charts of <= 8 series each
+            # rather than rejected — the `figures` target renders the whole
+            # registry unattended.
+            chunks = [
+                drawable[i : i + len(PALETTE)]
+                for i in range(0, len(drawable), len(PALETTE))
+            ]
+            single = len(chunks) == 1
+            # Original column slots are only safe palette indices when every
+            # drawable slot fits; a table whose non-numeric columns push a
+            # drawable slot past the palette re-slots by chart position too.
+            keep_slots = single and drawable[-1][0] < len(PALETTE)
+            base = f"{doc['experiment']}_{t:02d}_{slug(table.get('section') or 'main')}"
+            for chunk_index, chunk in enumerate(chunks):
+                name = base if single else f"{base}_{chr(ord('a') + chunk_index)}"
+                made.append(name)
+                if check:
+                    continue
+                _plot_chart(
+                    plt, family, doc, table, xs, chunk, keep_slots, name,
+                    out_dir,
                 )
-            name = f"{doc['experiment']}_{t:02d}_{slug(table.get('section') or 'main')}"
-            made.append(name)
-            if check:
-                continue
-
-            fig, ax = plt.subplots(figsize=(6.0, 4.0), dpi=150)
-            fig.patch.set_facecolor(SURFACE)
-            ax.set_facecolor(SURFACE)
-            for slot, label, ys in drawable:
-                ax.plot(
-                    xs,
-                    ys,
-                    label=label,
-                    color=PALETTE[slot],
-                    linewidth=2.0,
-                    marker="o",
-                    markersize=4.5,
-                )
-            if family == "utility":
-                ax.set_yscale("log")
-                ax.set_ylabel("MSE", color=TEXT_PRIMARY)
-            elif family == "attack":
-                ax.set_ylabel("accuracy (%)", color=TEXT_PRIMARY)
-            else:
-                ax.set_ylabel("value", color=TEXT_PRIMARY)
-            ax.set_xlabel(table.get("x", "x"), color=TEXT_PRIMARY)
-            title = doc["experiment"]
-            if table.get("section"):
-                title += f" — {table['section']}"
-            ax.set_title(title, color=TEXT_PRIMARY, fontsize=10)
-            ax.grid(True, color=GRID, linewidth=0.6)
-            ax.set_axisbelow(True)
-            for spine in ("top", "right"):
-                ax.spines[spine].set_visible(False)
-            for spine in ("left", "bottom"):
-                ax.spines[spine].set_color(TEXT_SECONDARY)
-            ax.tick_params(colors=TEXT_SECONDARY)
-            if len(drawable) >= 2:
-                ax.legend(fontsize=8, frameon=False, labelcolor=TEXT_PRIMARY)
-            fig.tight_layout()
-            out = f"{out_dir.rstrip('/')}/{name}.png"
-            fig.savefig(out, facecolor=SURFACE)
-            plt.close(fig)
-            print(f"wrote {out}")
     return made
+
+
+def _plot_chart(plt, family, doc, table, xs, chunk, keep_slots, name, out_dir):
+    fig, ax = plt.subplots(figsize=(6.0, 4.0), dpi=150)
+    fig.patch.set_facecolor(SURFACE)
+    ax.set_facecolor(SURFACE)
+    for index, (slot, label, ys) in enumerate(chunk):
+        ax.plot(
+            xs,
+            ys,
+            label=label,
+            # Tables whose slots all fit keep the original column slot
+            # (color follows the entity across panels); split or
+            # slot-overflowing tables re-slot within each chart.
+            color=PALETTE[slot if keep_slots else index],
+            linewidth=2.0,
+            marker="o",
+            markersize=4.5,
+        )
+    if family == "utility":
+        ax.set_yscale("log")
+        ax.set_ylabel("MSE", color=TEXT_PRIMARY)
+    elif family == "attack":
+        ax.set_ylabel("accuracy (%)", color=TEXT_PRIMARY)
+    else:
+        ax.set_ylabel("value", color=TEXT_PRIMARY)
+    ax.set_xlabel(table.get("x", "x"), color=TEXT_PRIMARY)
+    title = doc["experiment"]
+    if table.get("section"):
+        title += f" — {table['section']}"
+    ax.set_title(title, color=TEXT_PRIMARY, fontsize=10)
+    ax.grid(True, color=GRID, linewidth=0.6)
+    ax.set_axisbelow(True)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(TEXT_SECONDARY)
+    ax.tick_params(colors=TEXT_SECONDARY)
+    if len(chunk) >= 2:
+        ax.legend(fontsize=8, frameon=False, labelcolor=TEXT_PRIMARY)
+    fig.tight_layout()
+    out = f"{out_dir.rstrip('/')}/{name}.png"
+    fig.savefig(out, facecolor=SURFACE)
+    plt.close(fig)
+    print(f"wrote {out}")
 
 
 def main():

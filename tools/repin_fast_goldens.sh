@@ -23,3 +23,11 @@ for exp in fig05 fig16 abl06 abl07; do
   "$cli" experiment run "$exp" > "$out_dir/${exp}_fast.txt"
   echo "pinned $out_dir/${exp}_fast.txt"
 done
+
+# Paper-true-n pins: no scale override, so the fast profile's own default
+# applies (ACSEmployment at ~3.2M users, Adult at its true 45'222).
+unset LDPR_SCALE
+for exp in fig05 fig16; do
+  "$cli" experiment run "$exp" > "$out_dir/${exp}_fast_papern.txt"
+  echo "pinned $out_dir/${exp}_fast_papern.txt"
+done
