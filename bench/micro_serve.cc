@@ -15,6 +15,7 @@
 #include "fo/factory.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
+#include "serve/longitudinal.h"
 
 namespace {
 
@@ -92,6 +93,33 @@ void BM_ServeSeal(benchmark::State& state) {
   }
 }
 
+// Longitudinal ingest: the per-report overhead the replay classification
+// adds on top of decode-and-accumulate (frame hash + sharded per-user
+// lookup), plus the seal's ledger merge and window-delta update. Both
+// classification paths are exercised: the first iteration classifies every
+// frame fresh, later iterations replay them all.
+void BM_LongitudinalIngest(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const serve::EncodedStream stream = MakeStream(*oracle, n);
+  serve::LongitudinalOptions options;
+  options.collector.lanes = 1;
+  options.schedule = serve::EpochSchedule::Sliding(3);
+  options.history_cap = 4;  // benchmark iterations must not accumulate state
+  serve::LongitudinalCollector collector(*oracle, options);
+  for (auto _ : state) {
+    collector.OpenEpoch();
+    for (long long i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          collector.IngestUser(i, 0, stream.frame(i), stream.frame_bytes));
+    }
+    benchmark::DoNotOptimize(collector.Seal());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long long>(stream.bytes.size()));
+}
+
 // Client side of the pipeline: randomize + serialize (the load generator's
 // per-producer work).
 void BM_ServeEncode(benchmark::State& state, fo::Protocol protocol) {
@@ -130,6 +158,11 @@ BENCHMARK_CAPTURE(BM_ServeEpochRoundTrip, oue, fo::Protocol::kOue)
     ->Arg(1 << 18)->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_ServeSeal)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_LongitudinalIngest, grr, fo::Protocol::kGrr)
+    ->Arg(1 << 17)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LongitudinalIngest, oue, fo::Protocol::kOue)
+    ->Arg(1 << 17)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_CAPTURE(BM_ServeEncode, grr, fo::Protocol::kGrr)->Arg(1 << 18)
     ->Unit(benchmark::kMillisecond);

@@ -51,6 +51,39 @@ std::vector<Dataset> GenerateLongitudinal(const Dataset& base,
   return rounds;
 }
 
+std::vector<std::vector<int>> GenerateScalarRounds(
+    const std::vector<double>& marginal, int num_users,
+    const LongitudinalConfig& config) {
+  LDPR_REQUIRE(config.rounds >= 1, "rounds must be >= 1, got "
+                                       << config.rounds);
+  LDPR_REQUIRE(config.change_probability >= 0.0 &&
+                   config.change_probability <= 1.0,
+               "change_probability must lie in [0, 1], got "
+                   << config.change_probability);
+  LDPR_REQUIRE(num_users >= 1, "num_users must be >= 1, got " << num_users);
+  LDPR_REQUIRE(marginal.size() >= 2, "marginal needs a domain of >= 2");
+
+  Rng rng(config.seed);
+  CategoricalSampler base(marginal);
+  CategoricalSampler resample(
+      config.drift == DriftKind::kStationary
+          ? marginal
+          : std::vector<double>(marginal.size(), 1.0 / marginal.size()));
+
+  std::vector<std::vector<int>> rounds;
+  rounds.reserve(config.rounds);
+  rounds.emplace_back(num_users);
+  for (int& v : rounds[0]) v = base.Sample(rng);
+  for (int t = 1; t < config.rounds; ++t) {
+    std::vector<int> next = rounds.back();
+    for (int& v : next) {
+      if (rng.Bernoulli(config.change_probability)) v = resample.Sample(rng);
+    }
+    rounds.push_back(std::move(next));
+  }
+  return rounds;
+}
+
 double CellChangeFraction(const Dataset& a, const Dataset& b) {
   LDPR_REQUIRE(a.n() == b.n() && a.d() == b.d(),
                "datasets must have identical shape");

@@ -47,6 +47,17 @@ struct LongitudinalConfig {
 std::vector<Dataset> GenerateLongitudinal(const Dataset& base,
                                           const LongitudinalConfig& config);
 
+/// Scalar per-round value sequences for the longitudinal serving pipeline:
+/// round 0 samples every user's value from `marginal`; each later round
+/// resamples a user's value with probability `config.change_probability`
+/// (from the marginal under kStationary, uniformly under kUniformShift) and
+/// carries it over otherwise. result[t][u] is user u's round-t value —
+/// exactly the drift process of GenerateLongitudinal for one attribute,
+/// shaped for serve::LongitudinalClients::EncodeRound.
+std::vector<std::vector<int>> GenerateScalarRounds(
+    const std::vector<double>& marginal, int num_users,
+    const LongitudinalConfig& config);
+
 /// Fraction of cells that differ between two equally-shaped datasets
 /// (diagnostic for the drift process: expected value after t rounds from a
 /// start snapshot is bounded by 1 - (1 - p)^t, with equality when resampling

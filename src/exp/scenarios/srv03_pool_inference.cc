@@ -1,0 +1,172 @@
+// srv03: the pool inference attack (Gadotti et al., Section 7) mounted on
+// the serving pipeline's sealed snapshot sequence.
+//
+// Users hold a static personal pool of related values and draw a fresh true
+// value from it every epoch; their reports travel the real wire path
+// (LongitudinalClients -> IngestStreamUsers -> seal). The attacker is the
+// colluding server: it keeps every user's accepted frames across epochs,
+// deduplicates them with the same replay classification the ledger uses
+// (identical frames carry no independent evidence), decodes them back to
+// reports (fo::DeserializeReport) and runs the exact Bayes pool attacker.
+//
+// The table sweeps the number of collection epochs r and contrasts
+// memoization off (every epoch a fresh randomization: accuracy climbs with
+// r, the cumulative budget grows linearly) against memoization on (replayed
+// permanent answers add no evidence: accuracy saturates at the handful of
+// distinct values a pool can produce while the per-user budget stays capped
+// at pool-size fresh randomizations). The per-user mean cumulative eps
+// comes from the pipeline's own ledger.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "attack/pool.h"
+#include "core/hash.h"
+#include "exp/experiment.h"
+#include "fo/factory.h"
+#include "fo/wire.h"
+#include "serve/loadgen.h"
+#include "serve/longitudinal.h"
+
+namespace {
+
+using namespace ldpr;
+using exp::Cell;
+
+constexpr int kDomain = 16;
+constexpr int kNumPools = 4;
+constexpr double kEpsilon = 2.0;
+
+/// Per-user frame tape: the attacker's view of one user across epochs,
+/// deduplicated by frame hash (replays add no independent evidence).
+struct UserTape {
+  std::vector<std::uint64_t> hashes;
+  std::vector<fo::Report> reports;
+};
+
+void Run(exp::Context& ctx) {
+  long long users = ctx.profile().Mc("LDPR_ATTACK_USERS", 2000, 200);
+  if (ctx.profile().fast()) users = std::max<long long>(users / 4, 100);
+  const std::vector<int> checkpoints =
+      ctx.profile().Grid<int>({1, 2, 4, 8, 16});
+  const int max_epochs = checkpoints.back();
+
+  ctx.out().Config("users", exp::StrPrintf("%lld", users));
+  ctx.out().Config("pools", exp::StrPrintf("%d", kNumPools));
+  ctx.out().Config("epsilon", exp::StrPrintf("%g", kEpsilon));
+  ctx.EmitRunConfig("srv03_pool_inference", static_cast<int>(users), 1);
+
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, kDomain, kEpsilon);
+  const std::vector<std::vector<int>> pools =
+      attack::ContiguousPools(kDomain, kNumPools);
+  attack::PoolInferenceAttacker attacker(*oracle, pools);
+
+  // Static pool per user; one fresh within-pool draw per epoch.
+  Rng rng(7300);
+  std::vector<int> user_pool(users);
+  for (int& p : user_pool) p = static_cast<int>(rng.UniformInt(kNumPools));
+  std::vector<std::vector<int>> rounds(
+      max_epochs, std::vector<int>(static_cast<std::size_t>(users)));
+  for (int e = 0; e < max_epochs; ++e) {
+    for (long long u = 0; u < users; ++u) {
+      const std::vector<int>& pool = pools[user_pool[u]];
+      rounds[e][u] = pool[rng.UniformInt(pool.size())];
+    }
+  }
+
+  exp::TableSpec spec;
+  spec.header =
+      exp::StrPrintf("%-8s %10s %10s %10s %14s %14s", "epochs", "ACC(off)",
+                     "ACC(memo)", "baseline", "user_eps(off)",
+                     "user_eps(memo)");
+  spec.x_name = "epochs";
+  spec.columns = {"ACC(off)", "ACC(memo)", "baseline", "user_eps(off)",
+                  "user_eps(memo)"};
+  ctx.out().BeginTable(spec);
+
+  const auto run_pipeline = [&](bool memoize, std::uint64_t seed,
+                                std::vector<UserTape>& tapes,
+                                std::vector<double>& acc_at,
+                                std::vector<double>& eps_at) {
+    serve::LongitudinalOptions options;
+    options.collector.lanes = 4;
+    options.memoized_replays_free = memoize;
+    serve::LongitudinalCollector collector(*oracle, options);
+    serve::LongitudinalClients clients(*oracle, users, memoize);
+    Rng root(seed);
+    std::size_t next_checkpoint = 0;
+    for (int e = 0; e < max_epochs; ++e) {
+      collector.OpenEpoch();
+      const serve::EncodedStream stream =
+          clients.EncodeRound(rounds[e], root);
+      serve::IngestStreamUsers(collector, stream);
+      const serve::EstimateSnapshot& sealed = collector.Seal();
+      // The colluding server archives each user's frames. Under memoizing
+      // clients it drops duplicates (a replayed permanent answer adds no
+      // independent evidence); under non-memoizing clients an identical
+      // frame IS an independent randomization and every one is kept.
+      for (long long u = 0; u < users; ++u) {
+        UserTape& tape = tapes[static_cast<std::size_t>(u)];
+        if (memoize) {
+          const std::uint64_t hash =
+              XxHash64(stream.frame(u), stream.frame_bytes, 73);
+          bool seen = false;
+          for (std::uint64_t h : tape.hashes) seen = seen || h == hash;
+          if (seen) continue;
+          tape.hashes.push_back(hash);
+        }
+        tape.reports.push_back(fo::DeserializeReport(
+            *oracle,
+            std::vector<std::uint8_t>(stream.frame(u),
+                                      stream.frame(u) + stream.frame_bytes)));
+      }
+      if (next_checkpoint < checkpoints.size() &&
+          e + 1 == checkpoints[next_checkpoint]) {
+        long long correct = 0;
+        for (long long u = 0; u < users; ++u) {
+          if (attacker.PredictPool(tapes[static_cast<std::size_t>(u)]
+                                       .reports) == user_pool[u]) {
+            ++correct;
+          }
+        }
+        acc_at[next_checkpoint] =
+            100.0 * static_cast<double>(correct) / static_cast<double>(users);
+        eps_at[next_checkpoint] =
+            sealed.cumulative_ledger.mean_user_epsilon;
+        ++next_checkpoint;
+      }
+    }
+  };
+
+  std::vector<UserTape> off_tapes(static_cast<std::size_t>(users));
+  std::vector<UserTape> memo_tapes(static_cast<std::size_t>(users));
+  std::vector<double> off_acc(checkpoints.size(), 0.0);
+  std::vector<double> memo_acc(checkpoints.size(), 0.0);
+  std::vector<double> off_eps(checkpoints.size(), 0.0);
+  std::vector<double> memo_eps(checkpoints.size(), 0.0);
+  run_pipeline(/*memoize=*/false, 7400, off_tapes, off_acc, off_eps);
+  run_pipeline(/*memoize=*/true, 7500, memo_tapes, memo_acc, memo_eps);
+
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    ctx.out().Row({Cell::Integer("%-8d", checkpoints[i]),
+                   Cell::Number(" %10.2f", off_acc[i]),
+                   Cell::Number(" %10.2f", memo_acc[i]),
+                   Cell::Number(" %10.2f", 100.0 / kNumPools),
+                   Cell::Number(" %14.2f", off_eps[i]),
+                   Cell::Number(" %14.2f", memo_eps[i])});
+  }
+}
+
+const exp::Registrar kRegistrar{{
+    /*name=*/"srv03",
+    /*title=*/"srv03_pool_inference",
+    /*description=*/
+    "Pool inference attack on the sealed snapshot sequence: attacker "
+    "accuracy vs epochs with and without client memoization (wire path)",
+    /*group=*/"serving",
+    /*datasets=*/{},
+    /*run=*/Run,
+}};
+
+}  // namespace

@@ -25,16 +25,21 @@ void Accountant::RecordSpl(const std::vector<int>& attributes,
     ++num_randomizations_;
   }
   total_ += epsilon;
+  amplified_ = std::max(amplified_, share);
 }
 
 void Accountant::RecordSmp(int attribute, double epsilon, bool memoized) {
   LDPR_REQUIRE(attribute >= 0 && attribute < d(),
                "attribute " << attribute << " out of range");
   LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
-  if (memoized) return;  // replaying a cached report reveals nothing new
+  if (memoized) {
+    ++num_memoized_;
+    return;  // replaying a cached report reveals nothing new
+  }
   per_attribute_[attribute] += epsilon;
   total_ += epsilon;
   ++num_randomizations_;
+  amplified_ = std::max(amplified_, epsilon);
 }
 
 void Accountant::RecordRsFd(int attribute, int survey_d, double epsilon,
@@ -43,12 +48,71 @@ void Accountant::RecordRsFd(int attribute, int survey_d, double epsilon,
                "attribute " << attribute << " out of range");
   LDPR_REQUIRE(survey_d >= 2, "RS+FD survey needs d >= 2, got " << survey_d);
   LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
-  if (memoized) return;
+  if (memoized) {
+    ++num_memoized_;
+    return;
+  }
   // The tuple is eps-LDP by the amplification argument; the sampled
-  // attribute's randomizer ran at the amplified budget.
-  per_attribute_[attribute] += multidim::AmplifiedEpsilon(epsilon, survey_d);
+  // attribute's randomizer ran at the amplified budget
+  // eps' = ln(survey_d (e^eps - 1) + 1) (multidim::AmplifiedEpsilon).
+  const double amplified = multidim::AmplifiedEpsilon(epsilon, survey_d);
+  per_attribute_[attribute] += amplified;
   total_ += epsilon;
   ++num_randomizations_;
+  amplified_ = std::max(amplified_, amplified);
+}
+
+void Accountant::RecordSmpBulk(int attribute, double epsilon,
+                               long long count) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+               "attribute " << attribute << " out of range");
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  LDPR_REQUIRE(count >= 0, "count must be >= 0, got " << count);
+  if (count == 0) return;
+  per_attribute_[attribute] += static_cast<double>(count) * epsilon;
+  total_ += static_cast<double>(count) * epsilon;
+  num_randomizations_ += count;
+  amplified_ = std::max(amplified_, epsilon);
+}
+
+void Accountant::RecordSplBulk(double epsilon, long long count) {
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  LDPR_REQUIRE(count >= 0, "count must be >= 0, got " << count);
+  if (count == 0) return;
+  // Each survey randomizes all d attributes at eps/d.
+  const double share = epsilon / static_cast<double>(d());
+  for (double& attribute : per_attribute_) {
+    attribute += static_cast<double>(count) * share;
+  }
+  total_ += static_cast<double>(count) * epsilon;
+  num_randomizations_ += count * d();
+  amplified_ = std::max(amplified_, share);
+}
+
+void Accountant::RecordRsFdBulk(int attribute, int survey_d, double epsilon,
+                                long long count) {
+  LDPR_REQUIRE(attribute >= 0 && attribute < d(),
+               "attribute " << attribute << " out of range");
+  LDPR_REQUIRE(survey_d >= 2, "RS+FD survey needs d >= 2, got " << survey_d);
+  LDPR_REQUIRE(epsilon > 0, "epsilon must be positive, got " << epsilon);
+  LDPR_REQUIRE(count >= 0, "count must be >= 0, got " << count);
+  if (count == 0) return;
+  const double amplified = multidim::AmplifiedEpsilon(epsilon, survey_d);
+  per_attribute_[attribute] += static_cast<double>(count) * amplified;
+  total_ += static_cast<double>(count) * epsilon;
+  num_randomizations_ += count;
+  amplified_ = std::max(amplified_, amplified);
+}
+
+LedgerReport Accountant::MakeReport() const {
+  LedgerReport report;
+  report.total_epsilon = total_;
+  report.per_attribute = per_attribute_;
+  report.worst_attribute_epsilon = WorstAttributeEpsilon();
+  report.amplified_epsilon = amplified_;
+  report.fresh = num_randomizations_;
+  report.memoized = num_memoized_;
+  return report;
 }
 
 double Accountant::AttributeEpsilon(int attribute) const {

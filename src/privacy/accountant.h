@@ -7,6 +7,31 @@
 
 namespace ldpr::privacy {
 
+/// Frozen view of a ledger at seal time. The accountant fills the epsilon
+/// fields; the serving layer extends the report with its replay
+/// classification tallies (fresh/memoized/users) before exposing it in an
+/// EstimateSnapshot.
+struct LedgerReport {
+  double total_epsilon = 0.0;  ///< sequential composition over fresh surveys
+  std::vector<double> per_attribute;       ///< realized budget per attribute
+  double worst_attribute_epsilon = 0.0;    ///< max over per_attribute
+  /// Per-survey amplified budget eps' = ln(d_sv (e^eps - 1) + 1) for the
+  /// fractional-domain kinds (RS+FD / RS+RFD); equals the per-report eps
+  /// everywhere else. 0 until a survey is recorded.
+  double amplified_epsilon = 0.0;
+  long long fresh = 0;     ///< randomizations charged (memoized excluded)
+  long long memoized = 0;  ///< replays recognized and charged eps = 0
+  long long users = 0;     ///< distinct tracked users (0 if untracked)
+  double mean_user_epsilon = 0.0;  ///< mean per-user sequential total
+  double max_user_epsilon = 0.0;   ///< worst user's sequential total
+
+  /// memoized / (fresh + memoized); 0 when no reports were classified.
+  double MemoizationHitRate() const {
+    const double classified = static_cast<double>(fresh + memoized);
+    return classified > 0.0 ? static_cast<double>(memoized) / classified : 0.0;
+  }
+};
+
 /// Per-user privacy-loss ledger across repeated collections.
 ///
 /// Section 6 observes that "under standard sequential composition, the
@@ -38,6 +63,23 @@ class Accountant {
   void RecordRsFd(int attribute, int survey_d, double epsilon,
                   bool memoized = false);
 
+  /// Bulk variants for the serving layer's aggregate ledgers: charge `count`
+  /// identical fresh surveys in one multiply instead of `count` float
+  /// additions, so the charged totals are exact and independent of the
+  /// order lanes merged in (LDPR_THREADS-independence of sealed ledgers).
+  void RecordSmpBulk(int attribute, double epsilon, long long count);
+  void RecordSplBulk(double epsilon, long long count);
+  void RecordRsFdBulk(int attribute, int survey_d, double epsilon,
+                      long long count);
+
+  /// Notes `count` memoized replays (charged nothing, tallied in the
+  /// report's hit-rate denominator).
+  void RecordMemoized(long long count) { num_memoized_ += count; }
+
+  /// Freezes the epsilon side of the ledger into a report. fresh/memoized
+  /// come from the recorded surveys; the caller fills the user fields.
+  LedgerReport MakeReport() const;
+
   /// Total realized budget under sequential composition.
   double TotalEpsilon() const { return total_; }
 
@@ -48,15 +90,20 @@ class Accountant {
   /// max_j AttributeEpsilon(j): the most-exposed attribute.
   double WorstAttributeEpsilon() const;
 
-  /// Number of fresh (non-memoized) randomizations recorded.
-  int num_randomizations() const { return num_randomizations_; }
+  /// Number of fresh (non-memoized) randomizations recorded. long long:
+  /// the serving layer's bulk ledgers count epochs x millions of users.
+  long long num_randomizations() const { return num_randomizations_; }
 
   int d() const { return static_cast<int>(per_attribute_.size()); }
 
  private:
   std::vector<double> per_attribute_;
   double total_ = 0.0;
-  int num_randomizations_ = 0;
+  /// Highest per-survey amplified budget seen (RS+FD kinds), else the
+  /// highest per-survey eps.
+  double amplified_ = 0.0;
+  long long num_randomizations_ = 0;
+  long long num_memoized_ = 0;
 };
 
 /// Closed form: expected sequential total after `num_surveys` SMP surveys at

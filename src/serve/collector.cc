@@ -60,51 +60,4 @@ Collector::Drained Collector::Drain() {
   return out;
 }
 
-EpochManager::EpochManager(const fo::FrequencyOracle& oracle,
-                           const CollectorOptions& options)
-    : collector_(oracle, options) {}
-
-long long EpochManager::OpenEpoch() {
-  LDPR_REQUIRE(!open_, "cannot open an epoch while epoch "
-                           << next_epoch_ - 1 << " is still ingesting");
-  open_ = true;
-  opened_at_ = MonotonicSeconds();
-  return next_epoch_++;
-}
-
-Collector& EpochManager::collector() {
-  LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
-  return collector_;
-}
-
-const EstimateSnapshot& EpochManager::Seal() {
-  LDPR_REQUIRE(open_, "no open epoch to seal");
-  const double seconds = MonotonicSeconds() - opened_at_;
-  Collector::Drained drained = collector_.Drain();
-
-  EstimateSnapshot snapshot;
-  snapshot.epoch = next_epoch_ - 1;
-  snapshot.n = drained.n;
-  snapshot.counts = std::move(drained.counts);
-  if (drained.n > 0) {
-    const fo::FrequencyOracle& oracle = collector_.oracle();
-    snapshot.frequencies =
-        oracle.EstimateFromCounts(snapshot.counts, drained.n);
-    snapshot.consistent = fo::MakeConsistent(
-        snapshot.frequencies, collector_.options().consistency,
-        collector_.options().consistency_threshold);
-  }
-  snapshot.stats.reports = drained.tallies.reports;
-  snapshot.stats.bytes = drained.tallies.bytes;
-  snapshot.stats.rejected = drained.tallies.rejected;
-  snapshot.stats.seconds = seconds;
-  snapshot.stats.reports_per_second =
-      seconds > 0.0 ? static_cast<double>(drained.tallies.reports) / seconds
-                    : 0.0;
-
-  open_ = false;
-  history_.push_back(std::move(snapshot));
-  return history_.back();
-}
-
 }  // namespace ldpr::serve

@@ -20,7 +20,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -29,6 +28,7 @@
 #include "fo/consistency.h"
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
+#include "privacy/accountant.h"
 
 namespace ldpr::serve {
 
@@ -58,6 +58,13 @@ struct EstimateSnapshot {
   std::vector<double> frequencies;  ///< raw Eq. (2) estimate
   std::vector<double> consistent;   ///< consistency post-processed estimate
   IngestStats stats;
+  /// Realized budget of this epoch alone: fresh randomizations charged eps,
+  /// recognized replays charged 0 (filled at seal by the longitudinal
+  /// pipeline's replay classification).
+  privacy::LedgerReport ledger;
+  /// Sequential composition over every epoch sealed so far, this one
+  /// included.
+  privacy::LedgerReport cumulative_ledger;
 };
 
 /// Lock-striped ingest state for one frequency oracle. The oracle must
@@ -115,44 +122,8 @@ class Collector {
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
-/// Epoch/round lifecycle over a Collector: open -> ingest -> seal ->
-/// snapshot. One instance serves one attribute across many rounds; sealed
-/// epochs accumulate an immutable snapshot history.
-class EpochManager {
- public:
-  explicit EpochManager(const fo::FrequencyOracle& oracle,
-                        const CollectorOptions& options = {});
-
-  /// Opens the next epoch; requires the previous one to be sealed.
-  /// Returns the new epoch id (0, 1, ...).
-  long long OpenEpoch();
-
-  bool open() const { return open_; }
-
-  /// The live collector producers ingest into; requires an open epoch.
-  Collector& collector();
-
-  /// Seals the open epoch: merges the lanes, estimates (raw + consistency
-  /// post-processing), freezes the ingest stats and archives the snapshot.
-  /// O(lanes * k) regardless of how many reports were ingested. The
-  /// returned reference stays valid for the manager's lifetime (snapshots
-  /// live in a deque, so later seals never relocate earlier epochs).
-  const EstimateSnapshot& Seal();
-
-  /// All sealed epochs, oldest first.
-  const std::deque<EstimateSnapshot>& snapshots() const { return history_; }
-  const fo::FrequencyOracle& oracle() const { return collector_.oracle(); }
-  /// Static wire config — readable with or without an open epoch.
-  std::size_t report_bytes() const { return collector_.report_bytes(); }
-  int lanes() const { return collector_.lanes(); }
-
- private:
-  Collector collector_;
-  std::deque<EstimateSnapshot> history_;
-  bool open_ = false;
-  long long next_epoch_ = 0;
-  double opened_at_ = 0.0;
-};
+// The epoch lifecycle (EpochManager) lives in serve/longitudinal.h: it is a
+// LongitudinalCollector on the fixed one-epoch schedule.
 
 }  // namespace ldpr::serve
 

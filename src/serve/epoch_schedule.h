@@ -1,0 +1,66 @@
+#ifndef LDPR_SERVE_EPOCH_SCHEDULE_H_
+#define LDPR_SERVE_EPOCH_SCHEDULE_H_
+
+// Window arithmetic for the longitudinal collection pipeline.
+//
+// An EpochSchedule maps the linear epoch sequence 0, 1, 2, ... onto
+// estimation windows of `length` consecutive epochs advancing by `stride`:
+//
+//   fixed (tumbling)   : length == stride      [0..L), [L..2L), ...
+//   sliding            : stride == 1           [0..L), [1..L+1), ...
+//   overlapping        : 1 < stride < length   [0..L), [S..S+L), ...
+//
+// Window w covers epochs [w*stride, w*stride + length). At most one window
+// completes per sealed epoch (stride >= 1), which is what lets the
+// LongitudinalCollector maintain window estimates as a running count delta
+// (add the newest epoch, subtract the one that slid out) instead of
+// recomputing each window from scratch.
+
+#include <string>
+
+namespace ldpr::serve {
+
+enum class WindowKind { kFixed, kSliding, kOverlapping };
+
+const char* WindowKindName(WindowKind kind);
+
+class EpochSchedule {
+ public:
+  /// Tumbling windows of `length` epochs (default: every epoch is its own
+  /// window, the legacy seal-and-forget lifecycle).
+  static EpochSchedule Fixed(int length = 1);
+  /// Windows of `length` epochs advancing one epoch at a time.
+  static EpochSchedule Sliding(int length);
+  /// Windows of `length` epochs advancing by `stride` (1 <= stride <=
+  /// length).
+  static EpochSchedule Overlapping(int length, int stride);
+
+  int length() const { return length_; }
+  int stride() const { return stride_; }
+  WindowKind kind() const;
+
+  /// First / last epoch of window w (w = 0, 1, ...).
+  long long FirstEpoch(long long window) const { return window * stride_; }
+  long long LastEpoch(long long window) const {
+    return window * stride_ + length_ - 1;
+  }
+
+  /// The window that completes when `epoch` seals, or -1 when none does.
+  /// Exactly the w with LastEpoch(w) == epoch.
+  long long CompletedWindow(long long epoch) const;
+
+ private:
+  EpochSchedule(int length, int stride);
+
+  int length_ = 1;
+  int stride_ = 1;
+};
+
+/// Parses the serve-demo `--windows` spec: "fixed" | "fixed:L" |
+/// "sliding:L" | "overlap:L:S". Throws InvalidArgumentError on malformed
+/// specs.
+EpochSchedule ParseEpochSchedule(const std::string& spec);
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_EPOCH_SCHEDULE_H_

@@ -113,6 +113,89 @@ EncodedFrames EncodeRsRfdLoad(const multidim::RsRfd& rsrfd,
       });
 }
 
+LongitudinalClients::LongitudinalClients(const fo::FrequencyOracle& oracle,
+                                         long long num_users, bool memoize)
+    : oracle_(oracle),
+      frame_bytes_(
+          static_cast<std::size_t>((fo::SerializedReportBits(oracle) + 7) / 8)),
+      memoize_(memoize) {
+  LDPR_REQUIRE(num_users >= 1,
+               "longitudinal clients need at least one user, got "
+                   << num_users);
+  clients_.resize(static_cast<std::size_t>(num_users));
+}
+
+EncodedStream LongitudinalClients::EncodeRound(const std::vector<int>& values,
+                                               Rng& root,
+                                               const sim::Options& options) {
+  const long long n = num_users();
+  LDPR_REQUIRE(static_cast<long long>(values.size()) == n,
+               "round needs one value per user: got " << values.size()
+                                                      << " for " << n);
+  EncodedStream out;
+  out.count = n;
+  out.frame_bytes = frame_bytes_;
+  out.bytes.assign(static_cast<std::size_t>(n) * frame_bytes_, 0);
+  const int shards = sim::ResolveShardCount(n, options);
+  std::vector<long long> shard_fresh(shards, 0);
+  std::vector<long long> shard_memoized(shards, 0);
+  sim::ShardedRun(
+      n, root, options,
+      [&](int shard, long long lo, long long hi, Rng& rng) {
+        for (long long user = lo; user < hi; ++user) {
+          std::uint8_t* slot =
+              out.bytes.data() + static_cast<std::size_t>(user) * frame_bytes_;
+          Client& client = clients_[static_cast<std::size_t>(user)];
+          const int value = values[static_cast<std::size_t>(user)];
+          if (memoize_) {
+            bool replayed = false;
+            for (const auto& [cached_value, frame] : client.permanent) {
+              if (cached_value == value) {
+                std::copy(frame.begin(), frame.end(), slot);
+                ++shard_memoized[shard];
+                replayed = true;
+                break;
+              }
+            }
+            if (replayed) continue;
+          }
+          const std::vector<std::uint8_t> frame =
+              fo::SerializeReport(oracle_, oracle_.Randomize(value, rng));
+          std::copy(frame.begin(), frame.end(), slot);
+          ++shard_fresh[shard];
+          if (memoize_) client.permanent.emplace_back(value, frame);
+        }
+      });
+  for (int s = 0; s < shards; ++s) {
+    fresh_ += shard_fresh[s];
+    memoized_ += shard_memoized[s];
+  }
+  return out;
+}
+
+long long IngestStreamUsers(LongitudinalCollector& collector,
+                            const EncodedStream& stream, long long first_user,
+                            int threads) {
+  const int shards = collector.lanes();
+  std::vector<long long> accepted(shards, 0);
+  ParallelForShards(
+      stream.count, shards,
+      [&](int shard, long long lo, long long hi) {
+        long long ok = 0;
+        for (long long i = lo; i < hi; ++i) {
+          ok += collector.IngestUser(first_user + i, shard, stream.frame(i),
+                                     stream.frame_bytes)
+                    ? 1
+                    : 0;
+        }
+        accepted[shard] = ok;
+      },
+      threads);
+  long long total = 0;
+  for (long long a : accepted) total += a;
+  return total;
+}
+
 long long IngestStream(Collector& collector, const EncodedStream& stream,
                        int threads) {
   const int shards = collector.lanes();

@@ -14,9 +14,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <utility>
+
 #include "core/rng.h"
 #include "data/dataset.h"
 #include "serve/collector.h"
+#include "serve/longitudinal.h"
 #include "serve/multidim_collector.h"
 #include "sim/engine.h"
 
@@ -80,6 +83,58 @@ long long IngestStream(Collector& collector, const EncodedStream& stream,
                        int threads = 0);
 long long IngestFrames(MultidimCollector& collector,
                        const EncodedFrames& frames, int threads = 0);
+
+/// A fixed population of longitudinal clients holding RAPPOR-style
+/// permanent answers: with memoization on, a client that reports a value it
+/// has reported before replays the cached wire frame verbatim instead of
+/// randomizing again — so repeated rounds leak nothing new and the server's
+/// replay classification charges them eps = 0. With memoization off, every
+/// round is a fresh randomization (the uniform-metric baseline whose
+/// realized budget grows linearly in the number of rounds).
+///
+/// Rounds are sharded like EncodeScalarLoad (sim::ShardedRun), so a fixed
+/// root seed yields byte-identical traffic under any LDPR_THREADS.
+class LongitudinalClients {
+ public:
+  LongitudinalClients(const fo::FrequencyOracle& oracle, long long num_users,
+                      bool memoize = true);
+
+  /// One collection round: values[u] is user u's current true value.
+  /// Frame i of the returned stream is user u = i's report.
+  EncodedStream EncodeRound(const std::vector<int>& values, Rng& root,
+                            const sim::Options& options = {});
+
+  long long num_users() const {
+    return static_cast<long long>(clients_.size());
+  }
+  bool memoize() const { return memoize_; }
+  /// Client-side tallies across all rounds so far; with memoization on,
+  /// they match the server's replay classification exactly (no hash
+  /// collisions at these scales).
+  long long fresh_randomizations() const { return fresh_; }
+  long long memoized_replays() const { return memoized_; }
+  const fo::FrequencyOracle& oracle() const { return oracle_; }
+
+ private:
+  struct Client {
+    /// Permanent answers: (value, wire frame) pairs, first-report order.
+    std::vector<std::pair<int, std::vector<std::uint8_t>>> permanent;
+  };
+
+  const fo::FrequencyOracle& oracle_;
+  std::size_t frame_bytes_;
+  bool memoize_;
+  std::vector<Client> clients_;
+  long long fresh_ = 0;
+  long long memoized_ = 0;
+};
+
+/// Feeds frame i of the stream into the collector as user `first_user + i`
+/// (IngestUser: accepted frames run through the replay classification),
+/// producers sharded over lanes. Returns the number of accepted reports.
+long long IngestStreamUsers(LongitudinalCollector& collector,
+                            const EncodedStream& stream,
+                            long long first_user = 0, int threads = 0);
 
 }  // namespace ldpr::serve
 

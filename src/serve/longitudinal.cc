@@ -1,0 +1,246 @@
+#include "serve/longitudinal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+#include "core/hash.h"
+
+namespace ldpr::serve {
+
+namespace {
+
+// Fixed seed: frame hashes only need to agree with themselves within one
+// replay table.
+constexpr std::uint64_t kFrameHashSeed = 0x1d9ULL;
+
+}  // namespace
+
+SnapshotDelta DiffSnapshots(const EstimateSnapshot& older,
+                            const EstimateSnapshot& newer) {
+  LDPR_REQUIRE(older.counts.size() == newer.counts.size(),
+               "snapshot deltas need matching domains, got "
+                   << older.counts.size() << " vs " << newer.counts.size());
+  SnapshotDelta delta;
+  delta.from_epoch = older.epoch;
+  delta.to_epoch = newer.epoch;
+  delta.count_delta.resize(newer.counts.size());
+  for (std::size_t v = 0; v < newer.counts.size(); ++v) {
+    delta.count_delta[v] = newer.counts[v] - older.counts[v];
+  }
+  if (!older.frequencies.empty() && !newer.frequencies.empty()) {
+    delta.frequency_delta.resize(newer.frequencies.size());
+    for (std::size_t v = 0; v < newer.frequencies.size(); ++v) {
+      delta.frequency_delta[v] = newer.frequencies[v] - older.frequencies[v];
+      delta.l1_drift += std::abs(delta.frequency_delta[v]);
+    }
+  }
+  return delta;
+}
+
+UserReplayTable::UserReplayTable(int shards) {
+  LDPR_CHECK(shards >= 1, "replay table needs at least one shard");
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool UserReplayTable::ClassifyAndRecord(long long user,
+                                        const std::uint8_t* data,
+                                        std::size_t size,
+                                        bool trust_replays) {
+  Shard& shard = *shards_[static_cast<std::size_t>(
+      (user % static_cast<long long>(shards_.size()) +
+       static_cast<long long>(shards_.size())) %
+      static_cast<long long>(shards_.size()))];
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  User& entry = shard.users[user];
+  if (trust_replays) {
+    const std::uint64_t hash = XxHash64(data, size, kFrameHashSeed);
+    if (std::find(entry.hashes.begin(), entry.hashes.end(), hash) !=
+        entry.hashes.end()) {
+      ++shard.epoch_memoized;
+      return true;
+    }
+    entry.hashes.push_back(hash);
+  }
+  ++entry.fresh;
+  ++shard.epoch_fresh;
+  return false;
+}
+
+UserReplayTable::EpochTallies UserReplayTable::SealEpoch() {
+  EpochTallies tallies;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    tallies.fresh += shard.epoch_fresh;
+    tallies.memoized += shard.epoch_memoized;
+    shard.epoch_fresh = 0;
+    shard.epoch_memoized = 0;
+  }
+  return tallies;
+}
+
+UserReplayTable::UserStats UserReplayTable::Scan() const {
+  UserStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    stats.users += static_cast<long long>(shard.users.size());
+    for (const auto& [user, entry] : shard.users) {
+      stats.total_fresh += entry.fresh;
+      stats.max_fresh = std::max(stats.max_fresh, entry.fresh);
+    }
+  }
+  return stats;
+}
+
+LongitudinalCollector::LongitudinalCollector(
+    const fo::FrequencyOracle& oracle, const LongitudinalOptions& options)
+    : options_(options),
+      collector_(oracle, options.collector),
+      users_(options.user_shards) {
+  window_counts_.assign(oracle.k(), 0);
+}
+
+long long LongitudinalCollector::OpenEpoch() {
+  LDPR_REQUIRE(!open_, "cannot open an epoch while epoch "
+                           << next_epoch_ - 1 << " is still ingesting");
+  open_ = true;
+  opened_at_ = MonotonicSeconds();
+  return next_epoch_++;
+}
+
+Collector& LongitudinalCollector::collector() {
+  LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
+  return collector_;
+}
+
+bool LongitudinalCollector::IngestUser(long long user, int lane,
+                                       const std::uint8_t* data,
+                                       std::size_t size) {
+  LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
+  if (!collector_.Ingest(lane, data, size)) return false;
+  if (options_.track_users) {
+    users_.ClassifyAndRecord(user, data, size,
+                             options_.memoized_replays_free);
+  }
+  return true;
+}
+
+const EstimateSnapshot& LongitudinalCollector::Seal() {
+  LDPR_REQUIRE(open_, "no open epoch to seal");
+  const double seconds = MonotonicSeconds() - opened_at_;
+  const fo::FrequencyOracle& oracle = collector_.oracle();
+  Collector::Drained drained = collector_.Drain();
+
+  EstimateSnapshot snapshot;
+  snapshot.epoch = next_epoch_ - 1;
+  snapshot.n = drained.n;
+  snapshot.counts = std::move(drained.counts);
+  if (drained.n > 0) {
+    snapshot.frequencies =
+        oracle.EstimateFromCounts(snapshot.counts, drained.n);
+    snapshot.consistent = fo::MakeConsistent(
+        snapshot.frequencies, collector_.options().consistency,
+        collector_.options().consistency_threshold);
+  }
+  snapshot.stats.reports = drained.tallies.reports;
+  snapshot.stats.bytes = drained.tallies.bytes;
+  snapshot.stats.rejected = drained.tallies.rejected;
+  snapshot.stats.seconds = seconds;
+  snapshot.stats.reports_per_second =
+      seconds > 0.0 ? static_cast<double>(drained.tallies.reports) / seconds
+                    : 0.0;
+
+  // Ledger: replays recognized by the table are charged 0; everything else
+  // accepted this epoch (classified fresh or ingested without a user id) is
+  // a fresh eps-LDP randomization of the one served attribute.
+  const UserReplayTable::EpochTallies tallies = users_.SealEpoch();
+  const long long anonymous =
+      drained.tallies.reports - tallies.fresh - tallies.memoized;
+  LDPR_CHECK(anonymous >= 0, "replay table classified more reports ("
+                                 << tallies.fresh + tallies.memoized
+                                 << ") than were accepted ("
+                                 << drained.tallies.reports << ")");
+  const long long epoch_fresh = tallies.fresh + anonymous;
+  const double epsilon = oracle.epsilon();
+  {
+    privacy::Accountant epoch_ledger(/*d=*/1);
+    epoch_ledger.RecordSmpBulk(0, epsilon, epoch_fresh);
+    epoch_ledger.RecordMemoized(tallies.memoized);
+    snapshot.ledger = epoch_ledger.MakeReport();
+  }
+  cumulative_fresh_ += epoch_fresh;
+  cumulative_memoized_ += tallies.memoized;
+  {
+    // Rebuilt from integer totals every seal: one multiply, no accumulated
+    // float-addition order dependence.
+    privacy::Accountant cumulative(/*d=*/1);
+    cumulative.RecordSmpBulk(0, epsilon, cumulative_fresh_);
+    cumulative.RecordMemoized(cumulative_memoized_);
+    cumulative_report_ = cumulative.MakeReport();
+    const UserReplayTable::UserStats stats = users_.Scan();
+    cumulative_report_.users = stats.users;
+    if (stats.users > 0) {
+      // Per-user sequential totals over *tracked* users (anonymous ingest
+      // has no user to attribute to).
+      cumulative_report_.mean_user_epsilon =
+          static_cast<double>(stats.total_fresh) /
+          static_cast<double>(stats.users) * epsilon;
+      cumulative_report_.max_user_epsilon =
+          static_cast<double>(stats.max_fresh) * epsilon;
+    }
+  }
+  snapshot.cumulative_ledger = cumulative_report_;
+
+  // Window delta state: slide the tail, then emit the completed window (if
+  // any) straight from the running sums.
+  tail_counts_.push_back(snapshot.counts);
+  tail_n_.push_back(snapshot.n);
+  for (std::size_t v = 0; v < window_counts_.size(); ++v) {
+    window_counts_[v] += snapshot.counts[v];
+  }
+  window_n_ += snapshot.n;
+  if (tail_counts_.size() > static_cast<std::size_t>(schedule().length())) {
+    const std::vector<long long>& gone = tail_counts_.front();
+    for (std::size_t v = 0; v < window_counts_.size(); ++v) {
+      window_counts_[v] -= gone[v];
+    }
+    window_n_ -= tail_n_.front();
+    tail_counts_.pop_front();
+    tail_n_.pop_front();
+  }
+  const long long completed = schedule().CompletedWindow(snapshot.epoch);
+  if (completed >= 0) {
+    WindowSnapshot window;
+    window.window = completed;
+    window.first_epoch = schedule().FirstEpoch(completed);
+    window.last_epoch = schedule().LastEpoch(completed);
+    window.n = window_n_;
+    window.counts = window_counts_;
+    if (window_n_ > 0) {
+      window.frequencies =
+          oracle.EstimateFromCounts(window.counts, window_n_);
+      window.consistent = fo::MakeConsistent(
+          window.frequencies, collector_.options().consistency,
+          collector_.options().consistency_threshold);
+    }
+    windows_.push_back(std::move(window));
+    if (options_.history_cap > 0 && windows_.size() > options_.history_cap) {
+      windows_.pop_front();
+    }
+  }
+
+  open_ = false;
+  history_.push_back(std::move(snapshot));
+  if (options_.history_cap > 0 && history_.size() > options_.history_cap) {
+    history_.pop_front();
+  }
+  return history_.back();
+}
+
+}  // namespace ldpr::serve

@@ -1,0 +1,256 @@
+#ifndef LDPR_SERVE_LONGITUDINAL_H_
+#define LDPR_SERVE_LONGITUDINAL_H_
+
+// Longitudinal collection pipeline: the cross-epoch state the paper's
+// Section 6 is about, layered over the per-epoch Collector.
+//
+// A LongitudinalCollector owns one Collector (the lock-striped per-epoch
+// lanes) plus everything that survives a seal:
+//
+//   * an EpochSchedule mapping epochs onto fixed/sliding/overlapping
+//     estimation windows, maintained as a running count delta — the newest
+//     epoch's counts are added, the epoch sliding out is subtracted — so a
+//     window seal costs O(k), never a recompute over the window's reports.
+//     Counts are integers, so the delta path is bit-identical to
+//     recomputing each window from scratch (serve_longitudinal_test pins
+//     this);
+//   * a sharded per-user replay table: every accepted frame ingested via
+//     IngestUser is hashed and checked against the user's earlier frames.
+//     A frame already seen from that user is a memoized replay of a
+//     RAPPOR-style permanent answer — it still counts toward the estimate
+//     (the server cannot tell a replay apart statistically, only
+//     ledger-wise) but is charged eps = 0;
+//   * per-shard privacy ledgers, merged at seal through privacy::Accountant
+//     into the per-epoch and cumulative LedgerReport exposed on every
+//     EstimateSnapshot. Ledgers are kept as integer fresh/memoized tallies
+//     and converted to eps by one bulk multiply at seal, so the reported
+//     budgets are exact and LDPR_THREADS/lane-count independent.
+//
+// EpochManager — the legacy seal-and-forget lifecycle — is a
+// LongitudinalCollector on the fixed one-epoch schedule and lives at the
+// bottom of this header.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/collector.h"
+#include "serve/epoch_schedule.h"
+
+namespace ldpr::serve {
+
+struct LongitudinalOptions {
+  EpochSchedule schedule = EpochSchedule::Fixed(1);
+  CollectorOptions collector;
+  /// Maximum sealed epochs (and completed windows) retained; older entries
+  /// are evicted oldest-first. 0 = unbounded (the legacy behavior; sealed
+  /// snapshot references then stay valid for the collector's lifetime).
+  std::size_t history_cap = 0;
+  /// Classify IngestUser frames against the replay table. Off, every
+  /// accepted report is charged as a fresh randomization.
+  bool track_users = true;
+  /// Charge recognized replays eps = 0. Sound only when clients follow the
+  /// memoization contract: an identical frame then is a replayed permanent
+  /// answer, not an accidental collision of a fresh randomization (for
+  /// low-entropy frames like GRR's the server cannot tell the two apart).
+  /// Off — a deployment whose clients do not memoize — every accepted
+  /// report is charged fresh while per-user totals are still tracked, so
+  /// the cumulative budget grows exactly linearly in the rounds.
+  bool memoized_replays_free = true;
+  /// Shard count of the replay table. Fixed (not tied to lane or thread
+  /// count) so ledger tallies merge identically under any LDPR_THREADS.
+  int user_shards = 64;
+};
+
+/// One completed estimation window: the union of `length` consecutive
+/// epochs' accepted reports, estimated with the same Eq. (2) + consistency
+/// arithmetic as a single epoch.
+struct WindowSnapshot {
+  long long window = -1;
+  long long first_epoch = 0;
+  long long last_epoch = 0;
+  long long n = 0;                  ///< accepted reports across the window
+  std::vector<long long> counts;    ///< summed support counts, size k
+  std::vector<double> frequencies;  ///< raw Eq. (2) estimate
+  std::vector<double> consistent;   ///< consistency post-processed estimate
+};
+
+/// Count/frequency difference between two sealed epochs (newer - older).
+struct SnapshotDelta {
+  long long from_epoch = -1;
+  long long to_epoch = -1;
+  std::vector<long long> count_delta;
+  /// Element-wise frequency difference; empty when either epoch was empty.
+  std::vector<double> frequency_delta;
+  /// L1 norm of frequency_delta: the drift magnitude between the epochs.
+  double l1_drift = 0.0;
+};
+
+SnapshotDelta DiffSnapshots(const EstimateSnapshot& older,
+                            const EstimateSnapshot& newer);
+
+/// Sharded user -> {frame hashes, fresh count} map backing the server-side
+/// replay classification. Thread-safe; shard assignment depends only on the
+/// user id, so tallies are identical under any producer configuration.
+class UserReplayTable {
+ public:
+  explicit UserReplayTable(int shards);
+
+  /// Classifies one accepted frame from `user`: returns true when it
+  /// replays a frame this user already sent (memoized, charged eps = 0),
+  /// false when it is a fresh randomization (recorded for later epochs).
+  /// With `trust_replays` false the duplicate check is skipped entirely and
+  /// every frame counts fresh (no hashes stored).
+  bool ClassifyAndRecord(long long user, const std::uint8_t* data,
+                         std::size_t size, bool trust_replays = true);
+
+  struct EpochTallies {
+    long long fresh = 0;
+    long long memoized = 0;
+  };
+  /// Merges and resets the per-shard epoch tallies (called at seal).
+  EpochTallies SealEpoch();
+
+  struct UserStats {
+    long long users = 0;        ///< distinct users ever classified
+    long long total_fresh = 0;  ///< fresh randomizations across all users
+    long long max_fresh = 0;    ///< worst user's fresh count
+  };
+  /// Cumulative per-user statistics; O(users).
+  UserStats Scan() const;
+
+ private:
+  struct User {
+    std::vector<std::uint64_t> hashes;  ///< distinct frames sent, in order
+    long long fresh = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<long long, User> users;
+    long long epoch_fresh = 0;
+    long long epoch_memoized = 0;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Epoch/round lifecycle plus cross-epoch state over one Collector:
+/// open -> ingest -> seal -> {epoch snapshot, completed window, ledgers}.
+class LongitudinalCollector {
+ public:
+  explicit LongitudinalCollector(const fo::FrequencyOracle& oracle,
+                                 const LongitudinalOptions& options = {});
+
+  /// Opens the next epoch; requires the previous one to be sealed.
+  /// Returns the new epoch id (0, 1, ...).
+  long long OpenEpoch();
+
+  bool open() const { return open_; }
+
+  /// The live collector producers ingest into; requires an open epoch.
+  /// Reports ingested directly (without a user id) are charged as fresh.
+  Collector& collector();
+
+  /// Ingests one wire frame attributed to `user`, classifying it against
+  /// the user's earlier frames when track_users is on. Returns false when
+  /// the buffer is malformed (rejected, not classified).
+  bool IngestUser(long long user, int lane, const std::uint8_t* data,
+                  std::size_t size);
+  bool IngestUser(long long user, int lane,
+                  const std::vector<std::uint8_t>& bytes) {
+    return IngestUser(user, lane, bytes.data(), bytes.size());
+  }
+
+  /// Seals the open epoch: merges the lanes, estimates (raw + consistency
+  /// post-processing), merges the replay-table shard ledgers into the
+  /// epoch's and the cumulative LedgerReport, advances the window delta
+  /// state, and archives the snapshot. O(lanes * k + user_shards)
+  /// regardless of how many reports were ingested. The returned reference
+  /// stays valid until history_cap evictions (forever when the cap is 0).
+  const EstimateSnapshot& Seal();
+
+  /// Sealed epochs, oldest first (bounded by history_cap).
+  const std::deque<EstimateSnapshot>& snapshots() const { return history_; }
+  /// Completed estimation windows, oldest first (bounded by history_cap).
+  const std::deque<WindowSnapshot>& windows() const { return windows_; }
+  /// The cumulative ledger of the last sealed epoch (empty before one).
+  const privacy::LedgerReport& cumulative_ledger() const {
+    return cumulative_report_;
+  }
+
+  const EpochSchedule& schedule() const { return options_.schedule; }
+  const LongitudinalOptions& options() const { return options_; }
+  const fo::FrequencyOracle& oracle() const { return collector_.oracle(); }
+  /// Static wire config — readable with or without an open epoch.
+  std::size_t report_bytes() const { return collector_.report_bytes(); }
+  int lanes() const { return collector_.lanes(); }
+
+ private:
+  LongitudinalOptions options_;
+  Collector collector_;
+  UserReplayTable users_;
+  std::deque<EstimateSnapshot> history_;
+  std::deque<WindowSnapshot> windows_;
+
+  // Window delta state: support counts of the last <= length epochs and
+  // their running sum (integer-exact, so no drift accumulates).
+  std::deque<std::vector<long long>> tail_counts_;
+  std::deque<long long> tail_n_;
+  std::vector<long long> window_counts_;
+  long long window_n_ = 0;
+
+  // Cumulative ledger state, kept as integers until report time.
+  long long cumulative_fresh_ = 0;
+  long long cumulative_memoized_ = 0;
+  privacy::LedgerReport cumulative_report_;
+
+  bool open_ = false;
+  long long next_epoch_ = 0;
+  double opened_at_ = 0.0;
+};
+
+/// Legacy epoch lifecycle: open -> ingest -> seal -> snapshot with every
+/// epoch its own window. Kept as the ergonomic front door for callers that
+/// seal independent rounds; the longitudinal state (ledgers, windows,
+/// replay table) is reachable through longitudinal().
+class EpochManager {
+ public:
+  explicit EpochManager(const fo::FrequencyOracle& oracle,
+                        const CollectorOptions& options = {})
+      : longitudinal_(oracle, WithCollectorOptions(options)) {}
+  EpochManager(const fo::FrequencyOracle& oracle,
+               const LongitudinalOptions& options)
+      : longitudinal_(oracle, options) {}
+
+  long long OpenEpoch() { return longitudinal_.OpenEpoch(); }
+  bool open() const { return longitudinal_.open(); }
+  Collector& collector() { return longitudinal_.collector(); }
+  const EstimateSnapshot& Seal() { return longitudinal_.Seal(); }
+  const std::deque<EstimateSnapshot>& snapshots() const {
+    return longitudinal_.snapshots();
+  }
+  const fo::FrequencyOracle& oracle() const { return longitudinal_.oracle(); }
+  std::size_t report_bytes() const { return longitudinal_.report_bytes(); }
+  int lanes() const { return longitudinal_.lanes(); }
+
+  LongitudinalCollector& longitudinal() { return longitudinal_; }
+  const LongitudinalCollector& longitudinal() const { return longitudinal_; }
+
+ private:
+  static LongitudinalOptions WithCollectorOptions(
+      const CollectorOptions& options) {
+    LongitudinalOptions out;
+    out.collector = options;
+    return out;
+  }
+
+  LongitudinalCollector longitudinal_;
+};
+
+}  // namespace ldpr::serve
+
+#endif  // LDPR_SERVE_LONGITUDINAL_H_

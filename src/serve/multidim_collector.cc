@@ -25,6 +25,7 @@ MultidimCollector::MultidimCollector(Kind kind, std::vector<int> domain_sizes,
     : kind_(kind), domain_sizes_(std::move(domain_sizes)) {
   (void)options;
   opened_at_ = MonotonicSeconds();
+  cumulative_attr_n_.assign(domain_sizes_.size(), 0);
 }
 
 MultidimCollector::MultidimCollector(const multidim::Spl& spl,
@@ -175,6 +176,7 @@ MultidimSnapshot MultidimCollector::Seal() {
   opened_at_ = now;
 
   IngestCounters tallies;
+  std::vector<long long> attr_n(d(), 0);
   if (kind_ == Kind::kSpl || kind_ == Kind::kSmp) {
     std::vector<std::unique_ptr<fo::Aggregator>> merged;
     merged.reserve(d());
@@ -196,6 +198,10 @@ MultidimSnapshot MultidimCollector::Seal() {
       lane.n = 0;
       tallies.Merge(lane.tallies);
       lane.tallies = IngestCounters{};
+    }
+    for (int j = 0; j < d(); ++j) {
+      // SPL randomizes every attribute per tuple; SMP only the sampled one.
+      attr_n[j] = kind_ == Kind::kSpl ? snapshot.n : merged[j]->n();
     }
     if (snapshot.n > 0) {
       snapshot.estimates.resize(d());
@@ -242,7 +248,54 @@ MultidimSnapshot MultidimCollector::Seal() {
       snapshot.stats.seconds > 0.0
           ? static_cast<double>(tallies.reports) / snapshot.stats.seconds
           : 0.0;
+
+  cumulative_n_ += snapshot.n;
+  for (int j = 0; j < d(); ++j) cumulative_attr_n_[j] += attr_n[j];
+  snapshot.ledger = MakeLedger(snapshot.n, attr_n);
+  snapshot.cumulative_ledger = MakeLedger(cumulative_n_, cumulative_attr_n_);
   return snapshot;
+}
+
+privacy::LedgerReport MultidimCollector::MakeLedger(
+    long long n, const std::vector<long long>& attr_n) const {
+  privacy::LedgerReport report;
+  switch (kind_) {
+    case Kind::kSpl: {
+      privacy::Accountant ledger(d());
+      ledger.RecordSplBulk(spl_->per_attribute_epsilon() * d(), n);
+      report = ledger.MakeReport();
+      report.fresh = n;  // surveys, not per-attribute randomizations
+      break;
+    }
+    case Kind::kSmp: {
+      privacy::Accountant ledger(d());
+      for (int j = 0; j < d(); ++j) {
+        ledger.RecordSmpBulk(j, smp_->epsilon(), attr_n[j]);
+      }
+      report = ledger.MakeReport();
+      break;
+    }
+    case Kind::kRsFd:
+    case Kind::kRsRfd: {
+      // The sampled attribute is hidden on the wire, so per-attribute
+      // exposure is the expectation: n/d surveys sampled attribute j, each
+      // randomized at the amplified budget.
+      const double epsilon =
+          kind_ == Kind::kRsFd ? rsfd_->epsilon() : rsrfd_->epsilon();
+      const double amplified = kind_ == Kind::kRsFd
+                                   ? rsfd_->amplified_epsilon()
+                                   : rsrfd_->amplified_epsilon();
+      report.total_epsilon = static_cast<double>(n) * epsilon;
+      const double expected =
+          static_cast<double>(n) / static_cast<double>(d()) * amplified;
+      report.per_attribute.assign(d(), expected);
+      report.worst_attribute_epsilon = expected;
+      if (n > 0) report.amplified_epsilon = amplified;
+      report.fresh = n;
+      break;
+    }
+  }
+  return report;
 }
 
 }  // namespace ldpr::serve

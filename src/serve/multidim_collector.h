@@ -32,6 +32,15 @@ struct MultidimSnapshot {
   long long n = 0;  ///< accepted tuples
   std::vector<std::vector<double>> estimates;  ///< per-attribute frequencies
   IngestStats stats;
+  /// Realized budget of this epoch's accepted tuples (every tuple charged
+  /// fresh — the multidim front-end has no replay classification yet). SPL
+  /// splits the budget over all d attributes, SMP charges the sampled one,
+  /// and the fake-data kinds charge each attribute its *expected* exposure
+  /// n/d at the amplified budget eps' = ln(d (e^eps - 1) + 1) — what an
+  /// attacker who uncovers sampled attributes (Section 3.3) can exploit.
+  privacy::LedgerReport ledger;
+  /// Sequential composition over every epoch sealed so far, this included.
+  privacy::LedgerReport cumulative_ledger;
 };
 
 class MultidimCollector {
@@ -77,6 +86,11 @@ class MultidimCollector {
   void InitLanes(int lanes);
   bool IngestSplSmp(Lane& lane, const std::uint8_t* data, std::size_t size);
   bool IngestFd(Lane& lane, const std::uint8_t* data, std::size_t size);
+  /// Builds the eps report for `n` tuples with `attr_n[j]` surveys charged
+  /// to attribute j (SPL/SMP; FD kinds use the expected-exposure closed
+  /// form and ignore attr_n).
+  privacy::LedgerReport MakeLedger(long long n,
+                                   const std::vector<long long>& attr_n) const;
 
   Kind kind_;
   const multidim::Spl* spl_ = nullptr;
@@ -94,6 +108,9 @@ class MultidimCollector {
   std::vector<std::unique_ptr<Lane>> lanes_;
   long long next_epoch_ = 0;
   double opened_at_ = 0.0;
+  /// Cumulative ledger tallies, integer until report time.
+  long long cumulative_n_ = 0;
+  std::vector<long long> cumulative_attr_n_;
 };
 
 }  // namespace ldpr::serve

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "fo/analytic_acc.h"
 #include "multidim/amplification.h"
 #include "privacy/accountant.h"
 
@@ -64,6 +65,94 @@ TEST(AccountantTest, RsFdChargesAmplifiedBudgetPerAttribute) {
   EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(2),
                    multidim::AmplifiedEpsilon(eps, survey_d));
   EXPECT_GT(ledger.AttributeEpsilon(2), eps);
+}
+
+// Audit of the amplification arithmetic: the per-attribute budget charged
+// by RecordRsFd must be exactly the paper's eps' = ln(d_sv (e^eps - 1) + 1)
+// across the (eps, d) grid, and plugging that eps' into the closed-form GRR
+// attacker accuracy must reproduce the fraction the uncovered-attribute
+// adversary of Section 3.3 achieves.
+TEST(AccountantTest, RsFdAmplificationMatchesClosedForm) {
+  for (const double eps : {0.25, 1.0, 2.0, 4.0}) {
+    for (const int d : {2, 3, 5, 10}) {
+      Accountant ledger(d);
+      ledger.RecordRsFd(0, d, eps);
+      const double amplified =
+          std::log(d * (std::exp(eps) - 1.0) + 1.0);
+      EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(0), amplified)
+          << "eps=" << eps << " d=" << d;
+      EXPECT_DOUBLE_EQ(ledger.AttributeEpsilon(0),
+                       multidim::AmplifiedEpsilon(eps, d));
+      EXPECT_DOUBLE_EQ(ledger.TotalEpsilon(), eps);
+
+      // Cross-check against the attacker-accuracy closed form: at the
+      // amplified budget a GRR adversary sees e^eps' = d(e^eps - 1) + 1.
+      const int k = 7;
+      const double e_amp = d * (std::exp(eps) - 1.0) + 1.0;
+      EXPECT_NEAR(fo::ExpectedAttackAcc(fo::Protocol::kGrr, amplified, k),
+                  e_amp / (e_amp + k - 1), 1e-12);
+    }
+  }
+}
+
+// The bulk entry points charge exactly count identical fresh surveys.
+TEST(AccountantTest, BulkRecordsMatchRepeatedSingles) {
+  const double eps = 1.5;
+  const long long count = 9;
+
+  Accountant bulk(4), singles(4);
+  bulk.RecordSmpBulk(2, eps, count);
+  for (long long i = 0; i < count; ++i) singles.RecordSmp(2, eps);
+  EXPECT_NEAR(bulk.TotalEpsilon(), singles.TotalEpsilon(), 1e-9);
+  EXPECT_NEAR(bulk.AttributeEpsilon(2), singles.AttributeEpsilon(2), 1e-9);
+  EXPECT_EQ(bulk.num_randomizations(), singles.num_randomizations());
+
+  Accountant bulk_spl(4), singles_spl(4);
+  bulk_spl.RecordSplBulk(eps, count);
+  for (long long i = 0; i < count; ++i) {
+    singles_spl.RecordSpl({0, 1, 2, 3}, eps);
+  }
+  EXPECT_NEAR(bulk_spl.TotalEpsilon(), singles_spl.TotalEpsilon(), 1e-9);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(bulk_spl.AttributeEpsilon(j), singles_spl.AttributeEpsilon(j),
+                1e-9);
+  }
+  EXPECT_EQ(bulk_spl.num_randomizations(), singles_spl.num_randomizations());
+
+  Accountant bulk_fd(4), singles_fd(4);
+  bulk_fd.RecordRsFdBulk(1, 4, eps, count);
+  for (long long i = 0; i < count; ++i) singles_fd.RecordRsFd(1, 4, eps);
+  EXPECT_NEAR(bulk_fd.TotalEpsilon(), singles_fd.TotalEpsilon(), 1e-9);
+  EXPECT_NEAR(bulk_fd.AttributeEpsilon(1), singles_fd.AttributeEpsilon(1),
+              1e-9);
+  EXPECT_EQ(bulk_fd.num_randomizations(), singles_fd.num_randomizations());
+
+  // A zero count is a no-op, not an error.
+  Accountant empty(2);
+  empty.RecordSmpBulk(0, eps, 0);
+  EXPECT_DOUBLE_EQ(empty.TotalEpsilon(), 0.0);
+  EXPECT_EQ(empty.num_randomizations(), 0);
+}
+
+// MakeReport freezes the epsilon fields and the fresh/memoized tallies.
+TEST(AccountantTest, MakeReportFreezesLedgerState) {
+  Accountant ledger(3);
+  ledger.RecordSmpBulk(1, 2.0, 10);
+  // Amplified to ln(3(e^1.5 - 1) + 1) ~ 2.44 — the report's running max.
+  ledger.RecordRsFdBulk(0, 3, 1.5, 4);
+  ledger.RecordMemoized(6);
+  const LedgerReport report = ledger.MakeReport();
+  EXPECT_DOUBLE_EQ(report.total_epsilon, ledger.TotalEpsilon());
+  ASSERT_EQ(report.per_attribute.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.per_attribute[1], ledger.AttributeEpsilon(1));
+  EXPECT_DOUBLE_EQ(report.worst_attribute_epsilon,
+                   ledger.WorstAttributeEpsilon());
+  EXPECT_DOUBLE_EQ(report.amplified_epsilon,
+                   multidim::AmplifiedEpsilon(1.5, 3));
+  EXPECT_EQ(report.fresh, 14);
+  EXPECT_EQ(report.memoized, 6);
+  EXPECT_DOUBLE_EQ(report.MemoizationHitRate(), 6.0 / 20.0);
+  EXPECT_DOUBLE_EQ(LedgerReport{}.MemoizationHitRate(), 0.0);
 }
 
 TEST(AccountantTest, WorstAttributeTracksMaximum) {

@@ -15,6 +15,7 @@
 #include "fo/wire.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
+#include "serve/longitudinal.h"
 
 namespace ldpr::serve {
 namespace {

@@ -49,6 +49,7 @@
 #include "core/metrics.h"
 #include "core/sampling.h"
 #include "data/csv.h"
+#include "data/longitudinal.h"
 #include "data/priors.h"
 #include "data/synthetic.h"
 #include "exp/datasets.h"
@@ -62,6 +63,7 @@
 #include "privacy/accountant.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
+#include "serve/longitudinal.h"
 
 namespace {
 
@@ -449,51 +451,69 @@ int CmdPool(const Args& args) {
   return 0;
 }
 
-// Loadgen -> collector round trip: every epoch synthesizes a (drifting)
-// Zipf population, wire-encodes all reports across producer threads, ingests
-// them through the lock-striped lanes and seals an estimate snapshot.
+// Loadgen -> collector round trip through the longitudinal pipeline: a
+// fixed population of memoizing clients reports a churning Zipf value every
+// epoch over the wire (randomize/replay -> serialize -> lock-striped ingest
+// -> seal); the demo prints the per-epoch throughput/MSE table, the privacy
+// ledger (fresh vs memoized, per-epoch and cumulative eps) and, when
+// --windows asks for multi-epoch windows, the completed window estimates.
 int CmdServeDemo(const Args& args) {
   const int k = args.GetInt("k", 64);
   const double eps = args.GetDouble("epsilon", 1.0);
   const long long users = args.GetInt("users", 200000);
   const int epochs = args.GetInt("epochs", 4);
   const int threads = args.GetInt("threads", 0);
+  const bool memoize = args.GetInt("memoize", 1) != 0;
+  const double churn = args.GetDouble("churn", 0.05);
   fo::Protocol protocol = ParseProtocol(args.Get("protocol", "oue"));
-  Rng rng(args.GetInt("seed", 1));
+  const std::uint64_t seed = args.GetInt("seed", 1);
 
   auto oracle = fo::MakeOracle(protocol, k, eps);
-  serve::CollectorOptions options;
-  options.lanes = args.GetInt("lanes", 4);
-  serve::EpochManager manager(*oracle, options);
+  serve::LongitudinalOptions options;
+  options.collector.lanes = args.GetInt("lanes", 4);
+  options.schedule = serve::ParseEpochSchedule(args.Get("windows", "fixed"));
+  options.history_cap = args.GetInt("history-cap", 0);
+  // A deployment without memoizing clients must not credit chance frame
+  // collisions as replays.
+  options.memoized_replays_free = memoize;
+  serve::LongitudinalCollector collector(*oracle, options);
+  serve::LongitudinalClients clients(*oracle, users, memoize);
 
   std::printf(
       "serve-demo: protocol=%s k=%d eps=%.2f users/epoch=%lld lanes=%d "
-      "(%zu wire bytes/report)\n\n",
-      fo::ProtocolName(protocol), k, eps, users, manager.lanes(),
-      manager.report_bytes());
+      "windows=%s(W=%d,S=%d) memoize=%d churn=%.2f (%zu wire "
+      "bytes/report)\n\n",
+      fo::ProtocolName(protocol), k, eps, users, collector.lanes(),
+      serve::WindowKindName(options.schedule.kind()),
+      options.schedule.length(), options.schedule.stride(), memoize ? 1 : 0,
+      churn, collector.report_bytes());
   std::printf("%-6s %10s %9s %9s %12s %12s %12s\n", "epoch", "accepted",
               "rejected", "MB", "reports/s", "MSE", "MSE(cons.)");
 
-  const std::vector<double> base = ZipfDistribution(k, 1.3);
+  // Per-user values churn with a stationary drift, so the population
+  // marginal stays the base Zipf while individual users change (and break
+  // their permanent answers) at rate `churn`.
+  const std::vector<double> truth = ZipfDistribution(k, 1.3);
+  data::LongitudinalConfig drift;
+  drift.rounds = epochs;
+  drift.change_probability = churn;
+  drift.drift = data::DriftKind::kStationary;
+  drift.seed = seed;
+  const std::vector<std::vector<int>> rounds =
+      data::GenerateScalarRounds(truth, static_cast<int>(users), drift);
+
+  Rng root(seed * 977 + 1);
   long long total_reports = 0;
   double total_seconds = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
-    // The population drifts: the Zipf mass rotates through the domain.
-    std::vector<double> truth(k);
-    for (int v = 0; v < k; ++v) {
-      truth[v] = base[(v + epoch * (k / 7)) % k];
-    }
-    CategoricalSampler sampler(truth);
-    std::vector<int> values(users);
-    for (int& v : values) v = sampler.Sample(rng);
-
-    Rng root = rng.Split();
+    sim::Options encode_options;
+    encode_options.threads = threads;
     const serve::EncodedStream stream =
-        serve::EncodeScalarLoad(*oracle, values, root);
+        clients.EncodeRound(rounds[epoch], root, encode_options);
 
-    manager.OpenEpoch();
-    serve::IngestStream(manager.collector(), stream, threads);
-    const serve::EstimateSnapshot& snapshot = manager.Seal();
+    collector.OpenEpoch();
+    serve::IngestStreamUsers(collector, stream, /*first_user=*/0, threads);
+    const serve::EstimateSnapshot& snapshot = collector.Seal();
     std::printf("%-6lld %10lld %9lld %9.2f %12.3e %12.4e %12.4e\n",
                 snapshot.epoch, snapshot.stats.reports,
                 snapshot.stats.rejected,
@@ -503,6 +523,36 @@ int CmdServeDemo(const Args& args) {
     total_reports += snapshot.stats.reports;
     total_seconds += snapshot.stats.seconds;
   }
+
+  std::printf("\nprivacy ledger (fresh randomizations charged eps=%.2f, "
+              "memoized replays charged 0):\n",
+              eps);
+  std::printf("%-6s %10s %10s %7s %12s %12s %12s %12s %12s\n", "epoch",
+              "fresh", "memoized", "hit%", "eps_epoch", "eps_cum",
+              "worst_attr", "user_mean", "user_max");
+  for (const serve::EstimateSnapshot& s : collector.snapshots()) {
+    std::printf("%-6lld %10lld %10lld %7.1f %12.1f %12.1f %12.1f %12.4f "
+                "%12.4f\n",
+                s.epoch, s.ledger.fresh, s.ledger.memoized,
+                100.0 * s.cumulative_ledger.MemoizationHitRate(),
+                s.ledger.total_epsilon, s.cumulative_ledger.total_epsilon,
+                s.cumulative_ledger.worst_attribute_epsilon,
+                s.cumulative_ledger.mean_user_epsilon,
+                s.cumulative_ledger.max_user_epsilon);
+  }
+
+  if (options.schedule.length() > 1) {
+    std::printf("\ncompleted windows (%s, W=%d, stride=%d):\n",
+                serve::WindowKindName(options.schedule.kind()),
+                options.schedule.length(), options.schedule.stride());
+    std::printf("%-8s %14s %12s %12s\n", "window", "epochs", "n", "MSE");
+    for (const serve::WindowSnapshot& w : collector.windows()) {
+      std::printf("%-8lld [%4lld..%4lld] %12lld %12.4e\n", w.window,
+                  w.first_epoch, w.last_epoch, w.n,
+                  Mse(truth, w.frequencies));
+    }
+  }
+
   std::printf(
       "\nsealed %d epochs, %lld reports total, mean ingest %.3e reports/s\n",
       epochs, total_reports,
@@ -637,6 +687,8 @@ void Usage() {
       "[--smoke] [--profile legacy|fast|smoke] [--json f.json|-]\n"
       "  serve-demo: --protocol oue --k 64 --epsilon 1 --users 200000 "
       "--epochs 4 --lanes 4\n"
+      "              --windows fixed|sliding:L|overlap:L:S --memoize 0|1 "
+      "--churn 0.05\n"
       "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
       "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
       "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "
