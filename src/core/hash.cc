@@ -15,14 +15,16 @@ std::uint64_t Mix64(std::uint64_t x) {
 
 namespace {
 
-constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
-constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
-constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
-constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
-constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+// The primes and rotate live in core/hash.h (hash_detail) so the inline
+// 8-byte fast path and this generic implementation share one definition.
+constexpr std::uint64_t kPrime1 = hash_detail::kXxPrime1;
+constexpr std::uint64_t kPrime2 = hash_detail::kXxPrime2;
+constexpr std::uint64_t kPrime3 = hash_detail::kXxPrime3;
+constexpr std::uint64_t kPrime4 = hash_detail::kXxPrime4;
+constexpr std::uint64_t kPrime5 = hash_detail::kXxPrime5;
 
-std::uint64_t Rotl(std::uint64_t x, int r) {
-  return (x << r) | (x >> (64 - r));
+constexpr std::uint64_t Rotl(std::uint64_t x, int r) {
+  return hash_detail::XxRotl(x, r);
 }
 
 std::uint64_t Read64(const unsigned char* p) {
@@ -113,8 +115,10 @@ UniversalHash::UniversalHash(std::uint64_t seed, int g) : seed_(seed), g_(g) {
 }
 
 int UniversalHash::operator()(int v) const {
+  // The 8-byte specialization of XxHash64 (same output, pinned by
+  // core_hash_test); on little-endian targets the hashed word is just v.
   std::uint64_t x = static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
-  return static_cast<int>(XxHash64(&x, sizeof(x), seed_) %
+  return static_cast<int>(XxHash64Len8(seed_, XxHash64Len8Mix(x)) %
                           static_cast<std::uint64_t>(g_));
 }
 

@@ -13,6 +13,56 @@ std::uint64_t Mix64(std::uint64_t x);
 /// (no third-party dependency); matches the reference xxHash64 output.
 std::uint64_t XxHash64(const void* data, std::size_t len, std::uint64_t seed);
 
+namespace hash_detail {
+inline constexpr std::uint64_t kXxPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr std::uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kXxPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr std::uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr std::uint64_t kXxPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline constexpr std::uint64_t XxRotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+}  // namespace hash_detail
+
+/// The two halves of XxHash64 specialized to an 8-byte input, split at the
+/// seam between input-only and seed-dependent work:
+///
+///   XxHash64(&w, 8, seed) == XxHash64Len8(seed, XxHash64Len8Mix(w))
+///
+/// for the native-endian bytes of `w` (core_hash_test pins the identity).
+/// The mix half depends only on the input, so the batched OLH decode kernel
+/// hoists it out of its per-report loop: one mix per candidate value, then a
+/// cheap per-(report, value) finish against each report's seed.
+inline std::uint64_t XxHash64Len8Mix(std::uint64_t word) {
+  using namespace hash_detail;
+  return XxRotl(word * kXxPrime2, 31) * kXxPrime1;
+}
+
+/// Seed-only bias of the 8-byte path (the length fold), hoistable per
+/// report: XxHash64Len8(seed, mix) ==
+/// XxHash64Len8Finish(XxHash64Len8Preseed(seed), mix).
+inline std::uint64_t XxHash64Len8Preseed(std::uint64_t seed) {
+  return seed + hash_detail::kXxPrime5 + 8;
+}
+
+inline std::uint64_t XxHash64Len8Finish(std::uint64_t preseed,
+                                        std::uint64_t mix) {
+  using namespace hash_detail;
+  std::uint64_t h = preseed ^ mix;
+  h = XxRotl(h, 27) * kXxPrime1 + kXxPrime4;
+  h ^= h >> 33;
+  h *= kXxPrime2;
+  h ^= h >> 29;
+  h *= kXxPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+inline std::uint64_t XxHash64Len8(std::uint64_t seed, std::uint64_t mix) {
+  return XxHash64Len8Finish(XxHash64Len8Preseed(seed), mix);
+}
+
 /// Universal hash family over small integers, H_seed : Z -> [0, g).
 ///
 /// OLH (optimal local hashing) requires each user to pick a hash function

@@ -1,0 +1,93 @@
+#ifndef LDPR_FO_BITSLICE_H_
+#define LDPR_FO_BITSLICE_H_
+
+// Word-level building blocks for the block decode kernels
+// (fo::Aggregator::AccumulateWireBlock): unaligned word loads over staged
+// wire frames, MSB-first field extraction, and an exact multiplicative
+// divisibility test that replaces OLH's per-candidate `% g` with one
+// multiply. Everything here is bit-exact — fo_bitslice_exact_test pins each
+// helper against its naive counterpart, and the kernels built on them
+// against the scalar decode path.
+
+#include <cstdint>
+#include <cstring>
+
+namespace ldpr::fo::bitslice {
+
+/// Rows staged between block flushes. Small enough that the unary-encoding
+/// kernel's vertical byte counters (one byte lane per report) cannot
+/// saturate (< 256), large enough to amortize the per-flush unpack and the
+/// lane mutex over ~two cache lines of counters.
+inline constexpr int kBlockRows = 128;
+
+/// Staging row width for a wire frame of `frame_bytes`: rounded up to whole
+/// 64-bit words so kernels can read rows with aligned-stride word loads.
+inline constexpr std::size_t RowStride(std::size_t frame_bytes) {
+  return (frame_bytes + 7) & ~std::size_t{7};
+}
+
+/// Bytes a staging buffer needs beyond `rows * RowStride(...)`: field
+/// extraction reads whole 64-bit words, so the last row's final field may
+/// pull up to 7 bytes past the row. Callers of AccumulateWireBlock must
+/// guarantee this much readable tail after the last row.
+inline constexpr std::size_t kRowTailSlack = 8;
+
+inline std::uint64_t Load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// The wire format packs bits MSB-first, so a big-endian load puts the
+/// earliest wire bit in the word's most significant position.
+inline std::uint64_t Load64Be(const std::uint8_t* p) {
+  return __builtin_bswap64(Load64(p));
+}
+
+/// Extracts the `width`-bit MSB-first field starting at absolute bit `pos`
+/// of `data` (width in [1, 57]: the field plus its leading intra-byte offset
+/// must fit one word). Reads the 8 bytes at data + pos/8 — see
+/// kRowTailSlack.
+inline std::uint64_t ExtractBits(const std::uint8_t* data, int pos,
+                                 int width) {
+  const std::uint64_t word = Load64Be(data + (pos >> 3));
+  return (word >> (64 - (pos & 7) - width)) &
+         ((std::uint64_t{1} << width) - 1);
+}
+
+/// Exact divisibility-by-d test as one multiply, rotate and compare
+/// (Granlund–Montgomery / Hacker's Delight 10-17): for d = m * 2^t with m
+/// odd, n % d == 0  <=>  rotr(n * m^-1 mod 2^64, t) <= (2^64 - 1) / d.
+/// The OLH kernel turns "h % g == value" into IsDivisible(h - value)
+/// (valid when h >= value; h < value < g implies a nonzero difference
+/// below g, i.e. never congruent).
+struct DivisibilityCheck {
+  std::uint64_t inverse = 1;  ///< m^-1 mod 2^64 (odd part's inverse)
+  std::uint64_t limit = ~std::uint64_t{0};  ///< floor((2^64 - 1) / d)
+  int shift = 0;                            ///< t = trailing zeros of d
+
+  static DivisibilityCheck For(std::uint64_t d) {
+    DivisibilityCheck check;
+    check.shift = __builtin_ctzll(d);
+    const std::uint64_t odd = d >> check.shift;
+    // Newton's iteration x <- x(2 - odd*x) doubles the number of correct
+    // low bits each step; x = odd starts 3 bits correct (odd^2 ≡ 1 mod 8),
+    // so 5 steps reach all 64.
+    std::uint64_t x = odd;
+    for (int i = 0; i < 5; ++i) x *= 2 - odd * x;
+    check.inverse = x;
+    check.limit = ~std::uint64_t{0} / d;
+    return check;
+  }
+
+  bool IsDivisible(std::uint64_t n) const {
+    const std::uint64_t q = n * inverse;
+    const std::uint64_t rotated =
+        shift == 0 ? q : (q >> shift) | (q << (64 - shift));
+    return rotated <= limit;
+  }
+};
+
+}  // namespace ldpr::fo::bitslice
+
+#endif  // LDPR_FO_BITSLICE_H_

@@ -1,6 +1,7 @@
 #include "fo/frequency_oracle.h"
 
 #include "core/check.h"
+#include "fo/wire.h"
 
 namespace ldpr::fo {
 
@@ -137,6 +138,20 @@ long long Aggregator::AccumulateSubsampledHistogram(
   }
   AccumulateHistogram(thinned, rng);
   return total;
+}
+
+void Aggregator::AccumulateWireBlock(const std::uint8_t* frames,
+                                     std::size_t stride, int count) {
+  // Scalar reference path: decode each staged frame like the streaming
+  // ingest loop would. Protocol subclasses override with block kernels that
+  // must stay bit-identical to this.
+  WireDecoder decoder(oracle_);
+  const std::uint8_t* row = frames;
+  for (int r = 0; r < count; ++r, row += stride) {
+    const bool ok = decoder.DecodeInto(row, decoder.report_bytes(), *this);
+    LDPR_CHECK(ok, "AccumulateWireBlock fed an invalid frame: callers must "
+               "pre-validate (WireDecoder::Validate)");
+  }
 }
 
 void Aggregator::Merge(const Aggregator& other) {

@@ -178,6 +178,21 @@ class Aggregator {
   long long AccumulateSubsampledHistogram(
       const std::vector<long long>& histogram, double rate, Rng& rng);
 
+  /// Decodes and accumulates a block of pre-validated wire frames — the
+  /// serving layer's bitsliced hot path. `frames` points at `count` rows of
+  /// `stride` bytes; each row begins with one exact SerializeReport image
+  /// (WireDecoder::Validate-accepted) and the caller must guarantee
+  ///   - stride >= bitslice::RowStride(frame size) with zero padding bytes,
+  ///   - bitslice::kRowTailSlack readable bytes after the last row
+  /// (serve::Collector's staging buffers are laid out exactly like this).
+  /// Produces bit-identical counts()/n() to `count` scalar
+  /// WireDecoder::DecodeInto calls — the base implementation *is* that
+  /// scalar loop, and protocol overrides (UE bit-column slicing, batched
+  /// OLH hashing, GRR/SS field tallies) are pinned to it by
+  /// fo_bitslice_exact_test.
+  virtual void AccumulateWireBlock(const std::uint8_t* frames,
+                                   std::size_t stride, int count);
+
   /// Folds another aggregator of the same protocol/domain into this one.
   void Merge(const Aggregator& other);
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "fo/bitslice.h"
+#include "fo/wire.h"
 
 namespace ldpr::fo {
 
@@ -59,6 +61,18 @@ class GrrAggregator : public Aggregator {
       ++counts_[other >= value ? other + 1 : other];
     }
     ++n_;
+  }
+
+  void AccumulateWireBlock(const std::uint8_t* frames, std::size_t stride,
+                           int count) override {
+    // One big-endian word load per frame: the value is the top
+    // ceil(log2 k) bits (validation already guaranteed value < k).
+    const int width = CeilLog2(oracle_.k());
+    const std::uint8_t* row = frames;
+    for (int r = 0; r < count; ++r, row += stride) {
+      ++counts_[static_cast<int>(bitslice::Load64Be(row) >> (64 - width))];
+    }
+    n_ += count;
   }
 
   void AccumulateHistogram(const std::vector<long long>& histogram,

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "fo/bitslice.h"
+#include "fo/wire.h"
 
 namespace ldpr::fo {
 
@@ -37,6 +39,23 @@ class SsAggregator : public Aggregator {
       ++counts_[o >= value ? o + 1 : o];
     }
     ++n_;
+  }
+
+  void AccumulateWireBlock(const std::uint8_t* frames, std::size_t stride,
+                           int count) override {
+    // omega word-extracted field tallies per frame — no per-bit cursor, no
+    // scratch Report, no monotonicity re-checks (validation did those).
+    const Ss& ss = static_cast<const Ss&>(oracle_);
+    const int width = CeilLog2(ss.k());
+    const int omega = ss.omega();
+    const std::uint8_t* row = frames;
+    for (int r = 0; r < count; ++r, row += stride) {
+      int pos = 0;
+      for (int i = 0; i < omega; ++i, pos += width) {
+        ++counts_[static_cast<int>(bitslice::ExtractBits(row, pos, width))];
+      }
+    }
+    n_ += count;
   }
 
  private:

@@ -1,8 +1,10 @@
 #include "fo/wire.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/check.h"
+#include "fo/bitslice.h"
 #include "fo/olh.h"
 #include "fo/ss.h"
 
@@ -205,6 +207,7 @@ WireDecoder::WireDecoder(const FrequencyOracle& oracle)
       omega_ = static_cast<const Ss&>(oracle).omega();
       value_width_ = CeilLog2(k_);
       scratch_.subset.resize(omega_);
+      validate_scratch_.resize(report_bytes_ + bitslice::kRowTailSlack, 0);
       break;
     case Protocol::kSue:
     case Protocol::kOue:
@@ -220,6 +223,58 @@ bool WireDecoder::DecodeInto(const std::uint8_t* data, std::size_t size,
   if (!DecodeField(data, &bit_offset)) return false;
   agg.Accumulate(scratch_);
   return true;
+}
+
+namespace {
+
+// Big-endian integer of bytes [first, size): since the wire packs fields
+// MSB-first and ExactWireSize guarantees zero padding, a single trailing
+// field read this way IS the field's value.
+std::uint64_t BeBytes(const std::uint8_t* data, std::size_t first,
+                      std::size_t size) {
+  std::uint64_t v = 0;
+  for (std::size_t i = first; i < size; ++i) v = (v << 8) | data[i];
+  return v;
+}
+
+}  // namespace
+
+bool WireDecoder::Validate(const std::uint8_t* data, std::size_t size) {
+  if (!ExactWireSize(data, size, report_bits_)) return false;
+  // Fields pack MSB-first, so a trailing field occupies the TOP bits of its
+  // bytes; shift the zero padding (verified zero above) back out.
+  const int padding = static_cast<int>(size) * 8 - report_bits_;
+  switch (protocol_) {
+    case Protocol::kGrr:
+      return (BeBytes(data, 0, size) >> padding) <
+             static_cast<std::uint64_t>(k_);
+    case Protocol::kOlh:
+      // Any 64-bit seed is valid; the hashed value is the tail.
+      return (BeBytes(data, 8, size) >> padding) <
+             static_cast<std::uint64_t>(g_);
+    case Protocol::kSs: {
+      // Branchless word extraction over a padded copy — a data-dependent
+      // per-field bit loop would mispredict constantly at omega fields per
+      // report.
+      std::memcpy(validate_scratch_.data(), data, size);
+      const std::uint8_t* frame = validate_scratch_.data();
+      int previous = -1;
+      int pos = 0;
+      for (int i = 0; i < omega_; ++i, pos += value_width_) {
+        const int v =
+            static_cast<int>(bitslice::ExtractBits(frame, pos, value_width_));
+        if (v >= k_ || v <= previous) return false;
+        previous = v;
+      }
+      return true;
+    }
+    case Protocol::kSue:
+    case Protocol::kOue:
+      // Any bit pattern of the right width (with zero padding, checked
+      // above) is a valid UE report.
+      return true;
+  }
+  return false;
 }
 
 bool WireDecoder::DecodeField(const std::uint8_t* data, int* bit_offset) {

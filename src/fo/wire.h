@@ -97,13 +97,24 @@ struct BitCursor {
   int position = 0;
 
   std::uint64_t Read(int width) {
-    std::uint64_t value = 0;
-    for (int i = 0; i < width; ++i, ++position) {
-      value = (value << 1) |
-              static_cast<std::uint64_t>(
-                  (data[position >> 3] >> (7 - (position & 7))) & 1);
+    // Wide fields (the OLH 64-bit seed, possibly mid-tuple and so not
+    // byte-aligned) exceed what one word accumulation can hold once the
+    // intra-byte offset is added; split them.
+    if (width > 56) {
+      const std::uint64_t high = Read(width - 32);
+      return (high << 32) | Read(32);
     }
-    return value;
+    // Byte-at-a-time MSB-first accumulation: ceil(width/8) + 1 iterations
+    // instead of one per bit.
+    const std::uint8_t* p = data + (position >> 3);
+    int have = 8 - (position & 7);
+    std::uint64_t value = *p & ((std::uint64_t{1} << have) - 1);
+    while (have < width) {
+      value = (value << 8) | *++p;
+      have += 8;
+    }
+    position += width;
+    return have == width ? value : value >> (have - width);
   }
 };
 
@@ -142,6 +153,16 @@ class WireDecoder {
     return DecodeInto(bytes.data(), bytes.size(), agg);
   }
 
+  /// Accept/reject without decoding or accumulating — the staging-buffer
+  /// half of the bitsliced ingest path (serve::Collector validates and
+  /// copies each frame here, deferring all decode work to
+  /// fo::Aggregator::AccumulateWireBlock at flush). Accepts exactly the
+  /// buffers DecodeInto accepts (pinned by the serve fuzz tests). Non-const
+  /// for the same reason DecodeInto is: SS field checks run over a reusable
+  /// padded scratch so extraction is branchless word loads, never reading
+  /// past the caller's buffer.
+  bool Validate(const std::uint8_t* data, std::size_t size);
+
   /// Field-level half of DecodeInto for packed multidimensional tuples
   /// (serve/multidim_collector): decodes one report starting at bit
   /// `*bit_offset` of `data` into the internal scratch and advances the
@@ -170,6 +191,9 @@ class WireDecoder {
   int report_bits_ = 0;
   std::size_t report_bytes_ = 0;
   Report scratch_;
+  /// SS validation scratch: frame bytes + bitslice::kRowTailSlack, so
+  /// whole-word field extraction stays in bounds.
+  std::vector<std::uint8_t> validate_scratch_;
 };
 
 }  // namespace ldpr::fo

@@ -1,7 +1,10 @@
 #include "serve/collector.h"
 
+#include <cstring>
+
 #include "core/check.h"
 #include "core/parallel.h"
+#include "fo/bitslice.h"
 
 namespace ldpr::serve {
 
@@ -10,24 +13,48 @@ Collector::Collector(const fo::FrequencyOracle& oracle,
     : oracle_(oracle), options_(options) {
   int lanes = options.lanes > 0 ? options.lanes : DefaultThreadCount();
   LDPR_CHECK(lanes >= 1, "collector needs at least one lane");
+  report_bytes_ = fo::WireDecoder(oracle).report_bytes();
+  stage_stride_ = fo::bitslice::RowStride(report_bytes_);
+  const std::size_t staging_bytes =
+      static_cast<std::size_t>(fo::bitslice::kBlockRows) * stage_stride_ +
+      fo::bitslice::kRowTailSlack;
   lanes_.reserve(lanes);
   for (int i = 0; i < lanes; ++i) {
-    lanes_.push_back(std::make_unique<Lane>(oracle));
+    lanes_.push_back(std::make_unique<Lane>(oracle, staging_bytes));
   }
-  report_bytes_ = lanes_[0]->decoder.report_bytes();
 }
 
 bool Collector::Ingest(int lane_hint, const std::uint8_t* data,
                        std::size_t size) {
   Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
   std::lock_guard<std::mutex> guard(lane.mutex);
-  if (lane.decoder.DecodeInto(data, size, *lane.aggregator)) {
-    ++lane.tallies.reports;
-    lane.tallies.bytes += static_cast<long long>(size);
-    return true;
+  if (!lane.decoder.Validate(data, size)) {
+    ++lane.tallies.rejected;
+    return false;
   }
-  ++lane.tallies.rejected;
-  return false;
+  // Stage the validated frame; all decode work happens at flush
+  // (AccumulateWireBlock) when the block fills or the epoch seals.
+  std::memcpy(lane.staging.data() +
+                  static_cast<std::size_t>(lane.staged) * stage_stride_,
+              data, size);
+  if (++lane.staged == fo::bitslice::kBlockRows) FlushLocked(lane);
+  ++lane.tallies.reports;
+  lane.tallies.bytes += static_cast<long long>(size);
+  return true;
+}
+
+void Collector::FlushLocked(Lane& lane) {
+  if (lane.staged == 0) return;
+  lane.aggregator->AccumulateWireBlock(lane.staging.data(), stage_stride_,
+                                       lane.staged);
+  lane.staged = 0;
+}
+
+int Collector::staged(int lane_hint) const {
+  const Lane& lane =
+      *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
+  std::lock_guard<std::mutex> guard(lane.mutex);
+  return lane.staged;
 }
 
 void Collector::IngestHistogram(int lane_hint,
@@ -48,6 +75,7 @@ Collector::Drained Collector::Drain() {
   for (auto& lane_ptr : lanes_) {
     Lane& lane = *lane_ptr;
     std::lock_guard<std::mutex> guard(lane.mutex);
+    FlushLocked(lane);  // partial blocks are decoded at seal time
     const std::vector<long long>& counts = lane.aggregator->counts();
     for (std::size_t v = 0; v < out.counts.size(); ++v) {
       out.counts[v] += counts[v];

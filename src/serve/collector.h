@@ -1,7 +1,7 @@
 #ifndef LDPR_SERVE_COLLECTOR_H_
 #define LDPR_SERVE_COLLECTOR_H_
 
-// The streaming collection service's scalar ingest core.
+// The streaming collection service's ingest core.
 //
 // The paper's deployment surface is a server continuously receiving
 // wire-encoded sanitized reports from millions of users. A Collector models
@@ -12,11 +12,21 @@
 // lane aggregators (O(lanes * k), constant in the number of reports) into an
 // immutable EstimateSnapshot.
 //
-// Determinism: merged support counts are integer sums, so the sealed
-// snapshot depends only on the multiset of accepted reports — never on lane
-// assignment, producer interleaving or LDPR_THREADS
-// (serve_collector_test pins this, and pins snapshot estimates bit-identical
-// to a batch fo::Aggregator fed the same report stream).
+// Ingest is staged, not scalar: each lane validates an incoming buffer
+// (fo::WireDecoder::Validate — same accept set as the scalar decoder),
+// copies it into a fixed staging block of bitslice::kBlockRows padded rows,
+// and defers all decode work to fo::Aggregator::AccumulateWireBlock, which
+// the lane flushes when the block fills and again at Drain() (flush-on-seal)
+// — so a sealed epoch always covers every accepted report, wherever the
+// block boundary fell.
+//
+// Determinism: block kernels are pinned bit-identical to the scalar decode
+// path (fo_bitslice_exact_test) and merged support counts are integer sums,
+// so the sealed snapshot depends only on the multiset of accepted reports —
+// never on lane assignment, producer interleaving, LDPR_THREADS, or where
+// the flush boundaries fell (serve_collector_test pins this, and pins
+// snapshot estimates bit-identical to a batch fo::Aggregator fed the same
+// report stream).
 
 #include <cstddef>
 #include <cstdint>
@@ -105,20 +115,36 @@ class Collector {
   const fo::FrequencyOracle& oracle() const { return oracle_; }
   const CollectorOptions& options() const { return options_; }
 
+  /// Rows currently staged (validated, not yet decoded) in lane
+  /// `lane % lanes()`. Exposed for flush-boundary tests.
+  int staged(int lane) const;
+
  private:
   struct Lane {
-    explicit Lane(const fo::FrequencyOracle& oracle)
-        : aggregator(oracle.MakeAggregator()), decoder(oracle) {}
+    Lane(const fo::FrequencyOracle& oracle, std::size_t staging_bytes)
+        : aggregator(oracle.MakeAggregator()),
+          decoder(oracle),
+          staging(staging_bytes, 0) {}
 
-    std::mutex mutex;
+    mutable std::mutex mutex;
     std::unique_ptr<fo::Aggregator> aggregator;
     fo::WireDecoder decoder;
     IngestCounters tallies;
+    /// kBlockRows rows of stage_stride_ bytes plus kRowTailSlack; row
+    /// padding bytes stay zero for the life of the lane (accepted frames
+    /// all have the same exact size).
+    std::vector<std::uint8_t> staging;
+    int staged = 0;
   };
+
+  /// Decodes the lane's staged rows into its aggregator. Caller holds the
+  /// lane mutex.
+  void FlushLocked(Lane& lane);
 
   const fo::FrequencyOracle& oracle_;
   CollectorOptions options_;
   std::size_t report_bytes_;
+  std::size_t stage_stride_;
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

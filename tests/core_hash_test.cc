@@ -46,6 +46,31 @@ TEST(XxHash64Test, LengthBoundaries) {
   EXPECT_EQ(hashes.size(), 11u);
 }
 
+TEST(XxHash64Test, Len8DecompositionMatchesFullHash) {
+  // The identity hash.h promises: the 8-byte specialization, split at the
+  // input-only / seed-dependent seam the batched OLH kernel hoists across,
+  // equals the general-purpose hash of the word's native-endian bytes.
+  std::uint64_t word = 0x0123456789ABCDEFULL;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(XxHash64(&word, 8, seed),
+              XxHash64Len8(seed, XxHash64Len8Mix(word)))
+        << "word=" << word << " seed=" << seed;
+    EXPECT_EQ(XxHash64Len8(seed, XxHash64Len8Mix(word)),
+              XxHash64Len8Finish(XxHash64Len8Preseed(seed),
+                                 XxHash64Len8Mix(word)));
+    // March both inputs through distinct bit patterns (splitmix-style).
+    word = Mix64(word + 0x9E3779B97F4A7C15ULL);
+    seed = Mix64(seed + 0xBF58476D1CE4E5B9ULL);
+  }
+  // Edge seeds/words.
+  for (std::uint64_t w : {std::uint64_t{0}, ~std::uint64_t{0}}) {
+    for (std::uint64_t s : {std::uint64_t{0}, ~std::uint64_t{0}}) {
+      EXPECT_EQ(XxHash64(&w, 8, s), XxHash64Len8(s, XxHash64Len8Mix(w)));
+    }
+  }
+}
+
 TEST(UniversalHashTest, OutputInRange) {
   UniversalHash h(12345, 7);
   for (int v = 0; v < 1000; ++v) {

@@ -11,6 +11,7 @@
 
 #include "core/check.h"
 #include "core/sampling.h"
+#include "fo/bitslice.h"
 #include "fo/factory.h"
 #include "fo/wire.h"
 #include "serve/collector.h"
@@ -209,6 +210,141 @@ TEST_P(ServeCollectorTest, NonzeroPaddingIsRejected) {
   frame.back() |= 1;  // lowest bit is always padding when padding > 0
   EXPECT_FALSE(decoder.DecodeInto(frame, *agg));
   EXPECT_EQ(agg->n(), 1);
+}
+
+// Mid-epoch flush boundaries are invisible: a lane stages frames and
+// flushes a block every bitslice::kBlockRows (observable via staged()), and
+// sealing at any fill — empty, exactly full, or one past a flush — yields a
+// snapshot bit-identical to the batch aggregator over the same reports.
+TEST_P(ServeCollectorTest, FlushBoundariesAreInvisibleInSnapshots) {
+  const int k = 12;
+  const int block = fo::bitslice::kBlockRows;
+  const int max_n = 2 * block + 1;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.0);
+
+  Rng rng(77);
+  std::vector<fo::Report> reports;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < max_n; ++i) {
+    reports.push_back(oracle->Randomize(i % k, rng));
+    frames.push_back(fo::SerializeReport(*oracle, reports.back()));
+  }
+
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 1});
+  for (int n : {0, 1, block - 1, block, block + 1, 2 * block - 1, 2 * block,
+                max_n}) {
+    manager.OpenEpoch();
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(manager.collector().Ingest(0, frames[i]));
+    }
+    // Whole blocks were flushed eagerly; the remainder is still staged and
+    // only decoded at seal.
+    EXPECT_EQ(manager.collector().staged(0), n % block) << "n=" << n;
+    const EstimateSnapshot& snapshot = manager.Seal();
+
+    auto batch = oracle->MakeAggregator();
+    for (int i = 0; i < n; ++i) batch->Accumulate(reports[i]);
+    EXPECT_EQ(snapshot.n, n);
+    EXPECT_EQ(snapshot.counts, batch->counts()) << "n=" << n;
+    if (n > 0) {
+      EXPECT_EQ(snapshot.frequencies, batch->Estimate()) << "n=" << n;
+    } else {
+      EXPECT_TRUE(snapshot.frequencies.empty());
+    }
+  }
+}
+
+// Sealing flushes a partial block at EVERY prefix length: sweep all staged
+// fills 0..kBlockRows and check each sealed snapshot against an
+// incrementally grown batch reference.
+TEST_P(ServeCollectorTest, SealAtEveryStagedFillMatchesScalar) {
+  const int k = 9;
+  const int block = fo::bitslice::kBlockRows;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.2);
+
+  Rng rng(501);
+  std::vector<fo::Report> reports;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i <= block; ++i) {
+    reports.push_back(oracle->Randomize((i * 5 + 2) % k, rng));
+    frames.push_back(fo::SerializeReport(*oracle, reports.back()));
+  }
+
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 1});
+  auto batch = oracle->MakeAggregator();  // grown by one report per fill
+  for (int n = 0; n <= block; ++n) {
+    if (n > 0) batch->Accumulate(reports[n - 1]);
+    manager.OpenEpoch();
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(manager.collector().Ingest(0, frames[i]));
+    }
+    const EstimateSnapshot& snapshot = manager.Seal();
+    ASSERT_EQ(snapshot.counts, batch->counts()) << "staged fill " << n;
+    ASSERT_EQ(snapshot.n, n);
+  }
+}
+
+// Fuzz the staging path itself: interleave valid frames with corrupt /
+// truncated / random buffers and padding violations, so rejects land
+// between staged rows at every fill level. The collector's accept verdicts
+// must match WireDecoder::DecodeInto frame by frame, and the sealed counts
+// must match the reference aggregator the decoder built along the way.
+// (Runs under the ASan/UBSan fast label.)
+TEST_P(ServeCollectorTest, RejectionsBetweenStagedFramesDontPerturbDecodes) {
+  const int k = 50;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.0);
+  EpochManager manager(*oracle, CollectorOptions{.lanes = 1});
+  manager.OpenEpoch();
+  Collector& collector = manager.collector();
+  const std::size_t frame_bytes = collector.report_bytes();
+
+  fo::WireDecoder reference_decoder(*oracle);
+  auto reference = oracle->MakeAggregator();
+  Rng rng(9001);
+  long long accepted = 0;
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> buffer;
+    switch (trial % 4) {
+      case 0:  // genuine frame
+        buffer = fo::SerializeReport(
+            *oracle,
+            oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
+        break;
+      case 1: {  // genuine frame with one flipped bit
+        buffer = fo::SerializeReport(
+            *oracle,
+            oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
+        buffer[rng.UniformInt(buffer.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.UniformInt(8));
+        break;
+      }
+      case 2: {  // random bytes at the exact accepted size
+        buffer.resize(frame_bytes);
+        for (auto& b : buffer) {
+          b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        }
+        break;
+      }
+      default: {  // random bytes at a random (usually wrong) size
+        buffer.resize(rng.UniformInt(2 * frame_bytes + 2));
+        for (auto& b : buffer) {
+          b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        }
+        break;
+      }
+    }
+    const bool reference_accepts = reference_decoder.DecodeInto(
+        buffer.data(), buffer.size(), *reference);
+    EXPECT_EQ(collector.Ingest(0, buffer), reference_accepts)
+        << "trial " << trial;
+    accepted += reference_accepts ? 1 : 0;
+  }
+
+  const EstimateSnapshot& snapshot = manager.Seal();
+  EXPECT_EQ(snapshot.n, accepted);
+  EXPECT_EQ(snapshot.counts, reference->counts());
+  EXPECT_EQ(snapshot.stats.rejected, 2000 - accepted);
 }
 
 TEST(ServeEpochTest, LifecycleIsEnforced) {

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/check.h"
 #include "core/sampling.h"
 #include "data/longitudinal.h"
+#include "fo/bitslice.h"
 #include "fo/factory.h"
 #include "fo/wire.h"
 #include "serve/loadgen.h"
@@ -158,6 +160,63 @@ TEST_P(ServeLongitudinalTest, WindowSealsBitIdenticalToBatchRecompute) {
                 batch->Estimate(fo::ConsistencyMethod::kNormSub));
       EXPECT_EQ(window.last_epoch - window.first_epoch + 1,
                 schedule.length());
+    }
+  }
+}
+
+// Memoized replays ride the same staged-ingest path as fresh frames: with a
+// sliding window over epochs whose sizes straddle the block-flush boundary
+// (n = kBlockRows + 2), every window seal and every ledger figure must be
+// identical whatever the lane count — replayed frames decode through
+// AccumulateWireBlock exactly like first-time frames.
+TEST_P(ServeLongitudinalTest, MemoizedReplayWindowsAreLaneAndFlushInvariant) {
+  const int k = 13;
+  const int n = fo::bitslice::kBlockRows + 2;
+  const int epochs = 6;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.5);
+
+  // One fixed traffic trace: a memoizing population re-reporting mostly
+  // static values (every round after the first is mostly verbatim replays).
+  Rng seed_rng(611);
+  std::vector<int> values = ZipfValues(n, k, seed_rng);
+  LongitudinalClients clients(*oracle, n, /*memoize=*/true);
+  Rng root(612);
+  std::vector<EncodedStream> streams;
+  for (int e = 0; e < epochs; ++e) {
+    if (e == 3) values[5] = (values[5] + 1) % k;  // a little churn
+    streams.push_back(clients.EncodeRound(values, root));
+  }
+
+  std::deque<WindowSnapshot> reference;
+  for (int lanes : {1, 2, 5}) {
+    LongitudinalOptions options;
+    options.schedule = EpochSchedule::Sliding(3);
+    options.collector.lanes = lanes;
+    LongitudinalCollector collector(*oracle, options);
+    for (const EncodedStream& stream : streams) {
+      collector.OpenEpoch();
+      EXPECT_EQ(IngestStreamUsers(collector, stream), n);
+      collector.Seal();
+    }
+    ASSERT_FALSE(collector.windows().empty());
+    if (lanes == 1) {
+      reference = collector.windows();
+      continue;
+    }
+    ASSERT_EQ(collector.windows().size(), reference.size());
+    for (std::size_t w = 0; w < reference.size(); ++w) {
+      const WindowSnapshot& got = collector.windows()[w];
+      const WindowSnapshot& want = reference[w];
+      EXPECT_EQ(got.counts, want.counts) << "lanes=" << lanes << " w=" << w;
+      EXPECT_EQ(got.frequencies, want.frequencies);
+      EXPECT_EQ(got.consistent, want.consistent);
+      EXPECT_EQ(got.n, want.n);
+    }
+    // Replay classification is staged-path independent too.
+    for (std::size_t e = 0; e < collector.snapshots().size(); ++e) {
+      EXPECT_EQ(collector.snapshots()[e].ledger.fresh,
+                e == 0 ? n : (e == 3 ? 1 : 0))
+          << "lanes=" << lanes << " epoch=" << e;
     }
   }
 }
