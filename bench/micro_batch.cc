@@ -100,6 +100,52 @@ void BM_CollectClosedForm(benchmark::State& state, fo::Protocol protocol) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 
+// Aggregation only, reports pre-materialized: the historical scalar idiom
+// (AccumulateSupport per report) against the staged batch path (Accumulate,
+// which packs each report into a wire-image block and decodes kBlockRows at
+// a time through the same AccumulateWireBlock kernels the serve path uses).
+// Client randomization is outside the timed region, so this isolates what
+// staging buys on the non-wire path: for the UE family the SWAR column sums
+// dwarf the pack cost (order-of-magnitude over per-bit AccumulateSupport);
+// for SS and OLH the block kernels do positional field work the scalar walk
+// already does cheaply, so the wire-image round trip is the measured price
+// of routing every path through one set of pinned kernels.
+void BM_AggregateScalar(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const std::vector<int> values = MakeValues(n);
+  Rng rng(1);
+  std::vector<fo::Report> reports;
+  reports.reserve(n);
+  for (int v : values) reports.push_back(oracle->Randomize(v, rng));
+  for (auto _ : state) {
+    std::vector<long long> counts(kDomain, 0);
+    for (const fo::Report& r : reports) {
+      oracle->AccumulateSupport(r, &counts);
+    }
+    auto est = oracle->EstimateFromCounts(counts, n);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_AggregateBlock(benchmark::State& state, fo::Protocol protocol) {
+  const long long n = state.range(0);
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const std::vector<int> values = MakeValues(n);
+  Rng rng(1);
+  std::vector<fo::Report> reports;
+  reports.reserve(n);
+  for (int v : values) reports.push_back(oracle->Randomize(v, rng));
+  for (auto _ : state) {
+    auto agg = oracle->MakeAggregator();
+    for (const fo::Report& r : reports) agg->Accumulate(r);
+    auto est = agg->Estimate();
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
 void BM_SimRunCollection(benchmark::State& state, sim::Mode mode) {
   const long long n = state.range(0);
   auto oracle = fo::MakeOracle(fo::Protocol::kOue, kDomain, 1.0);
@@ -144,6 +190,21 @@ BENCHMARK_CAPTURE(BM_CollectClosedForm, olh, fo::Protocol::kOlh)->Arg(1 << 16);
 BENCHMARK_CAPTURE(BM_CollectScalar, ss, fo::Protocol::kSs)->Arg(1 << 18);
 BENCHMARK_CAPTURE(BM_CollectFused, ss, fo::Protocol::kSs)->Arg(1 << 18);
 BENCHMARK_CAPTURE(BM_CollectClosedForm, ss, fo::Protocol::kSs)->Arg(1 << 18);
+
+// Block vs scalar on the batch (non-wire) path: same pre-materialized
+// reports, staged-block Accumulate against per-report AccumulateSupport.
+BENCHMARK_CAPTURE(BM_AggregateScalar, oue, fo::Protocol::kOue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AggregateBlock, oue, fo::Protocol::kOue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AggregateScalar, sue, fo::Protocol::kSue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AggregateBlock, sue, fo::Protocol::kSue)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AggregateScalar, ss, fo::Protocol::kSs)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_AggregateBlock, ss, fo::Protocol::kSs)->Arg(1 << 18);
+BENCHMARK_CAPTURE(BM_AggregateScalar, olh, fo::Protocol::kOlh)->Arg(1 << 16);
+BENCHMARK_CAPTURE(BM_AggregateBlock, olh, fo::Protocol::kOlh)->Arg(1 << 16);
 
 // The whole engine, sharded across LDPR_THREADS workers.
 BENCHMARK_CAPTURE(BM_SimRunCollection, streaming, sim::Mode::kStreaming)

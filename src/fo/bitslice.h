@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 namespace ldpr::fo::bitslice {
 
@@ -86,6 +87,142 @@ struct DivisibilityCheck {
         shift == 0 ? q : (q >> shift) | (q << (64 - shift));
     return rotated <= limit;
   }
+};
+
+/// Per-field extraction table for a row of `omega` MSB-first fields of
+/// `width` bits each (the SS wire layout: field i starts at absolute bit
+/// i * width). Precomputing each field's load byte and right-shift hoists
+/// every piece of cursor arithmetic out of the decode loop, leaving one
+/// big-endian load + shift + mask per field — and because the field -> byte
+/// mapping is identical for every row, the kernel's inner loop carries no
+/// data-dependent state at all. Requires width <= 57 (ExtractBits' one-word
+/// contract); reads obey the same kRowTailSlack rule as ExtractBits.
+struct PackedFieldTable {
+  std::vector<std::uint32_t> byte;  ///< field i loads Load64Be(row + byte[i])
+  std::vector<std::uint8_t> shift;  ///< then shifts right by shift[i]
+  std::uint64_t mask = 0;           ///< and masks with (1 << width) - 1
+
+  PackedFieldTable() = default;
+  PackedFieldTable(int omega, int width)
+      : byte(omega), shift(omega),
+        mask((std::uint64_t{1} << width) - 1) {
+    for (int i = 0; i < omega; ++i) {
+      const long long pos = static_cast<long long>(i) * width;
+      byte[i] = static_cast<std::uint32_t>(pos >> 3);
+      shift[i] = static_cast<std::uint8_t>(64 - (pos & 7) - width);
+    }
+  }
+
+  std::uint64_t Extract(const std::uint8_t* row, int i) const {
+    return (Load64Be(row + byte[i]) >> shift[i]) & mask;
+  }
+};
+
+/// SWAR validator for the SS wire constraint — `omega` packed MSB-first
+/// `width`-bit fields, strictly increasing, each < k — with no per-field
+/// branch. Fields are pulled `per_group` at a time (per_group * width <= 57,
+/// so one ExtractBits covers the group with a carry-headroom bit to spare)
+/// into a right-justified word whose lane j holds the group's
+/// (cnt - 1 - j)-th field; both checks then run as lane-parallel carry
+/// tests over alternating lanes, so a lane's carry always lands in a zeroed
+/// neighbor:
+///   - range:     lane + (2^width - k) carries out iff lane >= k (and when
+///                k == 2^width the addend is 0 and the test correctly never
+///                fires);
+///   - monotone:  cur + (2^width - 1 - prev) carries out iff cur > prev,
+///                with prev the next-higher lane (the preceding field).
+/// Group boundaries (last field of group g vs first of g + 1) are stitched
+/// with one scalar compare per group. Same accept set as the field-by-field
+/// walk — pinned by fo_bitslice_exact_test's Validate/DecodeInto parity
+/// fuzzing.
+class PackedFieldValidator {
+ public:
+  PackedFieldValidator() = default;
+
+  PackedFieldValidator(int omega, int width, int k)
+      : omega_(omega), width_(width),
+        mask_((std::uint64_t{1} << width) - 1) {
+    per_group_ = omega < 57 / width ? omega : 57 / width;
+    full_ = MasksFor(per_group_, k);
+    const int tail = omega % per_group_;
+    if (tail != 0) tail_ = MasksFor(tail, k);
+    groups_ = (omega + per_group_ - 1) / per_group_;
+  }
+
+  /// `data` needs 8 readable bytes past each group's first byte — the same
+  /// kRowTailSlack contract as ExtractBits (copy short frames into a padded
+  /// scratch first).
+  bool Validate(const std::uint8_t* data) const {
+    const int full_groups = omega_ / per_group_;
+    std::int64_t prev_last = -1;  // fields are >= 0, so group 0 always passes
+    int pos = 0;
+    for (int g = 0; g < groups_; ++g) {
+      const GroupMasks& m = g < full_groups ? full_ : tail_;
+      const std::uint64_t grp = ExtractBits(data, pos, m.cnt * width_);
+      std::uint64_t bad = (((grp & m.even) + m.even_add) & m.even_carry) |
+                          (((grp & m.odd) + m.odd_add) & m.odd_carry);
+      const std::uint64_t prev = grp >> width_;
+      bad |= (((grp & m.mono_even) + (~prev & m.mono_even)) &
+              m.mono_even_carry) ^ m.mono_even_carry;
+      bad |= (((grp & m.mono_odd) + (~prev & m.mono_odd)) &
+              m.mono_odd_carry) ^ m.mono_odd_carry;
+      if (bad != 0) return false;
+      const std::int64_t first =
+          static_cast<std::int64_t>(grp >> ((m.cnt - 1) * width_));
+      if (first <= prev_last) return false;
+      prev_last = static_cast<std::int64_t>(grp & mask_);
+      pos += m.cnt * width_;
+    }
+    return true;
+  }
+
+ private:
+  struct GroupMasks {
+    int cnt = 0;
+    std::uint64_t even = 0, even_add = 0, even_carry = 0;
+    std::uint64_t odd = 0, odd_add = 0, odd_carry = 0;
+    std::uint64_t mono_even = 0, mono_even_carry = 0;
+    std::uint64_t mono_odd = 0, mono_odd_carry = 0;
+  };
+
+  GroupMasks MasksFor(int cnt, int k) const {
+    GroupMasks m;
+    m.cnt = cnt;
+    const std::uint64_t excess =
+        (std::uint64_t{1} << width_) - static_cast<std::uint64_t>(k);
+    for (int j = 0; j < cnt; ++j) {
+      const int sh = j * width_;
+      const std::uint64_t lane = mask_ << sh;
+      const std::uint64_t carry = std::uint64_t{1} << (sh + width_);
+      if (j % 2 == 0) {
+        m.even |= lane;
+        m.even_add |= excess << sh;
+        m.even_carry |= carry;
+      } else {
+        m.odd |= lane;
+        m.odd_add |= excess << sh;
+        m.odd_carry |= carry;
+      }
+      if (j < cnt - 1) {  // lane cnt-1 has no in-group predecessor
+        if (j % 2 == 0) {
+          m.mono_even |= lane;
+          m.mono_even_carry |= carry;
+        } else {
+          m.mono_odd |= lane;
+          m.mono_odd_carry |= carry;
+        }
+      }
+    }
+    return m;
+  }
+
+  int omega_ = 0;
+  int width_ = 0;
+  std::uint64_t mask_ = 0;
+  int per_group_ = 1;
+  int groups_ = 0;
+  GroupMasks full_;
+  GroupMasks tail_;
 };
 
 }  // namespace ldpr::fo::bitslice

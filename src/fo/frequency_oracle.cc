@@ -1,6 +1,7 @@
 #include "fo/frequency_oracle.h"
 
 #include "core/check.h"
+#include "fo/bitslice.h"
 #include "fo/wire.h"
 
 namespace ldpr::fo {
@@ -90,6 +91,33 @@ void Aggregator::Accumulate(const Report& report) {
   ++n_;
 }
 
+std::uint8_t* Aggregator::StageRowSlot(std::size_t stride) {
+  if (staging_.empty()) {
+    staging_stride_ = stride;
+    staging_.assign(
+        static_cast<std::size_t>(bitslice::kBlockRows) * stride +
+            bitslice::kRowTailSlack,
+        0);
+  }
+  return staging_.data() +
+         static_cast<std::size_t>(staged_rows_) * staging_stride_;
+}
+
+void Aggregator::CommitStagedRow() {
+  if (++staged_rows_ == bitslice::kBlockRows) FlushStaged();
+}
+
+void Aggregator::FlushStaged() const {
+  if (staged_rows_ == 0) return;
+  // Logically const (see the header): only the internal representation of
+  // already-accumulated reports moves from staged rows into counts_.
+  Aggregator* self = const_cast<Aggregator*>(this);
+  const int rows = self->staged_rows_;
+  self->staged_rows_ = 0;
+  self->AccumulateWireBlock(self->staging_.data(), self->staging_stride_,
+                            rows);
+}
+
 void Aggregator::AccumulateValue(int value, Rng& rng) {
   Report r = oracle_.Randomize(value, rng);
   Accumulate(r);
@@ -158,6 +186,8 @@ void Aggregator::Merge(const Aggregator& other) {
   LDPR_REQUIRE(oracle_.protocol() == other.oracle_.protocol() &&
                    counts_.size() == other.counts_.size(),
                "cannot merge aggregators of different protocols/domains");
+  FlushStaged();
+  other.FlushStaged();
   for (std::size_t v = 0; v < counts_.size(); ++v) {
     counts_[v] += other.counts_[v];
   }
@@ -165,6 +195,7 @@ void Aggregator::Merge(const Aggregator& other) {
 }
 
 std::vector<double> Aggregator::Estimate() const {
+  FlushStaged();
   return oracle_.EstimateFromCounts(counts_, n_);
 }
 

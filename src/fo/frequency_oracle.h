@@ -143,8 +143,16 @@ class Aggregator {
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
-  /// Server side: folds one report's support into the counts.
-  void Accumulate(const Report& report);
+  /// Server side: folds one report's support into the counts. The UE/SS/OLH
+  /// aggregators override this to *stage* the report — packing its exact
+  /// SerializeReport image into an internal block of wire rows and deferring
+  /// all decode work to their AccumulateWireBlock kernels — so the batch
+  /// (non-wire) path runs at block-kernel speed too. Staging is invisible:
+  /// every read of the state (counts(), n(), Estimate(), Merge() — both
+  /// sides) drains it first, and integer support sums commute, so results
+  /// stay bit-identical to the scalar AccumulateSupport loop wherever the
+  /// flush boundaries fall.
+  virtual void Accumulate(const Report& report);
 
   /// Fused client + server: randomizes `value` and accumulates its support
   /// directly. Draws from `rng` exactly like Randomize(value, rng)
@@ -203,14 +211,37 @@ class Aggregator {
   std::vector<double> Estimate(ConsistencyMethod method,
                                double threshold = 0.0) const;
 
-  const std::vector<long long>& counts() const { return counts_; }
-  long long n() const { return n_; }
+  const std::vector<long long>& counts() const {
+    FlushStaged();
+    return counts_;
+  }
+  long long n() const {
+    FlushStaged();
+    return n_;
+  }
   const FrequencyOracle& oracle() const { return oracle_; }
 
  protected:
+  /// Lazily allocates the report-side staging block (bitslice::kBlockRows
+  /// rows of `stride` bytes plus tail slack, zeroed) and returns the next
+  /// free row for a staged Accumulate override to pack a wire image into.
+  std::uint8_t* StageRowSlot(std::size_t stride);
+  /// Commits the row returned by StageRowSlot; flushes the block through
+  /// AccumulateWireBlock when it fills.
+  void CommitStagedRow();
+  /// Drains staged rows into counts_/n_. Const because staging is a deferred
+  /// materialization of reports already Accumulated — the logical state (the
+  /// multiset of accumulated reports) does not change, only where it lives.
+  void FlushStaged() const;
+
   const FrequencyOracle& oracle_;
   std::vector<long long> counts_;
   long long n_ = 0;
+
+ private:
+  std::vector<std::uint8_t> staging_;  ///< wire rows, see StageRowSlot
+  std::size_t staging_stride_ = 0;
+  int staged_rows_ = 0;
 };
 
 }  // namespace ldpr::fo

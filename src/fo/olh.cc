@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
@@ -329,6 +330,30 @@ void SweepValues(OlhKernel kernel, const std::uint64_t* preseed,
 class OlhAggregator : public Aggregator {
  public:
   explicit OlhAggregator(const Olh& oracle) : Aggregator(oracle) {}
+
+  void Accumulate(const Report& report) override {
+    // Stage the (seed, hashed value) pair as its SerializeReport image —
+    // seed big-endian, value MSB-first with zero padding — so the k-hash
+    // preimage walk runs through the batched SweepValues kernel at flush
+    // instead of one UniversalHash evaluation per (report, value) here.
+    const Olh& olh = static_cast<const Olh&>(oracle_);
+    const int g = olh.g();
+    LDPR_REQUIRE(report.value >= 0 && report.value < g,
+                 "OLH hashed value out of range");
+    const int width = CeilLog2(g);
+    const std::size_t frame_bytes =
+        static_cast<std::size_t>((64 + width + 7) / 8);
+    std::uint8_t* row = StageRowSlot(bitslice::RowStride(frame_bytes));
+    const std::uint64_t seed_be = __builtin_bswap64(report.hash_seed);
+    std::memcpy(row, &seed_be, sizeof(seed_be));
+    const int vbytes = (width + 7) / 8;
+    const std::uint64_t v = static_cast<std::uint64_t>(report.value)
+                            << (vbytes * 8 - width);
+    for (int b = 0; b < vbytes; ++b) {
+      row[8 + b] = static_cast<std::uint8_t>(v >> (8 * (vbytes - 1 - b)));
+    }
+    CommitStagedRow();
+  }
 
   void AccumulateValue(int value, Rng& rng) override {
     const Olh& olh = static_cast<const Olh&>(oracle_);

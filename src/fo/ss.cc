@@ -23,7 +23,12 @@ namespace {
 
 class SsAggregator : public Aggregator {
  public:
-  explicit SsAggregator(const Ss& oracle) : Aggregator(oracle) {}
+  explicit SsAggregator(const Ss& oracle)
+      : Aggregator(oracle),
+        width_(CeilLog2(oracle.k())),
+        frame_bytes_(
+            static_cast<std::size_t>((oracle.omega() * width_ + 7) / 8)),
+        table_(oracle.omega(), width_) {}
 
   void AccumulateValue(int value, Rng& rng) override {
     const Ss& ss = static_cast<const Ss&>(oracle_);
@@ -41,24 +46,80 @@ class SsAggregator : public Aggregator {
     ++n_;
   }
 
+  void Accumulate(const Report& report) override {
+    // Stage the subset as its SerializeReport image (width-bit fields packed
+    // MSB-first, zero padding) and defer the tallies to the block kernel.
+    // Same preconditions as Ss::AccumulateSupport; within a row fields need
+    // not be sorted — the kernel tallies them positionally, like the scalar
+    // support walk.
+    const Ss& ss = static_cast<const Ss&>(oracle_);
+    const int k = ss.k();
+    const int omega = ss.omega();
+    LDPR_REQUIRE(static_cast<int>(report.subset.size()) == omega,
+                 "SS report subset size " << report.subset.size()
+                                          << " != omega " << omega);
+    std::uint8_t* row = StageRowSlot(bitslice::RowStride(frame_bytes_));
+    std::uint64_t acc = 0;
+    int acc_bits = 0;  // stays <= 7 + width, so acc never overflows
+    std::size_t out = 0;
+    for (int i = 0; i < omega; ++i) {
+      const int v = report.subset[i];
+      LDPR_REQUIRE(v >= 0 && v < k, "SS subset value out of range");
+      acc = (acc << width_) | static_cast<std::uint64_t>(v);
+      acc_bits += width_;
+      while (acc_bits >= 8) {
+        acc_bits -= 8;
+        row[out++] = static_cast<std::uint8_t>((acc >> acc_bits) & 0xFF);
+      }
+    }
+    if (acc_bits > 0) {
+      row[out] = static_cast<std::uint8_t>((acc << (8 - acc_bits)) & 0xFF);
+    }
+    CommitStagedRow();
+  }
+
   void AccumulateWireBlock(const std::uint8_t* frames, std::size_t stride,
                            int count) override {
     // omega word-extracted field tallies per frame — no per-bit cursor, no
-    // scratch Report, no monotonicity re-checks (validation did those).
-    const Ss& ss = static_cast<const Ss&>(oracle_);
-    const int width = CeilLog2(ss.k());
-    const int omega = ss.omega();
+    // scratch Report, no monotonicity re-checks (validation did those), and
+    // no per-field cursor arithmetic either: every row shares the same
+    // field -> (load byte, shift) map, precomputed once (PackedFieldTable),
+    // so a field is exactly one big-endian load, shift, mask and tally. The
+    // 4-wide unroll keeps four independent loads in flight; within a row
+    // the tallied values are distinct (validated subsets) so the increments
+    // never collide.
+    const int omega = static_cast<const Ss&>(oracle_).omega();
+    const std::uint64_t mask = table_.mask;
+    const std::uint32_t* off = table_.byte.data();
+    const std::uint8_t* sh = table_.shift.data();
+    long long* counts = counts_.data();
     const std::uint8_t* row = frames;
     for (int r = 0; r < count; ++r, row += stride) {
-      int pos = 0;
-      for (int i = 0; i < omega; ++i, pos += width) {
-        ++counts_[static_cast<int>(bitslice::ExtractBits(row, pos, width))];
+      int i = 0;
+      for (; i + 4 <= omega; i += 4) {
+        const std::uint64_t v0 = (bitslice::Load64Be(row + off[i]) >> sh[i]) & mask;
+        const std::uint64_t v1 =
+            (bitslice::Load64Be(row + off[i + 1]) >> sh[i + 1]) & mask;
+        const std::uint64_t v2 =
+            (bitslice::Load64Be(row + off[i + 2]) >> sh[i + 2]) & mask;
+        const std::uint64_t v3 =
+            (bitslice::Load64Be(row + off[i + 3]) >> sh[i + 3]) & mask;
+        ++counts[v0];
+        ++counts[v1];
+        ++counts[v2];
+        ++counts[v3];
+      }
+      for (; i < omega; ++i) {
+        ++counts[(bitslice::Load64Be(row + off[i]) >> sh[i]) & mask];
       }
     }
     n_ += count;
   }
 
  private:
+  const int width_;
+  const std::size_t frame_bytes_;
+  const bitslice::PackedFieldTable table_;
   std::vector<int> scratch_;
 };
 

@@ -208,6 +208,7 @@ WireDecoder::WireDecoder(const FrequencyOracle& oracle)
       value_width_ = CeilLog2(k_);
       scratch_.subset.resize(omega_);
       validate_scratch_.resize(report_bytes_ + bitslice::kRowTailSlack, 0);
+      ss_validator_ = bitslice::PackedFieldValidator(omega_, value_width_, k_);
       break;
     case Protocol::kSue:
     case Protocol::kOue:
@@ -253,20 +254,12 @@ bool WireDecoder::Validate(const std::uint8_t* data, std::size_t size) {
       return (BeBytes(data, 8, size) >> padding) <
              static_cast<std::uint64_t>(g_);
     case Protocol::kSs: {
-      // Branchless word extraction over a padded copy — a data-dependent
-      // per-field bit loop would mispredict constantly at omega fields per
-      // report.
+      // SWAR group checks over a padded copy: ~omega/8 word extractions and
+      // carry tests instead of a per-field compare chain — the `< k` and
+      // strictly-increasing checks run lane-parallel across each group
+      // (bitslice::PackedFieldValidator, same accept set as the field walk).
       std::memcpy(validate_scratch_.data(), data, size);
-      const std::uint8_t* frame = validate_scratch_.data();
-      int previous = -1;
-      int pos = 0;
-      for (int i = 0; i < omega_; ++i, pos += value_width_) {
-        const int v =
-            static_cast<int>(bitslice::ExtractBits(frame, pos, value_width_));
-        if (v >= k_ || v <= previous) return false;
-        previous = v;
-      }
-      return true;
+      return ss_validator_.Validate(validate_scratch_.data());
     }
     case Protocol::kSue:
     case Protocol::kOue:

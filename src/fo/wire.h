@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fo/bitslice.h"
 #include "fo/frequency_oracle.h"
 
 namespace ldpr::fo {
@@ -194,6 +195,8 @@ class WireDecoder {
   /// SS validation scratch: frame bytes + bitslice::kRowTailSlack, so
   /// whole-word field extraction stays in bounds.
   std::vector<std::uint8_t> validate_scratch_;
+  /// SS range + strictly-increasing checks as lane-parallel carry tests.
+  bitslice::PackedFieldValidator ss_validator_;
 };
 
 }  // namespace ldpr::fo

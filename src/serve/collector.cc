@@ -1,5 +1,6 @@
 #include "serve/collector.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/check.h"
@@ -70,20 +71,43 @@ void Collector::IngestHistogram(int lane_hint,
 }
 
 Collector::Drained Collector::Drain() {
+  const int lane_count = lanes();
+  const int k = oracle_.k();
   Drained out;
-  out.counts.assign(oracle_.k(), 0);
-  for (auto& lane_ptr : lanes_) {
-    Lane& lane = *lane_ptr;
-    std::lock_guard<std::mutex> guard(lane.mutex);
-    FlushLocked(lane);  // partial blocks are decoded at seal time
-    const std::vector<long long>& counts = lane.aggregator->counts();
-    for (std::size_t v = 0; v < out.counts.size(); ++v) {
-      out.counts[v] += counts[v];
-    }
-    out.n += lane.aggregator->n();
-    out.tallies.Merge(lane.tallies);
-    lane.aggregator = oracle_.MakeAggregator();
-    lane.tallies = IngestCounters{};
+  out.counts.assign(k, 0);
+  // The O(lanes * k) merge (plus each lane's final partial-block decode)
+  // fans over worker threads once it dwarfs a thread spawn; small seals
+  // stay single-threaded microsecond work. Each shard drains a disjoint
+  // lane range into its own partials, and both the per-shard lane loop and
+  // the shard-ordered reduction below are integer sums — bit-identical for
+  // any shard count, and therefore any LDPR_THREADS.
+  const int max_shards = std::min(lane_count, DefaultThreadCount());
+  const bool heavy =
+      static_cast<long long>(lane_count) * k >= (1LL << 15);
+  const int shards = (heavy && max_shards > 1) ? max_shards : 1;
+  std::vector<Drained> partial(shards);
+  ParallelForShards(
+      lane_count, shards,
+      [&](int shard, long long lo, long long hi) {
+        Drained& p = partial[shard];
+        p.counts.assign(k, 0);
+        for (long long li = lo; li < hi; ++li) {
+          Lane& lane = *lanes_[static_cast<std::size_t>(li)];
+          std::lock_guard<std::mutex> guard(lane.mutex);
+          FlushLocked(lane);  // partial blocks are decoded at seal time
+          const std::vector<long long>& counts = lane.aggregator->counts();
+          for (int v = 0; v < k; ++v) p.counts[v] += counts[v];
+          p.n += lane.aggregator->n();
+          p.tallies.Merge(lane.tallies);
+          lane.aggregator = oracle_.MakeAggregator();
+          lane.tallies = IngestCounters{};
+        }
+      },
+      shards);
+  for (int s = 0; s < shards; ++s) {
+    for (int v = 0; v < k; ++v) out.counts[v] += partial[s].counts[v];
+    out.n += partial[s].n;
+    out.tallies.Merge(partial[s].tallies);
   }
   return out;
 }

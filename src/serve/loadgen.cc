@@ -217,6 +217,18 @@ long long IngestStream(Collector& collector, const EncodedStream& stream,
   return total;
 }
 
+MtIngestResult IngestStreamMt(Collector& collector,
+                              const EncodedStream& stream, int producers) {
+  LDPR_REQUIRE(producers >= 1, "multi-producer ingest needs >= 1 producer");
+  MtIngestResult out;
+  const double start = MonotonicSeconds();
+  out.accepted = IngestStream(collector, stream, producers);
+  out.seconds = MonotonicSeconds() - start;
+  out.reports_per_second =
+      out.seconds > 0.0 ? static_cast<double>(out.accepted) / out.seconds : 0.0;
+  return out;
+}
+
 long long IngestFrames(MultidimCollector& collector,
                        const EncodedFrames& frames, int threads) {
   const int shards = collector.lanes();

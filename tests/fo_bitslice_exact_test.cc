@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -21,6 +22,7 @@
 #include "core/rng.h"
 #include "fo/bitslice.h"
 #include "fo/factory.h"
+#include "fo/ss.h"
 #include "fo/wire.h"
 
 namespace ldpr::fo {
@@ -177,6 +179,63 @@ TEST_P(BitsliceExactTest, ValidateAcceptsExactlyWhatDecodeIntoAccepts) {
   }
 }
 
+// The batch (non-wire) path: Aggregator::Accumulate stages Report wire
+// images and decodes them through the same block kernels the serve path
+// uses (GRR excepted — its scalar accumulate is a single increment). The
+// staging must be invisible: counts()/n() reads at arbitrary fills flush
+// pending rows and match a scalar AccumulateSupport reference exactly, and
+// later accumulation is undisturbed by the mid-stream reads.
+TEST_P(BitsliceExactTest, StagedBatchAccumulateMatchesScalarSupport) {
+  auto oracle = MakeOracle(protocol(), k(), kEpsilon);
+  Rng rng(kSeed ^ 0xBA7C);
+  std::vector<Report> reports;
+  reports.reserve(kUsers);
+  for (int i = 0; i < kUsers; ++i) {
+    reports.push_back(oracle->Randomize((i * 3 + 1) % k(), rng));
+  }
+
+  // Probe fills: mid-block (1, 64, 200), exactly one block (128), and the
+  // final ragged tail (300).
+  const std::vector<int> probes = {1, 64, bitslice::kBlockRows, 200, kUsers};
+  std::vector<long long> ref_counts(k(), 0);
+  auto agg = oracle->MakeAggregator();
+  for (int i = 0; i < kUsers; ++i) {
+    agg->Accumulate(reports[i]);
+    oracle->AccumulateSupport(reports[i], &ref_counts);
+    if (std::find(probes.begin(), probes.end(), i + 1) != probes.end()) {
+      ASSERT_EQ(agg->counts(), ref_counts) << "after " << i + 1 << " reports";
+      ASSERT_EQ(agg->n(), i + 1);
+    }
+  }
+  EXPECT_EQ(agg->counts(), ref_counts);
+  EXPECT_EQ(agg->Estimate(), oracle->EstimateFromCounts(ref_counts, kUsers));
+}
+
+// Merge must flush both sides' staged rows first: split the stream at
+// boundaries where one or both aggregators hold a partial block, and at an
+// exact block boundary for contrast.
+TEST_P(BitsliceExactTest, StagedMergeAtNonBlockBoundariesMatchesScalar) {
+  auto oracle = MakeOracle(protocol(), k(), kEpsilon);
+  Rng rng(kSeed ^ 0x3ED);
+  std::vector<Report> reports;
+  reports.reserve(kUsers);
+  for (int i = 0; i < kUsers; ++i) {
+    reports.push_back(oracle->Randomize((i * i + 7) % k(), rng));
+  }
+  std::vector<long long> ref_counts(k(), 0);
+  for (const Report& r : reports) oracle->AccumulateSupport(r, &ref_counts);
+
+  for (int split : {77, bitslice::kBlockRows, 233}) {
+    auto a = oracle->MakeAggregator();
+    auto b = oracle->MakeAggregator();
+    for (int i = 0; i < split; ++i) a->Accumulate(reports[i]);
+    for (int i = split; i < kUsers; ++i) b->Accumulate(reports[i]);
+    a->Merge(*b);
+    EXPECT_EQ(a->counts(), ref_counts) << "split=" << split;
+    EXPECT_EQ(a->n(), kUsers) << "split=" << split;
+  }
+}
+
 std::string ParamName(
     const ::testing::TestParamInfo<std::tuple<Protocol, int>>& info) {
   return std::string(ProtocolName(std::get<0>(info.param))) + "_k" +
@@ -188,6 +247,135 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(AllProtocols()),
                        ::testing::Values(2, 63, 64, 65, 1000)),
     ParamName);
+
+// SS across the (epsilon, k) grid: omega = clamp(round(k / (e^eps + 1)), 1,
+// k - 1) sweeps from 1 (high eps or tiny k) past the SWAR validator's
+// 57/width fields-per-group boundary (k = 100 -> width 7, omega up to 44),
+// so full groups, tail groups, and the cross-group stitch all get exercised
+// at several shapes. Pins the block kernel bitwise at ragged tails and the
+// validator's accept set on targeted malformed fields — out-of-range,
+// non-increasing, duplicate, dirty padding — not just random fuzz.
+class SsOmegaGridTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {
+ protected:
+  double epsilon() const { return std::get<0>(GetParam()); }
+  int k() const { return std::get<1>(GetParam()); }
+};
+
+// MSB-first packer matching the SS wire layout (SerializeReport): lets the
+// test craft frames field by field, including illegal ones SerializeReport
+// would never emit.
+std::vector<std::uint8_t> PackSsFrame(const std::vector<int>& values,
+                                      int width, std::size_t bytes) {
+  std::vector<std::uint8_t> frame(bytes, 0);
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  std::size_t out = 0;
+  for (int v : values) {
+    acc = (acc << width) | static_cast<std::uint64_t>(v);
+    acc_bits += width;
+    while (acc_bits >= 8) {
+      acc_bits -= 8;
+      frame[out++] = static_cast<std::uint8_t>((acc >> acc_bits) & 0xFF);
+    }
+  }
+  if (acc_bits > 0) {
+    frame[out++] =
+        static_cast<std::uint8_t>((acc << (8 - acc_bits)) & 0xFF);
+  }
+  return frame;
+}
+
+TEST_P(SsOmegaGridTest, BlockKernelMatchesScalarAtRaggedTails) {
+  auto oracle = MakeOracle(Protocol::kSs, k(), epsilon());
+  const std::size_t stride =
+      bitslice::RowStride(WireDecoder(*oracle).report_bytes());
+  for (int n : {1, 63, bitslice::kBlockRows - 1, bitslice::kBlockRows,
+                bitslice::kBlockRows + 1, 300}) {
+    const auto frames = MakeFrames(*oracle, n, kSeed + n);
+    const auto expected = ScalarReference(*oracle, frames);
+    const auto staged = StageRows(frames, stride, 0, n);
+    auto agg = oracle->MakeAggregator();
+    agg->AccumulateWireBlock(staged.data(), stride, n);
+    EXPECT_EQ(agg->counts(), expected->counts()) << "n=" << n;
+    EXPECT_EQ(agg->n(), expected->n()) << "n=" << n;
+  }
+}
+
+TEST_P(SsOmegaGridTest, ValidatorRejectsMalformedFieldsLikeScalar) {
+  auto oracle = MakeOracle(Protocol::kSs, k(), epsilon());
+  const Ss& ss = static_cast<const Ss&>(*oracle);
+  const int omega = ss.omega();
+  const int width = CeilLog2(k());
+  WireDecoder decoder(*oracle);
+  const std::size_t bytes = decoder.report_bytes();
+  const int padding = static_cast<int>(bytes) * 8 - decoder.report_bits();
+
+  // Both accept-set checks on every crafted frame: the SWAR Validate and the
+  // scalar DecodeInto must agree, and for the malformed frames both reject.
+  const auto expect_verdict = [&](const std::vector<std::uint8_t>& frame,
+                                  bool want, const char* what) {
+    auto agg = oracle->MakeAggregator();
+    EXPECT_EQ(decoder.Validate(frame.data(), frame.size()), want) << what;
+    EXPECT_EQ(decoder.DecodeInto(frame.data(), frame.size(), *agg), want)
+        << what;
+    EXPECT_EQ(agg->n(), want ? 1 : 0) << what;
+  };
+
+  // Two legal subsets probing both ends of the value range.
+  std::vector<int> low(omega), high(omega);
+  for (int i = 0; i < omega; ++i) {
+    low[i] = i;
+    high[i] = k() - omega + i;
+  }
+  expect_verdict(PackSsFrame(low, width, bytes), true, "low subset");
+  expect_verdict(PackSsFrame(high, width, bytes), true, "high subset");
+
+  // Out-of-range field: only expressible when k is not a power of two.
+  if (k() < (1 << width)) {
+    std::vector<int> bad = low;
+    bad.back() = k();  // first illegal encodable value
+    expect_verdict(PackSsFrame(bad, width, bytes), false, "field == k");
+    bad.back() = (1 << width) - 1;  // largest encodable value
+    if (bad.back() >= k()) {
+      expect_verdict(PackSsFrame(bad, width, bytes), false, "max field");
+    }
+  }
+  if (omega >= 2) {
+    std::vector<int> swapped = high;
+    std::swap(swapped[0], swapped[1]);  // strictly decreasing pair
+    expect_verdict(PackSsFrame(swapped, width, bytes), false,
+                   "non-increasing");
+    std::vector<int> dup = high;
+    dup[1] = dup[0];  // equal adjacent fields: also not strictly increasing
+    expect_verdict(PackSsFrame(dup, width, bytes), false, "duplicate");
+    // A violation in the LAST adjacent pair lands in the cross-group stitch
+    // for shapes with more than one SWAR group.
+    std::vector<int> tail = low;
+    tail[omega - 1] = tail[omega - 2];
+    expect_verdict(PackSsFrame(tail, width, bytes), false, "tail duplicate");
+  }
+  if (padding > 0) {
+    std::vector<std::uint8_t> dirty = PackSsFrame(low, width, bytes);
+    dirty.back() |= 1;  // lowest bit is padding whenever padding > 0
+    expect_verdict(dirty, false, "dirty padding");
+  }
+}
+
+std::string OmegaGridName(
+    const ::testing::TestParamInfo<std::tuple<double, int>>& info) {
+  const double eps = std::get<0>(info.param);
+  // 0.25 -> "eps025": keep the name alphanumeric.
+  const int centi = static_cast<int>(eps * 100 + 0.5);
+  return "eps" + std::to_string(centi) + "_k" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonDomainGrid, SsOmegaGridTest,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 3.0),
+                       ::testing::Values(2, 5, 64, 100, 257)),
+    OmegaGridName);
 
 // The OLH block kernel dispatches between scalar, AVX2, and AVX-512 tiers at
 // aggregator construction; LDPR_OLH_KERNEL forces a tier (honored only when

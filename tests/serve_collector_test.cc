@@ -5,6 +5,7 @@
 // rejected cleanly (no UB under ASan/UBSan, nothing accumulated), and the
 // epoch lifecycle must enforce open -> ingest -> seal.
 
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -345,6 +346,94 @@ TEST_P(ServeCollectorTest, RejectionsBetweenStagedFramesDontPerturbDecodes) {
   EXPECT_EQ(snapshot.n, accepted);
   EXPECT_EQ(snapshot.counts, reference->counts());
   EXPECT_EQ(snapshot.stats.rejected, 2000 - accepted);
+}
+
+// Concurrent-producer stress: real std::threads hammer the collector both
+// ways producers can be deployed — pinned to disjoint lanes (the scaling
+// configuration: zero contention) and all sharing a smaller lane set (the
+// degenerate configuration: heavy mutex contention, interleaved staging and
+// block flushes). Either way the sealed snapshot must be bit-identical to a
+// single-thread ingest of the same stream: snapshots depend only on the
+// multiset of accepted reports.
+TEST_P(ServeCollectorTest, ConcurrentProducersMatchSingleThreadBitwise) {
+  const int k = 19;
+  const int n = 6000;  // not a multiple of kBlockRows or the thread count
+  const int threads = 4;
+  auto oracle = fo::MakeOracle(GetParam(), k, 1.5);
+  Rng rng(314);
+  Rng root(27);
+  const EncodedStream stream =
+      EncodeScalarLoad(*oracle, ZipfValues(n, k, rng), root);
+
+  // Reference: one lane, one thread, in stream order.
+  EstimateSnapshot reference;
+  {
+    EpochManager manager(*oracle, CollectorOptions{.lanes = 1});
+    manager.OpenEpoch();
+    for (long long i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          manager.collector().Ingest(0, stream.frame(i), stream.frame_bytes));
+    }
+    reference = manager.Seal();
+  }
+
+  const auto expect_matches_reference = [&](const EstimateSnapshot& snapshot,
+                                            const char* config) {
+    EXPECT_EQ(snapshot.n, reference.n) << config;
+    EXPECT_EQ(snapshot.counts, reference.counts) << config;
+    EXPECT_EQ(snapshot.frequencies, reference.frequencies) << config;
+    EXPECT_EQ(snapshot.consistent, reference.consistent) << config;
+    EXPECT_EQ(snapshot.stats.reports, reference.stats.reports) << config;
+    EXPECT_EQ(snapshot.stats.rejected, 0) << config;
+  };
+
+  // Disjoint lanes: thread t owns lane t and a contiguous frame range.
+  {
+    EpochManager manager(*oracle, CollectorOptions{.lanes = threads});
+    manager.OpenEpoch();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const long long lo = n * static_cast<long long>(t) / threads;
+        const long long hi = n * static_cast<long long>(t + 1) / threads;
+        for (long long i = lo; i < hi; ++i) {
+          manager.collector().Ingest(t, stream.frame(i), stream.frame_bytes);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    expect_matches_reference(manager.Seal(), "disjoint lanes");
+  }
+
+  // Shared lanes: four threads contend for two lanes, strided so every
+  // thread's frames interleave with every other's inside each lane.
+  {
+    EpochManager manager(*oracle, CollectorOptions{.lanes = 2});
+    manager.OpenEpoch();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (long long i = t; i < n; i += threads) {
+          manager.collector().Ingest(static_cast<int>(i % 2), stream.frame(i),
+                                     stream.frame_bytes);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    expect_matches_reference(manager.Seal(), "shared lanes");
+  }
+
+  // The timed harness the MT benchmarks and serve-demo use reports every
+  // frame accepted and seals to the same snapshot.
+  {
+    EpochManager manager(*oracle, CollectorOptions{.lanes = threads});
+    manager.OpenEpoch();
+    const MtIngestResult result =
+        IngestStreamMt(manager.collector(), stream, threads);
+    EXPECT_EQ(result.accepted, n);
+    EXPECT_GE(result.reports_per_second, 0.0);
+    expect_matches_reference(manager.Seal(), "IngestStreamMt");
+  }
 }
 
 TEST(ServeEpochTest, LifecycleIsEnforced) {
