@@ -11,11 +11,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
 #include "core/rng.h"
 #include "fo/factory.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
 #include "serve/longitudinal.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -47,8 +54,8 @@ void BM_ServeIngest(benchmark::State& state, fo::Protocol protocol) {
   serve::Collector collector(*oracle, serve::CollectorOptions{.lanes = 1});
   for (auto _ : state) {
     for (long long i = 0; i < n; ++i) {
-      benchmark::DoNotOptimize(
-          collector.Ingest(0, stream.frame(i), stream.frame_bytes));
+      benchmark::DoNotOptimize(collector.Ingest(
+          serve::IngestRequest{{stream.frame(i), stream.frame_bytes}}));
     }
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -100,8 +107,10 @@ void BM_ServeEpochRoundTrip(benchmark::State& state, fo::Protocol protocol) {
   for (auto _ : state) {
     manager.OpenEpoch();
     for (long long i = 0; i < n; ++i) {
-      manager.collector().Ingest(static_cast<int>(i % lanes), stream.frame(i),
-                                 stream.frame_bytes);
+      manager.collector().Ingest(serve::IngestRequest{
+          {stream.frame(i), stream.frame_bytes},
+          std::nullopt,
+          static_cast<int>(i % lanes)});
     }
     benchmark::DoNotOptimize(manager.Seal());
   }
@@ -121,8 +130,10 @@ void BM_ServeSeal(benchmark::State& state) {
     state.PauseTiming();
     manager.OpenEpoch();
     for (long long i = 0; i < stream.count; ++i) {
-      manager.collector().Ingest(static_cast<int>(i % lanes), stream.frame(i),
-                                 stream.frame_bytes);
+      manager.collector().Ingest(serve::IngestRequest{
+          {stream.frame(i), stream.frame_bytes},
+          std::nullopt,
+          static_cast<int>(i % lanes)});
     }
     state.ResumeTiming();
     benchmark::DoNotOptimize(manager.Seal());
@@ -146,14 +157,65 @@ void BM_LongitudinalIngest(benchmark::State& state, fo::Protocol protocol) {
   for (auto _ : state) {
     collector.OpenEpoch();
     for (long long i = 0; i < n; ++i) {
-      benchmark::DoNotOptimize(
-          collector.IngestUser(i, 0, stream.frame(i), stream.frame_bytes));
+      benchmark::DoNotOptimize(collector.Ingest(
+          serve::IngestRequest{{stream.frame(i), stream.frame_bytes}, i}));
     }
     benchmark::DoNotOptimize(collector.Seal());
   }
   state.SetItemsProcessed(state.iterations() * n);
   state.SetBytesProcessed(state.iterations() *
                           static_cast<long long>(stream.bytes.size()));
+}
+
+// The network front door end to end: an IngestServer listening on a
+// Unix-domain socket, LoadGen socket clients streaming framed wire records
+// at it, one connection per client. Measures decoded reports/s through the
+// full accept -> read -> frame -> validate -> stage pipeline (the issue's
+// bar: >= 1M decoded reports/s per core over UDS). The client threads
+// time-share the core with the loop thread on small hosts, so this is a
+// strict lower bound on the server-side rate.
+void BM_ServeSocketIngest(benchmark::State& state, fo::Protocol protocol) {
+  const int connections = static_cast<int>(state.range(0));
+  const long long n = 1 << 18;
+  auto oracle = fo::MakeOracle(protocol, kDomain, 1.0);
+  const serve::EncodedStream stream = MakeStream(*oracle, n);
+  serve::Collector collector(
+      *oracle, serve::CollectorOptions{.lanes = std::max(connections, 1)});
+  // Pre-frame each connection's slice once; the timed region is pure
+  // socket + server work.
+  std::vector<std::vector<std::uint8_t>> slices;
+  const long long per = n / connections;
+  for (int c = 0; c < connections; ++c) {
+    slices.push_back(serve::FrameStreamRecords(
+        stream, c * per, (c + 1) * per, /*first_user=*/std::nullopt));
+  }
+  char path[64];
+  std::snprintf(path, sizeof(path), "/tmp/ldpr_bench_%d.sock",
+                static_cast<int>(::getpid()));
+  serve::ServerOptions options;
+  options.uds_path = path;
+  serve::IngestServer server(collector, options);
+  server.Start();
+  long long sent = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        serve::SendOverUds(server.uds_path(), slices[c]);
+      });
+    }
+    for (auto& t : clients) t.join();
+    sent += per * connections;
+    // The timed region must include the server draining its sockets: spin
+    // until every sent report is decoded (EOF closes lag the last read).
+    while (server.counters().sessions.ingest.reports < sent) {
+      std::this_thread::yield();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * per * connections);
+  state.counters["connections"] = connections;
+  server.Stop();
+  benchmark::DoNotOptimize(collector.Drain());
 }
 
 // Client side of the pipeline: randomize + serialize (the load generator's
@@ -215,6 +277,12 @@ BENCHMARK_CAPTURE(BM_LongitudinalIngest, grr, fo::Protocol::kGrr)
     ->Arg(1 << 17)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_LongitudinalIngest, oue, fo::Protocol::kOue)
     ->Arg(1 << 17)->Unit(benchmark::kMillisecond);
+
+// Socket ingest over UDS: 1 connection (the per-core bar) and 4 (fan-in).
+BENCHMARK_CAPTURE(BM_ServeSocketIngest, grr, fo::Protocol::kGrr)
+    ->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeSocketIngest, oue, fo::Protocol::kOue)
+    ->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_CAPTURE(BM_ServeEncode, grr, fo::Protocol::kGrr)->Arg(1 << 18)
     ->Unit(benchmark::kMillisecond);

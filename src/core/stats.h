@@ -54,11 +54,26 @@ struct IngestCounters {
   long long reports = 0;   ///< reports decoded and accumulated
   long long bytes = 0;     ///< wire bytes consumed (accepted reports only)
   long long rejected = 0;  ///< malformed buffers cleanly rejected
+  /// Admission-control rejects, one field per serve::RejectReason (the
+  /// serve layer counts them via serve::CountReject; they stay zero on
+  /// surfaces without that admission stage).
+  long long duplicates = 0;    ///< (user, epoch) already delivered a report
+  long long rate_limited = 0;  ///< per-user token bucket empty
+  long long shed = 0;          ///< dropped by overload shedding
+  long long closed_epoch = 0;  ///< arrived with no epoch open
+
+  long long TotalRejected() const {
+    return rejected + duplicates + rate_limited + shed + closed_epoch;
+  }
 
   void Merge(const IngestCounters& other) {
     reports += other.reports;
     bytes += other.bytes;
     rejected += other.rejected;
+    duplicates += other.duplicates;
+    rate_limited += other.rate_limited;
+    shed += other.shed;
+    closed_epoch += other.closed_epoch;
   }
 };
 

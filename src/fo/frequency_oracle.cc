@@ -176,7 +176,7 @@ void Aggregator::AccumulateWireBlock(const std::uint8_t* frames,
   WireDecoder decoder(oracle_);
   const std::uint8_t* row = frames;
   for (int r = 0; r < count; ++r, row += stride) {
-    const bool ok = decoder.DecodeInto(row, decoder.report_bytes(), *this);
+    const bool ok = decoder.DecodeInto({row, decoder.report_bytes()}, *this);
     LDPR_CHECK(ok, "AccumulateWireBlock fed an invalid frame: callers must "
                "pre-validate (WireDecoder::Validate)");
   }

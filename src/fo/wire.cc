@@ -21,13 +21,14 @@ int CeilLog2(long long n) {
   return bits;
 }
 
-bool ExactWireSize(const std::uint8_t* data, std::size_t size, int bits) {
-  if (data == nullptr ||
-      size != static_cast<std::size_t>((bits + 7) / 8)) {
+bool ExactWireSize(std::span<const std::uint8_t> buffer, int bits) {
+  if (buffer.data() == nullptr ||
+      buffer.size() != static_cast<std::size_t>((bits + 7) / 8)) {
     return false;
   }
-  const int padding = static_cast<int>(size) * 8 - bits;
-  return padding == 0 || (data[size - 1] & ((1u << padding) - 1u)) == 0;
+  const int padding = static_cast<int>(buffer.size()) * 8 - bits;
+  return padding == 0 ||
+         (buffer.back() & ((1u << padding) - 1u)) == 0;
 }
 
 void BitWriter::Write(std::uint64_t value, int width) {
@@ -140,7 +141,7 @@ void AppendReport(const FrequencyOracle& oracle, const Report& report,
 }
 
 Report DeserializeReport(const FrequencyOracle& oracle,
-                         const std::vector<std::uint8_t>& bytes) {
+                         std::span<const std::uint8_t> bytes) {
   BitReader reader(bytes);
   Report report;
   ReadReportInto(oracle, &reader, &report);
@@ -217,11 +218,11 @@ WireDecoder::WireDecoder(const FrequencyOracle& oracle)
   }
 }
 
-bool WireDecoder::DecodeInto(const std::uint8_t* data, std::size_t size,
+bool WireDecoder::DecodeInto(std::span<const std::uint8_t> buffer,
                              Aggregator& agg) {
-  if (!ExactWireSize(data, size, report_bits_)) return false;
+  if (!ExactWireSize(buffer, report_bits_)) return false;
   int bit_offset = 0;
-  if (!DecodeField(data, &bit_offset)) return false;
+  if (!DecodeField(buffer.data(), &bit_offset)) return false;
   agg.Accumulate(scratch_);
   return true;
 }
@@ -240,10 +241,12 @@ std::uint64_t BeBytes(const std::uint8_t* data, std::size_t first,
 
 }  // namespace
 
-bool WireDecoder::Validate(const std::uint8_t* data, std::size_t size) {
-  if (!ExactWireSize(data, size, report_bits_)) return false;
+bool WireDecoder::Validate(std::span<const std::uint8_t> buffer) {
+  if (!ExactWireSize(buffer, report_bits_)) return false;
   // Fields pack MSB-first, so a trailing field occupies the TOP bits of its
   // bytes; shift the zero padding (verified zero above) back out.
+  const std::uint8_t* data = buffer.data();
+  const std::size_t size = buffer.size();
   const int padding = static_cast<int>(size) * 8 - report_bits_;
   switch (protocol_) {
     case Protocol::kGrr:

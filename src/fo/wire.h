@@ -1,7 +1,9 @@
 #ifndef LDPR_FO_WIRE_H_
 #define LDPR_FO_WIRE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fo/bitslice.h"
@@ -46,11 +48,11 @@ class BitWriter {
   int bit_count_ = 0;
 };
 
-/// Sequential MSB-first bit reader over a byte buffer.
+/// Sequential MSB-first bit reader over a byte buffer (not owned: the
+/// buffer must outlive the reader).
 class BitReader {
  public:
-  explicit BitReader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(bytes) {}
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   /// Reads `width` bits (width in [0, 64]); throws InvalidArgumentError when
   /// the buffer is exhausted.
@@ -59,7 +61,7 @@ class BitReader {
   int bits_consumed() const { return bit_position_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  std::span<const std::uint8_t> bytes_;
   int bit_position_ = 0;
 };
 
@@ -122,12 +124,12 @@ struct BitCursor {
 /// The strict acceptance rule every ingest surface shares: the buffer is
 /// exactly `bits` rounded up to whole bytes AND the final byte's padding
 /// bits are zero — so each accepted buffer is exactly one serializer image.
-bool ExactWireSize(const std::uint8_t* data, std::size_t size, int bits);
+bool ExactWireSize(std::span<const std::uint8_t> buffer, int bits);
 
 /// Restores a report serialized by SerializeReport for the same oracle
 /// configuration (protocol, k, epsilon). SS subsets come back sorted.
 Report DeserializeReport(const FrequencyOracle& oracle,
-                         const std::vector<std::uint8_t>& bytes);
+                         std::span<const std::uint8_t> bytes);
 
 /// Streaming decode-into-aggregator fast path — the serving layer's hot
 /// loop. Where DeserializeReport allocates a fresh Report and throws on
@@ -149,10 +151,7 @@ class WireDecoder {
   /// Decodes one report and accumulates it into `agg` (which must have been
   /// created by the same oracle). Returns true on success. A malformed
   /// buffer is rejected with `agg` untouched; nothing is thrown.
-  bool DecodeInto(const std::uint8_t* data, std::size_t size, Aggregator& agg);
-  bool DecodeInto(const std::vector<std::uint8_t>& bytes, Aggregator& agg) {
-    return DecodeInto(bytes.data(), bytes.size(), agg);
-  }
+  bool DecodeInto(std::span<const std::uint8_t> buffer, Aggregator& agg);
 
   /// Accept/reject without decoding or accumulating — the staging-buffer
   /// half of the bitsliced ingest path (serve::Collector validates and
@@ -162,7 +161,7 @@ class WireDecoder {
   /// for the same reason DecodeInto is: SS field checks run over a reusable
   /// padded scratch so extraction is branchless word loads, never reading
   /// past the caller's buffer.
-  bool Validate(const std::uint8_t* data, std::size_t size);
+  bool Validate(std::span<const std::uint8_t> buffer);
 
   /// Field-level half of DecodeInto for packed multidimensional tuples
   /// (serve/multidim_collector): decodes one report starting at bit

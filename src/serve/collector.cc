@@ -25,23 +25,9 @@ Collector::Collector(const fo::FrequencyOracle& oracle,
   }
 }
 
-bool Collector::Ingest(int lane_hint, const std::uint8_t* data,
-                       std::size_t size) {
-  Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
-  std::lock_guard<std::mutex> guard(lane.mutex);
-  if (!lane.decoder.Validate(data, size)) {
-    ++lane.tallies.rejected;
-    return false;
-  }
-  // Stage the validated frame; all decode work happens at flush
-  // (AccumulateWireBlock) when the block fills or the epoch seals.
-  std::memcpy(lane.staging.data() +
-                  static_cast<std::size_t>(lane.staged) * stage_stride_,
-              data, size);
-  if (++lane.staged == fo::bitslice::kBlockRows) FlushLocked(lane);
-  ++lane.tallies.reports;
-  lane.tallies.bytes += static_cast<long long>(size);
-  return true;
+IngestResult Collector::Ingest(const IngestRequest& request) {
+  return IngestGated(request,
+                     [](const IngestRequest&) { return RejectReason::kNone; });
 }
 
 void Collector::FlushLocked(Lane& lane) {

@@ -30,8 +30,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/stats.h"
@@ -39,6 +41,7 @@
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
 #include "privacy/accountant.h"
+#include "serve/ingest.h"
 
 namespace ldpr::serve {
 
@@ -56,6 +59,12 @@ struct IngestStats {
   long long reports = 0;   ///< accepted (decoded + accumulated) reports
   long long bytes = 0;     ///< wire bytes of the accepted reports
   long long rejected = 0;  ///< malformed buffers cleanly rejected
+  /// Admission-control rejects by reason (zero on surfaces without that
+  /// admission stage; see serve::RejectReason).
+  long long duplicates = 0;    ///< (user, epoch) already delivered a report
+  long long rate_limited = 0;  ///< per-user token bucket empty
+  long long shed = 0;          ///< dropped by overload shedding
+  long long closed_epoch = 0;  ///< arrived with no epoch open
   double seconds = 0.0;    ///< epoch open -> seal wall time
   double reports_per_second = 0.0;  ///< reports / seconds (0 if degenerate)
 };
@@ -79,18 +88,62 @@ struct EstimateSnapshot {
 
 /// Lock-striped ingest state for one frequency oracle. The oracle must
 /// outlive the collector.
-class Collector {
+class Collector final : public IngestSink {
  public:
   explicit Collector(const fo::FrequencyOracle& oracle,
                      const CollectorOptions& options = {});
 
-  /// Decodes one wire-encoded report into lane `lane % lanes()` and folds
-  /// its support into that lane's aggregator. Thread-safe; producers that
-  /// use distinct lanes never contend. Returns false when the buffer is
-  /// malformed (counted, nothing accumulated).
-  bool Ingest(int lane, const std::uint8_t* data, std::size_t size);
+  /// Validates one wire-encoded report into lane `request.lane % lanes()`
+  /// and stages it for that lane's aggregator. Thread-safe; producers that
+  /// use distinct lanes never contend. A malformed frame comes back
+  /// kMalformed (counted, nothing accumulated); the bare Collector imposes
+  /// no other admission rule, so request.user is accepted unclassified.
+  IngestResult Ingest(const IngestRequest& request) override;
+
+  /// Ingest with an admission gate: `gate(request)` runs under the lane
+  /// mutex after frame validation and before staging, returning the
+  /// RejectReason to refuse with (kNone admits). Validation first means a
+  /// malformed frame is always kMalformed, whatever the gate would say; the
+  /// gate running pre-staging means a refused frame never reaches an
+  /// aggregator. This is the extension point the longitudinal pipeline's
+  /// duplicate classification plugs into; gates must not touch this lane
+  /// (the mutex is held) and must order any locks of their own after it.
+  template <typename Gate>
+  IngestResult IngestGated(const IngestRequest& request, Gate&& gate) {
+    Lane& lane =
+        *lanes_[static_cast<std::size_t>(request.lane) % lanes_.size()];
+    std::lock_guard<std::mutex> guard(lane.mutex);
+    if (!lane.decoder.Validate(request.frame)) {
+      ++lane.tallies.rejected;
+      return IngestResult::Rejected(RejectReason::kMalformed);
+    }
+    const RejectReason verdict = gate(request);
+    if (verdict != RejectReason::kNone) {
+      CountReject(lane.tallies, verdict);
+      return IngestResult::Rejected(verdict);
+    }
+    // Stage the admitted frame; all decode work happens at flush
+    // (AccumulateWireBlock) when the block fills or the epoch seals.
+    std::memcpy(lane.staging.data() +
+                    static_cast<std::size_t>(lane.staged) * stage_stride_,
+                request.frame.data(), request.frame.size());
+    if (++lane.staged == fo::bitslice::kBlockRows) FlushLocked(lane);
+    ++lane.tallies.reports;
+    lane.tallies.bytes += static_cast<long long>(request.frame.size());
+    return IngestResult::Accepted();
+  }
+
+  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
+               "reject reasons")]]
+  bool Ingest(int lane, const std::uint8_t* data, std::size_t size) {
+    return Ingest(IngestRequest{{data, size}, std::nullopt, lane}).accepted;
+  }
+  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
+               "reject reasons")]]
   bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
-    return Ingest(lane, bytes.data(), bytes.size());
+    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, std::nullopt,
+                                lane})
+        .accepted;
   }
 
   /// Closed-form lane feed for the fast simulation profile: draws the

@@ -1,11 +1,21 @@
 #include "serve/loadgen.h"
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <functional>
 
 #include "core/check.h"
 #include "core/parallel.h"
 #include "fo/wire.h"
+#include "serve/wire_session.h"
 
 namespace ldpr::serve {
 
@@ -183,8 +193,11 @@ long long IngestStreamUsers(LongitudinalCollector& collector,
       [&](int shard, long long lo, long long hi) {
         long long ok = 0;
         for (long long i = lo; i < hi; ++i) {
-          ok += collector.IngestUser(first_user + i, shard, stream.frame(i),
-                                     stream.frame_bytes)
+          ok += collector
+                        .Ingest({{stream.frame(i), stream.frame_bytes},
+                                 first_user + i,
+                                 shard})
+                        .accepted
                     ? 1
                     : 0;
         }
@@ -205,7 +218,11 @@ long long IngestStream(Collector& collector, const EncodedStream& stream,
       [&](int shard, long long lo, long long hi) {
         long long ok = 0;
         for (long long i = lo; i < hi; ++i) {
-          ok += collector.Ingest(shard, stream.frame(i), stream.frame_bytes)
+          ok += collector
+                        .Ingest({{stream.frame(i), stream.frame_bytes},
+                                 std::nullopt,
+                                 shard})
+                        .accepted
                     ? 1
                     : 0;
         }
@@ -238,7 +255,11 @@ long long IngestFrames(MultidimCollector& collector,
       [&](int shard, long long lo, long long hi) {
         long long ok = 0;
         for (long long i = lo; i < hi; ++i) {
-          ok += collector.Ingest(shard, frames.frame(i), frames.frame_size(i))
+          ok += collector
+                        .Ingest({{frames.frame(i), frames.frame_size(i)},
+                                 std::nullopt,
+                                 shard})
+                        .accepted
                     ? 1
                     : 0;
         }
@@ -248,6 +269,107 @@ long long IngestFrames(MultidimCollector& collector,
   long long total = 0;
   for (long long a : accepted) total += a;
   return total;
+}
+
+std::vector<std::uint8_t> FrameStreamRecords(
+    const EncodedStream& stream, long long lo, long long hi,
+    std::optional<long long> first_user, long long duplicate_every) {
+  LDPR_REQUIRE(lo >= 0 && hi <= stream.count && lo <= hi,
+               "record range [" << lo << ", " << hi
+                                << ") outside the stream's " << stream.count
+                                << " frames");
+  std::vector<std::uint8_t> out;
+  const std::size_t record_bytes =
+      kRecordHeaderBytes + kRecordUserBytes + stream.frame_bytes;
+  out.reserve(static_cast<std::size_t>(hi - lo) * record_bytes +
+              (duplicate_every > 0
+                   ? static_cast<std::size_t>((hi - lo) / duplicate_every + 1) *
+                         record_bytes
+                   : 0));
+  for (long long i = lo; i < hi; ++i) {
+    const std::uint64_t user =
+        first_user.has_value()
+            ? static_cast<std::uint64_t>(*first_user + i)
+            : kAnonymousUser;
+    const std::span<const std::uint8_t> frame{stream.frame(i),
+                                              stream.frame_bytes};
+    AppendWireRecord(user, frame, out);
+    if (duplicate_every > 0 && (i - lo) % duplicate_every == 0) {
+      AppendWireRecord(user, frame, out);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+SocketSendResult SendAll(int fd, std::span<const std::uint8_t> bytes,
+                         const char* what) {
+  const double start = MonotonicSeconds();
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      LDPR_CHECK(false, what << " send failed after " << sent
+                             << " bytes: " << std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  SocketSendResult out;
+  out.bytes = static_cast<long long>(sent);
+  out.seconds = MonotonicSeconds() - start;
+  return out;
+}
+
+}  // namespace
+
+SocketSendResult SendOverUds(const std::string& uds_path,
+                             std::span<const std::uint8_t> bytes) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LDPR_REQUIRE(uds_path.size() < sizeof(addr.sun_path),
+               "UDS path too long: " << uds_path);
+  std::strncpy(addr.sun_path, uds_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LDPR_CHECK(fd >= 0, "socket(AF_UNIX) failed: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    LDPR_CHECK(false, "connect(" << uds_path
+                                 << ") failed: " << std::strerror(err));
+  }
+  return SendAll(fd, bytes, "UDS");
+}
+
+SocketSendResult SendOverTcp(int port, std::span<const std::uint8_t> bytes) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LDPR_CHECK(fd >= 0, "socket(AF_INET) failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    LDPR_CHECK(false, "connect(127.0.0.1:" << port
+                                           << ") failed: "
+                                           << std::strerror(err));
+  }
+  return SendAll(fd, bytes, "TCP");
 }
 
 }  // namespace ldpr::serve

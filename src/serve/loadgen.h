@@ -12,6 +12,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include <utility>
@@ -147,11 +150,38 @@ class LongitudinalClients {
 };
 
 /// Feeds frame i of the stream into the collector as user `first_user + i`
-/// (IngestUser: accepted frames run through the replay classification),
-/// producers sharded over lanes. Returns the number of accepted reports.
+/// (accepted frames run through the replay classification), producers
+/// sharded over lanes. Returns the number of accepted reports.
 long long IngestStreamUsers(LongitudinalCollector& collector,
                             const EncodedStream& stream,
                             long long first_user = 0, int threads = 0);
+
+// ---- Socket client mode: the load generator's network half, speaking the
+// serve/wire_session.h record format at serve::IngestServer. ----
+
+/// Frames stream indices [lo, hi) as wire records: frame i is attributed
+/// to user `*first_user + i`, or anonymous when first_user is unset. With
+/// `duplicate_every` > 0 every duplicate_every-th record is emitted twice
+/// back to back (same user, same frame) — traffic that exercises the
+/// server's duplicate (user, epoch) rejection.
+std::vector<std::uint8_t> FrameStreamRecords(
+    const EncodedStream& stream, long long lo, long long hi,
+    std::optional<long long> first_user = 0,
+    long long duplicate_every = 0);
+
+struct SocketSendResult {
+  long long bytes = 0;   ///< bytes written (the whole buffer on success)
+  double seconds = 0.0;  ///< connect -> close wall time
+};
+
+/// Connects to the server's Unix-domain socket and streams `bytes` over a
+/// blocking connection (the server's read pauses propagate here as write
+/// backpressure). Throws on connect/write failure.
+SocketSendResult SendOverUds(const std::string& uds_path,
+                             std::span<const std::uint8_t> bytes);
+
+/// Same over TCP to 127.0.0.1:port.
+SocketSendResult SendOverTcp(int port, std::span<const std::uint8_t> bytes);
 
 }  // namespace ldpr::serve
 

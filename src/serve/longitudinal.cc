@@ -47,28 +47,36 @@ UserReplayTable::UserReplayTable(int shards) {
   }
 }
 
-bool UserReplayTable::ClassifyAndRecord(long long user,
-                                        const std::uint8_t* data,
-                                        std::size_t size,
-                                        bool trust_replays) {
+UserReplayTable::FrameClass UserReplayTable::Classify(
+    long long user, std::span<const std::uint8_t> frame, long long epoch,
+    bool trust_replays, bool one_per_epoch) {
   Shard& shard = *shards_[static_cast<std::size_t>(
       (user % static_cast<long long>(shards_.size()) +
        static_cast<long long>(shards_.size())) %
       static_cast<long long>(shards_.size()))];
   std::lock_guard<std::mutex> guard(shard.mutex);
   User& entry = shard.users[user];
+  // Admission before classification: an epoch's second report is refused
+  // with the user's state untouched — it neither records a hash nor moves
+  // last_epoch, so the user's NEXT epoch classifies exactly as if the
+  // duplicate had never arrived.
+  if (one_per_epoch && entry.last_epoch == epoch) {
+    return FrameClass::kDuplicate;
+  }
+  entry.last_epoch = epoch;
   if (trust_replays) {
-    const std::uint64_t hash = XxHash64(data, size, kFrameHashSeed);
+    const std::uint64_t hash =
+        XxHash64(frame.data(), frame.size(), kFrameHashSeed);
     if (std::find(entry.hashes.begin(), entry.hashes.end(), hash) !=
         entry.hashes.end()) {
       ++shard.epoch_memoized;
-      return true;
+      return FrameClass::kMemoized;
     }
     entry.hashes.push_back(hash);
   }
   ++entry.fresh;
   ++shard.epoch_fresh;
-  return false;
+  return FrameClass::kFresh;
 }
 
 UserReplayTable::EpochTallies UserReplayTable::SealEpoch() {
@@ -119,16 +127,28 @@ Collector& LongitudinalCollector::collector() {
   return collector_;
 }
 
-bool LongitudinalCollector::IngestUser(long long user, int lane,
-                                       const std::uint8_t* data,
-                                       std::size_t size) {
-  LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
-  if (!collector_.Ingest(lane, data, size)) return false;
-  if (options_.track_users) {
-    users_.ClassifyAndRecord(user, data, size,
-                             options_.memoized_replays_free);
+IngestResult LongitudinalCollector::Ingest(const IngestRequest& request) {
+  if (!open_) {
+    closed_epoch_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return IngestResult::Rejected(RejectReason::kClosedEpoch);
   }
-  return true;
+  if (!request.user.has_value() || !options_.track_users) {
+    return collector_.Ingest(request);
+  }
+  // Classification doubles as the admission gate: it runs under the lane
+  // mutex after frame validation (so a malformed frame is kMalformed, never
+  // kDuplicate, and a refused duplicate reaches no aggregator) and takes
+  // the replay-table shard mutex strictly inside the lane mutex.
+  const long long epoch = next_epoch_ - 1;
+  return collector_.IngestGated(request, [&](const IngestRequest& r) {
+    const UserReplayTable::FrameClass verdict =
+        users_.Classify(*r.user, r.frame, epoch,
+                        options_.memoized_replays_free,
+                        options_.one_report_per_epoch);
+    return verdict == UserReplayTable::FrameClass::kDuplicate
+               ? RejectReason::kDuplicate
+               : RejectReason::kNone;
+  });
 }
 
 const EstimateSnapshot& LongitudinalCollector::Seal() {
@@ -151,6 +171,12 @@ const EstimateSnapshot& LongitudinalCollector::Seal() {
   snapshot.stats.reports = drained.tallies.reports;
   snapshot.stats.bytes = drained.tallies.bytes;
   snapshot.stats.rejected = drained.tallies.rejected;
+  snapshot.stats.duplicates = drained.tallies.duplicates;
+  snapshot.stats.rate_limited = drained.tallies.rate_limited;
+  snapshot.stats.shed = drained.tallies.shed;
+  snapshot.stats.closed_epoch =
+      drained.tallies.closed_epoch +
+      closed_epoch_rejects_.exchange(0, std::memory_order_relaxed);
   snapshot.stats.seconds = seconds;
   snapshot.stats.reports_per_second =
       seconds > 0.0 ? static_cast<double>(drained.tallies.reports) / seconds

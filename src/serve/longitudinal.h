@@ -30,14 +30,17 @@
 // LongitudinalCollector on the fixed one-epoch schedule and lives at the
 // bottom of this header.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/check.h"
 #include "serve/collector.h"
 #include "serve/epoch_schedule.h"
 
@@ -64,6 +67,30 @@ struct LongitudinalOptions {
   /// Shard count of the replay table. Fixed (not tied to lane or thread
   /// count) so ledger tallies merge identically under any LDPR_THREADS.
   int user_shards = 64;
+  /// Enforce the paper's collection contract server-side: a user's second
+  /// report within one epoch is rejected kDuplicate (counted, never
+  /// aggregated). The same frame in a LATER epoch is still a memoized
+  /// replay, and anonymous frames are never subject to the check. Off, the
+  /// legacy behavior: every accepted frame aggregates, replays only affect
+  /// the ledger.
+  bool one_report_per_epoch = true;
+
+  /// The one place CollectorOptions embeds into LongitudinalOptions
+  /// (EpochManager and the CLI both construct through here). Copies the
+  /// whole struct, so a new CollectorOptions field can never silently
+  /// default — the sizeof tripwire below forces a look at this function
+  /// whenever the struct grows.
+  static LongitudinalOptions FromCollector(const CollectorOptions& collector) {
+    static_assert(sizeof(CollectorOptions) ==
+                      sizeof(int) + sizeof(fo::ConsistencyMethod) +
+                          sizeof(double),
+                  "CollectorOptions changed shape: confirm "
+                  "LongitudinalOptions::FromCollector (whole-struct copy) "
+                  "still covers every field, then update this tripwire");
+    LongitudinalOptions out;
+    out.collector = collector;
+    return out;
+  }
 };
 
 /// One completed estimation window: the union of `length` consecutive
@@ -93,20 +120,30 @@ struct SnapshotDelta {
 SnapshotDelta DiffSnapshots(const EstimateSnapshot& older,
                             const EstimateSnapshot& newer);
 
-/// Sharded user -> {frame hashes, fresh count} map backing the server-side
-/// replay classification. Thread-safe; shard assignment depends only on the
-/// user id, so tallies are identical under any producer configuration.
+/// Sharded user -> {frame hashes, fresh count, last epoch} map backing the
+/// server-side replay classification and the one-report-per-user-per-epoch
+/// admission check. Thread-safe; shard assignment depends only on the user
+/// id, so tallies are identical under any producer configuration.
 class UserReplayTable {
  public:
   explicit UserReplayTable(int shards);
 
-  /// Classifies one accepted frame from `user`: returns true when it
-  /// replays a frame this user already sent (memoized, charged eps = 0),
-  /// false when it is a fresh randomization (recorded for later epochs).
-  /// With `trust_replays` false the duplicate check is skipped entirely and
-  /// every frame counts fresh (no hashes stored).
-  bool ClassifyAndRecord(long long user, const std::uint8_t* data,
-                         std::size_t size, bool trust_replays = true);
+  /// What one frame from one user turned out to be.
+  enum class FrameClass : std::uint8_t {
+    kFresh,     ///< new randomization: charged eps, hash recorded
+    kMemoized,  ///< replays a frame this user already sent: charged eps = 0
+    kDuplicate  ///< second report within `epoch`: inadmissible, not recorded
+  };
+
+  /// Classifies one frame from `user` arriving in `epoch`. With
+  /// `one_per_epoch`, a user already recorded in this epoch classifies
+  /// kDuplicate and nothing is recorded — the caller must not aggregate it.
+  /// With `trust_replays` false the replay (hash) check is skipped and every
+  /// admitted frame counts fresh (no hashes stored); the per-epoch check is
+  /// independent of it. Epochs must be presented non-decreasing per user.
+  FrameClass Classify(long long user, std::span<const std::uint8_t> frame,
+                      long long epoch, bool trust_replays = true,
+                      bool one_per_epoch = true);
 
   struct EpochTallies {
     long long fresh = 0;
@@ -127,6 +164,7 @@ class UserReplayTable {
   struct User {
     std::vector<std::uint64_t> hashes;  ///< distinct frames sent, in order
     long long fresh = 0;
+    long long last_epoch = -1;  ///< newest epoch with an admitted report
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -140,7 +178,7 @@ class UserReplayTable {
 
 /// Epoch/round lifecycle plus cross-epoch state over one Collector:
 /// open -> ingest -> seal -> {epoch snapshot, completed window, ledgers}.
-class LongitudinalCollector {
+class LongitudinalCollector final : public IngestSink {
  public:
   explicit LongitudinalCollector(const fo::FrequencyOracle& oracle,
                                  const LongitudinalOptions& options = {});
@@ -155,14 +193,30 @@ class LongitudinalCollector {
   /// Reports ingested directly (without a user id) are charged as fresh.
   Collector& collector();
 
-  /// Ingests one wire frame attributed to `user`, classifying it against
-  /// the user's earlier frames when track_users is on. Returns false when
-  /// the buffer is malformed (rejected, not classified).
+  /// Ingests one wire frame. Attributed requests (request.user set, with
+  /// track_users on) are classified against the user's history under the
+  /// lane mutex: a second report from that user within the open epoch is
+  /// rejected kDuplicate before it reaches any aggregator (when
+  /// one_report_per_epoch is on), an identical frame from an earlier epoch
+  /// is a memoized replay (accepted, charged eps = 0), anything else is a
+  /// fresh randomization. Anonymous requests skip classification. With no
+  /// epoch open every request is rejected kClosedEpoch (counted into the
+  /// NEXT sealed epoch's stats) — never thrown, so a socket transport can
+  /// keep draining between epochs.
+  IngestResult Ingest(const IngestRequest& request) override;
+
+  [[deprecated("use Ingest(IngestRequest) with request.user set")]]
   bool IngestUser(long long user, int lane, const std::uint8_t* data,
-                  std::size_t size);
+                  std::size_t size) {
+    LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
+    return Ingest(IngestRequest{{data, size}, user, lane}).accepted;
+  }
+  [[deprecated("use Ingest(IngestRequest) with request.user set")]]
   bool IngestUser(long long user, int lane,
                   const std::vector<std::uint8_t>& bytes) {
-    return IngestUser(user, lane, bytes.data(), bytes.size());
+    LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
+    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, user, lane})
+        .accepted;
   }
 
   /// Seals the open epoch: merges the lanes, estimates (raw + consistency
@@ -211,6 +265,9 @@ class LongitudinalCollector {
   bool open_ = false;
   long long next_epoch_ = 0;
   double opened_at_ = 0.0;
+  /// kClosedEpoch rejects since the last seal (they arrive outside any
+  /// epoch, so they fold into the next sealed snapshot's stats).
+  std::atomic<long long> closed_epoch_rejects_{0};
 };
 
 /// Legacy epoch lifecycle: open -> ingest -> seal -> snapshot with every
@@ -221,7 +278,7 @@ class EpochManager {
  public:
   explicit EpochManager(const fo::FrequencyOracle& oracle,
                         const CollectorOptions& options = {})
-      : longitudinal_(oracle, WithCollectorOptions(options)) {}
+      : longitudinal_(oracle, LongitudinalOptions::FromCollector(options)) {}
   EpochManager(const fo::FrequencyOracle& oracle,
                const LongitudinalOptions& options)
       : longitudinal_(oracle, options) {}
@@ -241,13 +298,6 @@ class EpochManager {
   const LongitudinalCollector& longitudinal() const { return longitudinal_; }
 
  private:
-  static LongitudinalOptions WithCollectorOptions(
-      const CollectorOptions& options) {
-    LongitudinalOptions out;
-    out.collector = options;
-    return out;
-  }
-
   LongitudinalCollector longitudinal_;
 };
 

@@ -92,9 +92,11 @@ void MultidimCollector::InitLanes(int lanes) {
   }
 }
 
-bool MultidimCollector::Ingest(int lane_hint, const std::uint8_t* data,
-                               std::size_t size) {
-  Lane& lane = *lanes_[static_cast<std::size_t>(lane_hint) % lanes_.size()];
+IngestResult MultidimCollector::Ingest(const IngestRequest& request) {
+  Lane& lane =
+      *lanes_[static_cast<std::size_t>(request.lane) % lanes_.size()];
+  const std::uint8_t* data = request.frame.data();
+  const std::size_t size = request.frame.size();
   std::lock_guard<std::mutex> guard(lane.mutex);
   const bool accepted = (kind_ == Kind::kSpl || kind_ == Kind::kSmp)
                             ? IngestSplSmp(lane, data, size)
@@ -102,16 +104,16 @@ bool MultidimCollector::Ingest(int lane_hint, const std::uint8_t* data,
   if (accepted) {
     ++lane.tallies.reports;
     lane.tallies.bytes += static_cast<long long>(size);
-  } else {
-    ++lane.tallies.rejected;
+    return IngestResult::Accepted();
   }
-  return accepted;
+  ++lane.tallies.rejected;
+  return IngestResult::Rejected(RejectReason::kMalformed);
 }
 
 bool MultidimCollector::IngestSplSmp(Lane& lane, const std::uint8_t* data,
                                      std::size_t size) {
   if (kind_ == Kind::kSpl) {
-    if (!fo::ExactWireSize(data, size, fixed_tuple_bits_)) return false;
+    if (!fo::ExactWireSize({data, size}, fixed_tuple_bits_)) return false;
     int offset = 0;
     // Validate every attribute's field before touching any aggregator.
     for (int j = 0; j < d(); ++j) {
@@ -133,7 +135,7 @@ bool MultidimCollector::IngestSplSmp(Lane& lane, const std::uint8_t* data,
   fo::BitCursor cursor{data};
   const int attribute = static_cast<int>(cursor.Read(attr_width_));
   if (attribute >= d() ||
-      !fo::ExactWireSize(data, size, value_widths_[attribute])) {
+      !fo::ExactWireSize({data, size}, value_widths_[attribute])) {
     return false;
   }
   int offset = cursor.position;
@@ -145,7 +147,7 @@ bool MultidimCollector::IngestSplSmp(Lane& lane, const std::uint8_t* data,
 
 bool MultidimCollector::IngestFd(Lane& lane, const std::uint8_t* data,
                                  std::size_t size) {
-  if (!fo::ExactWireSize(data, size, fixed_tuple_bits_)) return false;
+  if (!fo::ExactWireSize({data, size}, fixed_tuple_bits_)) return false;
   fo::BitCursor cursor{data};
   if (!ue_variant_) {
     for (int j = 0; j < d(); ++j) {

@@ -43,7 +43,7 @@ struct MultidimSnapshot {
   privacy::LedgerReport cumulative_ledger;
 };
 
-class MultidimCollector {
+class MultidimCollector final : public IngestSink {
  public:
   /// The solution object must outlive the collector. `options.consistency`
   /// is unused here (the multidim estimators are already unbiased per
@@ -57,14 +57,25 @@ class MultidimCollector {
   MultidimCollector(const multidim::RsRfd& rsrfd,
                     const CollectorOptions& options = {});
 
-  ~MultidimCollector();  // Lane is incomplete here
+  ~MultidimCollector() override;  // Lane is incomplete here
 
-  /// Decodes one wire-encoded tuple into lane `lane % lanes()`.
-  /// Thread-safe; returns false (counted, no accumulation) on malformed
-  /// buffers.
-  bool Ingest(int lane, const std::uint8_t* data, std::size_t size);
+  /// Decodes one wire-encoded tuple into lane `request.lane % lanes()`.
+  /// Thread-safe; a malformed tuple is rejected kMalformed (counted, no
+  /// accumulation). The multidim front-end has no replay classification
+  /// yet, so request.user is accepted unclassified.
+  IngestResult Ingest(const IngestRequest& request) override;
+
+  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
+               "reject reasons")]]
+  bool Ingest(int lane, const std::uint8_t* data, std::size_t size) {
+    return Ingest(IngestRequest{{data, size}, std::nullopt, lane}).accepted;
+  }
+  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
+               "reject reasons")]]
   bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
-    return Ingest(lane, bytes.data(), bytes.size());
+    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, std::nullopt,
+                                lane})
+        .accepted;
   }
 
   /// Merges every lane, estimates per-attribute frequencies, freezes the

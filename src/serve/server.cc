@@ -1,0 +1,378 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <map>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "core/check.h"
+
+namespace ldpr::serve {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  LDPR_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+}  // namespace
+
+struct IngestServer::Connection {
+  Connection(int fd_in, IngestSink& sink, UserAdmissionTable* users,
+             const WireSessionOptions& options, int lane, double now)
+      : fd(fd_in), session(sink, users, options, lane, now) {}
+
+  int fd;
+  WireSession session;
+  bool paused = false;
+};
+
+/// Readiness notification behind one interface: epoll(7) on Linux, poll(2)
+/// elsewhere. Only read interest is tracked — the server never buffers
+/// writes (it writes nothing). A registered fd with read interest off still
+/// reports hangups/errors, so a paused connection's death is noticed.
+class IngestServer::Poller {
+ public:
+#ifdef __linux__
+  Poller() : epoll_fd_(::epoll_create1(0)) {
+    LDPR_CHECK(epoll_fd_ >= 0,
+               "epoll_create1 failed: " << std::strerror(errno));
+  }
+  ~Poller() { ::close(epoll_fd_); }
+
+  void Add(int fd) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    LDPR_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) == 0,
+               "epoll_ctl(ADD) failed: " << std::strerror(errno));
+  }
+
+  void SetWantRead(int fd, bool want) {
+    epoll_event event{};
+    event.events = want ? static_cast<std::uint32_t>(EPOLLIN)
+                        : 0u;  // 0 still delivers EPOLLHUP/ERR
+    event.data.fd = fd;
+    LDPR_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0,
+               "epoll_ctl(MOD) failed: " << std::strerror(errno));
+  }
+
+  void Remove(int fd) { ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  void Wait(int timeout_ms, std::vector<int>& ready) {
+    ready.clear();
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) ready.push_back(events[i].data.fd);
+  }
+
+ private:
+  int epoll_fd_;
+#else
+  void Add(int fd) { want_read_[fd] = true; }
+  void SetWantRead(int fd, bool want) { want_read_[fd] = want; }
+  void Remove(int fd) { want_read_.erase(fd); }
+
+  void Wait(int timeout_ms, std::vector<int>& ready) {
+    ready.clear();
+    std::vector<pollfd> fds;
+    fds.reserve(want_read_.size());
+    for (const auto& [fd, want] : want_read_) {
+      fds.push_back(pollfd{fd, static_cast<short>(want ? POLLIN : 0), 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds) {
+      if (p.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+        ready.push_back(p.fd);
+      }
+    }
+  }
+
+ private:
+  std::map<int, bool> want_read_;
+#endif
+};
+
+IngestServer::IngestServer(IngestSink& sink, const ServerOptions& options)
+    : sink_(sink), options_(options) {
+  if (options_.admission.per_user_rate > 0.0) {
+    users_ = std::make_unique<UserAdmissionTable>(options_.admission);
+  }
+  read_buffer_.resize(options_.read_chunk);
+}
+
+IngestServer::~IngestServer() { Stop(); }
+
+void IngestServer::Start() {
+  LDPR_REQUIRE(!loop_.joinable(), "server already started");
+  LDPR_REQUIRE(!options_.uds_path.empty() || options_.tcp_port >= 0,
+               "server needs a UDS path or a TCP port to listen on");
+  poller_ = std::make_unique<Poller>();
+
+  if (!options_.uds_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    LDPR_REQUIRE(options_.uds_path.size() < sizeof(addr.sun_path),
+                 "UDS path too long: " << options_.uds_path);
+    std::strncpy(addr.sun_path, options_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.uds_path.c_str());
+    uds_listen_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    LDPR_CHECK(uds_listen_ >= 0,
+               "socket(AF_UNIX) failed: " << std::strerror(errno));
+    LDPR_CHECK(::bind(uds_listen_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(" << options_.uds_path
+                       << ") failed: " << std::strerror(errno));
+    LDPR_CHECK(::listen(uds_listen_, 128) == 0,
+               "listen failed: " << std::strerror(errno));
+    SetNonBlocking(uds_listen_);
+    poller_->Add(uds_listen_);
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_listen_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    LDPR_CHECK(tcp_listen_ >= 0,
+               "socket(AF_INET) failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(tcp_listen_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    LDPR_CHECK(::bind(tcp_listen_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(127.0.0.1:" << options_.tcp_port
+                                 << ") failed: " << std::strerror(errno));
+    LDPR_CHECK(::listen(tcp_listen_, 128) == 0,
+               "listen failed: " << std::strerror(errno));
+    SetNonBlocking(tcp_listen_);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    LDPR_CHECK(::getsockname(tcp_listen_, reinterpret_cast<sockaddr*>(&bound),
+                             &len) == 0,
+               "getsockname failed: " << std::strerror(errno));
+    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    poller_->Add(tcp_listen_);
+  }
+
+  int pipe_fds[2];
+  LDPR_CHECK(::pipe(pipe_fds) == 0,
+             "pipe failed: " << std::strerror(errno));
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  SetNonBlocking(wake_read_);
+  SetNonBlocking(wake_write_);
+  poller_->Add(wake_read_);
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_at_ = MonotonicSeconds();
+  loop_ = std::thread([this] { Loop(); });
+}
+
+void IngestServer::Stop() {
+  if (!loop_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const auto ignored = ::write(wake_write_, &byte, 1);
+  loop_.join();
+
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [fd, conn] : conns_) {
+    totals_.sessions.Merge(conn->session.counters());
+    ++totals_.closed;
+    poller_->Remove(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  for (int* listener : {&uds_listen_, &tcp_listen_, &wake_read_,
+                        &wake_write_}) {
+    if (*listener >= 0) ::close(*listener);
+    *listener = -1;
+  }
+  if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+  totals_.seconds = MonotonicSeconds() - started_at_;
+  poller_.reset();
+}
+
+ServerCounters IngestServer::counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ServerCounters out = totals_;
+  for (const auto& [fd, conn] : conns_) {
+    out.sessions.Merge(conn->session.counters());
+  }
+  if (loop_.joinable()) out.seconds = MonotonicSeconds() - started_at_;
+  return out;
+}
+
+void IngestServer::Loop() {
+  std::vector<int> ready;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int timeout_ms = 200;
+    {
+      const double now = MonotonicSeconds();
+      std::lock_guard<std::mutex> guard(mutex_);
+      // Resume connections whose pacing debt refilled; wake for the next
+      // one due.
+      for (auto& [fd, conn] : conns_) {
+        if (!conn->paused) continue;
+        const double delay = conn->session.resume_at() - now;
+        if (delay <= 0.0) {
+          conn->paused = false;
+          poller_->SetWantRead(fd, true);
+        } else {
+          const int ms = static_cast<int>(delay * 1000.0) + 1;
+          if (ms < timeout_ms) timeout_ms = ms;
+        }
+      }
+      // Sustained-overload monitor: too many connections rate-paused for
+      // longer than the grace period sheds the lowest-priority one.
+      if (options_.shed_paused_watermark >= 0) {
+        int paused = 0;
+        for (const auto& [fd, conn] : conns_) {
+          if (conn->paused) ++paused;
+        }
+        if (paused > options_.shed_paused_watermark) {
+          if (overload_since_ < 0.0) overload_since_ = now;
+          if (now - overload_since_ >= options_.shed_grace_seconds) {
+            ShedLowestPriority();
+            overload_since_ = now;
+          }
+        } else {
+          overload_since_ = -1.0;
+        }
+      }
+    }
+    poller_->Wait(timeout_ms, ready);
+    const double now = MonotonicSeconds();
+    for (int fd : ready) {
+      if (fd == wake_read_) {
+        char drain[64];
+        while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+        }
+      } else if (fd == uds_listen_ || fd == tcp_listen_) {
+        AcceptReady(fd, now);
+      } else {
+        ReadReady(fd, now);
+      }
+    }
+  }
+}
+
+void IngestServer::AcceptReady(int listener_fd, double now) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error
+    SetNonBlocking(fd);
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (static_cast<int>(conns_.size()) >= options_.max_connections &&
+        !ShedLowestPriority()) {
+      ::close(fd);  // capacity and nothing sheddable: refuse
+      continue;
+    }
+    const int lane = static_cast<int>(next_lane_++ %
+                                      static_cast<long long>(1 << 20));
+    conns_.emplace(fd, std::make_unique<Connection>(
+                           fd, sink_, users_.get(), options_.session, lane,
+                           now));
+    ++totals_.connections;
+    poller_->Add(fd);
+  }
+}
+
+bool IngestServer::ReadReady(int fd, double now) {
+  // One chunk per readiness event keeps connections fair under load; the
+  // level-triggered poller re-reports the fd while bytes remain.
+  const ssize_t n = ::read(fd, read_buffer_.data(), read_buffer_.size());
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return true;
+    }
+    CloseConnection(fd, /*shed=*/false);
+    return false;
+  }
+  if (n == 0) {  // peer closed
+    CloseConnection(fd, /*shed=*/false);
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  Connection& conn = *it->second;
+  if (!conn.session.Feed({read_buffer_.data(), static_cast<std::size_t>(n)},
+                         now)) {
+    // Protocol error: fold the session's counters in and drop the peer.
+    totals_.sessions.Merge(conn.session.counters());
+    ++totals_.closed;
+    poller_->Remove(fd);
+    ::close(fd);
+    conns_.erase(it);
+    return false;
+  }
+  if (conn.session.paused(now) && !conn.paused) {
+    conn.paused = true;
+    poller_->SetWantRead(fd, false);
+  }
+  return true;
+}
+
+void IngestServer::CloseConnection(int fd, bool shed) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  totals_.sessions.Merge(it->second->session.counters());
+  ++totals_.closed;
+  if (shed) ++totals_.shed_connections;
+  poller_->Remove(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+bool IngestServer::ShedLowestPriority() {
+  // Caller holds mutex_.
+  int victim = -1;
+  double lowest = 0.0;
+  for (const auto& [fd, conn] : conns_) {
+    const double priority = conn->session.Priority();
+    if (victim < 0 || priority < lowest) {
+      victim = fd;
+      lowest = priority;
+    }
+  }
+  if (victim < 0) return false;
+  auto it = conns_.find(victim);
+  totals_.sessions.Merge(it->second->session.counters());
+  ++totals_.closed;
+  ++totals_.shed_connections;
+  poller_->Remove(victim);
+  ::close(victim);
+  conns_.erase(it);
+  return true;
+}
+
+int IngestServer::PausedCount(double now) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  int paused = 0;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->session.paused(now)) ++paused;
+  }
+  return paused;
+}
+
+}  // namespace ldpr::serve

@@ -164,8 +164,7 @@ TEST_P(BitsliceExactTest, ValidateAcceptsExactlyWhatDecodeIntoAccepts) {
           static_cast<std::uint8_t>(1u << (trial % 8));
     }
     auto agg = oracle->MakeAggregator();
-    EXPECT_EQ(validator.Validate(buf.data(), buf.size()),
-              decoder.DecodeInto(buf.data(), buf.size(), *agg))
+    EXPECT_EQ(validator.Validate(buf), decoder.DecodeInto(buf, *agg))
         << "trial " << trial;
   }
 
@@ -174,8 +173,8 @@ TEST_P(BitsliceExactTest, ValidateAcceptsExactlyWhatDecodeIntoAccepts) {
   for (std::size_t size = 0; size <= bytes + 8; ++size) {
     if (size == bytes) continue;
     auto agg = oracle->MakeAggregator();
-    EXPECT_FALSE(validator.Validate(zeros.data(), size));
-    EXPECT_FALSE(decoder.DecodeInto(zeros.data(), size, *agg));
+    EXPECT_FALSE(validator.Validate({zeros.data(), size}));
+    EXPECT_FALSE(decoder.DecodeInto({zeros.data(), size}, *agg));
   }
 }
 
@@ -316,9 +315,8 @@ TEST_P(SsOmegaGridTest, ValidatorRejectsMalformedFieldsLikeScalar) {
   const auto expect_verdict = [&](const std::vector<std::uint8_t>& frame,
                                   bool want, const char* what) {
     auto agg = oracle->MakeAggregator();
-    EXPECT_EQ(decoder.Validate(frame.data(), frame.size()), want) << what;
-    EXPECT_EQ(decoder.DecodeInto(frame.data(), frame.size(), *agg), want)
-        << what;
+    EXPECT_EQ(decoder.Validate(frame), want) << what;
+    EXPECT_EQ(decoder.DecodeInto(frame, *agg), want) << what;
     EXPECT_EQ(agg->n(), want ? 1 : 0) << what;
   };
 

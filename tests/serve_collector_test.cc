@@ -67,7 +67,9 @@ TEST_P(ServeCollectorTest, SnapshotBitIdenticalToBatchAggregator) {
   for (int i = 0; i < n; ++i) {
     // Scatter reports over lanes in an arbitrary pattern: lane assignment
     // must not matter.
-    EXPECT_TRUE(manager.collector().Ingest(i * 7 + i % 3, frames[i]));
+    EXPECT_TRUE(manager.collector()
+                    .Ingest({frames[i], std::nullopt, i * 7 + i % 3})
+                    .accepted);
   }
   const EstimateSnapshot& snapshot = manager.Seal();
 
@@ -146,12 +148,15 @@ TEST_P(ServeCollectorTest, MalformedBuffersAreRejectedCleanly) {
   const std::vector<std::uint8_t> valid = fo::SerializeReport(
       *oracle, oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
   std::vector<std::uint8_t> truncated(valid.begin(), valid.end() - 1);
-  EXPECT_FALSE(collector.Ingest(0, truncated));
+  EXPECT_FALSE(collector.Ingest({truncated}).accepted);
   std::vector<std::uint8_t> extended = valid;
   extended.push_back(0);
-  EXPECT_FALSE(collector.Ingest(0, extended));
-  EXPECT_FALSE(collector.Ingest(0, nullptr, frame_bytes));
-  EXPECT_FALSE(collector.Ingest(0, valid.data(), 0));
+  EXPECT_FALSE(collector.Ingest({extended}).accepted);
+  EXPECT_FALSE(collector
+                   .Ingest({{static_cast<const std::uint8_t*>(nullptr),
+                             frame_bytes}})
+                   .accepted);
+  EXPECT_FALSE(collector.Ingest({{valid.data(), 0}}).accepted);
   attempted += 4;
 
   // Random buffers of random sizes: may decode by chance at the exact frame
@@ -162,7 +167,10 @@ TEST_P(ServeCollectorTest, MalformedBuffersAreRejectedCleanly) {
     for (std::uint8_t& b : buffer) {
       b = static_cast<std::uint8_t>(rng.UniformInt(256));
     }
-    accepted += collector.Ingest(static_cast<int>(rng.UniformInt(64)), buffer)
+    accepted += collector
+                        .Ingest({buffer, std::nullopt,
+                                 static_cast<int>(rng.UniformInt(64))})
+                        .accepted
                     ? 1
                     : 0;
     ++attempted;
@@ -175,7 +183,7 @@ TEST_P(ServeCollectorTest, MalformedBuffersAreRejectedCleanly) {
         *oracle, oracle->Randomize(static_cast<int>(rng.UniformInt(k)), rng));
     frame[rng.UniformInt(frame.size())] ^=
         static_cast<std::uint8_t>(1u << rng.UniformInt(8));
-    accepted += collector.Ingest(trial, frame) ? 1 : 0;
+    accepted += collector.Ingest({frame, std::nullopt, trial}).accepted ? 1 : 0;
     ++attempted;
   }
 
@@ -236,7 +244,7 @@ TEST_P(ServeCollectorTest, FlushBoundariesAreInvisibleInSnapshots) {
                 max_n}) {
     manager.OpenEpoch();
     for (int i = 0; i < n; ++i) {
-      ASSERT_TRUE(manager.collector().Ingest(0, frames[i]));
+      ASSERT_TRUE(manager.collector().Ingest({frames[i]}).accepted);
     }
     // Whole blocks were flushed eagerly; the remainder is still staged and
     // only decoded at seal.
@@ -277,7 +285,7 @@ TEST_P(ServeCollectorTest, SealAtEveryStagedFillMatchesScalar) {
     if (n > 0) batch->Accumulate(reports[n - 1]);
     manager.OpenEpoch();
     for (int i = 0; i < n; ++i) {
-      ASSERT_TRUE(manager.collector().Ingest(0, frames[i]));
+      ASSERT_TRUE(manager.collector().Ingest({frames[i]}).accepted);
     }
     const EstimateSnapshot& snapshot = manager.Seal();
     ASSERT_EQ(snapshot.counts, batch->counts()) << "staged fill " << n;
@@ -335,9 +343,9 @@ TEST_P(ServeCollectorTest, RejectionsBetweenStagedFramesDontPerturbDecodes) {
         break;
       }
     }
-    const bool reference_accepts = reference_decoder.DecodeInto(
-        buffer.data(), buffer.size(), *reference);
-    EXPECT_EQ(collector.Ingest(0, buffer), reference_accepts)
+    const bool reference_accepts =
+        reference_decoder.DecodeInto(buffer, *reference);
+    EXPECT_EQ(collector.Ingest({buffer}).accepted, reference_accepts)
         << "trial " << trial;
     accepted += reference_accepts ? 1 : 0;
   }
@@ -371,8 +379,9 @@ TEST_P(ServeCollectorTest, ConcurrentProducersMatchSingleThreadBitwise) {
     EpochManager manager(*oracle, CollectorOptions{.lanes = 1});
     manager.OpenEpoch();
     for (long long i = 0; i < n; ++i) {
-      ASSERT_TRUE(
-          manager.collector().Ingest(0, stream.frame(i), stream.frame_bytes));
+      ASSERT_TRUE(manager.collector()
+                      .Ingest({{stream.frame(i), stream.frame_bytes}})
+                      .accepted);
     }
     reference = manager.Seal();
   }
@@ -397,7 +406,8 @@ TEST_P(ServeCollectorTest, ConcurrentProducersMatchSingleThreadBitwise) {
         const long long lo = n * static_cast<long long>(t) / threads;
         const long long hi = n * static_cast<long long>(t + 1) / threads;
         for (long long i = lo; i < hi; ++i) {
-          manager.collector().Ingest(t, stream.frame(i), stream.frame_bytes);
+          manager.collector().Ingest(
+              {{stream.frame(i), stream.frame_bytes}, std::nullopt, t});
         }
       });
     }
@@ -414,8 +424,9 @@ TEST_P(ServeCollectorTest, ConcurrentProducersMatchSingleThreadBitwise) {
     for (int t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         for (long long i = t; i < n; i += threads) {
-          manager.collector().Ingest(static_cast<int>(i % 2), stream.frame(i),
-                                     stream.frame_bytes);
+          manager.collector().Ingest({{stream.frame(i), stream.frame_bytes},
+                                      std::nullopt,
+                                      static_cast<int>(i % 2)});
         }
       });
     }
@@ -451,7 +462,7 @@ TEST(ServeEpochTest, LifecycleIsEnforced) {
   for (int i = 0; i < 10; ++i) {
     const auto frame =
         fo::SerializeReport(*oracle, oracle->Randomize(i % 8, rng));
-    EXPECT_TRUE(manager.collector().Ingest(i, frame));
+    EXPECT_TRUE(manager.collector().Ingest({frame, std::nullopt, i}).accepted);
   }
   const EstimateSnapshot& first = manager.Seal();
   EXPECT_EQ(first.epoch, 0);

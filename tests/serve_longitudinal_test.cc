@@ -431,22 +431,30 @@ TEST(ServeLongitudinalLedgerTest, AnonymousIngestIsChargedFresh) {
   EXPECT_DOUBLE_EQ(sealed.cumulative_ledger.mean_user_epsilon, 0.0);
 }
 
-TEST(ServeLongitudinalLedgerTest, IngestUserRequiresAnOpenEpoch) {
+TEST(ServeLongitudinalLedgerTest, IngestOutsideAnEpochIsAClosedEpochReject) {
   auto oracle = fo::MakeOracle(fo::Protocol::kGrr, 8, 1.0);
   LongitudinalCollector collector(*oracle, {});
   Rng rng(3);
   const auto frame =
       fo::SerializeReport(*oracle, oracle->Randomize(2, rng));
-  EXPECT_THROW(collector.IngestUser(0, 0, frame), InvalidArgumentError);
+  // A report arriving between epochs is a counted reject, not an error:
+  // socket transports keep draining while the pipeline rolls epochs.
+  const IngestResult between = collector.Ingest({frame, 0});
+  EXPECT_FALSE(between.accepted);
+  EXPECT_EQ(between.reason, RejectReason::kClosedEpoch);
   collector.OpenEpoch();
-  EXPECT_TRUE(collector.IngestUser(0, 0, frame));
+  EXPECT_TRUE(collector.Ingest({frame, 0}).accepted);
   // Malformed frames are rejected, not classified.
   std::vector<std::uint8_t> truncated(frame.begin(), frame.end());
   truncated.pop_back();
-  EXPECT_FALSE(collector.IngestUser(0, 0, truncated));
+  const IngestResult malformed = collector.Ingest({truncated, 0});
+  EXPECT_FALSE(malformed.accepted);
+  EXPECT_EQ(malformed.reason, RejectReason::kMalformed);
   const EstimateSnapshot& sealed = collector.Seal();
   EXPECT_EQ(sealed.ledger.fresh, 1);
   EXPECT_EQ(sealed.stats.rejected, 1);
+  // The between-epochs reject folds into the first seal after it happened.
+  EXPECT_EQ(sealed.stats.closed_epoch, 1);
 }
 
 // ---------------------------------------------------------------------------

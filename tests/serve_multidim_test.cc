@@ -80,7 +80,10 @@ void ExpectSealMatchesBatch(const Solution& solution, int lanes) {
 
   MultidimCollector collector(solution, CollectorOptions{.lanes = lanes});
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    ASSERT_TRUE(collector.Ingest(static_cast<int>(i * 5 + 1), frames[i]));
+    ASSERT_TRUE(collector
+                    .Ingest({frames[i], std::nullopt,
+                             static_cast<int>(i * 5 + 1)})
+                    .accepted);
   }
   const MultidimSnapshot snapshot = collector.Seal();
   EXPECT_EQ(snapshot.n, ds.n());
@@ -176,9 +179,9 @@ TEST(ServeMultidimTest, MalformedTupleLeavesNothingBehind) {
   fo::BitWriter writer;
   writer.Write(2, fo::CeilLog2(4));
   writer.Write(7, fo::CeilLog2(6));  // 7 >= k_1 = 6
-  EXPECT_FALSE(collector.Ingest(0, writer.bytes()));
+  EXPECT_FALSE(collector.Ingest({writer.bytes()}).accepted);
 
-  EXPECT_TRUE(collector.Ingest(0, good_frame));
+  EXPECT_TRUE(collector.Ingest({good_frame}).accepted);
   const MultidimSnapshot snapshot = collector.Seal();
   EXPECT_EQ(snapshot.n, 1);
   EXPECT_EQ(snapshot.stats.rejected, 1);
@@ -211,7 +214,8 @@ TEST(ServeMultidimTest, RandomBuffersNeverCrash) {
       for (std::uint8_t& b : buffer) {
         b = static_cast<std::uint8_t>(rng.UniformInt(256));
       }
-      accepted += collector.Ingest(trial, buffer) ? 1 : 0;
+      accepted +=
+          collector.Ingest({buffer, std::nullopt, trial}).accepted ? 1 : 0;
     }
     const MultidimSnapshot snapshot = collector.Seal();
     EXPECT_EQ(snapshot.n, accepted);
@@ -228,10 +232,12 @@ TEST(ServeMultidimTest, SmpOutOfRangeAttributeRejected) {
   Rng rng(4);
   const auto report = smp.RandomizeUserAttribute({0, 1, 2, 0, 1}, 2, rng);
   std::vector<std::uint8_t> frame = SerializeSmpReport(smp, report);
-  EXPECT_TRUE(collector.Ingest(0, frame));
+  EXPECT_TRUE(collector.Ingest({frame}).accepted);
   // Overwrite the 3 index bits with 6 (>= d).
   frame[0] = static_cast<std::uint8_t>((frame[0] & 0x1F) | (6u << 5));
-  EXPECT_FALSE(collector.Ingest(0, frame));
+  const IngestResult rejected = collector.Ingest({frame});
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, RejectReason::kMalformed);
   const MultidimSnapshot snapshot = collector.Seal();
   EXPECT_EQ(snapshot.n, 1);
   EXPECT_EQ(snapshot.stats.rejected, 1);

@@ -1,0 +1,467 @@
+// Tests for the network front door: token-bucket refill arithmetic
+// (admission), the wire-record framer under torn reads and random split
+// points (wire_session), duplicate (user, epoch) rejection through the
+// unified IngestRequest API, and the socket server end to end over a
+// Unix-domain socket — sealed snapshots must be bit-identical to the same
+// frames pushed through the in-process path. Runs under the ASan fast
+// label.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/factory.h"
+#include "fo/wire.h"
+#include "serve/admission.h"
+#include "serve/collector.h"
+#include "serve/loadgen.h"
+#include "serve/longitudinal.h"
+#include "serve/server.h"
+#include "serve/wire_session.h"
+
+namespace ldpr::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token buckets: exact refill arithmetic under a synthetic clock
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucketTest, RefillArithmeticIsExact) {
+  TokenBucket bucket(10.0, 5.0, /*now=*/100.0);  // starts full
+  EXPECT_DOUBLE_EQ(bucket.Available(100.0), 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(100.0));
+  EXPECT_FALSE(bucket.TryAcquire(100.0));
+  EXPECT_DOUBLE_EQ(bucket.Available(100.0), 0.0);
+  // One token refills in exactly 1/rate seconds.
+  EXPECT_DOUBLE_EQ(bucket.DelayUntil(100.0), 0.1);
+  EXPECT_FALSE(bucket.TryAcquire(100.05));  // only half a token back
+  EXPECT_TRUE(bucket.TryAcquire(100.2));    // two tokens back, takes one
+  // Refill clamps at burst no matter how long the idle stretch.
+  EXPECT_DOUBLE_EQ(bucket.Available(1.0e9), 5.0);
+}
+
+TEST(TokenBucketTest, RefillAcrossEpochBoundaries) {
+  // The pipeline rolls epochs on a fixed period; a bucket paused near the
+  // end of one epoch must carry its exact fractional balance across the
+  // boundary — refill depends only on elapsed time, never on epoch count.
+  const double epoch_seconds = 1.0;
+  TokenBucket bucket(4.0, 8.0, /*now=*/0.0);
+  // Drain the burst just before the boundary.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(bucket.TryAcquire(0.9 * epoch_seconds));
+  }
+  EXPECT_DOUBLE_EQ(bucket.Available(0.9 * epoch_seconds), 0.0);
+  // 0.1 s straddling the boundary refills 0.4 tokens, not a fresh burst.
+  EXPECT_DOUBLE_EQ(bucket.Available(1.0 * epoch_seconds), 0.4);
+  EXPECT_FALSE(bucket.TryAcquire(1.0 * epoch_seconds));
+  // A whole epoch later: 0.4 + 4.0, still below burst.
+  EXPECT_DOUBLE_EQ(bucket.Available(2.0 * epoch_seconds), 4.4);
+  // Clock going backwards must not mint tokens.
+  ASSERT_TRUE(bucket.TryAcquire(2.0 * epoch_seconds));
+  EXPECT_DOUBLE_EQ(bucket.Available(1.5 * epoch_seconds), 3.4);
+}
+
+TEST(TokenBucketTest, ChargeRunsIntoDebtAndConverges) {
+  // Pacing charges every record already read (nothing is dropped); the debt
+  // delays the resume time so the sustained rate converges to `rate`.
+  TokenBucket bucket(10.0, 5.0, /*now=*/0.0);
+  for (int i = 0; i < 100; ++i) bucket.Charge(0.0);
+  // 100 records against 5 burst: 95 tokens of debt + 1 to proceed.
+  EXPECT_DOUBLE_EQ(bucket.DelayUntil(0.0), 9.6);
+  // 100 records / (9.6 s + initial burst credit) ~ 10 records/s sustained.
+  EXPECT_TRUE(bucket.TryAcquire(9.6));
+}
+
+TEST(TokenBucketTest, NonPositiveRateIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_DOUBLE_EQ(bucket.DelayUntil(0.0), 0.0);
+}
+
+TEST(UserAdmissionTableTest, BucketsArePerUser) {
+  AdmissionOptions options;
+  options.per_user_rate = 1.0;
+  options.per_user_burst = 2.0;
+  options.shards = 4;
+  UserAdmissionTable table(options);
+  ASSERT_TRUE(table.enabled());
+  EXPECT_TRUE(table.Admit(7, 0.0));
+  EXPECT_TRUE(table.Admit(7, 0.0));
+  EXPECT_FALSE(table.Admit(7, 0.0));  // burst spent
+  EXPECT_TRUE(table.Admit(-3, 0.0));  // negative ids shard correctly
+  EXPECT_TRUE(table.Admit(7, 1.0));   // one token back after 1 s
+  EXPECT_EQ(table.users(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Wire session framing
+// ---------------------------------------------------------------------------
+
+struct SessionFixture {
+  std::unique_ptr<fo::FrequencyOracle> oracle =
+      fo::MakeOracle(fo::Protocol::kGrr, 16, 1.0);
+  Collector collector{*oracle, CollectorOptions{.lanes = 1}};
+
+  std::vector<std::uint8_t> ValidFrame(int value, Rng& rng) {
+    return fo::SerializeReport(*oracle, oracle->Randomize(value, rng));
+  }
+};
+
+TEST(WireSessionTest, TornRecordsReassembleAcrossFeeds) {
+  SessionFixture fx;
+  WireSession session(fx.collector, nullptr, {}, /*lane=*/0, /*now=*/0.0);
+
+  Rng rng(11);
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 3; ++i) {
+    AppendWireRecord(static_cast<std::uint64_t>(i), fx.ValidFrame(i, rng),
+                     wire);
+  }
+  // Feed byte by byte: every boundary — mid-header, mid-user-id, mid-frame
+  // — must reassemble.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(session.Feed({&wire[i], 1}, 0.0));
+  }
+  EXPECT_EQ(session.counters().records, 3);
+  EXPECT_EQ(session.counters().ingest.reports, 3);
+  EXPECT_EQ(session.counters().wire_bytes,
+            static_cast<long long>(wire.size()));
+  EXPECT_EQ(session.buffered(), 0u);
+}
+
+TEST(WireSessionTest, MalformedFrameIsCountedButConnectionSurvives) {
+  SessionFixture fx;
+  WireSession session(fx.collector, nullptr, {}, 0, 0.0);
+
+  Rng rng(5);
+  const auto valid = fx.ValidFrame(2, rng);
+  std::vector<std::uint8_t> wire;
+  // Wrong-sized frame (truncated by one byte): the sink's reject, not a
+  // protocol error.
+  AppendWireRecord(9, {valid.data(), valid.size() - 1}, wire);
+  AppendWireRecord(9, valid, wire);
+  ASSERT_TRUE(session.Feed(wire, 0.0));
+  EXPECT_EQ(session.counters().records, 2);
+  EXPECT_EQ(session.counters().ingest.rejected, 1);
+  EXPECT_EQ(session.counters().ingest.reports, 1);
+  EXPECT_EQ(session.counters().protocol_errors, 0);
+}
+
+TEST(WireSessionTest, UnframeableInputIsAProtocolError) {
+  SessionFixture fx;
+  // Body shorter than the user id field.
+  {
+    WireSession session(fx.collector, nullptr, {}, 0, 0.0);
+    const std::uint8_t short_body[] = {0x00, 0x03, 0xAA, 0xBB, 0xCC};
+    EXPECT_FALSE(session.Feed(short_body, 0.0));
+    EXPECT_EQ(session.counters().protocol_errors, 1);
+  }
+  // Announced frame beyond the session's max_frame bound.
+  {
+    WireSessionOptions options;
+    options.max_frame = 16;
+    WireSession session(fx.collector, nullptr, options, 0, 0.0);
+    const std::uint8_t huge[] = {0xFF, 0xFF};  // body_length 65535
+    EXPECT_FALSE(session.Feed(huge, 0.0));
+    EXPECT_EQ(session.counters().protocol_errors, 1);
+  }
+}
+
+TEST(WireSessionTest, FuzzRandomSplitPointsMatchOneShotFeed) {
+  SessionFixture one_shot;
+  Rng rng(4242);
+
+  // A traffic mix: valid attributed frames, anonymous frames, wrong-sized
+  // frames, random bytes at the exact frame size.
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t user = (i % 5 == 0)
+                                   ? kAnonymousUser
+                                   : static_cast<std::uint64_t>(i % 37);
+    std::vector<std::uint8_t> frame = one_shot.ValidFrame(i % 16, rng);
+    switch (i % 7) {
+      case 3:
+        frame.pop_back();  // wrong size -> sink reject
+        break;
+      case 5:
+        for (auto& b : frame) {  // random bytes, exact size
+          b = static_cast<std::uint8_t>(rng.UniformInt(256));
+        }
+        break;
+      default:
+        break;
+    }
+    AppendWireRecord(user, frame, wire);
+  }
+
+  WireSession reference(one_shot.collector, nullptr, {}, 0, 0.0);
+  ASSERT_TRUE(reference.Feed(wire, 0.0));
+  const Collector::Drained ref_drained = one_shot.collector.Drain();
+
+  for (int trial = 0; trial < 25; ++trial) {
+    SessionFixture fx;
+    WireSession session(fx.collector, nullptr, {}, 0, 0.0);
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t chunk =
+          1 + static_cast<std::size_t>(rng.UniformInt(
+                  static_cast<long long>(wire.size() - offset)));
+      ASSERT_TRUE(session.Feed({wire.data() + offset, chunk}, 0.0));
+      offset += chunk;
+    }
+    EXPECT_EQ(session.counters().records, reference.counters().records);
+    EXPECT_EQ(session.counters().wire_bytes,
+              reference.counters().wire_bytes);
+    EXPECT_EQ(session.counters().ingest.reports,
+              reference.counters().ingest.reports);
+    EXPECT_EQ(session.counters().ingest.rejected,
+              reference.counters().ingest.rejected);
+    EXPECT_EQ(session.buffered(), 0u);
+    // The decoded multiset must match bit for bit, not just the tallies.
+    const Collector::Drained drained = fx.collector.Drain();
+    EXPECT_EQ(drained.counts, ref_drained.counts) << "trial " << trial;
+    EXPECT_EQ(drained.n, ref_drained.n) << "trial " << trial;
+  }
+}
+
+TEST(WireSessionTest, PacingPausesReadsWithoutDroppingRecords) {
+  SessionFixture fx;
+  WireSessionOptions options;
+  options.conn_rate = 10.0;
+  options.conn_burst = 2.0;
+  WireSession session(fx.collector, nullptr, options, 0, 0.0);
+
+  Rng rng(3);
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 8; ++i) {
+    AppendWireRecord(kAnonymousUser, fx.ValidFrame(i % 16, rng), wire);
+  }
+  ASSERT_TRUE(session.Feed(wire, /*now=*/0.0));
+  // Backpressure, not loss: every record read was processed...
+  EXPECT_EQ(session.counters().ingest.reports, 8);
+  // ...but the session owes 6 tokens of debt and pauses reads while it
+  // refills: 8 charged - 2 burst + 1 to resume = 0.7 s.
+  EXPECT_TRUE(session.paused(0.0));
+  EXPECT_DOUBLE_EQ(session.resume_at(), 0.7);
+  EXPECT_FALSE(session.paused(0.71));
+}
+
+TEST(WireSessionTest, PerUserAdmissionRejectsBeforeTheSink) {
+  SessionFixture fx;
+  AdmissionOptions admission;
+  admission.per_user_rate = 1.0;
+  admission.per_user_burst = 1.0;
+  UserAdmissionTable users(admission);
+  WireSession session(fx.collector, &users, {}, 0, 0.0);
+
+  Rng rng(8);
+  const auto frame = fx.ValidFrame(4, rng);
+  std::vector<std::uint8_t> wire;
+  AppendWireRecord(21, frame, wire);
+  AppendWireRecord(21, frame, wire);  // over the user's burst
+  AppendWireRecord(22, frame, wire);  // a different user is unaffected
+  ASSERT_TRUE(session.Feed(wire, 0.0));
+  EXPECT_EQ(session.counters().ingest.reports, 2);
+  EXPECT_EQ(session.counters().ingest.rate_limited, 1);
+  // The rate-limited record never reached the sink's lanes.
+  EXPECT_EQ(fx.collector.Drain().n, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate (user, epoch) rejection and options plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ServeIngestTest, DuplicateUserEpochRejectedWithReason) {
+  auto oracle = fo::MakeOracle(fo::Protocol::kOue, 12, 1.0);
+  LongitudinalCollector collector(*oracle, {});
+  Rng rng(6);
+  const auto frame =
+      fo::SerializeReport(*oracle, oracle->Randomize(3, rng));
+
+  collector.OpenEpoch();
+  EXPECT_TRUE(collector.Ingest({frame, 42}).accepted);
+  const IngestResult dup = collector.Ingest({frame, 42});
+  EXPECT_FALSE(dup.accepted);
+  EXPECT_EQ(dup.reason, RejectReason::kDuplicate);
+  EXPECT_STREQ(RejectReasonName(dup.reason), "duplicate");
+  // A duplicate is counted, never aggregated, and never double-charged.
+  const EstimateSnapshot& first = collector.Seal();
+  EXPECT_EQ(first.n, 1);
+  EXPECT_EQ(first.stats.reports, 1);
+  EXPECT_EQ(first.stats.duplicates, 1);
+  EXPECT_EQ(first.stats.rejected, 0);  // not malformed
+  EXPECT_EQ(first.ledger.fresh, 1);
+
+  // The same frame in the NEXT epoch is a memoized replay, not a duplicate.
+  collector.OpenEpoch();
+  EXPECT_TRUE(collector.Ingest({frame, 42}).accepted);
+  const EstimateSnapshot& second = collector.Seal();
+  EXPECT_EQ(second.stats.duplicates, 0);
+  EXPECT_EQ(second.ledger.memoized, 1);
+}
+
+TEST(ServeIngestTest, ReplayTableClassifiesFreshMemoizedDuplicate) {
+  UserReplayTable table(4);
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {4, 5, 6};
+  using FrameClass = UserReplayTable::FrameClass;
+  EXPECT_EQ(table.Classify(1, a, 0), FrameClass::kFresh);
+  EXPECT_EQ(table.Classify(1, a, 0), FrameClass::kDuplicate);
+  EXPECT_EQ(table.Classify(1, b, 0), FrameClass::kDuplicate);
+  EXPECT_EQ(table.Classify(1, a, 1), FrameClass::kMemoized);
+  EXPECT_EQ(table.Classify(1, b, 2), FrameClass::kFresh);
+  // A duplicate records nothing: user 2's duplicate in epoch 0 must not
+  // have consumed frame b's hash.
+  EXPECT_EQ(table.Classify(2, a, 0), FrameClass::kFresh);
+  EXPECT_EQ(table.Classify(2, b, 0), FrameClass::kDuplicate);
+  EXPECT_EQ(table.Classify(2, b, 1), FrameClass::kFresh);
+  // one_per_epoch off: same-epoch resubmissions classify by hash instead.
+  EXPECT_EQ(table.Classify(3, a, 0, true, false), FrameClass::kFresh);
+  EXPECT_EQ(table.Classify(3, a, 0, true, false), FrameClass::kMemoized);
+}
+
+TEST(ServeIngestTest, FromCollectorOptionsRoundTrips) {
+  CollectorOptions collector_options;
+  collector_options.lanes = 3;
+  collector_options.consistency = fo::ConsistencyMethod::kClampRenorm;
+  collector_options.consistency_threshold = 0.25;
+  const LongitudinalOptions longitudinal =
+      LongitudinalOptions::FromCollector(collector_options);
+  EXPECT_EQ(longitudinal.collector.lanes, 3);
+  EXPECT_EQ(longitudinal.collector.consistency,
+            fo::ConsistencyMethod::kClampRenorm);
+  EXPECT_DOUBLE_EQ(longitudinal.collector.consistency_threshold, 0.25);
+  // EpochManager runs on the converted options: the lane count and
+  // consistency method must land in the sealed snapshot's pipeline.
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, 8, 1.0);
+  EpochManager manager(*oracle, collector_options);
+  manager.OpenEpoch();
+  EXPECT_EQ(manager.lanes(), 3);
+  manager.Seal();
+}
+
+// ---------------------------------------------------------------------------
+// The socket server end to end (Unix-domain socket)
+// ---------------------------------------------------------------------------
+
+std::string TestSocketPath(const char* tag) {
+  char path[96];
+  std::snprintf(path, sizeof(path), "/tmp/ldpr_test_%s_%d.sock", tag,
+                static_cast<int>(::getpid()));
+  return path;
+}
+
+TEST(IngestServerTest, UdsSnapshotsBitIdenticalToInProcessPath) {
+  const int k = 16;
+  const long long n = 4000;
+  const long long dup_every = 100;
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, k, 1.0);
+  std::vector<int> values(n);
+  for (long long i = 0; i < n; ++i) values[i] = static_cast<int>(i % k);
+  Rng root(91);
+  sim::Options encode_options;
+  encode_options.threads = 1;
+  const EncodedStream stream =
+      EncodeScalarLoad(*oracle, values, root, encode_options);
+
+  // Reference: the same records (duplicates included) through the
+  // in-process IngestRequest path.
+  LongitudinalCollector reference(*oracle, {});
+  reference.OpenEpoch();
+  for (long long i = 0; i < n; ++i) {
+    const IngestRequest request{{stream.frame(i), stream.frame_bytes}, i};
+    ASSERT_TRUE(reference.Ingest(request).accepted);
+    if (i % dup_every == 0) {
+      ASSERT_EQ(reference.Ingest(request).reason, RejectReason::kDuplicate);
+    }
+  }
+  const EstimateSnapshot ref_snapshot = reference.Seal();
+
+  // Socket path: two client connections stream the framed records (every
+  // dup_every-th twice) at a live server.
+  LongitudinalCollector collector(*oracle, {});
+  collector.OpenEpoch();
+  ServerOptions options;
+  options.uds_path = TestSocketPath("e2e");
+  IngestServer server(collector, options);
+  server.Start();
+
+  const std::size_t record_bytes =
+      kRecordHeaderBytes + kRecordUserBytes + stream.frame_bytes;
+  std::vector<std::vector<std::uint8_t>> slices;
+  long long framed = 0;
+  for (int c = 0; c < 2; ++c) {
+    slices.push_back(FrameStreamRecords(stream, c * n / 2, (c + 1) * n / 2,
+                                        /*first_user=*/0, dup_every));
+    framed += static_cast<long long>(slices.back().size() / record_bytes);
+  }
+  std::vector<std::thread> clients;
+  for (auto& slice : slices) {
+    clients.emplace_back([&] {
+      const SocketSendResult sent = SendOverUds(options.uds_path, slice);
+      EXPECT_EQ(sent.bytes, static_cast<long long>(slice.size()));
+    });
+  }
+  for (auto& t : clients) t.join();
+  while (server.counters().sessions.records < framed) {
+    std::this_thread::yield();
+  }
+  server.Stop();
+  const EstimateSnapshot socket_snapshot = collector.Seal();
+
+  // Bit-identical estimation pipeline output...
+  EXPECT_EQ(socket_snapshot.n, ref_snapshot.n);
+  EXPECT_EQ(socket_snapshot.counts, ref_snapshot.counts);
+  EXPECT_EQ(socket_snapshot.frequencies, ref_snapshot.frequencies);
+  EXPECT_EQ(socket_snapshot.consistent, ref_snapshot.consistent);
+  // ...with every duplicate counted (not aggregated) on both paths.
+  EXPECT_EQ(socket_snapshot.stats.duplicates, ref_snapshot.stats.duplicates);
+  EXPECT_GT(socket_snapshot.stats.duplicates, 0);
+  EXPECT_EQ(socket_snapshot.stats.reports, n);
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.connections, 2);
+  EXPECT_EQ(counters.sessions.records, framed);
+  EXPECT_EQ(counters.sessions.ingest.reports, n);
+  EXPECT_EQ(counters.sessions.ingest.duplicates,
+            socket_snapshot.stats.duplicates);
+  EXPECT_EQ(counters.sessions.protocol_errors, 0);
+}
+
+TEST(IngestServerTest, ProtocolErrorClosesOnlyTheOffendingConnection) {
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, 8, 1.0);
+  Collector collector(*oracle, CollectorOptions{.lanes = 2});
+  ServerOptions options;
+  options.uds_path = TestSocketPath("protoerr");
+  IngestServer server(collector, options);
+  server.Start();
+
+  // A garbage connection: unframeable body.
+  const std::vector<std::uint8_t> garbage = {0x00, 0x01, 0xFF};
+  SendOverUds(options.uds_path, garbage);
+  // A good connection afterwards still ingests.
+  Rng rng(2);
+  std::vector<std::uint8_t> wire;
+  AppendWireRecord(kAnonymousUser,
+                   fo::SerializeReport(*oracle, oracle->Randomize(1, rng)),
+                   wire);
+  SendOverUds(options.uds_path, wire);
+  while (server.counters().sessions.ingest.reports < 1) {
+    std::this_thread::yield();
+  }
+  server.Stop();
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.connections, 2);
+  EXPECT_EQ(counters.sessions.protocol_errors, 1);
+  EXPECT_EQ(counters.sessions.ingest.reports, 1);
+}
+
+}  // namespace
+}  // namespace ldpr::serve

@@ -34,10 +34,14 @@
 //            --epsilon 8
 //   ldpr_cli reident --csv adult.csv --protocol grr --epsilon 4 --surveys 5
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "attack/aif.h"
 #include "attack/profiling.h"
@@ -66,6 +70,8 @@
 #include "serve/collector.h"
 #include "serve/loadgen.h"
 #include "serve/longitudinal.h"
+#include "serve/server.h"
+#include "serve/wire_session.h"
 
 namespace {
 
@@ -482,6 +488,29 @@ int CmdServeDemo(const Args& args) {
   serve::LongitudinalCollector collector(*oracle, options);
   serve::LongitudinalClients clients(*oracle, users, memoize);
 
+  // --listen <uds_path> switches ingest from in-process calls to the socket
+  // front door: an IngestServer on that Unix-domain socket, with
+  // --connections LoadGen socket clients streaming framed records at it.
+  // --dup-every N sends every Nth record twice (exercising the duplicate
+  // (user, epoch) rejection); --user-rate / --conn-rate arm the admission
+  // layers; --require-rate R fails the run (exit 1) when the aggregate
+  // decoded rate lands below R reports/s.
+  const std::string listen = args.Get("listen", "");
+  const int connections =
+      std::max(1, args.GetInt("connections", std::min(producers, 4)));
+  const long long dup_every = args.GetInt("dup-every", 0);
+  const double require_rate = args.GetDouble("require-rate", 0.0);
+  std::unique_ptr<serve::IngestServer> server;
+  if (!listen.empty()) {
+    serve::ServerOptions server_options;
+    server_options.uds_path = listen;
+    server_options.max_connections = std::max(connections + 4, 8);
+    server_options.admission.per_user_rate = args.GetDouble("user-rate", 0.0);
+    server_options.session.conn_rate = args.GetDouble("conn-rate", 0.0);
+    server = std::make_unique<serve::IngestServer>(collector, server_options);
+    server->Start();
+  }
+
   std::printf(
       "serve-demo: protocol=%s k=%d eps=%.2f users/epoch=%lld lanes=%d "
       "threads=%d windows=%s(W=%d,S=%d) memoize=%d churn=%.2f (%zu wire "
@@ -518,9 +547,41 @@ int CmdServeDemo(const Args& args) {
     // Time the ingest loop alone and rate the reports that actually decoded
     // (accepted), so this table and bench/micro_serve measure the same
     // thing: neither counts rejected frames, seal work, or demo overhead.
+    // In --listen mode the timed region is the socket round trip instead:
+    // send every framed record over UDS and drain the server completely
+    // (records framed == records processed) before sealing.
     const double ingest_start = MonotonicSeconds();
-    const long long decoded =
-        serve::IngestStreamUsers(collector, stream, /*first_user=*/0, threads);
+    long long decoded = 0;
+    if (server) {
+      const long long records_before = server->counters().sessions.records;
+      const long long reports_before =
+          server->counters().sessions.ingest.reports;
+      std::vector<std::vector<std::uint8_t>> slices(connections);
+      long long framed = 0;
+      const std::size_t record_bytes = serve::kRecordHeaderBytes +
+                                       serve::kRecordUserBytes +
+                                       stream.frame_bytes;
+      for (int c = 0; c < connections; ++c) {
+        const long long lo = stream.count * c / connections;
+        const long long hi = stream.count * (c + 1) / connections;
+        slices[c] = serve::FrameStreamRecords(stream, lo, hi,
+                                              /*first_user=*/0, dup_every);
+        framed += static_cast<long long>(slices[c].size() / record_bytes);
+      }
+      std::vector<std::thread> senders;
+      for (int c = 0; c < connections; ++c) {
+        senders.emplace_back(
+            [&, c] { serve::SendOverUds(listen, slices[c]); });
+      }
+      for (std::thread& t : senders) t.join();
+      while (server->counters().sessions.records - records_before < framed) {
+        std::this_thread::yield();
+      }
+      decoded = server->counters().sessions.ingest.reports - reports_before;
+    } else {
+      decoded = serve::IngestStreamUsers(collector, stream, /*first_user=*/0,
+                                         threads);
+    }
     const double ingest_seconds = MonotonicSeconds() - ingest_start;
     const serve::EstimateSnapshot& snapshot = collector.Seal();
     std::printf("%-6lld %10lld %9lld %9.2f %12.3e %12.4e %12.4e\n",
@@ -563,13 +624,38 @@ int CmdServeDemo(const Args& args) {
     }
   }
 
+  if (server) {
+    const serve::ServerCounters sc = server->counters();
+    std::printf(
+        "\nsocket front door (%s): %lld connection(s), %lld records, "
+        "%.2f wire MB, protocol errors %lld, shed %lld\n"
+        "rejects: malformed=%lld duplicate=%lld rate-limited=%lld "
+        "shed=%lld closed-epoch=%lld\n",
+        listen.c_str(), sc.connections, sc.sessions.records,
+        static_cast<double>(sc.sessions.wire_bytes) / (1024.0 * 1024.0),
+        sc.sessions.protocol_errors, sc.shed_connections,
+        sc.sessions.ingest.rejected, sc.sessions.ingest.duplicates,
+        sc.sessions.ingest.rate_limited, sc.sessions.ingest.shed,
+        sc.sessions.ingest.closed_epoch);
+    server->Stop();
+  }
+
   // Aggregate across all producer threads (wall-clock rate of the whole
   // fan-out), the same number BM_ServeIngestMT reports as items_per_second.
+  const double aggregate_rate =
+      total_seconds > 0 ? total_reports / total_seconds : 0.0;
   std::printf(
       "\nsealed %d epochs, %lld reports decoded, aggregate ingest %.3e "
       "reports/s across %d producer(s)\n",
-      epochs, total_reports,
-      total_seconds > 0 ? total_reports / total_seconds : 0.0, producers);
+      epochs, total_reports, aggregate_rate,
+      server ? connections : producers);
+  if (require_rate > 0.0 && aggregate_rate < require_rate) {
+    std::fprintf(stderr,
+                 "FAIL: aggregate ingest %.3e reports/s below required "
+                 "%.3e\n",
+                 aggregate_rate, require_rate);
+    return 1;
+  }
   return 0;
 }
 
@@ -702,6 +788,8 @@ void Usage() {
       "--epochs 4 --lanes 4 --threads 4\n"
       "              --windows fixed|sliding:L|overlap:L:S --memoize 0|1 "
       "--churn 0.05\n"
+      "              [--listen /tmp/ldpr.sock --connections 4 --dup-every 0 "
+      "--user-rate 0 --conn-rate 0 --require-rate 0]\n"
       "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
       "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
       "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "
