@@ -122,6 +122,17 @@ double GoodnessOfFitPValue(const std::vector<long long>& observed,
   return ChiSquarePValue(statistic, static_cast<int>(observed.size()) - 1);
 }
 
+std::string FormatRejects(const IngestCounters& c) {
+  std::string out = "rejects:";
+  ForEachRejectField(c, [&out](const char* name, long long value) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  });
+  return out;
+}
+
 double MonotonicSeconds() {
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double>(now).count();

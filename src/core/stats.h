@@ -1,6 +1,7 @@
 #ifndef LDPR_CORE_STATS_H_
 #define LDPR_CORE_STATS_H_
 
+#include <string>
 #include <vector>
 
 namespace ldpr {
@@ -76,6 +77,25 @@ struct IngestCounters {
     closed_epoch += other.closed_epoch;
   }
 };
+
+/// Visits every reject field of `c` as (name, value), in declaration order.
+/// This is the single enumeration of reject surfaces: the serve-demo footer,
+/// the telemetry exporters and the tests all walk rejects through this
+/// visitor, so a new reject reason (new field here + a serve::CountReject
+/// arm) cannot silently miss one of them. Names match
+/// serve::RejectReasonName (pinned by serve_server_test).
+template <typename Fn>
+void ForEachRejectField(const IngestCounters& c, Fn&& fn) {
+  fn("malformed", c.rejected);
+  fn("duplicate", c.duplicates);
+  fn("rate-limited", c.rate_limited);
+  fn("shed", c.shed);
+  fn("closed-epoch", c.closed_epoch);
+}
+
+/// One-line `rejects: malformed=0 duplicate=800 ...` summary rendered via
+/// ForEachRejectField — the format the CI socket smoke greps.
+std::string FormatRejects(const IngestCounters& c);
 
 /// Monotonic wall-clock seconds (steady_clock): throughput measurement for
 /// the ingest paths. Differences are meaningful; absolute values are not.

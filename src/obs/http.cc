@@ -1,0 +1,61 @@
+#include "obs/http.h"
+
+#include <cstdio>
+
+namespace ldpr::obs {
+
+bool HttpHeaderComplete(const std::string& buffer) {
+  return buffer.find("\r\n\r\n") != std::string::npos ||
+         buffer.find("\n\n") != std::string::npos;
+}
+
+HttpRequestLine ParseHttpRequestLine(const std::string& buffer) {
+  HttpRequestLine line;
+  const std::size_t eol = buffer.find_first_of("\r\n");
+  const std::string first = buffer.substr(0, eol);
+  const std::size_t sp1 = first.find(' ');
+  if (sp1 == std::string::npos) return line;
+  const std::size_t sp2 = first.find(' ', sp1 + 1);
+  line.method = first.substr(0, sp1);
+  line.target = sp2 == std::string::npos ? first.substr(sp1 + 1)
+                                         : first.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = line.target.find('?');
+  if (query != std::string::npos) line.target.resize(query);
+  line.valid = !line.method.empty() && !line.target.empty() &&
+               line.target.front() == '/';
+  return line;
+}
+
+std::string BuildHttpResponse(int status, const std::string& content_type,
+                              const std::string& body) {
+  const char* reason = "OK";
+  if (status == 404) reason = "Not Found";
+  if (status == 405) reason = "Method Not Allowed";
+  if (status == 400) reason = "Bad Request";
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status, reason, content_type.c_str(), body.size());
+  return head + body;
+}
+
+std::string HandleAdminRequest(const std::string& buffer,
+                               MetricsRegistry& registry) {
+  const HttpRequestLine line = ParseHttpRequestLine(buffer);
+  if (!line.valid)
+    return BuildHttpResponse(400, "text/plain", "bad request\n");
+  if (line.method != "GET")
+    return BuildHttpResponse(405, "text/plain", "read-only endpoint\n");
+  if (line.target == "/metrics")
+    return BuildHttpResponse(200, "text/plain; version=0.0.4",
+                             registry.RenderPrometheus());
+  if (line.target == "/metrics.json")
+    return BuildHttpResponse(200, "application/json",
+                             registry.RenderJson() + "\n");
+  return BuildHttpResponse(404, "text/plain", "not found\n");
+}
+
+}  // namespace ldpr::obs

@@ -1,0 +1,39 @@
+// Minimal HTTP/1.0 plumbing for the read-only admin scrape endpoint. The
+// socket machinery lives in serve::IngestServer (the endpoint rides the
+// ingest event loop); this header only knows how to recognize a complete
+// request head, route it, and build a close-delimited response.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ldpr::obs {
+
+// Hard cap on the request head an admin client may send before the
+// connection is dropped as garbage.
+inline constexpr std::size_t kMaxAdminRequestBytes = 8192;
+
+// True once `buffer` contains the header terminator (CRLFCRLF or LFLF —
+// netcat users get to be sloppy).
+bool HttpHeaderComplete(const std::string& buffer);
+
+struct HttpRequestLine {
+  std::string method;
+  std::string target;  // path only; query string stripped
+  bool valid = false;
+};
+HttpRequestLine ParseHttpRequestLine(const std::string& buffer);
+
+// Full response bytes: status line, Content-Type/Length, Connection: close.
+std::string BuildHttpResponse(int status, const std::string& content_type,
+                              const std::string& body);
+
+// Routes a buffered request head against the registry:
+//   GET /metrics       -> Prometheus text 0.0.4
+//   GET /metrics.json  -> RenderJson snapshot
+// Anything else is 404 (or 405 for non-GET). Read-only by construction.
+std::string HandleAdminRequest(const std::string& buffer,
+                               MetricsRegistry& registry);
+
+}  // namespace ldpr::obs

@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ldpr::obs {
+namespace {
+
+// Counters and integer-valued gauges render without a decimal point so that
+// exact-match checks (`ingest_reports_total 40000`) stay trivial.
+std::string FormatValue(double v) {
+  char buf[64];
+  const auto ll = static_cast<long long>(v);
+  if (static_cast<double>(ll) == v) {
+    std::snprintf(buf, sizeof(buf), "%lld", ll);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Bucket edge in exposition units (seconds for kSeconds, raw otherwise).
+std::string FormatEdge(long long edge_raw, HistogramUnit unit) {
+  char buf[64];
+  if (unit == HistogramUnit::kSeconds) {
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(edge_raw) / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", edge_raw);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Counter::Counter(int shards)
+    : cells_(std::make_unique<Cell[]>(shards < 1 ? 1u : shards)),
+      nshards_(shards < 1 ? 1u : static_cast<unsigned>(shards)) {}
+
+long long Counter::Value() const {
+  long long total = 0;
+  for (unsigned i = 0; i < nshards_; ++i)
+    total += cells_[i].v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(int shards)
+    : shards_(std::make_unique<Shard[]>(shards < 1 ? 1u : shards)),
+      nshards_(shards < 1 ? 1u : static_cast<unsigned>(shards)) {}
+
+HistogramSnapshot Histogram::Merge() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    const Shard& s = shards_[i];
+    for (int b = 0; b < kBucketCount; ++b)
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+long long HistogramSnapshot::ValueAtPercentile(double p) const {
+  if (count <= 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double target = p / 100.0 * static_cast<double>(count);
+  long long cumulative = 0;
+  for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0)
+      return Histogram::BucketLowerBound(b + 1);
+  }
+  return Histogram::BucketLowerBound(static_cast<int>(buckets.size()));
+}
+
+long long HistogramSnapshot::Max() const {
+  for (int b = static_cast<int>(buckets.size()) - 1; b >= 0; --b)
+    if (buckets[b] > 0) return Histogram::BucketLowerBound(b + 1);
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::GetCounter(const std::string& name,
+                                                     const std::string& labels,
+                                                     const std::string& help,
+                                                     int shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[{name, labels}];
+  if (!inst.counter) {
+    inst.kind = MetricKind::kCounter;
+    inst.help = help;
+    inst.counter = std::make_shared<Counter>(shards);
+  }
+  return inst.counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::GetGauge(const std::string& name,
+                                                 const std::string& labels,
+                                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[{name, labels}];
+  if (!inst.gauge) {
+    inst.kind = MetricKind::kGauge;
+    inst.help = help;
+    inst.gauge = std::make_shared<Gauge>();
+  }
+  return inst.gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& labels, const std::string& help,
+    int shards, HistogramUnit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[{name, labels}];
+  if (!inst.histogram) {
+    inst.kind = MetricKind::kHistogram;
+    inst.help = help;
+    inst.unit = unit;
+    inst.histogram = std::make_shared<Histogram>(shards);
+  }
+  return inst.histogram;
+}
+
+long long MetricsRegistry::RegisterCallback(ScrapeCallback fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const long long id = next_callback_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::UnregisterCallback(long long id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.erase(id);
+}
+
+std::map<MetricsRegistry::Key, MetricsRegistry::Series>
+MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<Key, Series> out;
+  for (const auto& [key, inst] : instruments_) {
+    Series& s = out[key];
+    s.kind = inst.kind;
+    s.help = inst.help;
+    s.unit = inst.unit;
+    switch (inst.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(inst.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        s.value = inst.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = inst.histogram->Merge();
+        break;
+    }
+  }
+  std::vector<Sample> samples;
+  for (const auto& [id, fn] : callbacks_) {
+    (void)id;
+    fn(samples);
+  }
+  for (const Sample& sample : samples) {
+    auto it = out.find({sample.name, sample.labels});
+    if (it == out.end()) {
+      Series& s = out[{sample.name, sample.labels}];
+      s.kind = sample.kind;
+      s.help = sample.help;
+      s.value = sample.value;
+    } else if (sample.kind == MetricKind::kCounter &&
+               it->second.kind == MetricKind::kCounter) {
+      it->second.value += sample.value;  // multiple exporters: sum
+    } else {
+      it->second.value = sample.value;  // gauges: last write wins
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const auto series = Collect();
+  std::ostringstream out;
+  std::string last_name;
+  for (const auto& [key, s] : series) {
+    const auto& [name, labels] = key;
+    if (name != last_name) {
+      if (!s.help.empty()) out << "# HELP " << name << ' ' << s.help << '\n';
+      out << "# TYPE " << name << ' ' << KindName(s.kind) << '\n';
+      last_name = name;
+    }
+    const std::string brace = labels.empty() ? "" : "{" + labels + "}";
+    if (s.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      const std::string sep = labels.empty() ? "" : ",";
+      long long cumulative = 0;
+      for (int b = 0; b < static_cast<int>(h.buckets.size()); ++b) {
+        if (h.buckets[b] == 0) continue;  // elide empty deltas; still cumulative
+        cumulative += h.buckets[b];
+        out << name << "_bucket{" << labels << sep << "le=\""
+            << FormatEdge(Histogram::BucketLowerBound(b + 1), s.unit) << "\"} "
+            << cumulative << '\n';
+      }
+      out << name << "_bucket{" << labels << sep << "le=\"+Inf\"} " << h.count
+          << '\n';
+      const double sum = s.unit == HistogramUnit::kSeconds
+                             ? static_cast<double>(h.sum) / 1e9
+                             : static_cast<double>(h.sum);
+      out << name << "_sum" << brace << ' ' << FormatValue(sum) << '\n';
+      out << name << "_count" << brace << ' ' << h.count << '\n';
+    } else {
+      out << name << brace << ' ' << FormatValue(s.value) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const auto series = Collect();
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, s] : series) {
+    const auto& [name, labels] = key;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(name) << "\",\"labels\":\""
+        << JsonEscape(labels) << "\",\"type\":\"" << KindName(s.kind) << "\",";
+    if (s.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = s.histogram;
+      const double scale = s.unit == HistogramUnit::kSeconds ? 1e-9 : 1.0;
+      out << "\"count\":" << h.count << ",\"sum\":"
+          << FormatValue(static_cast<double>(h.sum) * scale) << ",\"p50\":"
+          << FormatValue(static_cast<double>(h.ValueAtPercentile(50)) * scale)
+          << ",\"p90\":"
+          << FormatValue(static_cast<double>(h.ValueAtPercentile(90)) * scale)
+          << ",\"p99\":"
+          << FormatValue(static_cast<double>(h.ValueAtPercentile(99)) * scale)
+          << ",\"max\":"
+          << FormatValue(static_cast<double>(h.Max()) * scale) << '}';
+    } else {
+      out << "\"value\":" << FormatValue(s.value) << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+double MetricsRegistry::SampleValue(const std::string& name,
+                                    const std::string& labels) const {
+  const auto series = Collect();
+  auto it = series.find({name, labels});
+  if (it == series.end() || it->second.kind == MetricKind::kHistogram)
+    return 0.0;
+  return it->second.value;
+}
+
+}  // namespace ldpr::obs

@@ -1,0 +1,45 @@
+// Scoped timer: measures the lifetime of a block and records it into a
+// latency histogram on destruction. Null-safe, so instrumentation can stay
+// in place when telemetry is disabled:
+//
+//   obs::Span span(obs_ ? obs_->seal_seconds.get() : nullptr);
+//   ... work ...
+//   // ~Span records the elapsed wall time (steady clock) in nanoseconds.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace ldpr::obs {
+
+class Span {
+ public:
+  explicit Span(Histogram* histogram, int shard = 0)
+      : histogram_(histogram),
+        shard_(shard),
+        start_(histogram ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{}) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { Stop(); }
+
+  // Records now instead of at scope exit; returns elapsed seconds (0 when
+  // disarmed). Subsequent Stop() calls are no-ops.
+  double Stop() {
+    if (!histogram_) return 0.0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const long long ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    histogram_->Record(ns, shard_);
+    histogram_ = nullptr;
+    return static_cast<double>(ns) / 1e9;
+  }
+
+ private:
+  Histogram* histogram_;
+  int shard_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ldpr::obs

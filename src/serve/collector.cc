@@ -21,8 +21,44 @@ Collector::Collector(const fo::FrequencyOracle& oracle,
       fo::bitslice::kRowTailSlack;
   lanes_.reserve(lanes);
   for (int i = 0; i < lanes; ++i) {
-    lanes_.push_back(std::make_unique<Lane>(oracle, staging_bytes));
+    lanes_.push_back(std::make_unique<Lane>(oracle, staging_bytes, i));
   }
+  if (options.metrics) {
+    obs_ = std::make_unique<Obs>();
+    obs_->registry = options.metrics;
+    obs_->decode_block_seconds = options.metrics->GetHistogram(
+        "ldpr_decode_block_seconds", "",
+        "Latency of one AccumulateWireBlock flush (up to kBlockRows rows)",
+        lanes, obs::HistogramUnit::kSeconds);
+    obs_->decode_block_rows = options.metrics->GetHistogram(
+        "ldpr_decode_block_rows", "", "Rows decoded per block flush", lanes);
+    // The ingest counters are exported at scrape time from the tallies the
+    // lanes maintain anyway — the per-report path carries no extra work.
+    obs_->callback_id = options.metrics->RegisterCallback(
+        [this](std::vector<obs::Sample>& out) {
+          const IngestCounters totals = TotalsNow();
+          out.push_back({"ldpr_ingest_reports_total", "",
+                         static_cast<double>(totals.reports),
+                         obs::MetricKind::kCounter,
+                         "Reports decoded and accumulated"});
+          out.push_back({"ldpr_ingest_bytes_total", "",
+                         static_cast<double>(totals.bytes),
+                         obs::MetricKind::kCounter,
+                         "Wire bytes consumed by accepted reports"});
+          ForEachRejectField(totals, [&out](const char* name,
+                                            long long value) {
+            out.push_back({"ldpr_ingest_rejects_total",
+                           std::string("reason=\"") + name + "\"",
+                           static_cast<double>(value),
+                           obs::MetricKind::kCounter,
+                           "Reports refused, by reject reason"});
+          });
+        });
+  }
+}
+
+Collector::~Collector() {
+  if (obs_) obs_->registry->UnregisterCallback(obs_->callback_id);
 }
 
 IngestResult Collector::Ingest(const IngestRequest& request) {
@@ -32,9 +68,29 @@ IngestResult Collector::Ingest(const IngestRequest& request) {
 
 void Collector::FlushLocked(Lane& lane) {
   if (lane.staged == 0) return;
+  const double start = obs_ ? MonotonicSeconds() : 0.0;
   lane.aggregator->AccumulateWireBlock(lane.staging.data(), stage_stride_,
                                        lane.staged);
+  if (obs_) {
+    obs_->decode_block_seconds->RecordSeconds(MonotonicSeconds() - start,
+                                              lane.index);
+    obs_->decode_block_rows->Record(lane.staged, lane.index);
+  }
   lane.staged = 0;
+}
+
+IngestCounters Collector::TotalsNow() const {
+  IngestCounters totals;
+  {
+    std::lock_guard<std::mutex> lock(drained_mutex_);
+    totals = drained_totals_;
+  }
+  for (const auto& lane_ptr : lanes_) {
+    const Lane& lane = *lane_ptr;
+    std::lock_guard<std::mutex> guard(lane.mutex);
+    totals.Merge(lane.tallies);
+  }
+  return totals;
 }
 
 int Collector::staged(int lane_hint) const {
@@ -94,6 +150,12 @@ Collector::Drained Collector::Drain() {
     for (int v = 0; v < k; ++v) out.counts[v] += partial[s].counts[v];
     out.n += partial[s].n;
     out.tallies.Merge(partial[s].tallies);
+  }
+  {
+    // Draining resets the lanes, so fold the epoch's tallies into the
+    // lifetime totals mid-run scrapes read (TotalsNow).
+    std::lock_guard<std::mutex> lock(drained_mutex_);
+    drained_totals_.Merge(out.tallies);
   }
   return out;
 }

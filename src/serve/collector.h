@@ -40,6 +40,7 @@
 #include "fo/consistency.h"
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
+#include "obs/metrics.h"
 #include "privacy/accountant.h"
 #include "serve/ingest.h"
 
@@ -52,6 +53,14 @@ struct CollectorOptions {
   /// Post-processing applied to the snapshot's `consistent` estimate.
   fo::ConsistencyMethod consistency = fo::ConsistencyMethod::kNormSub;
   double consistency_threshold = 0.0;
+  /// Telemetry sink; nullptr disables instrumentation entirely (the
+  /// default, so benchmarks and tests that don't scrape pay nothing).
+  /// When set, the collector exports its lane tallies as
+  /// `ldpr_ingest_*` counters via a scrape callback — the per-report fast
+  /// path is untouched; the tallies it already maintains ARE the sharded
+  /// cells — and records per-flush decode-block latency/occupancy
+  /// histograms (one sample per kBlockRows flush, never per report).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-epoch ingest statistics, frozen into the snapshot at seal time.
@@ -92,6 +101,7 @@ class Collector final : public IngestSink {
  public:
   explicit Collector(const fo::FrequencyOracle& oracle,
                      const CollectorOptions& options = {});
+  ~Collector() override;
 
   /// Validates one wire-encoded report into lane `request.lane % lanes()`
   /// and stages it for that lane's aggregator. Thread-safe; producers that
@@ -133,19 +143,6 @@ class Collector final : public IngestSink {
     return IngestResult::Accepted();
   }
 
-  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
-               "reject reasons")]]
-  bool Ingest(int lane, const std::uint8_t* data, std::size_t size) {
-    return Ingest(IngestRequest{{data, size}, std::nullopt, lane}).accepted;
-  }
-  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
-               "reject reasons")]]
-  bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
-    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, std::nullopt,
-                                lane})
-        .accepted;
-  }
-
   /// Closed-form lane feed for the fast simulation profile: draws the
   /// aggregate support counts of `histogram` directly into lane
   /// `lane % lanes()` (fo::Aggregator::AccumulateHistogram), bypassing the
@@ -161,6 +158,13 @@ class Collector final : public IngestSink {
     IngestCounters tallies;
   };
   Drained Drain();
+
+  /// Lifetime ingest totals: everything drained in past epochs plus the
+  /// live lane tallies right now. This is what the telemetry callback
+  /// exports, so a scrape mid-epoch is exact (briefly takes each lane
+  /// mutex) and a scrape after the last seal equals the sum of all sealed
+  /// snapshots' IngestCounters.
+  IngestCounters TotalsNow() const;
 
   int lanes() const { return static_cast<int>(lanes_.size()); }
   /// The exact buffer size Ingest accepts (WireDecoder::report_bytes).
@@ -179,10 +183,12 @@ class Collector final : public IngestSink {
   /// this, adjacent heap-allocated lanes can land on one line and ingest
   /// throughput stops scaling with producer threads.
   struct alignas(64) Lane {
-    Lane(const fo::FrequencyOracle& oracle, std::size_t staging_bytes)
+    Lane(const fo::FrequencyOracle& oracle, std::size_t staging_bytes,
+         int index)
         : aggregator(oracle.MakeAggregator()),
           decoder(oracle),
-          staging(staging_bytes, 0) {}
+          staging(staging_bytes, 0),
+          index(index) {}
 
     mutable std::mutex mutex;
     std::unique_ptr<fo::Aggregator> aggregator;
@@ -193,6 +199,9 @@ class Collector final : public IngestSink {
     /// all have the same exact size).
     std::vector<std::uint8_t> staging;
     int staged = 0;
+    /// Telemetry shard hint: flush histograms record on the lane's own
+    /// shard, so lanes never share a histogram cache line either.
+    const int index;
   };
   static_assert(alignof(Lane) >= 64,
                 "lanes must start on their own cache line");
@@ -208,6 +217,20 @@ class Collector final : public IngestSink {
   std::size_t report_bytes_;
   std::size_t stage_stride_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+
+  /// Tallies of every past Drain() (Drain resets the lanes, so lifetime
+  /// totals have to accumulate somewhere for mid-run scrapes).
+  mutable std::mutex drained_mutex_;
+  IngestCounters drained_totals_;
+
+  /// Set iff options.metrics != nullptr.
+  struct Obs {
+    obs::MetricsRegistry* registry = nullptr;
+    std::shared_ptr<obs::Histogram> decode_block_seconds;
+    std::shared_ptr<obs::Histogram> decode_block_rows;
+    long long callback_id = 0;
+  };
+  std::unique_ptr<Obs> obs_;
 };
 
 // The epoch lifecycle (EpochManager) lives in serve/longitudinal.h: it is a

@@ -372,4 +372,45 @@ SocketSendResult SendOverTcp(int port, std::span<const std::uint8_t> bytes) {
   return SendAll(fd, bytes, "TCP");
 }
 
+std::string HttpGetOverUds(const std::string& uds_path,
+                           const std::string& target) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LDPR_REQUIRE(uds_path.size() < sizeof(addr.sun_path),
+               "UDS path too long: " << uds_path);
+  std::strncpy(addr.sun_path, uds_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LDPR_CHECK(fd >= 0, "socket(AF_UNIX) failed: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    LDPR_CHECK(false, "connect(" << uds_path
+                                 << ") failed: " << std::strerror(err));
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + sent, request.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      LDPR_CHECK(false, "admin request write failed: "
+                            << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // close-delimited response
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
 }  // namespace ldpr::serve

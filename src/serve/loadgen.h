@@ -183,6 +183,13 @@ SocketSendResult SendOverUds(const std::string& uds_path,
 /// Same over TCP to 127.0.0.1:port.
 SocketSendResult SendOverTcp(int port, std::span<const std::uint8_t> bytes);
 
+/// Blocking HTTP/1.0 GET against the server's admin scrape endpoint over
+/// its Unix-domain socket: sends `GET <target> HTTP/1.0` and returns the
+/// full close-delimited response (status line + headers + body). The
+/// scrape client for `ldpr_cli metrics` and the admin-endpoint tests.
+std::string HttpGetOverUds(const std::string& uds_path,
+                           const std::string& target);
+
 }  // namespace ldpr::serve
 
 #endif  // LDPR_SERVE_LOADGEN_H_

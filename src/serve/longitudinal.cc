@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/hash.h"
+#include "obs/span.h"
 
 namespace ldpr::serve {
 
@@ -112,6 +113,42 @@ LongitudinalCollector::LongitudinalCollector(
       collector_(oracle, options.collector),
       users_(options.user_shards) {
   window_counts_.assign(oracle.k(), 0);
+  if (obs::MetricsRegistry* reg = options.collector.metrics) {
+    obs_ = std::make_unique<Obs>();
+    obs_->seal_seconds = reg->GetHistogram(
+        "ldpr_seal_seconds", "", "Wall time of one epoch Seal()", 1,
+        obs::HistogramUnit::kSeconds);
+    obs_->window_update_seconds = reg->GetHistogram(
+        "ldpr_window_update_seconds", "",
+        "Wall time of the window count-delta slide inside Seal()", 1,
+        obs::HistogramUnit::kSeconds);
+    obs_->epoch_open =
+        reg->GetGauge("ldpr_epoch_open", "", "1 while an epoch is ingesting");
+    obs_->epoch_last_sealed = reg->GetGauge(
+        "ldpr_epoch_last_sealed", "", "Id of the most recently sealed epoch");
+    obs_->epoch_reports = reg->GetGauge(
+        "ldpr_epoch_reports", "", "Accepted reports in the last sealed epoch");
+    obs_->epsilon_epoch = reg->GetGauge(
+        "ldpr_privacy_epsilon_epoch", "",
+        "Realized epsilon of the last sealed epoch alone");
+    obs_->epsilon_cumulative = reg->GetGauge(
+        "ldpr_privacy_epsilon_cumulative", "",
+        "Sequential-composition epsilon over every sealed epoch");
+    obs_->epsilon_worst_user = reg->GetGauge(
+        "ldpr_privacy_epsilon_worst_user", "",
+        "Cumulative epsilon of the worst tracked user");
+    obs_->epsilon_mean_user = reg->GetGauge(
+        "ldpr_privacy_epsilon_mean_user", "",
+        "Mean cumulative epsilon across tracked users");
+    obs_->memoization_hit_rate = reg->GetGauge(
+        "ldpr_privacy_memoization_hit_rate", "",
+        "Fraction of accepted reports recognized as memoized replays");
+    obs_->users = reg->GetGauge("ldpr_privacy_users", "",
+                                "Distinct users ever classified");
+    obs_->window_occupancy = reg->GetGauge(
+        "ldpr_window_occupancy", "",
+        "Epochs currently inside the sliding estimation window");
+  }
 }
 
 long long LongitudinalCollector::OpenEpoch() {
@@ -119,6 +156,7 @@ long long LongitudinalCollector::OpenEpoch() {
                            << next_epoch_ - 1 << " is still ingesting");
   open_ = true;
   opened_at_ = MonotonicSeconds();
+  if (obs_) obs_->epoch_open->Set(1);
   return next_epoch_++;
 }
 
@@ -153,6 +191,7 @@ IngestResult LongitudinalCollector::Ingest(const IngestRequest& request) {
 
 const EstimateSnapshot& LongitudinalCollector::Seal() {
   LDPR_REQUIRE(open_, "no open epoch to seal");
+  obs::Span seal_span(obs_ ? obs_->seal_seconds.get() : nullptr);
   const double seconds = MonotonicSeconds() - opened_at_;
   const fo::FrequencyOracle& oracle = collector_.oracle();
   Collector::Drained drained = collector_.Drain();
@@ -225,6 +264,7 @@ const EstimateSnapshot& LongitudinalCollector::Seal() {
 
   // Window delta state: slide the tail, then emit the completed window (if
   // any) straight from the running sums.
+  obs::Span window_span(obs_ ? obs_->window_update_seconds.get() : nullptr);
   tail_counts_.push_back(snapshot.counts);
   tail_n_.push_back(snapshot.n);
   for (std::size_t v = 0; v < window_counts_.size(); ++v) {
@@ -261,12 +301,27 @@ const EstimateSnapshot& LongitudinalCollector::Seal() {
     }
   }
 
+  window_span.Stop();
+
   open_ = false;
   history_.push_back(std::move(snapshot));
   if (options_.history_cap > 0 && history_.size() > options_.history_cap) {
     history_.pop_front();
   }
-  return history_.back();
+  const EstimateSnapshot& sealed = history_.back();
+  if (obs_) {
+    obs_->epoch_open->Set(0);
+    obs_->epoch_last_sealed->Set(static_cast<double>(sealed.epoch));
+    obs_->epoch_reports->Set(static_cast<double>(sealed.stats.reports));
+    obs_->epsilon_epoch->Set(sealed.ledger.total_epsilon);
+    obs_->epsilon_cumulative->Set(cumulative_report_.total_epsilon);
+    obs_->epsilon_worst_user->Set(cumulative_report_.max_user_epsilon);
+    obs_->epsilon_mean_user->Set(cumulative_report_.mean_user_epsilon);
+    obs_->memoization_hit_rate->Set(cumulative_report_.MemoizationHitRate());
+    obs_->users->Set(static_cast<double>(cumulative_report_.users));
+    obs_->window_occupancy->Set(static_cast<double>(tail_counts_.size()));
+  }
+  return sealed;
 }
 
 }  // namespace ldpr::serve

@@ -83,7 +83,7 @@ struct LongitudinalOptions {
   static LongitudinalOptions FromCollector(const CollectorOptions& collector) {
     static_assert(sizeof(CollectorOptions) ==
                       sizeof(int) + sizeof(fo::ConsistencyMethod) +
-                          sizeof(double),
+                          sizeof(double) + sizeof(obs::MetricsRegistry*),
                   "CollectorOptions changed shape: confirm "
                   "LongitudinalOptions::FromCollector (whole-struct copy) "
                   "still covers every field, then update this tripwire");
@@ -205,20 +205,6 @@ class LongitudinalCollector final : public IngestSink {
   /// keep draining between epochs.
   IngestResult Ingest(const IngestRequest& request) override;
 
-  [[deprecated("use Ingest(IngestRequest) with request.user set")]]
-  bool IngestUser(long long user, int lane, const std::uint8_t* data,
-                  std::size_t size) {
-    LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
-    return Ingest(IngestRequest{{data, size}, user, lane}).accepted;
-  }
-  [[deprecated("use Ingest(IngestRequest) with request.user set")]]
-  bool IngestUser(long long user, int lane,
-                  const std::vector<std::uint8_t>& bytes) {
-    LDPR_REQUIRE(open_, "ingest requires an open epoch (OpenEpoch first)");
-    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, user, lane})
-        .accepted;
-  }
-
   /// Seals the open epoch: merges the lanes, estimates (raw + consistency
   /// post-processing), merges the replay-table shard ledgers into the
   /// epoch's and the cumulative LedgerReport, advances the window delta
@@ -261,6 +247,25 @@ class LongitudinalCollector final : public IngestSink {
   long long cumulative_fresh_ = 0;
   long long cumulative_memoized_ = 0;
   privacy::LedgerReport cumulative_report_;
+
+  /// Set iff options.collector.metrics != nullptr: seal / window-delta
+  /// latency histograms plus the per-epoch ledger gauges (cumulative and
+  /// worst-user epsilon, memoization hit rate) refreshed at every Seal().
+  struct Obs {
+    std::shared_ptr<obs::Histogram> seal_seconds;
+    std::shared_ptr<obs::Histogram> window_update_seconds;
+    std::shared_ptr<obs::Gauge> epoch_open;
+    std::shared_ptr<obs::Gauge> epoch_last_sealed;
+    std::shared_ptr<obs::Gauge> epoch_reports;
+    std::shared_ptr<obs::Gauge> epsilon_epoch;
+    std::shared_ptr<obs::Gauge> epsilon_cumulative;
+    std::shared_ptr<obs::Gauge> epsilon_worst_user;
+    std::shared_ptr<obs::Gauge> epsilon_mean_user;
+    std::shared_ptr<obs::Gauge> memoization_hit_rate;
+    std::shared_ptr<obs::Gauge> users;
+    std::shared_ptr<obs::Gauge> window_occupancy;
+  };
+  std::unique_ptr<Obs> obs_;
 
   bool open_ = false;
   long long next_epoch_ = 0;

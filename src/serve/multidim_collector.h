@@ -65,19 +65,6 @@ class MultidimCollector final : public IngestSink {
   /// yet, so request.user is accepted unclassified.
   IngestResult Ingest(const IngestRequest& request) override;
 
-  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
-               "reject reasons")]]
-  bool Ingest(int lane, const std::uint8_t* data, std::size_t size) {
-    return Ingest(IngestRequest{{data, size}, std::nullopt, lane}).accepted;
-  }
-  [[deprecated("use Ingest(IngestRequest) — one entry point, counted "
-               "reject reasons")]]
-  bool Ingest(int lane, const std::vector<std::uint8_t>& bytes) {
-    return Ingest(IngestRequest{{bytes.data(), bytes.size()}, std::nullopt,
-                                lane})
-        .accepted;
-  }
-
   /// Merges every lane, estimates per-attribute frequencies, freezes the
   /// ingest stats and resets the lanes for the next epoch. O(lanes * sum k_j)
   /// regardless of the number of tuples ingested.

@@ -19,6 +19,7 @@
 #endif
 
 #include "core/check.h"
+#include "obs/http.h"
 
 namespace ldpr::serve {
 
@@ -29,6 +30,55 @@ void SetNonBlocking(int fd) {
   LDPR_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
              "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
 }
+
+/// Binds a non-blocking listening Unix socket, replacing any stale socket
+/// file at `path`.
+int BindUdsListener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LDPR_REQUIRE(path.size() < sizeof(addr.sun_path),
+               "UDS path too long: " << path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LDPR_CHECK(fd >= 0, "socket(AF_UNIX) failed: " << std::strerror(errno));
+  LDPR_CHECK(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind(" << path << ") failed: " << std::strerror(errno));
+  LDPR_CHECK(::listen(fd, 128) == 0,
+             "listen failed: " << std::strerror(errno));
+  SetNonBlocking(fd);
+  return fd;
+}
+
+/// Binds a non-blocking loopback TCP listener; writes the resolved port
+/// (meaningful when `port` was 0 = ephemeral) to *resolved_port.
+int BindTcpListener(int port, int* resolved_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LDPR_CHECK(fd >= 0, "socket(AF_INET) failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  LDPR_CHECK(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind(127.0.0.1:" << port << ") failed: " << std::strerror(errno));
+  LDPR_CHECK(::listen(fd, 128) == 0,
+             "listen failed: " << std::strerror(errno));
+  SetNonBlocking(fd);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  LDPR_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+             "getsockname failed: " << std::strerror(errno));
+  *resolved_port = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+/// Admin connections a single server tolerates at once — scrapers, not
+/// users; beyond this an accept is refused outright.
+constexpr std::size_t kMaxAdminConnections = 16;
 
 }  // namespace
 
@@ -42,10 +92,23 @@ struct IngestServer::Connection {
   bool paused = false;
 };
 
+/// One admin scrape client: buffers the request head, then drains the
+/// rendered response. Loop-thread only.
+struct IngestServer::AdminConnection {
+  explicit AdminConnection(int fd_in) : fd(fd_in) {}
+
+  int fd;
+  std::string request;
+  std::string response;
+  std::size_t written = 0;
+  bool responding = false;  ///< request complete, response being drained
+};
+
 /// Readiness notification behind one interface: epoll(7) on Linux, poll(2)
-/// elsewhere. Only read interest is tracked — the server never buffers
-/// writes (it writes nothing). A registered fd with read interest off still
-/// reports hangups/errors, so a paused connection's death is noticed.
+/// elsewhere. Ingest connections only ever track read interest (the server
+/// writes nothing at them); admin connections flip to write interest while
+/// a response drains. A registered fd with all interest off still reports
+/// hangups/errors, so a paused connection's death is noticed.
 class IngestServer::Poller {
  public:
 #ifdef __linux__
@@ -63,14 +126,16 @@ class IngestServer::Poller {
                "epoll_ctl(ADD) failed: " << std::strerror(errno));
   }
 
-  void SetWantRead(int fd, bool want) {
+  void SetInterest(int fd, bool read, bool write) {
     epoll_event event{};
-    event.events = want ? static_cast<std::uint32_t>(EPOLLIN)
-                        : 0u;  // 0 still delivers EPOLLHUP/ERR
+    event.events = (read ? static_cast<std::uint32_t>(EPOLLIN) : 0u) |
+                   (write ? static_cast<std::uint32_t>(EPOLLOUT)
+                          : 0u);  // 0 still delivers EPOLLHUP/ERR
     event.data.fd = fd;
     LDPR_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0,
                "epoll_ctl(MOD) failed: " << std::strerror(errno));
   }
+  void SetWantRead(int fd, bool want) { SetInterest(fd, want, false); }
 
   void Remove(int fd) { ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr); }
 
@@ -84,28 +149,32 @@ class IngestServer::Poller {
  private:
   int epoll_fd_;
 #else
-  void Add(int fd) { want_read_[fd] = true; }
-  void SetWantRead(int fd, bool want) { want_read_[fd] = want; }
-  void Remove(int fd) { want_read_.erase(fd); }
+  void Add(int fd) { interest_[fd] = POLLIN; }
+  void SetInterest(int fd, bool read, bool write) {
+    interest_[fd] = static_cast<short>((read ? POLLIN : 0) |
+                                       (write ? POLLOUT : 0));
+  }
+  void SetWantRead(int fd, bool want) { SetInterest(fd, want, false); }
+  void Remove(int fd) { interest_.erase(fd); }
 
   void Wait(int timeout_ms, std::vector<int>& ready) {
     ready.clear();
     std::vector<pollfd> fds;
-    fds.reserve(want_read_.size());
-    for (const auto& [fd, want] : want_read_) {
-      fds.push_back(pollfd{fd, static_cast<short>(want ? POLLIN : 0), 0});
+    fds.reserve(interest_.size());
+    for (const auto& [fd, events] : interest_) {
+      fds.push_back(pollfd{fd, events, 0});
     }
     const int n = ::poll(fds.data(), fds.size(), timeout_ms);
     if (n <= 0) return;
     for (const pollfd& p : fds) {
-      if (p.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+      if (p.revents & (POLLIN | POLLOUT | POLLHUP | POLLERR | POLLNVAL)) {
         ready.push_back(p.fd);
       }
     }
   }
 
  private:
-  std::map<int, bool> want_read_;
+  std::map<int, short> interest_;
 #endif
 };
 
@@ -121,55 +190,28 @@ IngestServer::~IngestServer() { Stop(); }
 
 void IngestServer::Start() {
   LDPR_REQUIRE(!loop_.joinable(), "server already started");
-  LDPR_REQUIRE(!options_.uds_path.empty() || options_.tcp_port >= 0,
+  LDPR_REQUIRE(!options_.uds_path.empty() || options_.tcp_port >= 0 ||
+                   !options_.admin_uds_path.empty() ||
+                   options_.admin_tcp_port >= 0,
                "server needs a UDS path or a TCP port to listen on");
-  poller_ = std::make_unique<Poller>();
 
+  poller_ = std::make_unique<Poller>();
   if (!options_.uds_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    LDPR_REQUIRE(options_.uds_path.size() < sizeof(addr.sun_path),
-                 "UDS path too long: " << options_.uds_path);
-    std::strncpy(addr.sun_path, options_.uds_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(options_.uds_path.c_str());
-    uds_listen_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    LDPR_CHECK(uds_listen_ >= 0,
-               "socket(AF_UNIX) failed: " << std::strerror(errno));
-    LDPR_CHECK(::bind(uds_listen_, reinterpret_cast<sockaddr*>(&addr),
-                      sizeof(addr)) == 0,
-               "bind(" << options_.uds_path
-                       << ") failed: " << std::strerror(errno));
-    LDPR_CHECK(::listen(uds_listen_, 128) == 0,
-               "listen failed: " << std::strerror(errno));
-    SetNonBlocking(uds_listen_);
+    uds_listen_ = BindUdsListener(options_.uds_path);
     poller_->Add(uds_listen_);
   }
-
   if (options_.tcp_port >= 0) {
-    tcp_listen_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    LDPR_CHECK(tcp_listen_ >= 0,
-               "socket(AF_INET) failed: " << std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(tcp_listen_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
-    LDPR_CHECK(::bind(tcp_listen_, reinterpret_cast<sockaddr*>(&addr),
-                      sizeof(addr)) == 0,
-               "bind(127.0.0.1:" << options_.tcp_port
-                                 << ") failed: " << std::strerror(errno));
-    LDPR_CHECK(::listen(tcp_listen_, 128) == 0,
-               "listen failed: " << std::strerror(errno));
-    SetNonBlocking(tcp_listen_);
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    LDPR_CHECK(::getsockname(tcp_listen_, reinterpret_cast<sockaddr*>(&bound),
-                             &len) == 0,
-               "getsockname failed: " << std::strerror(errno));
-    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    tcp_listen_ = BindTcpListener(options_.tcp_port, &tcp_port_);
     poller_->Add(tcp_listen_);
+  }
+  if (!options_.admin_uds_path.empty()) {
+    admin_uds_listen_ = BindUdsListener(options_.admin_uds_path);
+    poller_->Add(admin_uds_listen_);
+  }
+  if (options_.admin_tcp_port >= 0) {
+    admin_tcp_listen_ =
+        BindTcpListener(options_.admin_tcp_port, &admin_tcp_port_);
+    poller_->Add(admin_tcp_listen_);
   }
 
   int pipe_fds[2];
@@ -180,6 +222,60 @@ void IngestServer::Start() {
   SetNonBlocking(wake_read_);
   SetNonBlocking(wake_write_);
   poller_->Add(wake_read_);
+
+  if (options_.metrics) {
+    obs_ = std::make_unique<Obs>();
+    obs_->registry = options_.metrics;
+    obs_->pause_seconds = options_.metrics->GetHistogram(
+        "ldpr_conn_pause_seconds", "",
+        "Pacing pauses imposed on connections (token-bucket backpressure)",
+        1, obs::HistogramUnit::kSeconds);
+    // Lifecycle and session totals come straight out of counters() at
+    // scrape time — the record path already maintains them.
+    obs_->callback_id = options_.metrics->RegisterCallback(
+        [this](std::vector<obs::Sample>& out) {
+          const ServerCounters sc = counters();
+          const auto counter = [&out](const char* name, long long value,
+                                      const char* help) {
+            out.push_back({name, "", static_cast<double>(value),
+                           obs::MetricKind::kCounter, help});
+          };
+          counter("ldpr_server_connections_total", sc.connections,
+                  "Connections accepted, lifetime");
+          counter("ldpr_server_closed_total", sc.closed,
+                  "Connections closed (peer EOF / error / shed)");
+          counter("ldpr_server_shed_connections_total", sc.shed_connections,
+                  "Connections closed by load shedding");
+          counter("ldpr_server_records_total", sc.sessions.records,
+                  "Wire records framed off connections");
+          counter("ldpr_server_wire_bytes_total", sc.sessions.wire_bytes,
+                  "Bytes read off connections");
+          counter("ldpr_server_protocol_errors_total",
+                  sc.sessions.protocol_errors,
+                  "Connections dropped for malformed framing");
+          counter("ldpr_server_reports_total", sc.sessions.ingest.reports,
+                  "Reports the sessions saw accepted by the sink");
+          ForEachRejectField(
+              sc.sessions.ingest, [&out](const char* name, long long value) {
+                out.push_back({"ldpr_server_rejects_total",
+                               std::string("reason=\"") + name + "\"",
+                               static_cast<double>(value),
+                               obs::MetricKind::kCounter,
+                               "Records refused at the front door, by "
+                               "reject reason"});
+              });
+          out.push_back({"ldpr_server_live_connections", "",
+                         static_cast<double>(sc.connections - sc.closed),
+                         obs::MetricKind::kGauge, "Connections open now"});
+          out.push_back({"ldpr_server_paused_connections", "",
+                         static_cast<double>(PausedCount(MonotonicSeconds())),
+                         obs::MetricKind::kGauge,
+                         "Connections currently pacing-paused"});
+          out.push_back({"ldpr_server_uptime_seconds", "", sc.seconds,
+                         obs::MetricKind::kGauge,
+                         "Wall seconds since Start()"});
+        });
+  }
 
   stop_.store(false, std::memory_order_relaxed);
   started_at_ = MonotonicSeconds();
@@ -193,6 +289,16 @@ void IngestServer::Stop() {
   [[maybe_unused]] const auto ignored = ::write(wake_write_, &byte, 1);
   loop_.join();
 
+  if (obs_) {
+    obs_->registry->UnregisterCallback(obs_->callback_id);
+    obs_.reset();
+  }
+  for (auto& [fd, conn] : admin_conns_) {
+    poller_->Remove(fd);
+    ::close(fd);
+  }
+  admin_conns_.clear();
+
   std::lock_guard<std::mutex> guard(mutex_);
   for (auto& [fd, conn] : conns_) {
     totals_.sessions.Merge(conn->session.counters());
@@ -201,12 +307,14 @@ void IngestServer::Stop() {
     ::close(fd);
   }
   conns_.clear();
-  for (int* listener : {&uds_listen_, &tcp_listen_, &wake_read_,
-                        &wake_write_}) {
+  for (int* listener : {&uds_listen_, &tcp_listen_, &admin_uds_listen_,
+                        &admin_tcp_listen_, &wake_read_, &wake_write_}) {
     if (*listener >= 0) ::close(*listener);
     *listener = -1;
   }
   if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+  if (!options_.admin_uds_path.empty())
+    ::unlink(options_.admin_uds_path.c_str());
   totals_.seconds = MonotonicSeconds() - started_at_;
   poller_.reset();
 }
@@ -268,6 +376,10 @@ void IngestServer::Loop() {
         }
       } else if (fd == uds_listen_ || fd == tcp_listen_) {
         AcceptReady(fd, now);
+      } else if (fd == admin_uds_listen_ || fd == admin_tcp_listen_) {
+        AdminAcceptReady(fd);
+      } else if (admin_conns_.count(fd) != 0) {
+        AdminEventReady(fd);
       } else {
         ReadReady(fd, now);
       }
@@ -328,8 +440,78 @@ bool IngestServer::ReadReady(int fd, double now) {
   if (conn.session.paused(now) && !conn.paused) {
     conn.paused = true;
     poller_->SetWantRead(fd, false);
+    if (obs_)
+      obs_->pause_seconds->RecordSeconds(conn.session.resume_at() - now);
   }
   return true;
+}
+
+void IngestServer::AdminAcceptReady(int listener_fd) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error
+    if (admin_conns_.size() >= kMaxAdminConnections) {
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    admin_conns_.emplace(fd, std::make_unique<AdminConnection>(fd));
+    poller_->Add(fd);
+  }
+}
+
+void IngestServer::AdminEventReady(int fd) {
+  auto it = admin_conns_.find(fd);
+  if (it == admin_conns_.end()) return;
+  AdminConnection& conn = *it->second;
+  if (!conn.responding) {
+    const ssize_t n = ::read(fd, read_buffer_.data(), read_buffer_.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      CloseAdmin(fd);
+      return;
+    }
+    if (n == 0) {  // peer gave up mid-request
+      CloseAdmin(fd);
+      return;
+    }
+    conn.request.append(reinterpret_cast<const char*>(read_buffer_.data()),
+                        static_cast<std::size_t>(n));
+    if (conn.request.size() > obs::kMaxAdminRequestBytes) {
+      CloseAdmin(fd);
+      return;
+    }
+    if (!obs::HttpHeaderComplete(conn.request)) return;
+    // Render on the loop thread: registry callbacks take the lane / server
+    // mutexes briefly, so a mid-epoch scrape sees exact counters without
+    // ever blocking on a slow scraper (writes below stay non-blocking).
+    conn.response = obs::HandleAdminRequest(conn.request, AdminRegistry());
+    conn.responding = true;
+    poller_->SetInterest(fd, /*read=*/false, /*write=*/true);
+  }
+  while (conn.written < conn.response.size()) {
+    const ssize_t n = ::write(fd, conn.response.data() + conn.written,
+                              conn.response.size() - conn.written);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      CloseAdmin(fd);
+      return;
+    }
+    conn.written += static_cast<std::size_t>(n);
+  }
+  CloseAdmin(fd);  // response fully drained; close-delimited like HTTP/1.0
+}
+
+void IngestServer::CloseAdmin(int fd) {
+  auto it = admin_conns_.find(fd);
+  if (it == admin_conns_.end()) return;
+  poller_->Remove(fd);
+  ::close(fd);
+  admin_conns_.erase(it);
+}
+
+obs::MetricsRegistry& IngestServer::AdminRegistry() const {
+  return options_.metrics ? *options_.metrics : obs::MetricsRegistry::Global();
 }
 
 void IngestServer::CloseConnection(int fd, bool shed) {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/ingest.h"
 #include "serve/wire_session.h"
@@ -67,6 +68,20 @@ struct ServerOptions {
   double shed_grace_seconds = 0.5;
   /// read(2) chunk size per readable connection per loop iteration.
   std::size_t read_chunk = 64 << 10;
+
+  /// Admin scrape endpoint: a read-only HTTP listener (`GET /metrics` in
+  /// Prometheus text, `/metrics.json`) riding the same event loop on its
+  /// own socket(s), so it is safe to scrape mid-epoch and costs nothing
+  /// while nobody connects. Bound when admin_uds_path is non-empty /
+  /// admin_tcp_port >= 0 (0 = ephemeral, resolved via admin_tcp_port()).
+  std::string admin_uds_path;
+  int admin_tcp_port = -1;
+  /// Telemetry sink. When set the server exports its connection lifecycle,
+  /// session totals and per-reason rejects as `ldpr_server_*` series and
+  /// records the pause-time histogram there. The admin endpoint renders
+  /// this registry, falling back to obs::MetricsRegistry::Global() when
+  /// unset.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ServerCounters {
@@ -89,9 +104,10 @@ class IngestServer {
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
-  /// Binds the configured listeners and starts the loop thread. Throws on
-  /// bind/listen failure. At least one of uds_path / tcp_port must be
-  /// configured.
+  /// Binds the configured listeners (ingest and/or admin) and starts the
+  /// loop thread. Throws on bind/listen failure. At least one listener must
+  /// be configured; an admin-only server is legal (in-process ingest with a
+  /// live scrape endpoint).
   void Start();
 
   /// Stops the loop, closes every connection and listener, and folds the
@@ -103,6 +119,8 @@ class IngestServer {
   const std::string& uds_path() const { return options_.uds_path; }
   /// The bound TCP port (-1 when not listening; resolved when ephemeral).
   int tcp_port() const { return tcp_port_; }
+  /// The bound admin TCP port (-1 when not listening on one).
+  int admin_tcp_port() const { return admin_tcp_port_; }
 
   /// Point-in-time counters: totals of closed connections plus a live
   /// snapshot of every open session.
@@ -110,6 +128,7 @@ class IngestServer {
 
  private:
   struct Connection;
+  struct AdminConnection;
   class Poller;
 
   void Loop();
@@ -122,6 +141,14 @@ class IngestServer {
   bool ShedLowestPriority();
   int PausedCount(double now) const;
 
+  /// Admin endpoint plumbing, all loop-thread only: accept, buffer the
+  /// request head, render once it is complete, then drain the response
+  /// (partial writes resume on EPOLLOUT) and close.
+  void AdminAcceptReady(int listener_fd);
+  void AdminEventReady(int fd);
+  void CloseAdmin(int fd);
+  obs::MetricsRegistry& AdminRegistry() const;
+
   IngestSink& sink_;
   ServerOptions options_;
   std::unique_ptr<UserAdmissionTable> users_;
@@ -130,6 +157,9 @@ class IngestServer {
   int uds_listen_ = -1;
   int tcp_listen_ = -1;
   int tcp_port_ = -1;
+  int admin_uds_listen_ = -1;
+  int admin_tcp_listen_ = -1;
+  int admin_tcp_port_ = -1;
   int wake_read_ = -1;
   int wake_write_ = -1;
 
@@ -144,6 +174,17 @@ class IngestServer {
   long long next_lane_ = 0;
   double overload_since_ = -1.0;  ///< < 0: not currently over the watermark
   std::vector<std::uint8_t> read_buffer_;
+
+  /// Loop-thread only (Stop touches it strictly after joining the loop).
+  std::unordered_map<int, std::unique_ptr<AdminConnection>> admin_conns_;
+
+  /// Set iff options.metrics != nullptr.
+  struct Obs {
+    obs::MetricsRegistry* registry = nullptr;
+    std::shared_ptr<obs::Histogram> pause_seconds;
+    long long callback_id = 0;
+  };
+  std::unique_ptr<Obs> obs_;
 };
 
 }  // namespace ldpr::serve

@@ -1,14 +1,17 @@
 // Tests for the network front door: token-bucket refill arithmetic
 // (admission), the wire-record framer under torn reads and random split
 // points (wire_session), duplicate (user, epoch) rejection through the
-// unified IngestRequest API, and the socket server end to end over a
+// unified IngestRequest API, the socket server end to end over a
 // Unix-domain socket — sealed snapshots must be bit-identical to the same
-// frames pushed through the in-process path. Runs under the ASan fast
-// label.
+// frames pushed through the in-process path — and the admin scrape
+// endpoint, whose /metrics counters must equal the sealed snapshot's
+// IngestCounters exactly, including mid-stream scrapes. Runs under the
+// ASan fast label.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -18,6 +21,7 @@
 #include "core/rng.h"
 #include "fo/factory.h"
 #include "fo/wire.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
@@ -461,6 +465,188 @@ TEST(IngestServerTest, ProtocolErrorClosesOnlyTheOffendingConnection) {
   EXPECT_EQ(counters.connections, 2);
   EXPECT_EQ(counters.sessions.protocol_errors, 1);
   EXPECT_EQ(counters.sessions.ingest.reports, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Admin scrape endpoint
+// ---------------------------------------------------------------------------
+
+// Body of a scrape response (the part after the HTTP head).
+std::string HttpBody(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  EXPECT_NE(head_end, std::string::npos) << response;
+  return head_end == std::string::npos ? "" : response.substr(head_end + 4);
+}
+
+// Value of an unlabeled-or-exact-labeled series in a Prometheus text body;
+// -1 when the series is absent.
+long long SeriesValue(const std::string& body, const std::string& series) {
+  const std::string needle = series + " ";
+  std::size_t pos = body.rfind("\n" + needle);
+  if (pos != std::string::npos) {
+    pos += 1;
+  } else if (body.rfind(needle, 0) == 0) {
+    pos = 0;
+  } else {
+    return -1;
+  }
+  return std::stoll(body.substr(pos + needle.size()));
+}
+
+// The live /metrics endpoint end to end: stream records (with duplicates)
+// at the server over UDS, scrape over the admin UDS, and require the
+// scraped ingest counters to equal the sealed snapshot's IngestCounters
+// exactly — the acceptance invariant of the telemetry layer.
+TEST(AdminEndpointTest, ScrapedCountersMatchSealedSnapshotExactly) {
+  const int k = 16;
+  const long long n = 4000;
+  const long long dup_every = 100;
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, k, 1.0);
+  std::vector<int> values(n);
+  for (long long i = 0; i < n; ++i) values[i] = static_cast<int>(i % k);
+  Rng root(17);
+  sim::Options encode_options;
+  encode_options.threads = 1;
+  const EncodedStream stream =
+      EncodeScalarLoad(*oracle, values, root, encode_options);
+
+  obs::MetricsRegistry registry;
+  LongitudinalOptions options;
+  options.collector.metrics = &registry;
+  LongitudinalCollector collector(*oracle, options);
+  collector.OpenEpoch();
+
+  ServerOptions server_options;
+  server_options.uds_path = TestSocketPath("admin_ingest");
+  server_options.admin_uds_path = TestSocketPath("admin_scrape");
+  server_options.metrics = &registry;
+  IngestServer server(collector, server_options);
+  server.Start();
+
+  const std::size_t record_bytes =
+      kRecordHeaderBytes + kRecordUserBytes + stream.frame_bytes;
+  const std::vector<std::uint8_t> wire =
+      FrameStreamRecords(stream, 0, n, /*first_user=*/0, dup_every);
+  const long long framed =
+      static_cast<long long>(wire.size() / record_bytes);
+  SendOverUds(server_options.uds_path, wire);
+  while (server.counters().sessions.records < framed) {
+    std::this_thread::yield();
+  }
+
+  // Scrape while the epoch is still open: the counters are already exact
+  // because the collector's TotalsNow() merges live lane tallies.
+  const std::string response =
+      HttpGetOverUds(server_options.admin_uds_path, "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = HttpBody(response);
+
+  const EstimateSnapshot snapshot = collector.Seal();
+  EXPECT_EQ(SeriesValue(body, "ldpr_ingest_reports_total"),
+            snapshot.stats.reports);
+  EXPECT_EQ(SeriesValue(body, "ldpr_ingest_bytes_total"),
+            snapshot.stats.bytes);
+  EXPECT_EQ(
+      SeriesValue(body, "ldpr_ingest_rejects_total{reason=\"duplicate\"}"),
+      snapshot.stats.duplicates);
+  EXPECT_GT(snapshot.stats.duplicates, 0);
+  EXPECT_EQ(
+      SeriesValue(body, "ldpr_ingest_rejects_total{reason=\"malformed\"}"),
+      0);
+  EXPECT_EQ(SeriesValue(body, "ldpr_server_reports_total"),
+            snapshot.stats.reports);
+  EXPECT_EQ(SeriesValue(body, "ldpr_server_connections_total"), 1);
+  // Mid-epoch the decode-block histogram lags by the rows still staged in
+  // the lane (< one block); the seal above flushed them, so a fresh scrape
+  // now accounts for every accepted report block by block.
+  const std::string sealed_body = HttpBody(
+      HttpGetOverUds(server_options.admin_uds_path, "/metrics"));
+  EXPECT_EQ(SeriesValue(sealed_body, "ldpr_decode_block_rows_sum"),
+            snapshot.stats.reports);
+
+  // The other admin routes: JSON snapshot, 404, and non-GET.
+  const std::string json =
+      HttpGetOverUds(server_options.admin_uds_path, "/metrics.json");
+  EXPECT_EQ(json.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(HttpBody(json).find("\"ldpr_ingest_reports_total\""),
+            std::string::npos);
+  EXPECT_EQ(HttpGetOverUds(server_options.admin_uds_path, "/nope")
+                .rfind("HTTP/1.0 404", 0),
+            0u);
+
+  server.Stop();
+}
+
+// Scrapes hammer the admin endpoint while client connections stream: every
+// response must be well-formed 200 with monotonically consistent counters,
+// and the final scrape must be exact. The TSan/ASan-exercised guarantee
+// that scraping mid-epoch is always safe.
+TEST(AdminEndpointTest, ScrapeDuringConcurrentStreamingIsSafeAndExact) {
+  const int k = 8;
+  const long long n = 6000;
+  auto oracle = fo::MakeOracle(fo::Protocol::kGrr, k, 1.0);
+  std::vector<int> values(n);
+  for (long long i = 0; i < n; ++i) values[i] = static_cast<int>(i % k);
+  Rng root(23);
+  sim::Options encode_options;
+  encode_options.threads = 1;
+  const EncodedStream stream =
+      EncodeScalarLoad(*oracle, values, root, encode_options);
+
+  obs::MetricsRegistry registry;
+  Collector collector(*oracle,
+                      [&] {
+                        CollectorOptions o;
+                        o.lanes = 2;
+                        o.metrics = &registry;
+                        return o;
+                      }());
+
+  ServerOptions server_options;
+  server_options.uds_path = TestSocketPath("mid_ingest");
+  server_options.admin_uds_path = TestSocketPath("mid_scrape");
+  server_options.metrics = &registry;
+  IngestServer server(collector, server_options);
+  server.Start();
+
+  std::atomic<bool> done{false};
+  long long last_seen = 0;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string response =
+          HttpGetOverUds(server_options.admin_uds_path, "/metrics");
+      ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+      const long long seen =
+          SeriesValue(HttpBody(response), "ldpr_ingest_reports_total");
+      ASSERT_GE(seen, last_seen);  // counters never go backwards
+      last_seen = seen;
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<std::uint8_t> wire = FrameStreamRecords(
+          stream, c * n / 2, (c + 1) * n / 2, /*first_user=*/std::nullopt);
+      SendOverUds(server_options.uds_path, wire);
+    });
+  }
+  for (auto& t : clients) t.join();
+  while (server.counters().sessions.ingest.reports < n) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  const std::string body = HttpBody(
+      HttpGetOverUds(server_options.admin_uds_path, "/metrics"));
+  EXPECT_EQ(SeriesValue(body, "ldpr_ingest_reports_total"), n);
+  server.Stop();
+
+  const IngestCounters totals = collector.Drain().tallies;
+  EXPECT_EQ(totals.reports, n);
 }
 
 }  // namespace

@@ -22,6 +22,9 @@
 //   pool       Pool-inference attack simulation across repeated collections
 //              of one attribute (attack/pool).
 //   synth      Generate a synthetic census CSV (Adult / ACS / Nursery shape).
+//   metrics    Scrape a running serve-demo's admin endpoint (--socket
+//              /tmp/ldpr_admin.sock [--path /metrics|/metrics.json]) and
+//              print the response body.
 //
 // Examples:
 //   ldpr_cli experiment list
@@ -35,6 +38,7 @@
 //   ldpr_cli reident --csv adult.csv --protocol grr --epsilon 4 --surveys 5
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -66,6 +70,7 @@
 #include "multidim/smp.h"
 #include "multidim/spl.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "privacy/accountant.h"
 #include "serve/collector.h"
 #include "serve/loadgen.h"
@@ -485,6 +490,19 @@ int CmdServeDemo(const Args& args) {
   // A deployment without memoizing clients must not credit chance frame
   // collisions as replays.
   options.memoized_replays_free = memoize;
+
+  // Telemetry: --admin <uds_path> binds the read-only scrape endpoint
+  // (GET /metrics Prometheus text, /metrics.json) on the ingest server's
+  // event loop; --metrics-every N prints a RenderJson snapshot after every
+  // Nth seal; --admin-linger S keeps the admin endpoint alive S seconds
+  // after the summary footer so an external scraper can read the final
+  // counters. Either flag routes the pipeline into the global registry.
+  const std::string admin = args.Get("admin", "");
+  const int metrics_every = args.GetInt("metrics-every", 0);
+  const double admin_linger = args.GetDouble("admin-linger", 0.0);
+  if (!admin.empty() || metrics_every > 0) {
+    options.collector.metrics = &obs::MetricsRegistry::Global();
+  }
   serve::LongitudinalCollector collector(*oracle, options);
   serve::LongitudinalClients clients(*oracle, users, memoize);
 
@@ -496,17 +514,20 @@ int CmdServeDemo(const Args& args) {
   // layers; --require-rate R fails the run (exit 1) when the aggregate
   // decoded rate lands below R reports/s.
   const std::string listen = args.Get("listen", "");
+  const bool socket_mode = !listen.empty();
   const int connections =
       std::max(1, args.GetInt("connections", std::min(producers, 4)));
   const long long dup_every = args.GetInt("dup-every", 0);
   const double require_rate = args.GetDouble("require-rate", 0.0);
   std::unique_ptr<serve::IngestServer> server;
-  if (!listen.empty()) {
+  if (socket_mode || !admin.empty()) {
     serve::ServerOptions server_options;
-    server_options.uds_path = listen;
+    server_options.uds_path = listen;  // empty = admin-only server
     server_options.max_connections = std::max(connections + 4, 8);
     server_options.admission.per_user_rate = args.GetDouble("user-rate", 0.0);
     server_options.session.conn_rate = args.GetDouble("conn-rate", 0.0);
+    server_options.admin_uds_path = admin;
+    server_options.metrics = options.collector.metrics;
     server = std::make_unique<serve::IngestServer>(collector, server_options);
     server->Start();
   }
@@ -552,7 +573,7 @@ int CmdServeDemo(const Args& args) {
     // (records framed == records processed) before sealing.
     const double ingest_start = MonotonicSeconds();
     long long decoded = 0;
-    if (server) {
+    if (socket_mode) {
       const long long records_before = server->counters().sessions.records;
       const long long reports_before =
           server->counters().sessions.ingest.reports;
@@ -593,6 +614,9 @@ int CmdServeDemo(const Args& args) {
                 Mse(truth, snapshot.consistent));
     total_reports += decoded;
     total_seconds += ingest_seconds;
+    if (metrics_every > 0 && (epoch + 1) % metrics_every == 0) {
+      std::printf("%s\n", obs::MetricsRegistry::Global().RenderJson().c_str());
+    }
   }
 
   std::printf("\nprivacy ledger (fresh randomizations charged eps=%.2f, "
@@ -624,20 +648,15 @@ int CmdServeDemo(const Args& args) {
     }
   }
 
-  if (server) {
+  if (socket_mode) {
     const serve::ServerCounters sc = server->counters();
     std::printf(
         "\nsocket front door (%s): %lld connection(s), %lld records, "
-        "%.2f wire MB, protocol errors %lld, shed %lld\n"
-        "rejects: malformed=%lld duplicate=%lld rate-limited=%lld "
-        "shed=%lld closed-epoch=%lld\n",
+        "%.2f wire MB, protocol errors %lld, shed %lld\n%s\n",
         listen.c_str(), sc.connections, sc.sessions.records,
         static_cast<double>(sc.sessions.wire_bytes) / (1024.0 * 1024.0),
         sc.sessions.protocol_errors, sc.shed_connections,
-        sc.sessions.ingest.rejected, sc.sessions.ingest.duplicates,
-        sc.sessions.ingest.rate_limited, sc.sessions.ingest.shed,
-        sc.sessions.ingest.closed_epoch);
-    server->Stop();
+        FormatRejects(sc.sessions.ingest).c_str());
   }
 
   // Aggregate across all producer threads (wall-clock rate of the whole
@@ -648,7 +667,18 @@ int CmdServeDemo(const Args& args) {
       "\nsealed %d epochs, %lld reports decoded, aggregate ingest %.3e "
       "reports/s across %d producer(s)\n",
       epochs, total_reports, aggregate_rate,
-      server ? connections : producers);
+      socket_mode ? connections : producers);
+  if (server) {
+    // The admin endpoint stays scrapeable for --admin-linger seconds after
+    // the summary line, so an external scraper (the CI smoke) can read the
+    // final counters before shutdown.
+    std::fflush(stdout);
+    if (admin_linger > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(admin_linger));
+    }
+    server->Stop();
+  }
   if (require_rate > 0.0 && aggregate_rate < require_rate) {
     std::fprintf(stderr,
                  "FAIL: aggregate ingest %.3e reports/s below required "
@@ -776,11 +806,42 @@ int CmdExperiment(int argc, char** argv) {
   return 0;
 }
 
+/// Scrapes a running serve-demo's admin endpoint over its Unix-domain
+/// socket and prints the response body (Prometheus text for /metrics, JSON
+/// for /metrics.json). Non-200 responses print the status line to stderr
+/// and fail.
+int CmdMetrics(const Args& args) {
+  const std::string socket = args.Get("socket", "");
+  LDPR_REQUIRE(!socket.empty(),
+               "metrics requires --socket <admin_uds_path> (the serve-demo "
+               "--admin path)");
+  const std::string path = args.Get("path", "/metrics");
+  const std::string response = serve::HttpGetOverUds(socket, path);
+
+  std::size_t head_end = response.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (head_end == std::string::npos) {
+    head_end = response.find("\n\n");
+    skip = 2;
+  }
+  LDPR_REQUIRE(head_end != std::string::npos,
+               "malformed HTTP response from '" << socket << "'");
+  const std::string body = response.substr(head_end + skip);
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    const std::string status = response.substr(0, response.find('\n'));
+    std::fprintf(stderr, "error: scrape failed: %s\n", status.c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  return 0;
+}
+
 void Usage() {
   std::printf(
       "usage: ldpr_cli "
-      "<experiment|serve-demo|synth|estimate|attack|reident|uniqueness|"
-      "homogeneity|recommend|ledger|pool>\n"
+      "<experiment|serve-demo|metrics|synth|estimate|attack|reident|"
+      "uniqueness|homogeneity|recommend|ledger|pool>\n"
       "                [--flag value ...]\n"
       "  experiment: list | describe <name|glob> | run <name|glob> "
       "[--smoke] [--profile legacy|fast|smoke] [--json f.json|-]\n"
@@ -790,6 +851,10 @@ void Usage() {
       "--churn 0.05\n"
       "              [--listen /tmp/ldpr.sock --connections 4 --dup-every 0 "
       "--user-rate 0 --conn-rate 0 --require-rate 0]\n"
+      "              [--admin /tmp/ldpr_admin.sock --admin-linger 0 "
+      "--metrics-every 0]\n"
+      "  metrics:    --socket /tmp/ldpr_admin.sock [--path "
+      "/metrics|/metrics.json]\n"
       "  common: --csv file.csv | --dataset adult|acs|nursery --scale 0.2\n"
       "  estimate: --solution spl|smp|rsfd|rsrfd --protocol ... --epsilon e\n"
       "  attack:   --solution rsfd|rsrfd --protocol grr|sue-z|... --model "
@@ -815,6 +880,7 @@ int main(int argc, char** argv) {
     if (cmd == "experiment") return CmdExperiment(argc, argv);
     Args args(argc, argv, 2);
     if (cmd == "serve-demo") return CmdServeDemo(args);
+    if (cmd == "metrics") return CmdMetrics(args);
     if (cmd == "synth") return CmdSynth(args);
     if (cmd == "estimate") return CmdEstimate(args);
     if (cmd == "attack") return CmdAttack(args);
